@@ -1,0 +1,53 @@
+//! Checkpoint machinery cost and the paper's core efficiency claim:
+//! serialize/restore round-trips, and continuation-from-checkpoint vs
+//! replay-from-day-0 for growing elapsed horizons.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use episim::checkpoint::SimCheckpoint;
+use epismc_core::simulator::{CovidSimulator, TrajectorySimulator};
+use epidata::Scenario;
+use std::hint::black_box;
+
+fn simulator() -> CovidSimulator {
+    CovidSimulator::new(Scenario::paper_tiny().base_params).unwrap()
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let sim = simulator();
+    let (_, ck) = sim.run_fresh(&[0.3], 1, 40).unwrap();
+    let bytes = ck.to_bytes();
+    let mut group = c.benchmark_group("checkpoint_codec");
+    group.bench_function("to_bytes", |b| {
+        b.iter(|| black_box(ck.to_bytes()));
+    });
+    group.bench_function("from_bytes", |b| {
+        b.iter(|| black_box(SimCheckpoint::from_bytes(&bytes).unwrap()));
+    });
+    group.bench_function("json_round_trip", |b| {
+        b.iter(|| {
+            let s = serde_json::to_string(&ck).unwrap();
+            black_box(serde_json::from_str::<SimCheckpoint>(&s).unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_restart_vs_replay(c: &mut Criterion) {
+    let sim = simulator();
+    let mut group = c.benchmark_group("restart_vs_replay");
+    group.sample_size(20);
+    // A 14-day continuation window after `elapsed` days of history.
+    for elapsed in [33u32, 61, 120] {
+        let (_, ck) = sim.run_fresh(&[0.3], 1, elapsed).unwrap();
+        group.bench_function(BenchmarkId::new("checkpoint", elapsed), |b| {
+            b.iter(|| black_box(sim.run_from(&ck, &[0.35], 2, elapsed + 14).unwrap()));
+        });
+        group.bench_function(BenchmarkId::new("replay", elapsed), |b| {
+            b.iter(|| black_box(sim.run_fresh(&[0.35], 2, elapsed + 14).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serialization, bench_restart_vs_replay);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Sampler throughput across the regimes the simulator actually hits:
+//! binomial (inversion vs beta-splitting paths), Poisson (direct vs
+//! gamma-reduction), gamma, and normal draws.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epistats::dist::{sample_binomial, sample_poisson, Distribution, Gamma, Normal};
+use epistats::rng::Xoshiro256PlusPlus;
+use std::hint::black_box;
+
+fn bench_binomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial");
+    // (n, p): small-mean inversion path, large-mean splitting path, and
+    // the simulator's daily S->E draw shape (huge n, tiny p).
+    for (label, n, p) in [
+        ("inversion_n20_p0.3", 20u64, 0.3),
+        ("inversion_n1e4_p1e-3", 10_000, 0.001),
+        ("split_n1e4_p0.4", 10_000, 0.4),
+        ("split_n2.7e6_p3e-4", 2_700_000, 0.000_3),
+        ("split_n2.7e6_p0.5", 2_700_000, 0.5),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut rng = Xoshiro256PlusPlus::new(1);
+            b.iter(|| black_box(sample_binomial(&mut rng, black_box(n), black_box(p))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_poisson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson");
+    for lambda in [0.5f64, 8.0, 100.0, 10_000.0] {
+        group.bench_function(BenchmarkId::from_parameter(lambda), |b| {
+            let mut rng = Xoshiro256PlusPlus::new(2);
+            b.iter(|| black_box(sample_poisson(&mut rng, black_box(lambda))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_continuous(c: &mut Criterion) {
+    let mut group = c.benchmark_group("continuous");
+    group.bench_function("normal", |b| {
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        b.iter(|| black_box(Normal::sample_standard(&mut rng)));
+    });
+    group.bench_function("gamma_shape2.5", |b| {
+        let mut rng = Xoshiro256PlusPlus::new(4);
+        b.iter(|| black_box(Gamma::sample_standard(&mut rng, black_box(2.5))));
+    });
+    group.bench_function("gamma_shape0.5", |b| {
+        let mut rng = Xoshiro256PlusPlus::new(5);
+        b.iter(|| black_box(Gamma::sample_standard(&mut rng, black_box(0.5))));
+    });
+    group.bench_function("beta_4_1", |b| {
+        let d = epistats::dist::Beta::new(4.0, 1.0);
+        let mut rng = Xoshiro256PlusPlus::new(6);
+        b.iter(|| black_box(d.sample(&mut rng)));
+    });
+    group.bench_function("raw_u64", |b| {
+        let mut rng = Xoshiro256PlusPlus::new(7);
+        b.iter(|| black_box(rng.next()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_binomial, bench_poisson, bench_continuous);
+criterion_main!(benches);

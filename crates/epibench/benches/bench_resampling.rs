@@ -1,0 +1,57 @@
+//! Resampling scheme cost across ensemble sizes (the paper resamples
+//! 10,000 from 500,000 weighted trajectories).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use epismc_core::resample::{Multinomial, Resampler, Residual, Stratified, Systematic};
+use epistats::rng::Xoshiro256PlusPlus;
+use std::hint::black_box;
+
+fn weights(n: usize) -> Vec<f64> {
+    // A realistic skewed weight profile: exponential decay with a heavy
+    // head, like a post-likelihood importance-weight vector.
+    (0..n).map(|i| (-(i as f64) / (n as f64 / 8.0)).exp() + 1e-9).collect()
+}
+
+fn bench_resamplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resample");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let w = weights(n);
+        let draw = n / 5;
+        group.throughput(Throughput::Elements(draw as u64));
+        let schemes: Vec<Box<dyn Resampler>> = vec![
+            Box::new(Multinomial),
+            Box::new(Systematic),
+            Box::new(Stratified),
+            Box::new(Residual),
+        ];
+        for s in schemes {
+            group.bench_function(
+                BenchmarkId::new(s.name(), n),
+                |b| {
+                    let mut rng = Xoshiro256PlusPlus::new(42);
+                    b.iter(|| black_box(s.resample(&w, draw, &mut rng)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The paper-scale shape: draw 10k of 500k.
+fn bench_paper_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resample_paper_scale");
+    group.sample_size(10);
+    let w = weights(500_000);
+    group.bench_function("multinomial_10k_of_500k", |b| {
+        let mut rng = Xoshiro256PlusPlus::new(7);
+        b.iter(|| black_box(Multinomial.resample(&w, 10_000, &mut rng)));
+    });
+    group.bench_function("systematic_10k_of_500k", |b| {
+        let mut rng = Xoshiro256PlusPlus::new(8);
+        b.iter(|| black_box(Systematic.resample(&w, 10_000, &mut rng)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_resamplers, bench_paper_scale);
+criterion_main!(benches);

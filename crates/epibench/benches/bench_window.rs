@@ -1,0 +1,70 @@
+//! End-to-end cost of one SIS calibration window (Algorithm 1) — the
+//! unit of work the paper parallelizes on HPC — serial vs parallel, and
+//! the sequential continuation step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epidata::{generate_ground_truth, Scenario};
+use epismc_core::config::CalibrationConfig;
+use epismc_core::prior::JitterKernel;
+use epismc_core::simulator::CovidSimulator;
+use epismc_core::sis::{ObservedData, Priors, SequentialCalibrator, SingleWindowIs};
+use epismc_core::window::{TimeWindow, WindowPlan};
+use std::hint::black_box;
+
+fn config(threads: Option<usize>) -> CalibrationConfig {
+    let mut b = CalibrationConfig::builder()
+        .n_params(64)
+        .n_replicates(4)
+        .resample_size(128)
+        .seed(11);
+    if let Some(t) = threads {
+        b = b.threads(t);
+    }
+    b.build()
+}
+
+fn bench_single_window(c: &mut Criterion) {
+    let scenario = Scenario::paper_tiny();
+    let truth = generate_ground_truth(&scenario, scenario.truth_seed);
+    let simulator = CovidSimulator::new(scenario.base_params.clone()).unwrap();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let window = TimeWindow::new(20, 33);
+    let priors = Priors::paper();
+
+    let mut group = c.benchmark_group("single_window_is");
+    group.sample_size(10);
+    group.bench_function("serial_1thread", |b| {
+        let driver = SingleWindowIs::new(&simulator, config(Some(1)));
+        b.iter(|| black_box(driver.run(&priors, &observed, window).unwrap()));
+    });
+    group.bench_function("parallel_default", |b| {
+        let driver = SingleWindowIs::new(&simulator, config(None));
+        b.iter(|| black_box(driver.run(&priors, &observed, window).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let scenario = Scenario::paper_tiny();
+    let truth = generate_ground_truth(&scenario, scenario.truth_seed);
+    let simulator = CovidSimulator::new(scenario.base_params.clone()).unwrap();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let plan = WindowPlan::paper(scenario.horizon);
+    let priors = Priors::paper();
+
+    let mut group = c.benchmark_group("sequential_calibration");
+    group.sample_size(10);
+    group.bench_function("four_windows", |b| {
+        let calibrator = SequentialCalibrator::new(
+            &simulator,
+            config(None),
+            vec![JitterKernel::symmetric(0.1, 0.05, 0.8)],
+            JitterKernel::asymmetric(0.05, 0.08, 0.05, 1.0),
+        );
+        b.iter(|| black_box(calibrator.run(&priors, &observed, &plan).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_window, bench_sequential);
+criterion_main!(benches);

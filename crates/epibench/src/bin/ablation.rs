@@ -1,0 +1,200 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Resampling scheme** — multinomial (the paper's choice) vs
+//!    systematic / stratified / residual: Monte Carlo variance of the
+//!    posterior mean and ancestor diversity under each.
+//! 2. **Bias mode** — sampled binomial thinning (the paper's generative
+//!    model) vs conditional-mean thinning: effect on the posteriors of
+//!    `rho` and `theta`.
+//! 3. **Adaptive refinement** — plain SIS vs ESS-triggered iterated
+//!    refinement on the paper's hard fourth window (the day-62
+//!    transmission jump).
+
+use epibench::{row, section, Args};
+use epidata::{generate_ground_truth, io::Table};
+use epismc_core::adaptive::AdaptiveConfig;
+use epismc_core::diagnostics::PosteriorSummary;
+use epismc_core::observation::BiasMode;
+use epismc_core::prior::JitterKernel;
+use epismc_core::resample::{Multinomial, Resampler, Residual, Stratified, Systematic};
+use epismc_core::simulator::CovidSimulator;
+use epismc_core::sis::{ObservedData, Priors, SequentialCalibrator, SingleWindowIs};
+use epismc_core::window::{TimeWindow, WindowPlan};
+use epistats::rng::Xoshiro256PlusPlus;
+use epistats::summary::{mean, variance, weighted_mean};
+
+fn main() {
+    let mut args = Args::parse();
+    if args.n_params == Args::default().n_params {
+        args.n_params = 400;
+        args.n_replicates = 8;
+        args.resample_size = 800;
+    }
+    let scenario = args.scenario();
+    let truth = generate_ground_truth(&scenario, scenario.truth_seed);
+    let simulator = CovidSimulator::new(scenario.base_params.clone()).expect("params");
+    let window = TimeWindow::new(20, 33);
+
+    // ------------------------------------------------------------------
+    section("1. resampling schemes (same weighted candidates)");
+    let mut cfg = args.config();
+    cfg.keep_prior_ensemble = true;
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let result = SingleWindowIs::new(&simulator, cfg.clone())
+        .run(&Priors::paper(), &observed, window)
+        .expect("calibration");
+    let candidates = result.prior_ensemble.as_ref().expect("kept");
+    let weights = candidates.normalized_weights();
+    let thetas = candidates.thetas(0);
+    let target_mean = weighted_mean(&thetas, &weights);
+
+    let schemes: Vec<Box<dyn Resampler>> = vec![
+        Box::new(Multinomial),
+        Box::new(Systematic),
+        Box::new(Stratified),
+        Box::new(Residual),
+    ];
+    let widths = [12, 12, 14, 12];
+    println!("weighted target mean theta = {target_mean:.4}");
+    println!(
+        "{}",
+        row(&["scheme", "mean_bias", "resamp_var", "uniq_mean"].map(String::from), &widths)
+    );
+    let mut scheme_rows: Vec<(String, f64, f64, f64)> = Vec::new();
+    for s in &schemes {
+        let mut rng = Xoshiro256PlusPlus::new(1234);
+        let reps = 40;
+        let mut means = Vec::with_capacity(reps);
+        let mut uniq = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let idx = s.resample(&weights, args.resample_size, &mut rng);
+            means.push(mean(&idx.iter().map(|&i| thetas[i]).collect::<Vec<_>>()));
+            let mut u = idx.clone();
+            u.sort_unstable();
+            u.dedup();
+            uniq.push(u.len() as f64);
+        }
+        let bias = mean(&means) - target_mean;
+        let var = variance(&means);
+        println!(
+            "{}",
+            row(
+                &[
+                    s.name().to_string(),
+                    format!("{bias:+.5}"),
+                    format!("{var:.2e}"),
+                    format!("{:.0}", mean(&uniq)),
+                ],
+                &widths
+            )
+        );
+        scheme_rows.push((s.name().to_string(), bias, var, mean(&uniq)));
+    }
+    println!("(all schemes unbiased; systematic/stratified cut resampling variance)");
+
+    // ------------------------------------------------------------------
+    section("2. bias mode: sampled binomial vs conditional mean");
+    let widths = [10, 10, 10, 10, 10];
+    println!(
+        "{}",
+        row(&["mode", "th_mean", "th_sd", "rho_mean", "rho_sd"].map(String::from), &widths)
+    );
+    for (label, mode) in [("sampled", BiasMode::Sampled), ("mean", BiasMode::Mean)] {
+        let obs =
+            ObservedData::cases_only_with(truth.observed_cases.clone(), mode, 1.0);
+        let res = SingleWindowIs::new(&simulator, args.config())
+            .run(&Priors::paper(), &obs, window)
+            .expect("calibration");
+        let th = PosteriorSummary::of_theta(&res.posterior, 0);
+        let rh = PosteriorSummary::of_rho(&res.posterior);
+        println!(
+            "{}",
+            row(
+                &[
+                    label.to_string(),
+                    format!("{:.3}", th.mean),
+                    format!("{:.3}", th.sd),
+                    format!("{:.3}", rh.mean),
+                    format!("{:.3}", rh.sd),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("(sampled thinning folds reporting noise into the weights, per the paper; both modes recover theta)");
+
+    // ------------------------------------------------------------------
+    section("3. adaptive refinement on the day-62 jump window");
+    let plan = WindowPlan::paper(scenario.horizon);
+    let kernels = || {
+        (
+            vec![JitterKernel::symmetric(0.06, 0.05, 0.8)],
+            JitterKernel::asymmetric(0.05, 0.08, 0.05, 1.0),
+        )
+    };
+    let true_last = truth.theta_truth[61];
+    let widths = [10, 10, 10, 8, 7];
+    println!(
+        "{}",
+        row(&["variant", "th_w4", "abs_err", "ESS%", "iters"].map(String::from), &widths)
+    );
+    let mut adapt_rows: Vec<(String, f64, f64, f64, f64)> = Vec::new();
+    for (label, adaptive) in [
+        ("plain", None),
+        (
+            "adaptive",
+            Some(AdaptiveConfig {
+                max_iterations: 3,
+                target_ess_fraction: 0.05,
+                jitter_decay: 0.7,
+            }),
+        ),
+    ] {
+        let (kt, kr) = kernels();
+        let mut cal = SequentialCalibrator::new(&simulator, args.config(), kt, kr);
+        if let Some(a) = adaptive {
+            cal = cal.with_adaptive(a);
+        }
+        let res = cal
+            .run(&Priors::paper(), &observed, &plan)
+            .expect("calibration");
+        let last = res.windows.last().expect("windows");
+        let th = PosteriorSummary::of_theta(&last.posterior, 0);
+        let ess_pct = 100.0 * last.ess / (args.n_params * args.n_replicates) as f64;
+        println!(
+            "{}",
+            row(
+                &[
+                    label.to_string(),
+                    format!("{:.3}", th.mean),
+                    format!("{:.3}", (th.mean - true_last).abs()),
+                    format!("{ess_pct:.1}"),
+                    format!("{}", last.iterations),
+                ],
+                &widths
+            )
+        );
+        adapt_rows.push((
+            label.to_string(),
+            th.mean,
+            (th.mean - true_last).abs(),
+            ess_pct,
+            last.iterations as f64,
+        ));
+    }
+    println!("(truth in the final window: theta = {true_last:.2})");
+
+    // CSV artifact.
+    let table = Table::from_pairs(vec![
+        ("scheme_bias", scheme_rows.iter().map(|r| r.1).collect()),
+        ("scheme_var", scheme_rows.iter().map(|r| r.2).collect()),
+        ("scheme_uniq", scheme_rows.iter().map(|r| r.3).collect()),
+        (
+            "adaptive_err",
+            adapt_rows.iter().map(|r| r.2).chain(std::iter::repeat(0.0)).take(4).collect(),
+        ),
+    ]);
+    let path = args.out_dir.join("ablation.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,222 @@
+#![warn(missing_docs)]
+
+//! # epibench — figure regeneration and benchmarking harness
+//!
+//! One binary per paper figure (see DESIGN.md's experiment index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig2_ground_truth` | Fig 2 — simulated ground truth |
+//! | `fig3_single_window` | Fig 3 — single-window IS on case counts |
+//! | `fig4_sequential_cases` | Fig 4a/4b — sequential calibration, cases only |
+//! | `fig5_cases_deaths` | Fig 5a/5b — cases + deaths, and the CI-width comparison vs Fig 4 |
+//! | `scaling` | the HPC claims — thread scaling and checkpoint-restart savings |
+//! | `ablation` | resampling schemes, bias modes, adaptive refinement |
+//! | `calibrate` | config-driven CLI (JSON [`runspec::RunSpec`]) |
+//!
+//! Each prints the series/rows behind the figure and writes CSVs under
+//! `results/`. Default scale is laptop-friendly; pass `--full` for the
+//! paper's 25,000 x 20 ensemble (HPC-sized).
+
+pub mod runspec;
+
+use epidata::Scenario;
+use epismc_core::config::CalibrationConfig;
+use epismc_core::observation::BiasMode;
+
+/// Parsed command-line options shared by the figure binaries.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Scenario scale: `tiny`, `small` (default), or `full`.
+    pub scale: String,
+    /// Parameter tuples per window.
+    pub n_params: usize,
+    /// Replicates per tuple.
+    pub n_replicates: usize,
+    /// Posterior resample size.
+    pub resample_size: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Thread count (None = rayon default).
+    pub threads: Option<usize>,
+    /// Binomial bias mode.
+    pub bias_mode: BiasMode,
+    /// Output directory for CSVs.
+    pub out_dir: std::path::PathBuf,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            scale: "small".into(),
+            n_params: 1_500,
+            n_replicates: 10,
+            resample_size: 2_000,
+            seed: 20_240_615,
+            threads: None,
+            bias_mode: BiasMode::Sampled,
+            out_dir: "results".into(),
+        }
+    }
+}
+
+impl Args {
+    /// Parse from `std::env::args`, panicking with usage text on errors.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1).collect())
+    }
+
+    /// Parse from an explicit argument vector.
+    ///
+    /// # Panics
+    /// Panics with a usage message on unknown flags or malformed values.
+    pub fn parse_from(argv: Vec<String>) -> Self {
+        let mut args = Self::default();
+        let mut it = argv.into_iter();
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--full" => {
+                    // Paper scale: 25,000 x 20 = 500,000 trajectories,
+                    // resample 10,000 (Section V-B) on the 2.7M scenario.
+                    args.scale = "full".into();
+                    args.n_params = 25_000;
+                    args.n_replicates = 20;
+                    args.resample_size = 10_000;
+                }
+                "--scale" => args.scale = take("--scale"),
+                "--n-params" => {
+                    args.n_params = take("--n-params").parse().expect("--n-params: integer")
+                }
+                "--n-reps" => {
+                    args.n_replicates =
+                        take("--n-reps").parse().expect("--n-reps: integer")
+                }
+                "--resample" => {
+                    args.resample_size =
+                        take("--resample").parse().expect("--resample: integer")
+                }
+                "--seed" => args.seed = take("--seed").parse().expect("--seed: integer"),
+                "--threads" => {
+                    args.threads =
+                        Some(take("--threads").parse().expect("--threads: integer"))
+                }
+                "--bias-mode" => {
+                    args.bias_mode = match take("--bias-mode").as_str() {
+                        "sampled" => BiasMode::Sampled,
+                        "mean" => BiasMode::Mean,
+                        other => panic!("--bias-mode: 'sampled' or 'mean', got '{other}'"),
+                    }
+                }
+                "--out" => args.out_dir = take("--out").into(),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --full | --scale tiny|small|full | --n-params N | \
+                         --n-reps N | --resample N | --seed N | --threads N | \
+                         --bias-mode sampled|mean | --out DIR"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag '{other}' (try --help)"),
+            }
+        }
+        args
+    }
+
+    /// Build the scenario for the chosen scale.
+    ///
+    /// # Panics
+    /// Panics on an unknown scale name.
+    pub fn scenario(&self) -> Scenario {
+        match self.scale.as_str() {
+            "tiny" => Scenario::paper_tiny(),
+            "small" => Scenario::paper_small(),
+            "full" => Scenario::paper_full(),
+            other => panic!("unknown scale '{other}' (tiny|small|full)"),
+        }
+    }
+
+    /// Build the calibration config for these arguments.
+    pub fn config(&self) -> CalibrationConfig {
+        let mut b = CalibrationConfig::builder()
+            .n_params(self.n_params)
+            .n_replicates(self.n_replicates)
+            .resample_size(self.resample_size)
+            .seed(self.seed)
+            .sigma(1.0)
+            .bias_mode(self.bias_mode);
+        if let Some(t) = self.threads {
+            b = b.threads(t);
+        }
+        b.build()
+    }
+}
+
+/// Print a named section header to stdout.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Format an aligned numeric table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args_build_valid_config() {
+        let a = Args::default();
+        assert!(a.config().validate().is_ok());
+        assert_eq!(a.scenario().name, "paper-small");
+    }
+
+    #[test]
+    fn full_flag_sets_paper_scale() {
+        let a = Args::parse_from(vec!["--full".into()]);
+        assert_eq!(a.n_params, 25_000);
+        assert_eq!(a.n_replicates, 20);
+        assert_eq!(a.resample_size, 10_000);
+        assert_eq!(a.scenario().name, "paper-full");
+    }
+
+    #[test]
+    fn individual_flags_override() {
+        let a = Args::parse_from(
+            ["--scale", "tiny", "--n-params", "10", "--n-reps", "2", "--seed", "9",
+             "--threads", "3", "--bias-mode", "mean", "--resample", "44"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert_eq!(a.scenario().name, "paper-tiny");
+        assert_eq!(a.n_params, 10);
+        assert_eq!(a.n_replicates, 2);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.threads, Some(3));
+        assert_eq!(a.bias_mode, BiasMode::Mean);
+        assert_eq!(a.resample_size, 44);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_flag_panics() {
+        Args::parse_from(vec!["--bogus".into()]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_bias_mode_panics() {
+        Args::parse_from(vec!["--bias-mode".into(), "magic".into()]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Declarative run specifications for the `calibrate` CLI binary.
+//!
+//! A JSON file fully describes a calibration campaign — scenario,
+//! ensemble sizes, windows, data sources, jitter kernels, optional
+//! adaptive refinement — so operational re-runs ("new week of data
+//! arrived") are a config edit, not a code change.
+
+use epidata::Scenario;
+use epismc_core::adaptive::AdaptiveConfig;
+use epismc_core::config::CalibrationConfig;
+use epismc_core::prior::JitterKernel;
+use epismc_core::window::{TimeWindow, WindowPlan};
+use serde::{Deserialize, Serialize};
+
+/// Which observed data streams to calibrate against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SourceSpec {
+    /// Reported case counts only (paper Section V-B).
+    Cases,
+    /// Cases plus death counts (paper Section V-C).
+    CasesDeaths,
+}
+
+/// Jitter-kernel settings for the sequential proposal.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct JitterSpec {
+    /// Symmetric half-width for theta.
+    pub theta_half: f64,
+    /// Downward half-width for rho.
+    pub rho_down: f64,
+    /// Upward half-width for rho.
+    pub rho_up: f64,
+}
+
+impl Default for JitterSpec {
+    fn default() -> Self {
+        Self { theta_half: 0.10, rho_down: 0.05, rho_up: 0.06 }
+    }
+}
+
+/// A complete declarative calibration campaign.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Scenario scale name (`tiny` / `small` / `full`).
+    #[serde(default = "default_scale")]
+    pub scale: String,
+    /// Calibration settings.
+    #[serde(default)]
+    pub calibration: CalibrationConfig,
+    /// Inclusive `[start, end]` day pairs, strictly ordered.
+    #[serde(default = "default_windows")]
+    pub windows: Vec<(u32, u32)>,
+    /// Data streams to score against.
+    #[serde(default = "default_sources")]
+    pub sources: SourceSpec,
+    /// Proposal jitter settings.
+    #[serde(default)]
+    pub jitter: JitterSpec,
+    /// Optional adaptive ESS-triggered refinement.
+    #[serde(default)]
+    pub adaptive: Option<AdaptiveConfig>,
+    /// Output directory for CSV artifacts.
+    #[serde(default = "default_out")]
+    pub out_dir: String,
+}
+
+fn default_scale() -> String {
+    "small".into()
+}
+fn default_windows() -> Vec<(u32, u32)> {
+    vec![(20, 33), (34, 47), (48, 61), (62, 90)]
+}
+fn default_sources() -> SourceSpec {
+    SourceSpec::Cases
+}
+fn default_out() -> String {
+    "results/calibrate".into()
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        Self {
+            scale: default_scale(),
+            calibration: CalibrationConfig::default(),
+            windows: default_windows(),
+            sources: default_sources(),
+            jitter: JitterSpec::default(),
+            adaptive: None,
+            out_dir: default_out(),
+        }
+    }
+}
+
+impl RunSpec {
+    /// Parse from a JSON string.
+    ///
+    /// # Errors
+    /// Returns parse and validation errors.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let spec: Self = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Validate semantic constraints beyond the type structure.
+    ///
+    /// # Errors
+    /// Returns the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        self.calibration.validate()?;
+        if self.windows.is_empty() {
+            return Err("runspec: no windows".into());
+        }
+        for &(a, b) in &self.windows {
+            if a > b {
+                return Err(format!("runspec: inverted window [{a}, {b}]"));
+            }
+        }
+        for pair in self.windows.windows(2) {
+            if pair[1].0 <= pair[0].1 {
+                return Err("runspec: windows must be strictly ordered".into());
+            }
+        }
+        let scen = self.scenario()?;
+        if self.windows.last().expect("non-empty").1 > scen.horizon {
+            return Err("runspec: window beyond scenario horizon".into());
+        }
+        if !(self.jitter.theta_half > 0.0
+            && self.jitter.rho_down > 0.0
+            && self.jitter.rho_up > 0.0)
+        {
+            return Err("runspec: jitter half-widths must be positive".into());
+        }
+        if let Some(a) = &self.adaptive {
+            a.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Resolve the scenario.
+    ///
+    /// # Errors
+    /// Returns an error for unknown scale names.
+    pub fn scenario(&self) -> Result<Scenario, String> {
+        match self.scale.as_str() {
+            "tiny" => Ok(Scenario::paper_tiny()),
+            "small" => Ok(Scenario::paper_small()),
+            "full" => Ok(Scenario::paper_full()),
+            other => Err(format!("unknown scale '{other}'")),
+        }
+    }
+
+    /// Build the window plan.
+    pub fn window_plan(&self) -> WindowPlan {
+        WindowPlan::new(
+            self.windows.iter().map(|&(a, b)| TimeWindow::new(a, b)).collect(),
+        )
+    }
+
+    /// Build the jitter kernels `(theta, rho)`.
+    pub fn kernels(&self) -> (Vec<JitterKernel>, JitterKernel) {
+        (
+            vec![JitterKernel::symmetric(self.jitter.theta_half, 0.05, 0.8)],
+            JitterKernel::asymmetric(self.jitter.rho_down, self.jitter.rho_up, 0.05, 1.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_validates() {
+        let spec = RunSpec::default();
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.window_plan().len(), 4);
+    }
+
+    #[test]
+    fn json_round_trip_and_partial_configs() {
+        // A minimal config relies on defaults.
+        let spec = RunSpec::from_json(r#"{}"#).unwrap();
+        assert_eq!(spec.scale, "small");
+        assert_eq!(spec.sources, SourceSpec::Cases);
+        // A partial override.
+        let spec = RunSpec::from_json(
+            r#"{
+                "scale": "tiny",
+                "sources": "cases_deaths",
+                "windows": [[10, 20], [21, 40]],
+                "calibration": {
+                    "n_params": 50, "n_replicates": 2, "resample_size": 100,
+                    "seed": 5, "sigma": 1.0, "threads": null,
+                    "keep_prior_ensemble": false
+                },
+                "adaptive": {
+                    "max_iterations": 2, "target_ess_fraction": 0.1,
+                    "jitter_decay": 0.8
+                }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.scale, "tiny");
+        assert_eq!(spec.sources, SourceSpec::CasesDeaths);
+        assert_eq!(spec.calibration.n_params, 50);
+        assert!(spec.adaptive.is_some());
+        // Full serde round trip.
+        let json = serde_json::to_string(&spec).unwrap();
+        let back = RunSpec::from_json(&json).unwrap();
+        assert_eq!(back.windows, spec.windows);
+    }
+
+    #[test]
+    fn rejects_bad_windows() {
+        assert!(RunSpec::from_json(r#"{"windows": []}"#).is_err());
+        assert!(RunSpec::from_json(r#"{"windows": [[10, 5]]}"#).is_err());
+        assert!(RunSpec::from_json(r#"{"windows": [[5, 10], [10, 20]]}"#).is_err());
+        assert!(RunSpec::from_json(r#"{"windows": [[5, 500]]}"#).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_scale() {
+        assert!(RunSpec::from_json(r#"{"scale": "galactic"}"#).is_err());
+    }
+
+    #[test]
+    fn kernels_reflect_jitter_spec() {
+        let spec = RunSpec::from_json(
+            r#"{"jitter": {"theta_half": 0.2, "rho_down": 0.01, "rho_up": 0.09}}"#,
+        )
+        .unwrap();
+        let (kt, kr) = spec.kernels();
+        assert!((kt[0].down - 0.2).abs() < 1e-12);
+        assert!((kr.down - 0.01).abs() < 1e-12);
+        assert!((kr.up - 0.09).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,221 @@
+//! Ground-truth generation (paper Section V-A, Fig 2).
+//!
+//! The truth trajectory is produced by the *same* stochastic simulator
+//! the calibrator drives, with the transmission rate switched at the
+//! schedule's horizons **via checkpoint restarts** — exercising exactly
+//! the parameter-override machinery the inference loop relies on. The
+//! simulator's case counts are treated as the unobserved truth; observed
+//! cases are a binomial thinning with the day's reporting probability.
+
+use episim::covid::{CovidModel, CovidParams};
+use episim::engine::BinomialChainStepper;
+use episim::output::DailySeries;
+use episim::runner::Simulation;
+use epistats::dist::sample_binomial;
+use epistats::rng::{derive_stream, Xoshiro256PlusPlus};
+
+use crate::scenario::Scenario;
+
+/// The generated ground truth: unobserved true series, the biased
+/// observed series, and the schedules that produced them.
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    /// True daily infections (day `d` at index `d - 1`).
+    pub true_cases: Vec<f64>,
+    /// Observed (binomially thinned) daily case counts.
+    pub observed_cases: Vec<f64>,
+    /// Daily deaths (observed without bias, per Section V-C).
+    pub deaths: Vec<f64>,
+    /// Daily hospital census.
+    pub hospital_census: Vec<f64>,
+    /// Daily ICU census.
+    pub icu_census: Vec<f64>,
+    /// Dense daily true theta.
+    pub theta_truth: Vec<f64>,
+    /// Dense daily true rho.
+    pub rho_truth: Vec<f64>,
+    /// The full recorded simulator output.
+    pub series: DailySeries,
+}
+
+impl GroundTruth {
+    /// Simulation horizon in days.
+    pub fn horizon(&self) -> u32 {
+        self.true_cases.len() as u32
+    }
+
+    /// Overall reporting fraction actually realized
+    /// (`sum observed / sum true`).
+    pub fn realized_reporting_fraction(&self) -> f64 {
+        let t: f64 = self.true_cases.iter().sum();
+        let o: f64 = self.observed_cases.iter().sum();
+        if t == 0.0 {
+            0.0
+        } else {
+            o / t
+        }
+    }
+}
+
+/// Generate the scenario's ground truth.
+///
+/// The truth run switches `theta` at each schedule change day by
+/// capturing a checkpoint and resuming under the new parameters (with the
+/// RNG stream carried through, so the trajectory is one continuous
+/// stochastic history).
+///
+/// # Panics
+/// Panics if the scenario is invalid (programming error in scenario
+/// construction — validated scenarios never fail here).
+pub fn generate_ground_truth(scenario: &Scenario, seed: u64) -> GroundTruth {
+    scenario.validate().expect("invalid scenario");
+    let horizon = scenario.horizon;
+
+    // Segment boundaries: [0, c1), [c1, c2), ..., [ck, horizon].
+    let mut boundaries: Vec<u32> = scenario.theta_schedule.change_days().to_vec();
+    boundaries.push(horizon);
+
+    let theta0 = scenario.theta_schedule.value_at(0);
+    let model = CovidModel::new(CovidParams {
+        transmission_rate: theta0,
+        ..scenario.base_params.clone()
+    })
+    .expect("validated");
+    let mut sim = Simulation::new(
+        model.spec(),
+        BinomialChainStepper::daily(),
+        model.initial_state(seed),
+    )
+    .expect("validated");
+
+    let mut series: Option<DailySeries> = None;
+    let mut prev_end = 0u32;
+    for (k, &end) in boundaries.iter().enumerate() {
+        // Segment [prev_end+1, end] runs under the theta in effect at its
+        // first day; switches happen through checkpoint restarts so the
+        // trajectory is one continuous stochastic history.
+        if k > 0 {
+            let theta = scenario.theta_schedule.value_at(prev_end);
+            let ck = sim.checkpoint();
+            let model = CovidModel::new(CovidParams {
+                transmission_rate: theta,
+                ..scenario.base_params.clone()
+            })
+            .expect("validated");
+            sim = Simulation::resume(model.spec(), BinomialChainStepper::daily(), &ck)
+                .expect("layout unchanged");
+        }
+        sim.run_until(end);
+        match &mut series {
+            None => series = Some(sim.series().clone()),
+            Some(s) => s.extend(sim.series()),
+        }
+        prev_end = end;
+    }
+    let series = series.expect("at least one segment");
+
+    let true_cases = series.series_f64("infections").expect("recorded");
+    let deaths = series.series_f64("deaths").expect("recorded");
+    let hospital_census = series.series_f64("hospital_census").expect("recorded");
+    let icu_census = series.series_f64("icu_census").expect("recorded");
+
+    // Apply the time-varying binomial reporting bias.
+    let rho_truth = scenario.rho_truth();
+    let mut bias_rng = Xoshiro256PlusPlus::new(derive_stream(seed, &[0x0B5E_ED]));
+    let observed_cases: Vec<f64> = true_cases
+        .iter()
+        .zip(&rho_truth)
+        .map(|(&eta, &rho)| sample_binomial(&mut bias_rng, eta as u64, rho) as f64)
+        .collect();
+
+    GroundTruth {
+        true_cases,
+        observed_cases,
+        deaths,
+        hospital_census,
+        icu_census,
+        theta_truth: scenario.theta_truth(),
+        rho_truth,
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn truth() -> GroundTruth {
+        generate_ground_truth(&Scenario::paper_tiny(), 42)
+    }
+
+    #[test]
+    fn shapes_align_with_horizon() {
+        let t = truth();
+        assert_eq!(t.horizon(), 90);
+        assert_eq!(t.true_cases.len(), 90);
+        assert_eq!(t.observed_cases.len(), 90);
+        assert_eq!(t.deaths.len(), 90);
+        assert_eq!(t.theta_truth.len(), 90);
+        assert_eq!(t.series.len(), 90);
+        assert_eq!(t.series.start_day(), 1);
+    }
+
+    #[test]
+    fn observed_is_a_thinning_of_truth() {
+        let t = truth();
+        for (o, c) in t.observed_cases.iter().zip(&t.true_cases) {
+            assert!(o <= c, "observed {o} exceeds true {c}");
+            assert!(*o >= 0.0);
+        }
+        // Realized reporting fraction near the schedule's range (0.6–0.85).
+        let f = t.realized_reporting_fraction();
+        assert!((0.55..0.9).contains(&f), "fraction = {f}");
+    }
+
+    #[test]
+    fn epidemic_is_nontrivial() {
+        let t = truth();
+        let total: f64 = t.true_cases.iter().sum();
+        assert!(total > 500.0, "total infections = {total}");
+        let late: f64 = t.true_cases[60..].iter().sum();
+        assert!(late > 0.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate_ground_truth(&Scenario::paper_tiny(), 7);
+        let b = generate_ground_truth(&Scenario::paper_tiny(), 7);
+        let c = generate_ground_truth(&Scenario::paper_tiny(), 8);
+        assert_eq!(a.true_cases, b.true_cases);
+        assert_eq!(a.observed_cases, b.observed_cases);
+        assert_ne!(a.true_cases, c.true_cases);
+    }
+
+    #[test]
+    fn theta_jump_accelerates_growth() {
+        // Compare the paper schedule against a flat-0.25 schedule from a
+        // shared history: after day 62 the paper's theta = 0.40 must
+        // produce more late-epidemic infections on average.
+        let mut flat = Scenario::paper_tiny();
+        flat.theta_schedule = crate::schedule::PiecewiseConstant::new(
+            vec![0, 34, 48],
+            vec![0.30, 0.27, 0.25],
+        );
+        let mut late_paper = 0.0;
+        let mut late_flat = 0.0;
+        for seed in 0..6 {
+            late_paper += generate_ground_truth(&Scenario::paper_tiny(), seed)
+                .true_cases[70..]
+                .iter()
+                .sum::<f64>();
+            late_flat += generate_ground_truth(&flat, seed).true_cases[70..]
+                .iter()
+                .sum::<f64>();
+        }
+        assert!(
+            late_paper > 1.3 * late_flat,
+            "paper late {late_paper} vs flat late {late_flat}"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Minimal CSV reading/writing for result artifacts.
+//!
+//! Every figure binary writes its series under `results/` in plain CSV so
+//! the numbers behind each panel are auditable (EXPERIMENTS.md quotes
+//! them) and plottable with any external tool.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// A simple columnar table: named `f64` columns of equal length.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Table {
+    /// Column names.
+    pub headers: Vec<String>,
+    /// Columns, aligned with `headers`.
+    pub columns: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Create an empty table with the given headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        let columns = vec![Vec::new(); headers.len()];
+        Self { headers, columns }
+    }
+
+    /// Build directly from `(name, column)` pairs.
+    ///
+    /// # Panics
+    /// Panics if column lengths differ.
+    pub fn from_pairs(pairs: Vec<(&str, Vec<f64>)>) -> Self {
+        let mut t = Self::new(pairs.iter().map(|(n, _)| n.to_string()).collect());
+        t.columns = pairs.into_iter().map(|(_, c)| c).collect();
+        t.assert_rectangular();
+        t
+    }
+
+    fn assert_rectangular(&self) {
+        if let Some(first) = self.columns.first() {
+            for (h, c) in self.headers.iter().zip(&self.columns) {
+                assert_eq!(c.len(), first.len(), "column '{h}' length mismatch");
+            }
+        }
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    /// Panics on a width mismatch.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.columns.len(), "push_row: width mismatch");
+        for (c, &v) in self.columns.iter_mut().zip(row) {
+            c.push(v);
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A column by name.
+    pub fn column(&self, name: &str) -> Option<&[f64]> {
+        self.headers
+            .iter()
+            .position(|h| h == name)
+            .map(|i| self.columns[i].as_slice())
+    }
+
+    /// Write as CSV.
+    ///
+    /// # Errors
+    /// Propagates IO errors.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut w = BufWriter::new(File::create(path)?);
+        writeln!(w, "{}", self.headers.join(","))?;
+        for row in 0..self.len() {
+            let line: Vec<String> = self
+                .columns
+                .iter()
+                .map(|c| format_float(c[row]))
+                .collect();
+            writeln!(w, "{}", line.join(","))?;
+        }
+        w.flush()
+    }
+
+    /// Read a CSV produced by [`Self::write_csv`].
+    ///
+    /// # Errors
+    /// Returns IO errors and parse failures as strings.
+    pub fn read_csv(path: &Path) -> Result<Self, String> {
+        let f = File::open(path).map_err(|e| format!("open {path:?}: {e}"))?;
+        let mut lines = BufReader::new(f).lines();
+        let header_line = lines
+            .next()
+            .ok_or("empty csv")?
+            .map_err(|e| e.to_string())?;
+        let headers: Vec<String> =
+            header_line.split(',').map(|s| s.trim().to_string()).collect();
+        let mut table = Table::new(headers);
+        for (lineno, line) in lines.enumerate() {
+            let line = line.map_err(|e| e.to_string())?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let row: Result<Vec<f64>, _> =
+                line.split(',').map(|s| s.trim().parse::<f64>()).collect();
+            let row = row.map_err(|e| format!("line {}: {e}", lineno + 2))?;
+            if row.len() != table.columns.len() {
+                return Err(format!("line {}: width mismatch", lineno + 2));
+            }
+            table.push_row(&row);
+        }
+        Ok(table)
+    }
+}
+
+/// Compact float formatting: integers stay integral, everything else gets
+/// enough digits to round-trip plot-quality values.
+fn format_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_disk() {
+        let t = Table::from_pairs(vec![
+            ("day", vec![1.0, 2.0, 3.0]),
+            ("cases", vec![10.0, 20.5, 30.0]),
+        ]);
+        let dir = std::env::temp_dir().join("epidata-io-test");
+        let path = dir.join("t.csv");
+        t.write_csv(&path).unwrap();
+        let back = Table::read_csv(&path).unwrap();
+        assert_eq!(back.headers, t.headers);
+        assert_eq!(back.column("day").unwrap(), t.column("day").unwrap());
+        assert!((back.column("cases").unwrap()[1] - 20.5).abs() < 1e-9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn push_row_and_query() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.push_row(&[1.0, 2.0]);
+        t.push_row(&[3.0, 4.0]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.column("b").unwrap(), &[2.0, 4.0]);
+        assert!(t.column("c").is_none());
+    }
+
+    #[test]
+    fn read_rejects_ragged_rows() {
+        let dir = std::env::temp_dir().join("epidata-io-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "a,b\n1,2\n3\n").unwrap();
+        assert!(Table::read_csv(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_pairs_rejects_ragged_columns() {
+        Table::from_pairs(vec![("a", vec![1.0]), ("b", vec![1.0, 2.0])]);
+    }
+}

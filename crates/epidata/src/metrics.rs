@@ -1,0 +1,208 @@
+//! Epidemic summary metrics computed from daily incidence series.
+//!
+//! Used by EXPERIMENTS.md to compare generated ground truths and
+//! calibrated posteriors in epidemiologically meaningful terms: attack
+//! rate, peak timing/height, exponential growth rate, and a simple
+//! generation-interval-based instantaneous reproduction number (the
+//! quantity the under-reporting literature cited in Section II estimates).
+
+/// Attack rate: cumulative incidence over the series as a fraction of the
+/// population.
+///
+/// # Panics
+/// Panics if `population` is zero.
+pub fn attack_rate(daily_incidence: &[f64], population: u64) -> f64 {
+    assert!(population > 0, "attack_rate: zero population");
+    daily_incidence.iter().sum::<f64>() / population as f64
+}
+
+/// `(day, height)` of the incidence peak (1-based day; first maximum on
+/// ties). Returns `None` for an empty series.
+pub fn peak(daily_incidence: &[f64]) -> Option<(u32, f64)> {
+    let (mut best_d, mut best_v) = (0usize, f64::NEG_INFINITY);
+    for (d, &v) in daily_incidence.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best_d = d;
+        }
+    }
+    if daily_incidence.is_empty() {
+        None
+    } else {
+        Some((best_d as u32 + 1, best_v))
+    }
+}
+
+/// Exponential growth rate over `[day_lo, day_hi]` (1-based, inclusive),
+/// estimated by least squares on log counts (zero days are skipped).
+///
+/// Returns `None` if fewer than two positive observations fall in the
+/// range.
+pub fn growth_rate(daily_incidence: &[f64], day_lo: u32, day_hi: u32) -> Option<f64> {
+    if day_lo == 0 || day_hi < day_lo || day_hi as usize > daily_incidence.len() {
+        return None;
+    }
+    let pts: Vec<(f64, f64)> = (day_lo..=day_hi)
+        .filter_map(|d| {
+            let v = daily_incidence[(d - 1) as usize];
+            (v > 0.0).then(|| (d as f64, v.ln()))
+        })
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+/// Doubling time implied by a growth rate (`ln 2 / r`); `None` for
+/// non-positive rates.
+pub fn doubling_time(rate: f64) -> Option<f64> {
+    (rate > 0.0).then(|| std::f64::consts::LN_2 / rate)
+}
+
+/// Instantaneous reproduction number by the Cori et al. (2013) renewal
+/// estimator: `R_t = I_t / sum_s w_s I_{t-s}` with a discretized
+/// generation-interval distribution `w` (index 0 = lag of one day).
+///
+/// Returns one value per day from day `w.len() + 1` on (`None` padding
+/// before that, and where the denominator vanishes).
+///
+/// # Panics
+/// Panics if `generation_interval` is empty or does not sum to ~1.
+pub fn instantaneous_r(
+    daily_incidence: &[f64],
+    generation_interval: &[f64],
+) -> Vec<Option<f64>> {
+    assert!(!generation_interval.is_empty(), "instantaneous_r: empty w");
+    let total: f64 = generation_interval.iter().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-6,
+        "instantaneous_r: generation interval sums to {total}"
+    );
+    let gi_len = generation_interval.len();
+    daily_incidence
+        .iter()
+        .enumerate()
+        .map(|(t, &i_t)| {
+            if t < gi_len {
+                return None;
+            }
+            let denom: f64 = generation_interval
+                .iter()
+                .enumerate()
+                .map(|(s, &w)| w * daily_incidence[t - 1 - s])
+                .sum();
+            (denom > 0.0).then(|| i_t / denom)
+        })
+        .collect()
+}
+
+/// A discretized gamma-ish generation interval with the given mean and
+/// length, normalized to sum to 1 (triangular-kernel approximation —
+/// adequate for the R_t diagnostics here).
+///
+/// # Panics
+/// Panics unless `len >= 1` and `0 < mean_days <= len`.
+pub fn simple_generation_interval(mean_days: f64, len: usize) -> Vec<f64> {
+    assert!(len >= 1, "simple_generation_interval: empty");
+    assert!(
+        mean_days > 0.0 && mean_days <= len as f64,
+        "simple_generation_interval: mean {mean_days} outside (0, {len}]"
+    );
+    // Triangular bump centred on the mean.
+    let w: Vec<f64> = (1..=len)
+        .map(|d| {
+            let x = d as f64;
+            (1.0 - ((x - mean_days).abs() / len as f64)).max(0.05)
+        })
+        .collect();
+    let total: f64 = w.iter().sum();
+    w.into_iter().map(|v| v / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attack_rate_basics() {
+        assert!((attack_rate(&[10.0, 20.0, 30.0], 600) - 0.1).abs() < 1e-12);
+        assert_eq!(attack_rate(&[], 100), 0.0);
+    }
+
+    #[test]
+    fn peak_finds_first_maximum() {
+        assert_eq!(peak(&[1.0, 5.0, 3.0, 5.0]), Some((2, 5.0)));
+        assert_eq!(peak(&[]), None);
+        assert_eq!(peak(&[7.0]), Some((1, 7.0)));
+    }
+
+    #[test]
+    fn growth_rate_recovers_exponential() {
+        let r_true: f64 = 0.08;
+        let series: Vec<f64> = (1..=40).map(|d| 10.0 * (r_true * d as f64).exp()).collect();
+        let r = growth_rate(&series, 5, 35).unwrap();
+        assert!((r - r_true).abs() < 1e-9, "r = {r}");
+        assert!((doubling_time(r).unwrap() - std::f64::consts::LN_2 / r_true).abs() < 1e-6);
+        assert!(doubling_time(-0.1).is_none());
+    }
+
+    #[test]
+    fn growth_rate_edge_cases() {
+        assert!(growth_rate(&[1.0, 2.0], 0, 2).is_none());
+        assert!(growth_rate(&[1.0, 2.0], 1, 5).is_none());
+        assert!(growth_rate(&[0.0, 0.0, 0.0], 1, 3).is_none());
+        // Exactly two positive points define a line.
+        assert!(growth_rate(&[1.0, 0.0, 4.0], 1, 3).is_some());
+    }
+
+    #[test]
+    fn rt_detects_constant_regime() {
+        // Renewal process with constant R: I_t = R * sum w_s I_{t-s}.
+        let w = simple_generation_interval(4.0, 8);
+        let r_true = 1.3;
+        let mut inc = vec![10.0; 8];
+        for _ in 0..40 {
+            let t = inc.len();
+            let denom: f64 =
+                w.iter().enumerate().map(|(s, &ws)| ws * inc[t - 1 - s]).sum();
+            inc.push(r_true * denom);
+        }
+        let rs = instantaneous_r(&inc, &w);
+        for r in rs.iter().skip(20).flatten() {
+            assert!((r - r_true).abs() < 1e-9, "R = {r}");
+        }
+        // Early days are unavailable.
+        assert!(rs[0].is_none());
+    }
+
+    #[test]
+    fn generation_interval_normalizes() {
+        let w = simple_generation_interval(5.0, 10);
+        assert_eq!(w.len(), 10);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w.iter().all(|&x| x > 0.0));
+        // Mode near the requested mean.
+        let (arg, _) = w
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert!((arg as i64 + 1 - 5).abs() <= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rt_rejects_unnormalized_interval() {
+        instantaneous_r(&[1.0; 20], &[0.5, 0.4]);
+    }
+}

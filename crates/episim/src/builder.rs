@@ -1,0 +1,284 @@
+//! Fluent construction of custom [`ModelSpec`]s.
+//!
+//! The raw spec is index-based (compartment ids are positions), which is
+//! error-prone to write by hand. [`ModelSpecBuilder`] lets custom models
+//! be declared by *name*, with validation at build time:
+//!
+//! ```
+//! use episim::builder::ModelSpecBuilder;
+//!
+//! let spec = ModelSpecBuilder::new("sir")
+//!     .compartment("S", 1, 0.0)
+//!     .compartment("I", 2, 1.0)
+//!     .compartment("R", 1, 0.0)
+//!     .progression("I", 5.0, &[("R", 1.0)])
+//!     .infection("S", "I")
+//!     .transmission_rate(0.4)
+//!     .flow("infections", &[("S", "I")])
+//!     .census("prevalence", &["I"])
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(spec.compartments.len(), 3);
+//! ```
+
+use crate::spec::{
+    CensusSpec, Compartment, FlowSpec, Infection, ModelSpec, Progression,
+};
+
+/// Name-based builder for [`ModelSpec`].
+#[derive(Clone, Debug)]
+pub struct ModelSpecBuilder {
+    name: String,
+    compartments: Vec<Compartment>,
+    progressions: Vec<(String, f64, Vec<(String, f64)>)>,
+    infections: Vec<(String, String, f64, Option<Vec<(String, f64)>>)>,
+    transmission_rate: f64,
+    flows: Vec<(String, Vec<(String, String)>)>,
+    censuses: Vec<(String, Vec<String>)>,
+}
+
+impl ModelSpecBuilder {
+    /// Start a builder for a model with the given name.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            compartments: Vec::new(),
+            progressions: Vec::new(),
+            infections: Vec::new(),
+            transmission_rate: 0.0,
+            flows: Vec::new(),
+            censuses: Vec::new(),
+        }
+    }
+
+    /// Add a compartment with `stages` Erlang stages and an infectivity
+    /// weight.
+    pub fn compartment(mut self, name: &str, stages: u32, infectivity: f64) -> Self {
+        self.compartments.push(Compartment::new(name, stages, infectivity));
+        self
+    }
+
+    /// Add a dwell-driven progression: out of `from` after a mean of
+    /// `mean_dwell` days, branching to the named targets with the given
+    /// probabilities.
+    pub fn progression(mut self, from: &str, mean_dwell: f64, branches: &[(&str, f64)]) -> Self {
+        self.progressions.push((
+            from.to_string(),
+            mean_dwell,
+            branches.iter().map(|&(n, p)| (n.to_string(), p)).collect(),
+        ));
+        self
+    }
+
+    /// Add a homogeneous-mixing infection.
+    pub fn infection(mut self, susceptible: &str, exposed: &str) -> Self {
+        self.infections
+            .push((susceptible.to_string(), exposed.to_string(), 1.0, None));
+        self
+    }
+
+    /// Add a structured-mixing infection with a susceptibility multiplier
+    /// and explicit weighted sources.
+    pub fn infection_weighted(
+        mut self,
+        susceptible: &str,
+        exposed: &str,
+        susceptibility: f64,
+        sources: &[(&str, f64)],
+    ) -> Self {
+        self.infections.push((
+            susceptible.to_string(),
+            exposed.to_string(),
+            susceptibility,
+            Some(sources.iter().map(|&(n, w)| (n.to_string(), w)).collect()),
+        ));
+        self
+    }
+
+    /// Set the global transmission rate.
+    pub fn transmission_rate(mut self, rate: f64) -> Self {
+        self.transmission_rate = rate;
+        self
+    }
+
+    /// Record a daily flow counter over the named edges.
+    pub fn flow(mut self, name: &str, edges: &[(&str, &str)]) -> Self {
+        self.flows.push((
+            name.to_string(),
+            edges.iter().map(|&(a, b)| (a.to_string(), b.to_string())).collect(),
+        ));
+        self
+    }
+
+    /// Record an end-of-day census over the named compartments.
+    pub fn census(mut self, name: &str, compartments: &[&str]) -> Self {
+        self.censuses.push((
+            name.to_string(),
+            compartments.iter().map(|s| s.to_string()).collect(),
+        ));
+        self
+    }
+
+    /// Resolve names to indices and validate.
+    ///
+    /// # Errors
+    /// Returns unknown-name errors plus everything
+    /// [`ModelSpec::validate`] checks.
+    pub fn build(self) -> Result<ModelSpec, String> {
+        let id_of = |name: &str| -> Result<usize, String> {
+            self.compartments
+                .iter()
+                .position(|c| c.name == name)
+                .ok_or_else(|| format!("unknown compartment '{name}'"))
+        };
+        let progressions: Vec<Progression> = self
+            .progressions
+            .iter()
+            .map(|(from, dwell, branches)| {
+                Ok(Progression {
+                    from: id_of(from)?,
+                    mean_dwell: *dwell,
+                    branches: branches
+                        .iter()
+                        .map(|(n, p)| Ok((id_of(n)?, *p)))
+                        .collect::<Result<_, String>>()?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let infections: Vec<Infection> = self
+            .infections
+            .iter()
+            .map(|(s, e, susc, sources)| {
+                Ok(Infection {
+                    susceptible: id_of(s)?,
+                    exposed: id_of(e)?,
+                    susceptibility: *susc,
+                    sources: match sources {
+                        None => None,
+                        Some(list) => Some(
+                            list.iter()
+                                .map(|(n, w)| Ok((id_of(n)?, *w)))
+                                .collect::<Result<_, String>>()?,
+                        ),
+                    },
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let flows: Vec<FlowSpec> = self
+            .flows
+            .iter()
+            .map(|(name, edges)| {
+                Ok(FlowSpec {
+                    name: name.clone(),
+                    edges: edges
+                        .iter()
+                        .map(|(a, b)| Ok((id_of(a)?, id_of(b)?)))
+                        .collect::<Result<_, String>>()?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let censuses: Vec<CensusSpec> = self
+            .censuses
+            .iter()
+            .map(|(name, comps)| {
+                Ok(CensusSpec {
+                    name: name.clone(),
+                    compartments: comps
+                        .iter()
+                        .map(|n| id_of(n))
+                        .collect::<Result<_, String>>()?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let spec = ModelSpec {
+            name: self.name,
+            compartments: self.compartments,
+            progressions,
+            infections,
+            transmission_rate: self.transmission_rate,
+            flows,
+            censuses,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::BinomialChainStepper;
+    use crate::runner::Simulation;
+    use crate::state::SimState;
+
+    fn sir() -> ModelSpecBuilder {
+        ModelSpecBuilder::new("sir")
+            .compartment("S", 1, 0.0)
+            .compartment("I", 2, 1.0)
+            .compartment("R", 1, 0.0)
+            .progression("I", 5.0, &[("R", 1.0)])
+            .infection("S", "I")
+            .transmission_rate(0.5)
+            .flow("infections", &[("S", "I")])
+            .census("prevalence", &["I"])
+    }
+
+    #[test]
+    fn builds_runnable_model() {
+        let spec = sir().build().unwrap();
+        let mut st = SimState::empty(&spec, 1);
+        st.seed_compartment(&spec, 0, 5_000);
+        st.seed_compartment(&spec, 1, 50);
+        let mut sim = Simulation::new(spec, BinomialChainStepper::daily(), st).unwrap();
+        sim.run_until(60);
+        assert_eq!(sim.state().total_population(), 5_050);
+        let inf: u64 = sim.series().series("infections").unwrap().iter().sum();
+        assert!(inf > 500);
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let err = sir().progression("X", 2.0, &[("R", 1.0)]).build().unwrap_err();
+        assert!(err.contains("unknown compartment 'X'"), "{err}");
+        let err = sir().flow("bad", &[("S", "Z")]).build().unwrap_err();
+        assert!(err.contains("'Z'"), "{err}");
+        let err = sir().census("bad", &["Q"]).build().unwrap_err();
+        assert!(err.contains("'Q'"), "{err}");
+        let err = sir().infection("S", "Nope").build().unwrap_err();
+        assert!(err.contains("'Nope'"), "{err}");
+    }
+
+    #[test]
+    fn weighted_infection_resolves_sources() {
+        let spec = ModelSpecBuilder::new("two-group")
+            .compartment("S_a", 1, 0.0)
+            .compartment("I_a", 1, 1.0)
+            .compartment("S_b", 1, 0.0)
+            .compartment("I_b", 1, 1.0)
+            .compartment("R", 1, 0.0)
+            .progression("I_a", 4.0, &[("R", 1.0)])
+            .progression("I_b", 4.0, &[("R", 1.0)])
+            .infection_weighted("S_a", "I_a", 0.8, &[("I_a", 1.5), ("I_b", 0.5)])
+            .infection_weighted("S_b", "I_b", 1.0, &[("I_a", 0.5), ("I_b", 1.0)])
+            .transmission_rate(0.4)
+            .flow("infections", &[("S_a", "I_a"), ("S_b", "I_b")])
+            .build()
+            .unwrap();
+        assert_eq!(spec.infections.len(), 2);
+        let inf = &spec.infections[0];
+        assert_eq!(inf.susceptibility, 0.8);
+        assert_eq!(inf.sources.as_ref().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn validation_failures_propagate() {
+        // Branch probabilities not summing to one.
+        let err = ModelSpecBuilder::new("bad")
+            .compartment("A", 1, 0.0)
+            .compartment("B", 1, 0.0)
+            .progression("A", 1.0, &[("B", 0.5)])
+            .build()
+            .unwrap_err();
+        assert!(err.contains("sum to"), "{err}");
+    }
+}

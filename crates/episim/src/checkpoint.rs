@@ -1,0 +1,267 @@
+//! Full-state checkpointing with parameter-overriding restarts.
+//!
+//! The paper (Section III-B) makes checkpointing a first-class citizen of
+//! the inference loop: the sequential calibrator stores each posterior
+//! particle's exact simulator state at a window boundary and later
+//! *restarts it with new parameter values*, branching a fresh trajectory
+//! without replaying history. Because `episim` keeps all dwell-time
+//! memory in Erlang stage counts, a checkpoint is exactly
+//! `(day, stage_counts, rng_state)` — compact, exact, and cheap.
+//!
+//! Two encodings are provided: a compact binary framing (via [`bytes`])
+//! for high-volume particle storage, and serde/JSON for human-debuggable
+//! artifacts; both round-trip bit-exactly.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use epistats::rng::Xoshiro256PlusPlus;
+use serde::{Deserialize, Serialize};
+
+use crate::spec::ModelSpec;
+use crate::state::SimState;
+
+/// Magic bytes heading the binary encoding.
+const MAGIC: u32 = 0x4550_4953; // "EPIS"
+/// Binary format version.
+const VERSION: u16 = 1;
+
+/// A serialized simulation state, restorable onto a compatible model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimCheckpoint {
+    /// Fingerprint of the model layout this state belongs to (compartment
+    /// names and stage structure). Restoring onto a model with a
+    /// different layout is rejected.
+    pub layout_hash: u64,
+    /// Simulated day at capture time.
+    pub day: u32,
+    /// Flattened Erlang stage occupancies.
+    pub stage_counts: Vec<u64>,
+    /// RNG state at capture time.
+    pub rng_state: [u64; 4],
+}
+
+/// FNV-1a hash of the model layout (names, stage counts) — parameter
+/// *values* are deliberately excluded so a restart may change them.
+pub fn layout_hash(spec: &ModelSpec) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut absorb = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for c in &spec.compartments {
+        absorb(c.name.as_bytes());
+        absorb(&c.stages.to_le_bytes());
+    }
+    h
+}
+
+impl SimCheckpoint {
+    /// Capture the current state of a run.
+    pub fn capture(spec: &ModelSpec, state: &SimState) -> Self {
+        Self {
+            layout_hash: layout_hash(spec),
+            day: state.day,
+            stage_counts: state.stage_counts.clone(),
+            rng_state: state.rng.state(),
+        }
+    }
+
+    /// Restore to a live state under the given (possibly re-parameterized)
+    /// spec.
+    ///
+    /// # Errors
+    /// Returns an error if the spec's layout differs from the one the
+    /// checkpoint was captured under.
+    pub fn restore(&self, spec: &ModelSpec) -> Result<SimState, String> {
+        if layout_hash(spec) != self.layout_hash {
+            return Err(format!(
+                "checkpoint layout mismatch for model '{}': captured under a different compartment structure",
+                spec.name
+            ));
+        }
+        if self.stage_counts.len() != spec.total_stages() {
+            return Err("checkpoint stage-count length mismatch".into());
+        }
+        Ok(SimState {
+            day: self.day,
+            time: self.day as f64,
+            stage_counts: self.stage_counts.clone(),
+            rng: Xoshiro256PlusPlus::from_state(self.rng_state),
+        })
+    }
+
+    /// Restore with a *fresh RNG stream* instead of the captured one —
+    /// the paper's trajectory-branching restart (new random seed,
+    /// Section III-B item 1).
+    ///
+    /// # Errors
+    /// Same layout checks as [`Self::restore`].
+    pub fn restore_with_seed(&self, spec: &ModelSpec, seed: u64) -> Result<SimState, String> {
+        let mut st = self.restore(spec)?;
+        st.rng = Xoshiro256PlusPlus::new(seed);
+        Ok(st)
+    }
+
+    /// Compact binary encoding.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(24 + 8 * self.stage_counts.len() + 32);
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u64_le(self.layout_hash);
+        buf.put_u32_le(self.day);
+        buf.put_u32_le(self.stage_counts.len() as u32);
+        for &c in &self.stage_counts {
+            buf.put_u64_le(c);
+        }
+        for &s in &self.rng_state {
+            buf.put_u64_le(s);
+        }
+        buf.freeze()
+    }
+
+    /// Decode the binary encoding.
+    ///
+    /// # Errors
+    /// Returns an error on truncation, bad magic, or unknown version.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self, String> {
+        if data.remaining() < 22 {
+            return Err("checkpoint: truncated header".into());
+        }
+        if data.get_u32_le() != MAGIC {
+            return Err("checkpoint: bad magic".into());
+        }
+        let version = data.get_u16_le();
+        if version != VERSION {
+            return Err(format!("checkpoint: unsupported version {version}"));
+        }
+        let layout = data.get_u64_le();
+        let day = data.get_u32_le();
+        let n = data.get_u32_le() as usize;
+        if data.remaining() < 8 * (n + 4) {
+            return Err("checkpoint: truncated body".into());
+        }
+        let mut stage_counts = Vec::with_capacity(n);
+        for _ in 0..n {
+            stage_counts.push(data.get_u64_le());
+        }
+        let mut rng_state = [0u64; 4];
+        for s in &mut rng_state {
+            *s = data.get_u64_le();
+        }
+        Ok(Self { layout_hash: layout, day, stage_counts, rng_state })
+    }
+
+    /// Size of the binary encoding in bytes.
+    pub fn encoded_len(&self) -> usize {
+        22 + 8 * (self.stage_counts.len() + 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Compartment, FlowSpec, Infection, Progression};
+
+    fn spec() -> ModelSpec {
+        ModelSpec {
+            name: "ck".into(),
+            compartments: vec![
+                Compartment::simple("S"),
+                Compartment::new("I", 2, 1.0),
+                Compartment::simple("R"),
+            ],
+            progressions: vec![Progression {
+                from: 1,
+                mean_dwell: 5.0,
+                branches: vec![(2, 1.0)],
+            }],
+            infections: vec![Infection::simple(0, 1)],
+            transmission_rate: 0.3,
+            flows: vec![FlowSpec { name: "inf".into(), edges: vec![(0, 1)] }],
+            censuses: vec![],
+        }
+    }
+
+    fn state(spec: &ModelSpec) -> SimState {
+        let mut st = SimState::empty(spec, 99);
+        st.seed_compartment(spec, 0, 1_000);
+        st.seed_compartment(spec, 1, 10);
+        st.day = 14;
+        st.time = 14.0;
+        st.rng.next();
+        st
+    }
+
+    #[test]
+    fn capture_restore_round_trip() {
+        let sp = spec();
+        let st = state(&sp);
+        let ck = SimCheckpoint::capture(&sp, &st);
+        let restored = ck.restore(&sp).unwrap();
+        assert_eq!(restored, st);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let sp = spec();
+        let ck = SimCheckpoint::capture(&sp, &state(&sp));
+        let bytes = ck.to_bytes();
+        assert_eq!(bytes.len(), ck.encoded_len());
+        let back = SimCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let sp = spec();
+        let ck = SimCheckpoint::capture(&sp, &state(&sp));
+        let json = serde_json::to_string(&ck).unwrap();
+        let back: SimCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn restore_allows_new_parameters_same_layout() {
+        let sp = spec();
+        let ck = SimCheckpoint::capture(&sp, &state(&sp));
+        let mut sp2 = spec();
+        sp2.transmission_rate = 0.9; // parameter change: allowed
+        sp2.progressions[0].mean_dwell = 3.0; // also a parameter
+        assert!(ck.restore(&sp2).is_ok());
+    }
+
+    #[test]
+    fn restore_rejects_layout_change() {
+        let sp = spec();
+        let ck = SimCheckpoint::capture(&sp, &state(&sp));
+        let mut sp2 = spec();
+        sp2.compartments[1].stages = 3; // layout change: rejected
+        assert!(ck.restore(&sp2).is_err());
+        let mut sp3 = spec();
+        sp3.compartments[1].name = "J".into();
+        assert!(ck.restore(&sp3).is_err());
+    }
+
+    #[test]
+    fn restore_with_seed_changes_future_not_state() {
+        let sp = spec();
+        let st = state(&sp);
+        let ck = SimCheckpoint::capture(&sp, &st);
+        let a = ck.restore_with_seed(&sp, 1).unwrap();
+        let b = ck.restore_with_seed(&sp, 2).unwrap();
+        assert_eq!(a.stage_counts, b.stage_counts);
+        assert_eq!(a.day, b.day);
+        assert_ne!(a.rng, b.rng);
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(SimCheckpoint::from_bytes(&[]).is_err());
+        assert!(SimCheckpoint::from_bytes(&[0u8; 40]).is_err());
+        let sp = spec();
+        let ck = SimCheckpoint::capture(&sp, &state(&sp));
+        let bytes = ck.to_bytes();
+        assert!(SimCheckpoint::from_bytes(&bytes[..bytes.len() - 4]).is_err());
+    }
+}

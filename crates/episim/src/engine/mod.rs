@@ -1,0 +1,213 @@
+//! Stochastic steppers: three exact interpretations of one model spec.
+//!
+//! | Stepper | Time step | Event law | Use |
+//! |---|---|---|---|
+//! | [`BinomialChainStepper`] | fixed (default 1 day) | binomial competing risks | default; matches the reference model's daily cadence |
+//! | [`TauLeapStepper`] | fixed sub-day | Poisson leaps (capped) | accuracy/cost middle ground |
+//! | [`GillespieStepper`] | event-driven | exact CTMC (direct method) | fidelity baseline, small populations |
+//!
+//! All steppers consume the same [`CompiledSpec`] and mutate a
+//! [`SimState`] by exactly one day per [`Stepper::advance_day`] call,
+//! accumulating the day's flow counts into a caller-provided buffer.
+
+mod binomial_chain;
+mod gillespie;
+mod tau_leap;
+
+pub use binomial_chain::BinomialChainStepper;
+pub use gillespie::GillespieStepper;
+pub use tau_leap::TauLeapStepper;
+
+use std::collections::HashMap;
+
+use epistats::dist::sample_binomial;
+use epistats::rng::Xoshiro256PlusPlus;
+
+use crate::spec::ModelSpec;
+use crate::state::SimState;
+
+/// A model spec with derived lookup tables precomputed, shared by all
+/// steppers (built once per simulation, not per day).
+#[derive(Clone, Debug)]
+pub struct CompiledSpec {
+    /// The validated source spec.
+    pub spec: ModelSpec,
+    /// Offset of each compartment's first stage; last entry is the total.
+    pub offsets: Vec<usize>,
+    /// Per-progression per-stage exit rate.
+    pub stage_rates: Vec<f64>,
+    /// Map from a `(from, to)` compartment edge to the flow-series indices
+    /// that count it.
+    edge_flows: HashMap<(usize, usize), Vec<usize>>,
+}
+
+impl CompiledSpec {
+    /// Validate and compile a spec.
+    ///
+    /// # Errors
+    /// Propagates [`ModelSpec::validate`] failures.
+    pub fn new(spec: ModelSpec) -> Result<Self, String> {
+        spec.validate()?;
+        let offsets = spec.stage_offsets();
+        let stage_rates = spec.progressions.iter().map(|p| spec.stage_rate(p)).collect();
+        let mut edge_flows: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        for (fi, f) in spec.flows.iter().enumerate() {
+            for &edge in &f.edges {
+                edge_flows.entry(edge).or_default().push(fi);
+            }
+        }
+        Ok(Self { spec, offsets, stage_rates, edge_flows })
+    }
+
+    /// Add `count` traversals of the `(from, to)` edge to every flow
+    /// series that watches it.
+    #[inline]
+    pub fn record_edge(&self, flows: &mut [u64], from: usize, to: usize, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if let Some(idxs) = self.edge_flows.get(&(from, to)) {
+            for &i in idxs {
+                flows[i] += count;
+            }
+        }
+    }
+
+    /// End-of-day census values in spec order.
+    pub fn censuses(&self, state: &SimState) -> Vec<u64> {
+        self.spec
+            .censuses
+            .iter()
+            .map(|c| {
+                c.compartments
+                    .iter()
+                    .map(|&id| state.compartment_count(&self.spec, id))
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// A stochastic integrator advancing a model state one day at a time.
+pub trait Stepper: Send + Sync {
+    /// Advance `state` by exactly one day, adding the day's edge
+    /// traversal counts into `flows` (length = number of flow series).
+    fn advance_day(&self, model: &CompiledSpec, state: &mut SimState, flows: &mut [u64]);
+
+    /// Short identifier for logs and benchmark labels.
+    fn name(&self) -> &'static str;
+}
+
+/// Split `total` exiting individuals across branch targets with the given
+/// probabilities, by sequential conditional binomial draws (an exact
+/// multinomial sample).
+pub(crate) fn multinomial_split(
+    rng: &mut Xoshiro256PlusPlus,
+    total: u64,
+    branches: &[(usize, f64)],
+    out: &mut Vec<(usize, u64)>,
+) {
+    out.clear();
+    let mut remaining = total;
+    let mut prob_left = 1.0f64;
+    for (i, &(target, p)) in branches.iter().enumerate() {
+        if remaining == 0 {
+            break;
+        }
+        let take = if i == branches.len() - 1 || prob_left <= 0.0 {
+            remaining
+        } else {
+            let cond = (p / prob_left).clamp(0.0, 1.0);
+            sample_binomial(rng, remaining, cond)
+        };
+        if take > 0 {
+            out.push((target, take));
+        }
+        remaining -= take;
+        prob_left -= p;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Compartment, FlowSpec, Infection, Progression};
+
+    pub(crate) fn si_spec() -> ModelSpec {
+        ModelSpec {
+            name: "si".into(),
+            compartments: vec![
+                Compartment::simple("S"),
+                Compartment::new("I", 2, 1.0),
+                Compartment::simple("R"),
+            ],
+            progressions: vec![Progression {
+                from: 1,
+                mean_dwell: 5.0,
+                branches: vec![(2, 1.0)],
+            }],
+            infections: vec![Infection::simple(0, 1)],
+            transmission_rate: 0.5,
+            flows: vec![
+                FlowSpec { name: "infections".into(), edges: vec![(0, 1)] },
+                FlowSpec { name: "recoveries".into(), edges: vec![(1, 2)] },
+            ],
+            censuses: vec![],
+        }
+    }
+
+    #[test]
+    fn compile_rejects_invalid_spec() {
+        let mut s = si_spec();
+        s.transmission_rate = -1.0;
+        assert!(CompiledSpec::new(s).is_err());
+    }
+
+    #[test]
+    fn record_edge_fans_out_to_watchers() {
+        let mut s = si_spec();
+        s.flows.push(FlowSpec { name: "also_inf".into(), edges: vec![(0, 1)] });
+        let c = CompiledSpec::new(s).unwrap();
+        let mut flows = vec![0u64; 3];
+        c.record_edge(&mut flows, 0, 1, 7);
+        c.record_edge(&mut flows, 1, 2, 3);
+        c.record_edge(&mut flows, 2, 0, 100); // unwatched edge
+        assert_eq!(flows, vec![7, 3, 7]);
+    }
+
+    #[test]
+    fn multinomial_split_conserves_total() {
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        let branches = [(0usize, 0.2), (1, 0.5), (2, 0.3)];
+        let mut out = Vec::new();
+        for total in [0u64, 1, 17, 1000] {
+            multinomial_split(&mut rng, total, &branches, &mut out);
+            let sum: u64 = out.iter().map(|&(_, c)| c).sum();
+            assert_eq!(sum, total);
+        }
+    }
+
+    #[test]
+    fn multinomial_split_respects_probabilities() {
+        let mut rng = Xoshiro256PlusPlus::new(2);
+        let branches = [(0usize, 0.25), (1, 0.75)];
+        let mut out = Vec::new();
+        let mut counts = [0u64; 2];
+        for _ in 0..200 {
+            multinomial_split(&mut rng, 1000, &branches, &mut out);
+            for &(t, c) in &out {
+                counts[t] += c;
+            }
+        }
+        let frac = counts[0] as f64 / (counts[0] + counts[1]) as f64;
+        assert!((frac - 0.25).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn multinomial_split_single_branch_takes_all() {
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        let mut out = Vec::new();
+        multinomial_split(&mut rng, 42, &[(5usize, 1.0)], &mut out);
+        assert_eq!(out, vec![(5, 42)]);
+    }
+}

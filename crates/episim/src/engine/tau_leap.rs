@@ -1,0 +1,198 @@
+//! Tau-leaping stepper (Poisson leaps with occupancy capping).
+//!
+//! Event counts per channel over a leap of length `tau` are Poisson with
+//! mean `rate * tau`, capped at the available occupancy so counts can
+//! never go negative (the standard "bounded" tau-leap safeguard). With a
+//! small `tau` this converges to the exact CTMC; it sits between the
+//! chain-binomial (cheap, daily) and Gillespie (exact, expensive) in the
+//! fidelity/cost trade-off benchmarked in `bench_sim`.
+
+use epistats::dist::sample_poisson;
+
+use super::{multinomial_split, CompiledSpec, Stepper};
+use crate::state::SimState;
+
+/// Poisson tau-leap stepper with a fixed leap size.
+#[derive(Clone, Debug)]
+pub struct TauLeapStepper {
+    /// Number of equal leaps per day (>= 1).
+    leaps_per_day: u32,
+}
+
+impl TauLeapStepper {
+    /// Create a stepper taking `leaps_per_day` equal leaps per day.
+    ///
+    /// # Panics
+    /// Panics if `leaps_per_day` is zero.
+    pub fn new(leaps_per_day: u32) -> Self {
+        assert!(leaps_per_day > 0, "TauLeapStepper: need >= 1 leap per day");
+        Self { leaps_per_day }
+    }
+
+    /// Leaps per day.
+    pub fn leaps_per_day(&self) -> u32 {
+        self.leaps_per_day
+    }
+}
+
+impl Default for TauLeapStepper {
+    /// Four leaps per day — a reasonable accuracy/cost default for daily
+    /// reported epidemics.
+    fn default() -> Self {
+        Self::new(4)
+    }
+}
+
+impl Stepper for TauLeapStepper {
+    fn advance_day(&self, model: &CompiledSpec, state: &mut SimState, flows: &mut [u64]) {
+        let tau = 1.0 / self.leaps_per_day as f64;
+        let spec = &model.spec;
+        let mut deltas: Vec<i64> = vec![0; state.stage_counts.len()];
+        let mut branch_buf: Vec<(usize, u64)> = Vec::new();
+
+        for _ in 0..self.leaps_per_day {
+            deltas.iter_mut().for_each(|d| *d = 0);
+
+            for inf in &spec.infections {
+                let foi = state.force_of_infection_for(spec, inf);
+                let s_off = model.offsets[inf.susceptible];
+                let s_count = state.stage_counts[s_off];
+                if s_count == 0 || foi <= 0.0 {
+                    continue;
+                }
+                let mean = foi * s_count as f64 * tau;
+                let newly = sample_poisson(&mut state.rng, mean).min(s_count);
+                if newly > 0 {
+                    deltas[s_off] -= newly as i64;
+                    deltas[model.offsets[inf.exposed]] += newly as i64;
+                    model.record_edge(flows, inf.susceptible, inf.exposed, newly);
+                }
+            }
+
+            for (pi, prog) in spec.progressions.iter().enumerate() {
+                let rate = model.stage_rates[pi];
+                let from = prog.from;
+                let base = model.offsets[from];
+                let stages = spec.compartments[from].stages as usize;
+                for s in 0..stages {
+                    let occ = state.stage_counts[base + s];
+                    if occ == 0 {
+                        continue;
+                    }
+                    let exits =
+                        sample_poisson(&mut state.rng, rate * occ as f64 * tau).min(occ);
+                    if exits == 0 {
+                        continue;
+                    }
+                    deltas[base + s] -= exits as i64;
+                    if s + 1 < stages {
+                        deltas[base + s + 1] += exits as i64;
+                    } else {
+                        multinomial_split(
+                            &mut state.rng,
+                            exits,
+                            &prog.branches,
+                            &mut branch_buf,
+                        );
+                        for &(target, count) in &branch_buf {
+                            deltas[model.offsets[target]] += count as i64;
+                            model.record_edge(flows, from, target, count);
+                        }
+                    }
+                }
+            }
+
+            // Apply, clamping at zero in the (rare) case where capped
+            // channels still jointly overdraw a stage.
+            for (c, &d) in state.stage_counts.iter_mut().zip(&deltas) {
+                let next = *c as i64 + d;
+                *c = next.max(0) as u64;
+            }
+        }
+        state.day += 1;
+        state.time = state.day as f64;
+    }
+
+    fn name(&self) -> &'static str {
+        "tau-leap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::si_spec;
+    use super::*;
+
+    fn init(model: &CompiledSpec, seed: u64) -> SimState {
+        let mut st = SimState::empty(&model.spec, seed);
+        st.seed_compartment(&model.spec, 0, 9_900);
+        st.seed_compartment(&model.spec, 1, 100);
+        st
+    }
+
+    #[test]
+    fn population_nearly_conserved() {
+        // Each stage has a single exit channel plus at most one inflow, so
+        // capping keeps conservation exact here.
+        let model = CompiledSpec::new(si_spec()).unwrap();
+        let stepper = TauLeapStepper::default();
+        let mut st = init(&model, 23);
+        let n0 = st.total_population();
+        let mut flows = vec![0u64; 2];
+        for _ in 0..100 {
+            stepper.advance_day(&model, &mut st, &mut flows);
+            assert_eq!(st.total_population(), n0);
+        }
+    }
+
+    #[test]
+    fn epidemic_final_size_matches_binomial_chain_roughly() {
+        let model = CompiledSpec::new(si_spec()).unwrap();
+        let tau = TauLeapStepper::new(8);
+        let chain = super::super::BinomialChainStepper::with_substeps(8);
+        let mut final_tau = Vec::new();
+        let mut final_chain = Vec::new();
+        for seed in 0..10u64 {
+            let mut f = vec![0u64; 2];
+            let mut st = init(&model, 100 + seed);
+            for _ in 0..300 {
+                tau.advance_day(&model, &mut st, &mut f);
+            }
+            final_tau.push(st.compartment_count(&model.spec, 2) as f64);
+            let mut f = vec![0u64; 2];
+            let mut st = init(&model, 200 + seed);
+            for _ in 0..300 {
+                chain.advance_day(&model, &mut st, &mut f);
+            }
+            final_chain.push(st.compartment_count(&model.spec, 2) as f64);
+        }
+        let mt: f64 = final_tau.iter().sum::<f64>() / 10.0;
+        let mc: f64 = final_chain.iter().sum::<f64>() / 10.0;
+        assert!(
+            (mt - mc).abs() / mc < 0.05,
+            "tau-leap {mt} vs chain {mc} differ by more than 5%"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = CompiledSpec::new(si_spec()).unwrap();
+        let stepper = TauLeapStepper::default();
+        let mut a = init(&model, 5);
+        let mut b = init(&model, 5);
+        let mut fa = vec![0u64; 2];
+        let mut fb = vec![0u64; 2];
+        for _ in 0..20 {
+            stepper.advance_day(&model, &mut a, &mut fa);
+            stepper.advance_day(&model, &mut b, &mut fb);
+        }
+        assert_eq!(a, b);
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_leaps_rejected() {
+        TauLeapStepper::new(0);
+    }
+}

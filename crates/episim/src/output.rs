@@ -1,0 +1,165 @@
+//! Recorded simulation output: named daily series.
+
+use serde::{Deserialize, Serialize};
+
+/// Daily output series recorded during a run: one row per simulated day,
+/// one named column per flow counter and census in the model spec.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DailySeries {
+    names: Vec<String>,
+    /// `columns[k][d]` = value of series `k` on day `d`.
+    columns: Vec<Vec<u64>>,
+    /// Day index of the first recorded row (nonzero when a run resumes
+    /// from a checkpoint).
+    start_day: u32,
+}
+
+impl DailySeries {
+    /// Create an empty series set with the given column names, starting
+    /// at `start_day`.
+    pub fn new(names: Vec<String>, start_day: u32) -> Self {
+        let columns = vec![Vec::new(); names.len()];
+        Self { names, columns, start_day }
+    }
+
+    /// Append one day's values (must match the column count).
+    ///
+    /// # Panics
+    /// Panics on a length mismatch.
+    pub fn push_day(&mut self, values: &[u64]) {
+        assert_eq!(values.len(), self.columns.len(), "push_day: column mismatch");
+        for (col, &v) in self.columns.iter_mut().zip(values) {
+            col.push(v);
+        }
+    }
+
+    /// Column names in storage order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of recorded days.
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Whether any days have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// First recorded day index.
+    pub fn start_day(&self) -> u32 {
+        self.start_day
+    }
+
+    /// A column by name.
+    pub fn series(&self, name: &str) -> Option<&[u64]> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.columns[i].as_slice())
+    }
+
+    /// A column by name as `f64` (convenient for likelihood code).
+    pub fn series_f64(&self, name: &str) -> Option<Vec<f64>> {
+        self.series(name)
+            .map(|s| s.iter().map(|&v| v as f64).collect())
+    }
+
+    /// Append all rows of `other` (which must have identical column names
+    /// and start exactly where `self` ends).
+    ///
+    /// # Panics
+    /// Panics if the names differ or the day ranges are not contiguous.
+    pub fn extend(&mut self, other: &DailySeries) {
+        assert_eq!(self.names, other.names, "extend: column names differ");
+        assert_eq!(
+            self.start_day as usize + self.len(),
+            other.start_day as usize,
+            "extend: day ranges are not contiguous"
+        );
+        for (dst, src) in self.columns.iter_mut().zip(&other.columns) {
+            dst.extend_from_slice(src);
+        }
+    }
+
+    /// The sub-range of a column covering absolute days
+    /// `[day_lo, day_hi]` inclusive, if fully recorded.
+    pub fn window(&self, name: &str, day_lo: u32, day_hi: u32) -> Option<&[u64]> {
+        let col = self.series(name)?;
+        if day_lo < self.start_day || day_hi < day_lo {
+            return None;
+        }
+        let lo = (day_lo - self.start_day) as usize;
+        let hi = (day_hi - self.start_day) as usize;
+        if hi >= col.len() {
+            return None;
+        }
+        Some(&col[lo..=hi])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DailySeries {
+        let mut s = DailySeries::new(vec!["a".into(), "b".into()], 0);
+        s.push_day(&[1, 10]);
+        s.push_day(&[2, 20]);
+        s.push_day(&[3, 30]);
+        s
+    }
+
+    #[test]
+    fn push_and_query() {
+        let s = sample();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.series("a").unwrap(), &[1, 2, 3]);
+        assert_eq!(s.series("b").unwrap(), &[10, 20, 30]);
+        assert!(s.series("c").is_none());
+        assert_eq!(s.series_f64("a").unwrap(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn window_extraction() {
+        let s = sample();
+        assert_eq!(s.window("a", 1, 2).unwrap(), &[2, 3]);
+        assert!(s.window("a", 1, 5).is_none());
+        assert!(s.window("a", 2, 1).is_none());
+    }
+
+    #[test]
+    fn window_respects_start_day() {
+        let mut s = DailySeries::new(vec!["x".into()], 10);
+        s.push_day(&[7]);
+        s.push_day(&[8]);
+        assert_eq!(s.window("x", 10, 11).unwrap(), &[7, 8]);
+        assert!(s.window("x", 9, 10).is_none());
+    }
+
+    #[test]
+    fn extend_contiguous_runs() {
+        let mut a = sample();
+        let mut b = DailySeries::new(vec!["a".into(), "b".into()], 3);
+        b.push_day(&[4, 40]);
+        a.extend(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.series("a").unwrap(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn extend_rejects_gap() {
+        let mut a = sample();
+        let b = DailySeries::new(vec!["a".into(), "b".into()], 5);
+        a.extend(&b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_rejects_wrong_width() {
+        sample().push_day(&[1]);
+    }
+}

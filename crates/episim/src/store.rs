@@ -1,0 +1,289 @@
+//! A keyed store of time-stamped checkpoints.
+//!
+//! The paper's introduction: "we are able to store, or checkpoint, the
+//! exact state of the model, allowing models to be restarted from
+//! time-stamped stored states rather than restarting them from the
+//! beginning of an epidemic." This module is that operational piece: an
+//! in-memory map from `(run label, day)` to encoded checkpoints, with
+//! optional directory persistence (one compact binary file per entry),
+//! nearest-predecessor lookup, and pruning.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::checkpoint::SimCheckpoint;
+
+/// Key of a stored checkpoint: which run it belongs to and its day stamp.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CheckpointKey {
+    /// Run/trajectory label (e.g. a particle id or scenario name).
+    pub run: String,
+    /// Simulation day of the capture.
+    pub day: u32,
+}
+
+/// In-memory checkpoint store with optional directory persistence.
+#[derive(Debug, Default)]
+pub struct CheckpointStore {
+    entries: BTreeMap<CheckpointKey, bytes::Bytes>,
+}
+
+impl CheckpointStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored checkpoints.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Store a checkpoint under `(run, day)`, replacing any previous
+    /// entry with the same key.
+    pub fn insert(&mut self, run: &str, day: u32, checkpoint: &SimCheckpoint) {
+        self.entries.insert(
+            CheckpointKey { run: run.to_string(), day },
+            checkpoint.to_bytes(),
+        );
+    }
+
+    /// Fetch and decode the checkpoint at exactly `(run, day)`.
+    ///
+    /// # Errors
+    /// Returns an error if the stored bytes fail to decode (corruption).
+    pub fn get(&self, run: &str, day: u32) -> Result<Option<SimCheckpoint>, String> {
+        match self.entries.get(&CheckpointKey { run: run.to_string(), day }) {
+            None => Ok(None),
+            Some(b) => SimCheckpoint::from_bytes(b).map(Some),
+        }
+    }
+
+    /// The latest checkpoint of `run` at or before `day` — the natural
+    /// restart point when new data arrive mid-window.
+    ///
+    /// # Errors
+    /// Returns an error on decode failure.
+    pub fn latest_at_or_before(
+        &self,
+        run: &str,
+        day: u32,
+    ) -> Result<Option<(u32, SimCheckpoint)>, String> {
+        let lo = CheckpointKey { run: run.to_string(), day: 0 };
+        let hi = CheckpointKey { run: run.to_string(), day };
+        match self.entries.range(lo..=hi).next_back() {
+            None => Ok(None),
+            Some((k, b)) => Ok(Some((k.day, SimCheckpoint::from_bytes(b)?))),
+        }
+    }
+
+    /// All stamped days for a run, ascending.
+    pub fn days(&self, run: &str) -> Vec<u32> {
+        let lo = CheckpointKey { run: run.to_string(), day: 0 };
+        let hi = CheckpointKey { run: run.to_string(), day: u32::MAX };
+        self.entries.range(lo..=hi).map(|(k, _)| k.day).collect()
+    }
+
+    /// Distinct run labels in the store.
+    pub fn runs(&self) -> Vec<String> {
+        let mut out: Vec<String> =
+            self.entries.keys().map(|k| k.run.clone()).collect();
+        out.dedup();
+        out
+    }
+
+    /// Drop all checkpoints stamped strictly before `day` (bounding the
+    /// memory of a long-running operational deployment). Returns the
+    /// number removed.
+    pub fn prune_before(&mut self, day: u32) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|k, _| k.day >= day);
+        before - self.entries.len()
+    }
+
+    /// Total encoded size in bytes.
+    pub fn encoded_size(&self) -> usize {
+        self.entries.values().map(bytes::Bytes::len).sum()
+    }
+
+    /// Persist every entry into `dir` (created if missing), one
+    /// `<run>@<day>.ckpt` file each.
+    ///
+    /// # Errors
+    /// Propagates IO errors.
+    pub fn save_to_dir(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for (k, bytes) in &self.entries {
+            std::fs::write(Self::file_name(dir, &k.run, k.day), bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Load every `*.ckpt` file from `dir` into a new store.
+    ///
+    /// # Errors
+    /// Returns IO errors and malformed-file-name errors as strings.
+    pub fn load_from_dir(dir: &Path) -> Result<Self, String> {
+        let mut store = Self::new();
+        let rd = std::fs::read_dir(dir).map_err(|e| format!("read_dir {dir:?}: {e}"))?;
+        for entry in rd {
+            let entry = entry.map_err(|e| e.to_string())?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("ckpt") {
+                continue;
+            }
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| format!("bad file name {path:?}"))?;
+            let (run, day) = stem
+                .rsplit_once('@')
+                .ok_or_else(|| format!("file name '{stem}' missing '@day'"))?;
+            let day: u32 =
+                day.parse().map_err(|e| format!("file '{stem}': bad day: {e}"))?;
+            let bytes =
+                std::fs::read(&path).map_err(|e| format!("read {path:?}: {e}"))?;
+            // Validate eagerly so corruption surfaces at load, not use.
+            SimCheckpoint::from_bytes(&bytes)?;
+            store
+                .entries
+                .insert(CheckpointKey { run: run.to_string(), day }, bytes.into());
+        }
+        Ok(store)
+    }
+
+    fn file_name(dir: &Path, run: &str, day: u32) -> PathBuf {
+        dir.join(format!("{run}@{day}.ckpt"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::covid::{CovidModel, CovidParams};
+    use crate::engine::BinomialChainStepper;
+    use crate::runner::Simulation;
+
+    fn sample_checkpoints() -> Vec<(u32, SimCheckpoint)> {
+        let model = CovidModel::new(CovidParams {
+            population: 10_000,
+            initial_exposed: 40,
+            ..CovidParams::default()
+        })
+        .unwrap();
+        let mut sim = Simulation::new(
+            model.spec(),
+            BinomialChainStepper::daily(),
+            model.initial_state(1),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        for day in [10u32, 20, 30, 40] {
+            sim.run_until(day);
+            out.push((day, sim.checkpoint()));
+        }
+        out
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let cks = sample_checkpoints();
+        let mut store = CheckpointStore::new();
+        for (day, ck) in &cks {
+            store.insert("truth", *day, ck);
+        }
+        assert_eq!(store.len(), 4);
+        let got = store.get("truth", 20).unwrap().unwrap();
+        assert_eq!(got, cks[1].1);
+        assert!(store.get("truth", 15).unwrap().is_none());
+        assert!(store.get("other", 20).unwrap().is_none());
+    }
+
+    #[test]
+    fn latest_at_or_before_picks_nearest_predecessor() {
+        let cks = sample_checkpoints();
+        let mut store = CheckpointStore::new();
+        for (day, ck) in &cks {
+            store.insert("run", *day, ck);
+        }
+        let (day, ck) = store.latest_at_or_before("run", 35).unwrap().unwrap();
+        assert_eq!(day, 30);
+        assert_eq!(ck, cks[2].1);
+        let (day, _) = store.latest_at_or_before("run", 40).unwrap().unwrap();
+        assert_eq!(day, 40);
+        assert!(store.latest_at_or_before("run", 5).unwrap().is_none());
+    }
+
+    #[test]
+    fn runs_and_days_enumeration() {
+        let cks = sample_checkpoints();
+        let mut store = CheckpointStore::new();
+        store.insert("a", 10, &cks[0].1);
+        store.insert("a", 20, &cks[1].1);
+        store.insert("b", 30, &cks[2].1);
+        assert_eq!(store.days("a"), vec![10, 20]);
+        assert_eq!(store.days("b"), vec![30]);
+        assert_eq!(store.runs(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn pruning_bounds_memory() {
+        let cks = sample_checkpoints();
+        let mut store = CheckpointStore::new();
+        for (day, ck) in &cks {
+            store.insert("run", *day, ck);
+        }
+        let size_before = store.encoded_size();
+        assert!(size_before > 0);
+        let removed = store.prune_before(25);
+        assert_eq!(removed, 2);
+        assert_eq!(store.days("run"), vec![30, 40]);
+        assert!(store.encoded_size() < size_before);
+    }
+
+    #[test]
+    fn directory_persistence_round_trip() {
+        let cks = sample_checkpoints();
+        let mut store = CheckpointStore::new();
+        for (day, ck) in &cks {
+            store.insert("truth", *day, ck);
+        }
+        store.insert("alt@run", 10, &cks[0].1); // '@' in run label still parses (rsplit)
+        let dir = std::env::temp_dir().join("episim-store-test");
+        std::fs::remove_dir_all(&dir).ok();
+        store.save_to_dir(&dir).unwrap();
+        let loaded = CheckpointStore::load_from_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), store.len());
+        assert_eq!(
+            loaded.get("truth", 30).unwrap().unwrap(),
+            store.get("truth", 30).unwrap().unwrap()
+        );
+        assert!(loaded.get("alt@run", 10).unwrap().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_corrupt_files() {
+        let dir = std::env::temp_dir().join("episim-store-corrupt");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("bad@5.ckpt"), b"not a checkpoint").unwrap();
+        assert!(CheckpointStore::load_from_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replace_same_key_keeps_latest() {
+        let cks = sample_checkpoints();
+        let mut store = CheckpointStore::new();
+        store.insert("r", 10, &cks[0].1);
+        store.insert("r", 10, &cks[3].1);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get("r", 10).unwrap().unwrap(), cks[3].1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Calibration configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::observation::BiasMode;
+
+/// Configuration of one calibration run (shared by the single-window and
+/// sequential drivers).
+///
+/// The paper's full-scale experiment uses `n_params = 25_000`,
+/// `n_replicates = 20`, `resample_size = 10_000` on HPC; the defaults
+/// here are laptop-scale and every figure binary accepts `--full` to run
+/// at paper scale.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CalibrationConfig {
+    /// Number of parameter tuples drawn per window.
+    pub n_params: usize,
+    /// Stochastic replicates per parameter tuple (common random numbers
+    /// across tuples, per Section V-B).
+    pub n_replicates: usize,
+    /// Posterior sample size drawn in the resampling step.
+    pub resample_size: usize,
+    /// Master seed; everything downstream derives deterministically.
+    pub seed: u64,
+    /// Observation standard deviation on the square-root scale
+    /// (`sigma_t = 1` in the paper).
+    pub sigma: f64,
+    /// Binomial bias mode (sampled per the paper, or conditional-mean).
+    #[serde(skip, default = "default_bias_mode")]
+    pub bias_mode: BiasMode,
+    /// Rayon thread count (`None` = rayon's default pool).
+    pub threads: Option<usize>,
+    /// Keep the full prior ensemble in the window result (needed for the
+    /// Fig 3 prior-trajectory cloud; memory-heavy at scale).
+    pub keep_prior_ensemble: bool,
+}
+
+fn default_bias_mode() -> BiasMode {
+    BiasMode::Sampled
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        Self {
+            n_params: 512,
+            n_replicates: 10,
+            resample_size: 1_024,
+            seed: 20_240_101,
+            sigma: 1.0,
+            bias_mode: BiasMode::Sampled,
+            threads: None,
+            keep_prior_ensemble: false,
+        }
+    }
+}
+
+impl CalibrationConfig {
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> CalibrationConfigBuilder {
+        CalibrationConfigBuilder { cfg: Self::default() }
+    }
+
+    /// Total trajectories simulated per window.
+    pub fn ensemble_size(&self) -> usize {
+        self.n_params * self.n_replicates
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_params == 0 || self.n_replicates == 0 || self.resample_size == 0 {
+            return Err("n_params, n_replicates, resample_size must be positive".into());
+        }
+        if !(self.sigma.is_finite() && self.sigma > 0.0) {
+            return Err(format!("sigma = {} must be positive", self.sigma));
+        }
+        if self.threads == Some(0) {
+            return Err("threads must be >= 1 when set".into());
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`CalibrationConfig`].
+#[derive(Clone, Debug)]
+pub struct CalibrationConfigBuilder {
+    cfg: CalibrationConfig,
+}
+
+impl CalibrationConfigBuilder {
+    /// Set the number of parameter tuples per window.
+    pub fn n_params(mut self, v: usize) -> Self {
+        self.cfg.n_params = v;
+        self
+    }
+
+    /// Set the replicates per parameter tuple.
+    pub fn n_replicates(mut self, v: usize) -> Self {
+        self.cfg.n_replicates = v;
+        self
+    }
+
+    /// Set the posterior resample size.
+    pub fn resample_size(mut self, v: usize) -> Self {
+        self.cfg.resample_size = v;
+        self
+    }
+
+    /// Set the master seed.
+    pub fn seed(mut self, v: u64) -> Self {
+        self.cfg.seed = v;
+        self
+    }
+
+    /// Set the sqrt-scale observation standard deviation.
+    pub fn sigma(mut self, v: f64) -> Self {
+        self.cfg.sigma = v;
+        self
+    }
+
+    /// Set the binomial bias mode.
+    pub fn bias_mode(mut self, v: BiasMode) -> Self {
+        self.cfg.bias_mode = v;
+        self
+    }
+
+    /// Pin the rayon thread count.
+    pub fn threads(mut self, v: usize) -> Self {
+        self.cfg.threads = Some(v);
+        self
+    }
+
+    /// Keep the prior ensemble in window results.
+    pub fn keep_prior_ensemble(mut self, v: bool) -> Self {
+        self.cfg.keep_prior_ensemble = v;
+        self
+    }
+
+    /// Finalize.
+    ///
+    /// # Panics
+    /// Panics if the assembled configuration is invalid.
+    pub fn build(self) -> CalibrationConfig {
+        self.cfg.validate().expect("invalid CalibrationConfig");
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let cfg = CalibrationConfig::builder()
+            .n_params(100)
+            .n_replicates(5)
+            .resample_size(200)
+            .seed(7)
+            .sigma(2.0)
+            .threads(4)
+            .keep_prior_ensemble(true)
+            .build();
+        assert_eq!(cfg.ensemble_size(), 500);
+        assert_eq!(cfg.threads, Some(4));
+        assert!(cfg.keep_prior_ensemble);
+    }
+
+    #[test]
+    #[should_panic]
+    fn builder_rejects_zero_params() {
+        CalibrationConfig::builder().n_params(0).build();
+    }
+
+    #[test]
+    fn validate_catches_bad_sigma() {
+        let mut cfg = CalibrationConfig::default();
+        cfg.sigma = 0.0;
+        assert!(cfg.validate().is_err());
+        cfg.sigma = f64::NAN;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip_skips_bias_mode() {
+        let cfg = CalibrationConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: CalibrationConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_params, cfg.n_params);
+        assert_eq!(back.bias_mode, BiasMode::Sampled);
+    }
+}

@@ -1,0 +1,291 @@
+//! Weighted trajectory particles and ensembles.
+//!
+//! A particle is the paper's full input tuple `(theta, s, rho)` *plus its
+//! realized trajectory and checkpoint*: trajectory-oriented calibration
+//! (Section IV) treats the random seed as an input coordinate, so a
+//! particle is one specific epidemic history, not just a parameter value.
+
+use episim::checkpoint::SimCheckpoint;
+use episim::output::DailySeries;
+use epistats::logweight::normalize_log_weights;
+use epistats::summary::{ess, weighted_mean, weighted_quantile, weighted_variance};
+
+/// One weighted simulated trajectory.
+#[derive(Clone, Debug)]
+pub struct Particle {
+    /// Simulator parameters (dimension `d`; `theta[0]` is the
+    /// transmission rate for the built-in models).
+    pub theta: Vec<f64>,
+    /// Reporting probability of the binomial bias model.
+    pub rho: f64,
+    /// The random seed that generated this trajectory (an input
+    /// coordinate under trajectory-oriented calibration).
+    pub seed: u64,
+    /// Unnormalized log importance weight.
+    pub log_weight: f64,
+    /// Recorded daily output from day 0 through the last simulated day.
+    pub trajectory: DailySeries,
+    /// Full simulator state at the last window boundary (enables
+    /// parameter-overriding continuation).
+    pub checkpoint: SimCheckpoint,
+    /// Simulator state at the *start* of the last scored window (`None`
+    /// when the window was simulated fresh from day 0). Needed by
+    /// resample-move rejuvenation, which re-simulates the window under
+    /// perturbed parameters.
+    pub origin: Option<SimCheckpoint>,
+}
+
+/// A collection of particles with weight-aware summaries.
+#[derive(Clone, Debug, Default)]
+pub struct ParticleEnsemble {
+    particles: Vec<Particle>,
+}
+
+impl ParticleEnsemble {
+    /// Create an empty ensemble.
+    pub fn new() -> Self {
+        Self { particles: Vec::new() }
+    }
+
+    /// Wrap an existing particle vector.
+    pub fn from_vec(particles: Vec<Particle>) -> Self {
+        Self { particles }
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// Whether the ensemble is empty.
+    pub fn is_empty(&self) -> bool {
+        self.particles.is_empty()
+    }
+
+    /// Append a particle.
+    pub fn push(&mut self, p: Particle) {
+        self.particles.push(p);
+    }
+
+    /// The particles.
+    pub fn particles(&self) -> &[Particle] {
+        &self.particles
+    }
+
+    /// Mutable access to the particles.
+    pub fn particles_mut(&mut self) -> &mut [Particle] {
+        &mut self.particles
+    }
+
+    /// Consume into the particle vector.
+    pub fn into_vec(self) -> Vec<Particle> {
+        self.particles
+    }
+
+    /// Normalized linear-space weights (uniform fallback if all log
+    /// weights are negative infinity; see
+    /// [`epistats::logweight::normalize_log_weights`]).
+    pub fn normalized_weights(&self) -> Vec<f64> {
+        let lw: Vec<f64> = self.particles.iter().map(|p| p.log_weight).collect();
+        normalize_log_weights(&lw)
+    }
+
+    /// Effective sample size of the current weights.
+    pub fn ess(&self) -> f64 {
+        ess(&self.normalized_weights())
+    }
+
+    /// Reset every particle to uniform weight (log 0) — done after
+    /// resampling.
+    pub fn set_uniform_weights(&mut self) {
+        for p in &mut self.particles {
+            p.log_weight = 0.0;
+        }
+    }
+
+    /// The `k`-th coordinate of every particle's theta.
+    ///
+    /// # Panics
+    /// Panics if `k` is out of range for any particle.
+    pub fn thetas(&self, k: usize) -> Vec<f64> {
+        self.particles.iter().map(|p| p.theta[k]).collect()
+    }
+
+    /// Every particle's reporting probability.
+    pub fn rhos(&self) -> Vec<f64> {
+        self.particles.iter().map(|p| p.rho).collect()
+    }
+
+    /// Weighted posterior mean of `theta[k]`.
+    pub fn mean_theta(&self, k: usize) -> f64 {
+        weighted_mean(&self.thetas(k), &self.normalized_weights())
+    }
+
+    /// Weighted posterior standard deviation of `theta[k]`.
+    pub fn sd_theta(&self, k: usize) -> f64 {
+        weighted_variance(&self.thetas(k), &self.normalized_weights()).sqrt()
+    }
+
+    /// Weighted posterior mean of `rho`.
+    pub fn mean_rho(&self) -> f64 {
+        weighted_mean(&self.rhos(), &self.normalized_weights())
+    }
+
+    /// Weighted posterior standard deviation of `rho`.
+    pub fn sd_rho(&self) -> f64 {
+        weighted_variance(&self.rhos(), &self.normalized_weights()).sqrt()
+    }
+
+    /// Weighted posterior quantile of `theta[k]`.
+    pub fn quantile_theta(&self, k: usize, q: f64) -> f64 {
+        weighted_quantile(&self.thetas(k), &self.normalized_weights(), q)
+    }
+
+    /// Weighted posterior quantile of `rho`.
+    pub fn quantile_rho(&self, q: f64) -> f64 {
+        weighted_quantile(&self.rhos(), &self.normalized_weights(), q)
+    }
+
+    /// Weighted posterior correlation between `theta[k]` and `rho` — the
+    /// paper's central identifiability diagnostic: with case counts
+    /// alone, transmission and reporting are negatively confounded
+    /// (higher reporting of a slower epidemic looks like lower reporting
+    /// of a faster one).
+    pub fn corr_theta_rho(&self, k: usize) -> f64 {
+        epistats::summary::weighted_correlation(
+            &self.thetas(k),
+            &self.rhos(),
+            &self.normalized_weights(),
+        )
+    }
+
+    /// Number of distinct `(theta, seed)` inputs — the degeneracy
+    /// diagnostic the paper's Discussion worries about (weights
+    /// concentrating on few draws).
+    pub fn unique_inputs(&self) -> usize {
+        let mut keys: Vec<(u64, Vec<u64>)> = self
+            .particles
+            .iter()
+            .map(|p| {
+                (
+                    p.seed,
+                    p.theta.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys.len()
+    }
+
+    /// Index of the highest-weighted particle.
+    ///
+    /// # Panics
+    /// Panics on an empty ensemble.
+    pub fn argmax_weight(&self) -> usize {
+        assert!(!self.is_empty(), "argmax_weight: empty ensemble");
+        let mut best = 0;
+        for (i, p) in self.particles.iter().enumerate() {
+            if p.log_weight > self.particles[best].log_weight {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use episim::spec::{Compartment, FlowSpec, Infection, ModelSpec, Progression};
+    use episim::state::SimState;
+
+    fn dummy_particle(theta: f64, rho: f64, seed: u64, log_w: f64) -> Particle {
+        let spec = ModelSpec {
+            name: "d".into(),
+            compartments: vec![
+                Compartment::simple("S"),
+                Compartment::new("I", 1, 1.0),
+            ],
+            progressions: vec![Progression {
+                from: 1,
+                mean_dwell: 1.0,
+                branches: vec![(0, 1.0)],
+            }],
+            infections: vec![Infection::simple(0, 1)],
+            transmission_rate: theta,
+            flows: vec![FlowSpec { name: "x".into(), edges: vec![] }],
+            censuses: vec![],
+        };
+        let st = SimState::empty(&spec, seed);
+        Particle {
+            theta: vec![theta],
+            rho,
+            seed,
+            log_weight: log_w,
+            trajectory: DailySeries::new(vec!["x".into()], 0),
+            checkpoint: SimCheckpoint::capture(&spec, &st),
+            origin: None,
+        }
+    }
+
+    fn ensemble() -> ParticleEnsemble {
+        ParticleEnsemble::from_vec(vec![
+            dummy_particle(0.2, 0.5, 1, -1.0),
+            dummy_particle(0.3, 0.6, 2, -1.0),
+            dummy_particle(0.4, 0.7, 3, f64::NEG_INFINITY),
+        ])
+    }
+
+    #[test]
+    fn weights_normalize_excluding_dead_particles() {
+        let e = ensemble();
+        let w = e.normalized_weights();
+        assert!((w[0] - 0.5).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+        assert_eq!(w[2], 0.0);
+        assert!((e.ess() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_means_ignore_zero_weight() {
+        let e = ensemble();
+        assert!((e.mean_theta(0) - 0.25).abs() < 1e-12);
+        assert!((e.mean_rho() - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_reset() {
+        let mut e = ensemble();
+        e.set_uniform_weights();
+        let w = e.normalized_weights();
+        for &x in &w {
+            assert!((x - 1.0 / 3.0).abs() < 1e-12);
+        }
+        assert!((e.ess() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unique_inputs_deduplicates() {
+        let mut e = ensemble();
+        e.push(dummy_particle(0.2, 0.9, 1, 0.0)); // same (theta, seed) as [0]
+        assert_eq!(e.unique_inputs(), 3);
+    }
+
+    #[test]
+    fn argmax_weight_finds_heaviest() {
+        let mut e = ensemble();
+        e.particles_mut()[1].log_weight = 5.0;
+        assert_eq!(e.argmax_weight(), 1);
+    }
+
+    #[test]
+    fn quantiles_are_weight_aware() {
+        let e = ParticleEnsemble::from_vec(vec![
+            dummy_particle(0.1, 0.1, 1, f64::NEG_INFINITY),
+            dummy_particle(0.5, 0.5, 2, 0.0),
+        ]);
+        assert!((e.quantile_theta(0, 0.5) - 0.5).abs() < 1e-12);
+        assert!((e.quantile_rho(0.9) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,393 @@
+//! The simulator abstraction the SIS machinery drives, plus ready
+//! adapters for the `episim` models.
+//!
+//! [`TrajectorySimulator`] is the paper's computer-model interface: given
+//! an input `(theta, s)` produce the output trajectory `eta_{1:T}` — and,
+//! crucially, support *continuing* a checkpointed trajectory under new
+//! parameters (Section III-B), which is what makes the sequential scheme
+//! cheap.
+
+use episim::checkpoint::SimCheckpoint;
+use episim::covid::{CovidModel, CovidParams};
+use episim::engine::BinomialChainStepper;
+use episim::output::DailySeries;
+use episim::runner::Simulation;
+use episim::seir::{SeirModel, SeirParams};
+
+/// A stochastic simulator calibratable by the SIS framework.
+///
+/// `theta` is the calibration parameter vector; what each coordinate
+/// means is up to the implementation (for the built-in adapters,
+/// `theta[0]` is the transmission rate).
+pub trait TrajectorySimulator: Send + Sync {
+    /// Dimension of the calibration parameter vector.
+    fn theta_dim(&self) -> usize;
+
+    /// Names of the recorded output series (data sources reference
+    /// these).
+    fn output_names(&self) -> Vec<String>;
+
+    /// Run a fresh trajectory from day 0 to `end_day` with the given
+    /// parameters and seed.
+    ///
+    /// # Errors
+    /// Returns a message if the parameters are invalid for the model.
+    fn run_fresh(
+        &self,
+        theta: &[f64],
+        seed: u64,
+        end_day: u32,
+    ) -> Result<(DailySeries, SimCheckpoint), String>;
+
+    /// Continue a checkpointed trajectory to `end_day` under new
+    /// parameters with a fresh seed (the paper's branching restart).
+    /// The returned series covers only the continued days.
+    ///
+    /// # Errors
+    /// Returns a message on invalid parameters or a checkpoint layout
+    /// mismatch.
+    fn run_from(
+        &self,
+        checkpoint: &SimCheckpoint,
+        theta: &[f64],
+        seed: u64,
+        end_day: u32,
+    ) -> Result<(DailySeries, SimCheckpoint), String>;
+}
+
+/// Adapter driving the COVID-Chicago model with `theta[0]` as the
+/// transmission rate; optionally `theta[1]` as a multiplier on all four
+/// detection probabilities (clamped to `[0, 1]`), making the calibration
+/// two-dimensional — the paper's checkpoint-override list (Section III-B)
+/// includes the detection fractions as restart parameters.
+#[derive(Clone, Debug)]
+pub struct CovidSimulator {
+    base: CovidParams,
+    substeps: u32,
+    calibrate_detection: bool,
+}
+
+impl CovidSimulator {
+    /// Create from base parameters (everything except the transmission
+    /// rate is held fixed at these values).
+    ///
+    /// # Errors
+    /// Propagates parameter validation failures.
+    pub fn new(base: CovidParams) -> Result<Self, String> {
+        base.validate()?;
+        Ok(Self { base, substeps: 1, calibrate_detection: false })
+    }
+
+    /// Use a finer chain-binomial step (substeps per day).
+    ///
+    /// # Panics
+    /// Panics if `substeps` is zero.
+    pub fn with_substeps(mut self, substeps: u32) -> Self {
+        assert!(substeps > 0, "substeps must be >= 1");
+        self.substeps = substeps;
+        self
+    }
+
+    /// Also calibrate a detection-probability multiplier as `theta[1]`
+    /// (the parameter space becomes two-dimensional).
+    pub fn with_calibrated_detection(mut self) -> Self {
+        self.calibrate_detection = true;
+        self
+    }
+
+    /// The base parameters.
+    pub fn base_params(&self) -> &CovidParams {
+        &self.base
+    }
+
+    fn model_with(&self, theta: &[f64]) -> Result<CovidModel, String> {
+        if theta.len() != self.theta_dim() {
+            return Err(format!(
+                "CovidSimulator expects {} parameter(s), got {}",
+                self.theta_dim(),
+                theta.len()
+            ));
+        }
+        let mut params =
+            CovidParams { transmission_rate: theta[0], ..self.base.clone() };
+        if self.calibrate_detection {
+            let m = theta[1];
+            if !(m.is_finite() && m >= 0.0) {
+                return Err(format!("detection multiplier {m} invalid"));
+            }
+            params.detect_asymp = (self.base.detect_asymp * m).min(1.0);
+            params.detect_presymp = (self.base.detect_presymp * m).min(1.0);
+            params.detect_mild = (self.base.detect_mild * m).min(1.0);
+            params.detect_severe = (self.base.detect_severe * m).min(1.0);
+        }
+        CovidModel::new(params)
+    }
+}
+
+impl TrajectorySimulator for CovidSimulator {
+    fn theta_dim(&self) -> usize {
+        if self.calibrate_detection {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn output_names(&self) -> Vec<String> {
+        CovidModel::new(self.base.clone())
+            .expect("validated at construction")
+            .spec()
+            .output_names()
+    }
+
+    fn run_fresh(
+        &self,
+        theta: &[f64],
+        seed: u64,
+        end_day: u32,
+    ) -> Result<(DailySeries, SimCheckpoint), String> {
+        let model = self.model_with(theta)?;
+        let mut sim = Simulation::new(
+            model.spec(),
+            BinomialChainStepper::with_substeps(self.substeps),
+            model.initial_state(seed),
+        )?;
+        sim.run_until(end_day);
+        let ck = sim.checkpoint();
+        Ok((sim.into_series(), ck))
+    }
+
+    fn run_from(
+        &self,
+        checkpoint: &SimCheckpoint,
+        theta: &[f64],
+        seed: u64,
+        end_day: u32,
+    ) -> Result<(DailySeries, SimCheckpoint), String> {
+        let model = self.model_with(theta)?;
+        let mut sim = Simulation::resume_with_seed(
+            model.spec(),
+            BinomialChainStepper::with_substeps(self.substeps),
+            checkpoint,
+            seed,
+        )?;
+        sim.run_until(end_day);
+        let ck = sim.checkpoint();
+        Ok((sim.into_series(), ck))
+    }
+}
+
+/// Adapter driving the minimal SEIR model with `theta[0]` as the
+/// transmission rate.
+#[derive(Clone, Debug)]
+pub struct SeirSimulator {
+    base: SeirParams,
+}
+
+impl SeirSimulator {
+    /// Create from base parameters.
+    ///
+    /// # Errors
+    /// Propagates parameter validation failures.
+    pub fn new(base: SeirParams) -> Result<Self, String> {
+        base.validate()?;
+        Ok(Self { base })
+    }
+
+    fn model_with(&self, theta: &[f64]) -> Result<SeirModel, String> {
+        if theta.len() != 1 {
+            return Err(format!("SeirSimulator expects 1 parameter, got {}", theta.len()));
+        }
+        SeirModel::new(SeirParams { transmission_rate: theta[0], ..self.base.clone() })
+    }
+}
+
+impl TrajectorySimulator for SeirSimulator {
+    fn theta_dim(&self) -> usize {
+        1
+    }
+
+    fn output_names(&self) -> Vec<String> {
+        SeirModel::new(self.base.clone())
+            .expect("validated at construction")
+            .spec()
+            .output_names()
+    }
+
+    fn run_fresh(
+        &self,
+        theta: &[f64],
+        seed: u64,
+        end_day: u32,
+    ) -> Result<(DailySeries, SimCheckpoint), String> {
+        let model = self.model_with(theta)?;
+        let mut sim = Simulation::new(
+            model.spec(),
+            BinomialChainStepper::daily(),
+            model.initial_state(seed),
+        )?;
+        sim.run_until(end_day);
+        let ck = sim.checkpoint();
+        Ok((sim.into_series(), ck))
+    }
+
+    fn run_from(
+        &self,
+        checkpoint: &SimCheckpoint,
+        theta: &[f64],
+        seed: u64,
+        end_day: u32,
+    ) -> Result<(DailySeries, SimCheckpoint), String> {
+        let model = self.model_with(theta)?;
+        let mut sim = Simulation::resume_with_seed(
+            model.spec(),
+            BinomialChainStepper::daily(),
+            checkpoint,
+            seed,
+        )?;
+        sim.run_until(end_day);
+        let ck = sim.checkpoint();
+        Ok((sim.into_series(), ck))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covid() -> CovidSimulator {
+        CovidSimulator::new(CovidParams {
+            population: 20_000,
+            initial_exposed: 60,
+            ..CovidParams::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn fresh_run_produces_full_series() {
+        let sim = covid();
+        let (series, ck) = sim.run_fresh(&[0.3], 42, 30).unwrap();
+        assert_eq!(series.len(), 30);
+        assert_eq!(ck.day, 30);
+        assert!(series.series("infections").is_some());
+        assert!(series.series("deaths").is_some());
+    }
+
+    #[test]
+    fn continuation_covers_only_new_days() {
+        let sim = covid();
+        let (_, ck) = sim.run_fresh(&[0.3], 1, 20).unwrap();
+        let (tail, ck2) = sim.run_from(&ck, &[0.4], 99, 45).unwrap();
+        assert_eq!(tail.start_day(), 21);
+        assert_eq!(tail.len(), 25);
+        assert_eq!(ck2.day, 45);
+    }
+
+    #[test]
+    fn continuation_branches_differ_by_theta() {
+        let sim = covid();
+        let (_, ck) = sim.run_fresh(&[0.3], 5, 25).unwrap();
+        let (hot, _) = sim.run_from(&ck, &[0.8], 7, 60).unwrap();
+        let (cold, _) = sim.run_from(&ck, &[0.05], 7, 60).unwrap();
+        let hot_total: u64 = hot.series("infections").unwrap().iter().sum();
+        let cold_total: u64 = cold.series("infections").unwrap().iter().sum();
+        assert!(hot_total > 2 * cold_total.max(1), "hot {hot_total} vs cold {cold_total}");
+    }
+
+    #[test]
+    fn rejects_wrong_theta_dim() {
+        let sim = covid();
+        assert!(sim.run_fresh(&[0.3, 0.4], 1, 10).is_err());
+        assert!(sim.run_fresh(&[], 1, 10).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_theta_value() {
+        let sim = covid();
+        assert!(sim.run_fresh(&[-0.5], 1, 10).is_err());
+    }
+
+    #[test]
+    fn two_dimensional_theta_via_detection_calibration() {
+        let sim = covid().with_calibrated_detection();
+        assert_eq!(sim.theta_dim(), 2);
+        // One parameter is now an error; two works.
+        assert!(sim.run_fresh(&[0.3], 1, 10).is_err());
+        let (a, _) = sim.run_fresh(&[0.3, 1.0], 5, 40).unwrap();
+        let (b, _) = sim.run_fresh(&[0.3, 3.0], 5, 40).unwrap();
+        // Higher detection multiplier -> more detected cases.
+        let da: u64 = a.series("detected").unwrap().iter().sum();
+        let db: u64 = b.series("detected").unwrap().iter().sum();
+        assert!(db > da, "detected {da} vs {db}");
+        // Multiplier large enough to clamp at 1 still validates.
+        assert!(sim.run_fresh(&[0.3, 100.0], 5, 10).is_ok());
+        assert!(sim.run_fresh(&[0.3, -1.0], 5, 10).is_err());
+    }
+
+    #[test]
+    fn two_dimensional_calibration_recovers_both_parameters() {
+        use crate::config::CalibrationConfig;
+        use crate::observation::BiasMode;
+        use crate::prior::UniformPrior;
+        use crate::sis::{ObservedData, Priors, SingleWindowIs};
+        use crate::window::TimeWindow;
+        use std::sync::Arc;
+
+        let sim = covid().with_calibrated_detection();
+        // Truth: theta = 0.35, detection multiplier = 2.0. Score against
+        // the *detected* series, which is sensitive to both dimensions.
+        let (truth, _) = sim.run_fresh(&[0.35, 2.0], 42, 40).unwrap();
+        let observed = ObservedData {
+            sources: vec![crate::sis::DataSource {
+                series: "detected".into(),
+                observed: crate::sis::ObservedSeries::from_day_one(
+                    truth.series_f64("detected").unwrap(),
+                ),
+                bias: Arc::new(crate::observation::BinomialBias {
+                    mode: BiasMode::Mean,
+                }),
+                likelihood: Arc::new(crate::likelihood::GaussianSqrtLikelihood::paper()),
+            }],
+        };
+        let priors = Priors {
+            theta: vec![
+                Box::new(UniformPrior::new(0.1, 0.6)),
+                Box::new(UniformPrior::new(0.5, 4.0)),
+            ],
+            rho: Box::new(crate::prior::BetaPrior::new(100.0, 1.0)),
+        };
+        let cfg = CalibrationConfig::builder()
+            .n_params(250)
+            .n_replicates(4)
+            .resample_size(400)
+            .seed(9)
+            .build();
+        let result = SingleWindowIs::new(&sim, cfg)
+            .run(&priors, &observed, TimeWindow::new(10, 40))
+            .unwrap();
+        let th0 = result.posterior.mean_theta(0);
+        let th1 = result.posterior.mean_theta(1);
+        assert!((th0 - 0.35).abs() < 0.08, "theta[0] = {th0}");
+        assert!((th1 - 2.0).abs() < 1.0, "theta[1] = {th1}");
+        // Both posteriors tighter than their priors.
+        assert!(result.posterior.sd_theta(0) < 0.5 / 12f64.sqrt());
+        assert!(result.posterior.sd_theta(1) < 3.5 / 12f64.sqrt());
+    }
+
+    #[test]
+    fn seir_adapter_round_trip() {
+        let sim = SeirSimulator::new(SeirParams {
+            population: 10_000,
+            initial_exposed: 20,
+            ..SeirParams::default()
+        })
+        .unwrap();
+        assert_eq!(sim.theta_dim(), 1);
+        let (series, ck) = sim.run_fresh(&[0.4], 11, 40).unwrap();
+        assert_eq!(series.len(), 40);
+        let (tail, _) = sim.run_from(&ck, &[0.4], 12, 60).unwrap();
+        assert_eq!(tail.len(), 20);
+        assert!(sim.output_names().contains(&"infections".to_string()));
+    }
+}

@@ -1,0 +1,752 @@
+//! Sequential importance sampling calibration (paper Sections IV-B/IV-C).
+//!
+//! [`SingleWindowIs`] is Algorithm 1: sample `(theta, rho)` from the
+//! prior, run `n_replicates` seeded simulations per tuple (common random
+//! numbers across tuples), weight every trajectory by the likelihood of
+//! the observed window, and resample with replacement proportional to
+//! the weights.
+//!
+//! [`SequentialCalibrator`] is the outer loop: the posterior particles of
+//! window `m-1` — *including their checkpointed simulator states* — are
+//! jittered by uniform kernels and continued through window `m`, weighted
+//! by the incremental likelihood of the new data only (the conditional
+//! decomposition of Section IV-C.2). This is what the paper's
+//! checkpointing machinery buys: window `m` costs only window-`m`
+//! simulation days, never a replay from day zero.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use epistats::logweight::log_mean_exp;
+use epistats::rng::{derive_stream, Xoshiro256PlusPlus};
+use epistats::summary::ess;
+
+use crate::config::CalibrationConfig;
+use crate::likelihood::{CompositeLikelihood, GaussianSqrtLikelihood, Likelihood};
+use crate::observation::{BiasMode, BiasModel, BinomialBias, IdentityBias};
+use crate::particle::{Particle, ParticleEnsemble};
+use crate::prior::{JitterKernel, Prior};
+use crate::resample::{Multinomial, Resampler};
+use crate::runner::ParallelRunner;
+use crate::simulator::TrajectorySimulator;
+use crate::window::{TimeWindow, WindowPlan};
+
+use episim::output::DailySeries;
+
+/// Stream-derivation tags (arbitrary distinct constants).
+const TAG_SIM_SEED: u64 = 0x5EED_0001;
+const TAG_BIAS: u64 = 0xB1A5_0002;
+const TAG_WINDOW: u64 = 0xA11D_0003;
+
+/// An observed data series aligned to absolute simulation days:
+/// `values[i]` is the observation for day `start_day + i`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObservedSeries {
+    /// Day of the first observation.
+    pub start_day: u32,
+    /// Daily observed values.
+    pub values: Vec<f64>,
+}
+
+impl ObservedSeries {
+    /// A series starting at day 1 (the usual case: observations from the
+    /// epidemic's first simulated day).
+    pub fn from_day_one(values: Vec<f64>) -> Self {
+        Self { start_day: 1, values }
+    }
+
+    /// The slice covering absolute days `[lo, hi]`, if fully observed.
+    pub fn window(&self, lo: u32, hi: u32) -> Option<&[f64]> {
+        if lo < self.start_day || hi < lo {
+            return None;
+        }
+        let a = (lo - self.start_day) as usize;
+        let b = (hi - self.start_day) as usize;
+        if b >= self.values.len() {
+            return None;
+        }
+        Some(&self.values[a..=b])
+    }
+
+    /// Last observed day.
+    pub fn end_day(&self) -> u32 {
+        self.start_day + self.values.len() as u32 - 1
+    }
+}
+
+/// One empirical data stream: which simulator output it observes, the
+/// data themselves, and the bias/likelihood pair linking them.
+pub struct DataSource {
+    /// Simulator output series name (e.g. `"infections"`, `"deaths"`).
+    pub series: String,
+    /// The observed data.
+    pub observed: ObservedSeries,
+    /// Measurement-bias model mapping true counts to the observed scale.
+    pub bias: Arc<dyn BiasModel>,
+    /// Likelihood comparing observed to bias-transformed simulated counts.
+    pub likelihood: Arc<dyn Likelihood>,
+}
+
+/// The full observed dataset: one or more sources scored jointly
+/// (independent product likelihood, Equation 4).
+pub struct ObservedData {
+    /// The data sources.
+    pub sources: Vec<DataSource>,
+}
+
+impl ObservedData {
+    /// Paper configuration for Section V-B: reported case counts only,
+    /// binomially thinned, Gaussian sqrt-scale likelihood with
+    /// `sigma = 1`.
+    pub fn cases_only(cases: Vec<f64>) -> Self {
+        Self::cases_only_with(cases, BiasMode::Sampled, 1.0)
+    }
+
+    /// Cases-only with explicit bias mode and likelihood sigma.
+    pub fn cases_only_with(cases: Vec<f64>, mode: BiasMode, sigma: f64) -> Self {
+        Self {
+            sources: vec![DataSource {
+                series: "infections".into(),
+                observed: ObservedSeries::from_day_one(cases),
+                bias: Arc::new(BinomialBias { mode }),
+                likelihood: Arc::new(GaussianSqrtLikelihood::new(sigma)),
+            }],
+        }
+    }
+
+    /// Paper configuration for Section V-C: cases (binomial bias) plus
+    /// deaths (no bias), both Gaussian on the sqrt scale.
+    pub fn cases_and_deaths(cases: Vec<f64>, deaths: Vec<f64>) -> Self {
+        Self::cases_and_deaths_with(cases, deaths, BiasMode::Sampled, 1.0)
+    }
+
+    /// Cases+deaths with explicit bias mode and sigma.
+    pub fn cases_and_deaths_with(
+        cases: Vec<f64>,
+        deaths: Vec<f64>,
+        mode: BiasMode,
+        sigma: f64,
+    ) -> Self {
+        Self {
+            sources: vec![
+                DataSource {
+                    series: "infections".into(),
+                    observed: ObservedSeries::from_day_one(cases),
+                    bias: Arc::new(BinomialBias { mode }),
+                    likelihood: Arc::new(GaussianSqrtLikelihood::new(sigma)),
+                },
+                DataSource {
+                    series: "deaths".into(),
+                    observed: ObservedSeries::from_day_one(deaths),
+                    bias: Arc::new(IdentityBias),
+                    likelihood: Arc::new(GaussianSqrtLikelihood::new(sigma)),
+                },
+            ],
+        }
+    }
+
+    /// Add a custom source.
+    pub fn push_source(&mut self, source: DataSource) {
+        self.sources.push(source);
+    }
+}
+
+/// Joint prior over `(theta, rho)`.
+pub struct Priors {
+    /// One prior per theta coordinate.
+    pub theta: Vec<Box<dyn Prior>>,
+    /// Prior on the reporting probability.
+    pub rho: Box<dyn Prior>,
+}
+
+impl Priors {
+    /// The paper's first-window priors: `Uniform(0.1, 0.5)` on the
+    /// transmission rate and `Beta(4, 1)` on `rho` (Section V-B).
+    pub fn paper() -> Self {
+        Self {
+            theta: vec![Box::new(crate::prior::UniformPrior::new(0.1, 0.5))],
+            rho: Box::new(crate::prior::BetaPrior::new(4.0, 1.0)),
+        }
+    }
+}
+
+/// The outcome of calibrating one window.
+#[derive(Debug)]
+pub struct WindowResult {
+    /// The scored window.
+    pub window: TimeWindow,
+    /// Resampled (uniformly weighted) posterior particles.
+    pub posterior: ParticleEnsemble,
+    /// The full weighted candidate ensemble, kept only when
+    /// [`CalibrationConfig::keep_prior_ensemble`] is set.
+    pub prior_ensemble: Option<ParticleEnsemble>,
+    /// Effective sample size of the importance weights before resampling.
+    pub ess: f64,
+    /// Log marginal likelihood estimate of the window
+    /// (`log mean exp(log w)`).
+    pub log_marginal: f64,
+    /// Number of distinct candidates surviving the resampling step.
+    pub unique_ancestors: usize,
+    /// Importance-sampling iterations spent on this window (1 unless
+    /// adaptive refinement re-proposed; see [`crate::adaptive`]).
+    pub iterations: usize,
+    /// Wall-clock time of the window (simulation + weighting + resampling).
+    pub wall_time: Duration,
+}
+
+/// Compute a particle's log weight for a window: the joint log likelihood
+/// of all data sources over the window days.
+///
+/// # Errors
+/// Returns an error if the trajectory or the observed data do not cover
+/// the window, or the trajectory lacks a referenced series.
+pub fn score_window(
+    trajectory: &DailySeries,
+    rho: f64,
+    bias_seed: u64,
+    observed: &ObservedData,
+    window: TimeWindow,
+) -> Result<f64, String> {
+    let mut comp = CompositeLikelihood::new();
+    for (si, src) in observed.sources.iter().enumerate() {
+        let sim_w = trajectory
+            .window(&src.series, window.start, window.end)
+            .ok_or_else(|| {
+                format!(
+                    "trajectory does not cover series '{}' on days [{}, {}]",
+                    src.series, window.start, window.end
+                )
+            })?;
+        let obs_w = src.observed.window(window.start, window.end).ok_or_else(|| {
+            format!(
+                "observed series '{}' does not cover days [{}, {}]",
+                src.series, window.start, window.end
+            )
+        })?;
+        let sim_f: Vec<f64> = sim_w.iter().map(|&v| v as f64).collect();
+        let mut bias_rng = Xoshiro256PlusPlus::from_stream(
+            bias_seed,
+            &[TAG_BIAS, window.start as u64, si as u64],
+        );
+        let sim_obs = src.bias.observe(&sim_f, rho, &mut bias_rng);
+        comp.add(src.likelihood.log_likelihood(obs_w, &sim_obs));
+    }
+    Ok(comp.total())
+}
+
+/// Weight, resample, and package a candidate ensemble into a
+/// [`WindowResult`].
+fn finalize_window(
+    window: TimeWindow,
+    candidates: Vec<Particle>,
+    config: &CalibrationConfig,
+    rng: &mut Xoshiro256PlusPlus,
+    started: std::time::Instant,
+    iterations: usize,
+) -> WindowResult {
+    let ensemble = ParticleEnsemble::from_vec(candidates);
+    let weights = ensemble.normalized_weights();
+    let window_ess = ess(&weights);
+    let log_w: Vec<f64> = ensemble.particles().iter().map(|p| p.log_weight).collect();
+    let log_marginal = log_mean_exp(&log_w);
+
+    let idx = Multinomial.resample(&weights, config.resample_size, rng);
+    let mut unique = idx.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    let unique_ancestors = unique.len();
+
+    let mut posterior = ParticleEnsemble::from_vec(
+        idx.iter().map(|&i| ensemble.particles()[i].clone()).collect(),
+    );
+    posterior.set_uniform_weights();
+
+    WindowResult {
+        window,
+        posterior,
+        prior_ensemble: if config.keep_prior_ensemble { Some(ensemble) } else { None },
+        ess: window_ess,
+        log_marginal,
+        unique_ancestors,
+        iterations,
+        wall_time: started.elapsed(),
+    }
+}
+
+/// One proposed parameter tuple, optionally anchored to an ancestor
+/// particle whose checkpoint it continues from.
+#[derive(Clone, Debug)]
+pub(crate) struct Proposal {
+    /// Index into the ancestor ensemble (ignored for fresh runs).
+    pub ancestor: usize,
+    /// Proposed simulator parameters.
+    pub theta: Vec<f64>,
+    /// Proposed reporting probability.
+    pub rho: f64,
+}
+
+/// Algorithm 1: importance sampling of a single calibration window from
+/// fresh day-0 simulations.
+pub struct SingleWindowIs<'a, S: TrajectorySimulator> {
+    simulator: &'a S,
+    config: CalibrationConfig,
+}
+
+impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
+    /// Create a driver over a simulator with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(simulator: &'a S, config: CalibrationConfig) -> Self {
+        config.validate().expect("invalid CalibrationConfig");
+        Self { simulator, config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CalibrationConfig {
+        &self.config
+    }
+
+    /// Run Algorithm 1 on one window.
+    ///
+    /// # Errors
+    /// Propagates simulator failures and window-coverage mismatches.
+    pub fn run(
+        &self,
+        priors: &Priors,
+        observed: &ObservedData,
+        window: TimeWindow,
+    ) -> Result<WindowResult, String> {
+        if priors.theta.len() != self.simulator.theta_dim() {
+            return Err(format!(
+                "prior dimension {} != simulator theta dimension {}",
+                priors.theta.len(),
+                self.simulator.theta_dim()
+            ));
+        }
+        let started = std::time::Instant::now();
+        let cfg = &self.config;
+        let mut rng = Xoshiro256PlusPlus::new(cfg.seed);
+
+        // Draw parameter tuples from the prior.
+        let tuples: Vec<(Vec<f64>, f64)> = (0..cfg.n_params)
+            .map(|_| {
+                let theta: Vec<f64> =
+                    priors.theta.iter().map(|p| p.sample(&mut rng)).collect();
+                let rho = priors.rho.sample(&mut rng);
+                (theta, rho)
+            })
+            .collect();
+
+        // Common random numbers: replicate r shares its seed across all
+        // parameter tuples (Section V-B).
+        let rep_seeds: Vec<u64> = (0..cfg.n_replicates)
+            .map(|r| derive_stream(cfg.seed, &[TAG_SIM_SEED, r as u64]))
+            .collect();
+
+        let runner = match cfg.threads {
+            Some(t) => ParallelRunner::with_threads(t),
+            None => ParallelRunner::new(),
+        };
+        let results: Vec<Result<Particle, String>> =
+            runner.run_grid(cfg.n_params, cfg.n_replicates, |i, r| {
+                let (theta, rho) = &tuples[i];
+                let (trajectory, checkpoint) =
+                    self.simulator.run_fresh(theta, rep_seeds[r], window.end)?;
+                let bias_seed =
+                    derive_stream(cfg.seed, &[TAG_BIAS, i as u64, r as u64]);
+                let log_weight =
+                    score_window(&trajectory, *rho, bias_seed, observed, window)?;
+                Ok(Particle {
+                    theta: theta.clone(),
+                    rho: *rho,
+                    seed: rep_seeds[r],
+                    log_weight,
+                    trajectory,
+                    checkpoint,
+                    origin: None,
+                })
+            });
+        let candidates: Vec<Particle> =
+            results.into_iter().collect::<Result<_, _>>()?;
+        Ok(finalize_window(window, candidates, cfg, &mut rng, started, 1))
+    }
+}
+
+/// The full sequential scheme: window 1 from the prior, every later
+/// window from the jittered, checkpoint-continued posterior of its
+/// predecessor.
+pub struct SequentialCalibrator<'a, S: TrajectorySimulator> {
+    simulator: &'a S,
+    config: CalibrationConfig,
+    jitter_theta: Vec<JitterKernel>,
+    jitter_rho: JitterKernel,
+    adaptive: Option<crate::adaptive::AdaptiveConfig>,
+}
+
+/// Result of a sequential calibration: one [`WindowResult`] per window.
+#[derive(Debug)]
+pub struct CalibrationResult {
+    /// Per-window outcomes, in plan order.
+    pub windows: Vec<WindowResult>,
+}
+
+impl CalibrationResult {
+    /// The posterior of the last window.
+    ///
+    /// # Panics
+    /// Panics if there are no windows (cannot happen for results produced
+    /// by [`SequentialCalibrator::run`]).
+    pub fn final_posterior(&self) -> &ParticleEnsemble {
+        &self.windows.last().expect("at least one window").posterior
+    }
+
+    /// Per-window `(mean theta[0], sd theta[0], mean rho, sd rho)` —
+    /// the time-varying parameter trace of Figs 4b/5b.
+    pub fn parameter_trace(&self) -> Vec<(TimeWindow, f64, f64, f64, f64)> {
+        self.windows
+            .iter()
+            .map(|w| {
+                (
+                    w.window,
+                    w.posterior.mean_theta(0),
+                    w.posterior.sd_theta(0),
+                    w.posterior.mean_rho(),
+                    w.posterior.sd_rho(),
+                )
+            })
+            .collect()
+    }
+
+    /// Accumulated log evidence: the sum of per-window log marginal
+    /// likelihood estimates. Under the sequential decomposition of
+    /// Section IV-C this estimates `log p(y_{1:T})` for the model +
+    /// prior + bias configuration, so differences between runs on the
+    /// *same data* are log Bayes factors — usable for model comparison
+    /// (e.g. "does a reporting-bias model explain the data better than
+    /// assuming full reporting?").
+    pub fn total_log_marginal(&self) -> f64 {
+        self.windows.iter().map(|w| w.log_marginal).sum()
+    }
+}
+
+impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
+    /// Create a sequential driver.
+    ///
+    /// `jitter_theta` must have one kernel per theta coordinate; the
+    /// paper uses a symmetric kernel for theta and an asymmetric one
+    /// (skewed high) for rho.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(
+        simulator: &'a S,
+        config: CalibrationConfig,
+        jitter_theta: Vec<JitterKernel>,
+        jitter_rho: JitterKernel,
+    ) -> Self {
+        config.validate().expect("invalid CalibrationConfig");
+        Self { simulator, config, jitter_theta, jitter_rho, adaptive: None }
+    }
+
+    /// Enable adaptive ESS-triggered refinement: when a window's
+    /// importance weights degenerate (e.g. the truth jumped beyond the
+    /// jitter kernel's reach), re-propose around the current weighted
+    /// candidates with shrinking kernels and re-simulate, up to the
+    /// configured iteration budget. See [`crate::adaptive`].
+    pub fn with_adaptive(mut self, adaptive: crate::adaptive::AdaptiveConfig) -> Self {
+        adaptive.validate().expect("invalid AdaptiveConfig");
+        self.adaptive = Some(adaptive);
+        self
+    }
+
+    /// Run the full windowed calibration.
+    ///
+    /// # Errors
+    /// Propagates simulator failures, dimension mismatches, and coverage
+    /// errors.
+    pub fn run(
+        &self,
+        priors: &Priors,
+        observed: &ObservedData,
+        plan: &WindowPlan,
+    ) -> Result<CalibrationResult, String> {
+        if self.jitter_theta.len() != self.simulator.theta_dim() {
+            return Err(format!(
+                "jitter dimension {} != simulator theta dimension {}",
+                self.jitter_theta.len(),
+                self.simulator.theta_dim()
+            ));
+        }
+        if priors.theta.len() != self.simulator.theta_dim() {
+            return Err(format!(
+                "prior dimension {} != simulator theta dimension {}",
+                priors.theta.len(),
+                self.simulator.theta_dim()
+            ));
+        }
+        let mut windows: Vec<WindowResult> = Vec::with_capacity(plan.len());
+
+        for (widx, &window) in plan.windows().iter().enumerate() {
+            let result = if widx == 0 {
+                // Window 1: Algorithm 1 from the prior (with optional
+                // adaptive refinement over fresh runs).
+                let mut rng = Xoshiro256PlusPlus::from_stream(
+                    self.config.seed,
+                    &[TAG_WINDOW, 0],
+                );
+                let proposals: Vec<Proposal> = (0..self.config.n_params)
+                    .map(|_| Proposal {
+                        ancestor: 0,
+                        theta: priors.theta.iter().map(|p| p.sample(&mut rng)).collect(),
+                        rho: priors.rho.sample(&mut rng),
+                    })
+                    .collect();
+                self.adaptive_window(observed, window, 0, None, proposals, rng)?
+            } else {
+                let ancestors = &windows[widx - 1].posterior;
+                let mut rng = Xoshiro256PlusPlus::from_stream(
+                    self.config.seed,
+                    &[TAG_WINDOW, widx as u64],
+                );
+                let n_anc = ancestors.len() as u64;
+                let proposals: Vec<Proposal> = (0..self.config.n_params)
+                    .map(|_| {
+                        let a = rng.next_bounded(n_anc) as usize;
+                        let anc = &ancestors.particles()[a];
+                        Proposal {
+                            ancestor: a,
+                            theta: anc
+                                .theta
+                                .iter()
+                                .zip(&self.jitter_theta)
+                                .map(|(&t, k)| k.sample(t, &mut rng))
+                                .collect(),
+                            rho: self.jitter_rho.sample(anc.rho, &mut rng),
+                        }
+                    })
+                    .collect();
+                self.adaptive_window(
+                    observed,
+                    window,
+                    widx,
+                    Some(ancestors),
+                    proposals,
+                    rng,
+                )?
+            };
+            windows.push(result);
+        }
+        Ok(CalibrationResult { windows })
+    }
+
+    /// Simulate/weight one window, re-proposing with shrinking kernels
+    /// while the adaptive criterion demands it, then finalize.
+    fn adaptive_window(
+        &self,
+        observed: &ObservedData,
+        window: TimeWindow,
+        window_index: usize,
+        ancestors: Option<&ParticleEnsemble>,
+        mut proposals: Vec<Proposal>,
+        mut rng: Xoshiro256PlusPlus,
+    ) -> Result<WindowResult, String> {
+        let started = std::time::Instant::now();
+        let cfg = &self.config;
+        let mut iteration = 0usize;
+        loop {
+            let candidates =
+                self.simulate_batch(&proposals, ancestors, observed, window, window_index, iteration)?;
+            iteration += 1;
+
+            let adaptive = match &self.adaptive {
+                None => {
+                    return Ok(finalize_window(
+                        window, candidates, cfg, &mut rng, started, iteration,
+                    ))
+                }
+                Some(a) => a,
+            };
+            let log_w: Vec<f64> =
+                candidates.iter().map(|p| p.log_weight).collect();
+            let weights = epistats::logweight::normalize_log_weights(&log_w);
+            let current_ess = ess(&weights);
+            if iteration >= adaptive.max_iterations
+                || current_ess >= adaptive.target_ess_fraction * candidates.len() as f64
+            {
+                return Ok(finalize_window(
+                    window, candidates, cfg, &mut rng, started, iteration,
+                ));
+            }
+
+            // Re-propose around the weighted candidates with shrunken
+            // kernels, inheriting each chosen candidate's ancestor.
+            let decay = adaptive.jitter_decay.powi(iteration as i32);
+            let shrink = |k: &JitterKernel| JitterKernel {
+                down: (k.down * decay).max(1e-6),
+                up: (k.up * decay).max(1e-6),
+                ..*k
+            };
+            let theta_kernels: Vec<JitterKernel> =
+                self.jitter_theta.iter().map(shrink).collect();
+            let rho_kernel = shrink(&self.jitter_rho);
+            let picks = Multinomial.resample(&weights, cfg.n_params, &mut rng);
+            proposals = picks
+                .into_iter()
+                .map(|ci| {
+                    let cand = &candidates[ci];
+                    let parent = proposals[ci / cfg.n_replicates].ancestor;
+                    Proposal {
+                        ancestor: parent,
+                        theta: cand
+                            .theta
+                            .iter()
+                            .zip(&theta_kernels)
+                            .map(|(&t, k)| k.sample(t, &mut rng))
+                            .collect(),
+                        rho: rho_kernel.sample(cand.rho, &mut rng),
+                    }
+                })
+                .collect();
+        }
+    }
+
+    /// Run the `(proposal, replicate)` grid: fresh day-0 runs when
+    /// `ancestors` is `None`, checkpoint continuations otherwise.
+    fn simulate_batch(
+        &self,
+        proposals: &[Proposal],
+        ancestors: Option<&ParticleEnsemble>,
+        observed: &ObservedData,
+        window: TimeWindow,
+        window_index: usize,
+        iteration: usize,
+    ) -> Result<Vec<Particle>, String> {
+        let cfg = &self.config;
+        let rep_seeds: Vec<u64> = (0..cfg.n_replicates)
+            .map(|r| {
+                derive_stream(
+                    cfg.seed,
+                    &[TAG_SIM_SEED, window_index as u64, iteration as u64, r as u64],
+                )
+            })
+            .collect();
+        let runner = match cfg.threads {
+            Some(t) => ParallelRunner::with_threads(t),
+            None => ParallelRunner::new(),
+        };
+        let results: Vec<Result<Particle, String>> =
+            runner.run_grid(proposals.len(), cfg.n_replicates, |i, r| {
+                let prop = &proposals[i];
+                let (trajectory, checkpoint, origin) = match ancestors {
+                    None => {
+                        let (t, ck) =
+                            self.simulator.run_fresh(&prop.theta, rep_seeds[r], window.end)?;
+                        (t, ck, None)
+                    }
+                    Some(anc_set) => {
+                        let anc = &anc_set.particles()[prop.ancestor];
+                        let (tail, ck) = self.simulator.run_from(
+                            &anc.checkpoint,
+                            &prop.theta,
+                            rep_seeds[r],
+                            window.end,
+                        )?;
+                        let mut trajectory = anc.trajectory.clone();
+                        trajectory.extend(&tail);
+                        (trajectory, ck, Some(anc.checkpoint.clone()))
+                    }
+                };
+                let bias_seed = derive_stream(
+                    cfg.seed,
+                    &[
+                        TAG_BIAS,
+                        window_index as u64,
+                        iteration as u64,
+                        i as u64,
+                        r as u64,
+                    ],
+                );
+                // Incremental likelihood: only this window's data.
+                let log_weight =
+                    score_window(&trajectory, prop.rho, bias_seed, observed, window)?;
+                Ok(Particle {
+                    theta: prop.theta.clone(),
+                    rho: prop.rho,
+                    seed: rep_seeds[r],
+                    log_weight,
+                    trajectory,
+                    checkpoint,
+                    origin,
+                })
+            });
+        results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observed_series_windowing() {
+        let s = ObservedSeries::from_day_one(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.window(1, 3).unwrap(), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.window(5, 5).unwrap(), &[5.0]);
+        assert!(s.window(0, 2).is_none());
+        assert!(s.window(4, 6).is_none());
+        assert_eq!(s.end_day(), 5);
+    }
+
+    #[test]
+    fn observed_data_constructors() {
+        let d = ObservedData::cases_only(vec![1.0; 10]);
+        assert_eq!(d.sources.len(), 1);
+        assert!(d.sources[0].bias.uses_rho());
+        let d2 = ObservedData::cases_and_deaths(vec![1.0; 10], vec![0.0; 10]);
+        assert_eq!(d2.sources.len(), 2);
+        assert!(!d2.sources[1].bias.uses_rho());
+        assert_eq!(d2.sources[1].series, "deaths");
+    }
+
+    #[test]
+    fn score_window_reports_missing_coverage() {
+        let traj = DailySeries::new(vec!["infections".into()], 1);
+        let obs = ObservedData::cases_only(vec![1.0; 5]);
+        let err = score_window(&traj, 0.5, 1, &obs, TimeWindow::new(1, 3)).unwrap_err();
+        assert!(err.contains("trajectory does not cover"), "{err}");
+    }
+
+    #[test]
+    fn score_window_prefers_matching_trajectory() {
+        let mut good = DailySeries::new(vec!["infections".into()], 1);
+        let mut bad = DailySeries::new(vec!["infections".into()], 1);
+        for day in 0..5 {
+            good.push_day(&[100 + day]);
+            bad.push_day(&[500 + day * 10]);
+        }
+        // Observed ~ 0.8 * good trajectory.
+        let observed: Vec<f64> = (0..5).map(|d| 0.8 * (100 + d) as f64).collect();
+        let obs =
+            ObservedData::cases_only_with(observed, BiasMode::Mean, 1.0);
+        let w = TimeWindow::new(1, 5);
+        let lg = score_window(&good, 0.8, 7, &obs, w).unwrap();
+        let lb = score_window(&bad, 0.8, 7, &obs, w).unwrap();
+        assert!(lg > lb, "good {lg} should beat bad {lb}");
+    }
+
+    #[test]
+    fn score_window_bias_draw_is_reproducible() {
+        let mut traj = DailySeries::new(vec!["infections".into()], 1);
+        for _ in 0..5 {
+            traj.push_day(&[250]);
+        }
+        let obs = ObservedData::cases_only(vec![200.0; 5]);
+        let w = TimeWindow::new(1, 5);
+        let a = score_window(&traj, 0.8, 42, &obs, w).unwrap();
+        let b = score_window(&traj, 0.8, 42, &obs, w).unwrap();
+        let c = score_window(&traj, 0.8, 43, &obs, w).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c); // different bias seed, different thinning draw
+    }
+}

@@ -1,0 +1,252 @@
+//! Surrogate-assisted proposal screening.
+//!
+//! The paper's Discussion: "The computational demands of ABMs will likely
+//! require better efficiency; the use of surrogates for the individual
+//! trajectories may be required to refine this current SMC
+//! implementation." This module is that refinement for the parameter
+//! layer: fit a Gaussian-process emulator of the map
+//! `(theta, rho) -> log importance weight` on an already-simulated
+//! (pilot) ensemble, then *screen* fresh proposals through the emulator
+//! and only spend simulator time on the promising ones.
+//!
+//! Screening uses an optimistic acquisition (`mean + optimism * sd`), so
+//! uncertain regions are still explored rather than greedily discarded —
+//! the screen reshapes where compute goes; the surviving proposals are
+//! still simulated and weighted exactly, keeping the posterior targeting
+//! unchanged up to the proposal distribution (which importance weights
+//! already account for in the prior-as-proposal approximation).
+
+use epistats::gp::GpEmulator;
+
+use crate::particle::ParticleEnsemble;
+
+/// A fitted `(theta, rho) -> log-weight` emulator with screening.
+pub struct SurrogateScreen {
+    emulator: GpEmulator,
+    theta_dim: usize,
+}
+
+impl SurrogateScreen {
+    /// Fit from a weighted (pilot) ensemble: features are
+    /// `(theta..., rho)`, targets are the particles' log weights.
+    /// Particles with non-finite log weights (zero likelihood) are
+    /// assigned a floor at `min finite - 10` so the emulator learns to
+    /// avoid dead regions rather than ignoring them.
+    ///
+    /// # Errors
+    /// Returns an error if fewer than 8 particles are available or the
+    /// GP fit fails.
+    pub fn fit_from_ensemble(ensemble: &ParticleEnsemble) -> Result<Self, String> {
+        if ensemble.len() < 8 {
+            return Err("surrogate: need at least 8 pilot particles".into());
+        }
+        let theta_dim = ensemble.particles()[0].theta.len();
+        let mut x = Vec::with_capacity(ensemble.len());
+        let mut y = Vec::with_capacity(ensemble.len());
+        let finite_min = ensemble
+            .particles()
+            .iter()
+            .map(|p| p.log_weight)
+            .filter(|w| w.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        if finite_min == f64::INFINITY {
+            return Err("surrogate: no finite log weights in pilot ensemble".into());
+        }
+        let floor = finite_min - 10.0;
+        for p in ensemble.particles() {
+            let mut feat = p.theta.clone();
+            feat.push(p.rho);
+            x.push(feat);
+            y.push(if p.log_weight.is_finite() { p.log_weight } else { floor });
+        }
+        let emulator = GpEmulator::fit_auto(x, &y)?;
+        Ok(Self { emulator, theta_dim })
+    }
+
+    /// Predicted `(mean, sd)` of the log weight at a parameter tuple.
+    ///
+    /// # Panics
+    /// Panics on a theta-dimension mismatch.
+    pub fn predict(&self, theta: &[f64], rho: f64) -> (f64, f64) {
+        assert_eq!(theta.len(), self.theta_dim, "surrogate: theta dimension");
+        let mut feat = theta.to_vec();
+        feat.push(rho);
+        let (m, v) = self.emulator.predict(&feat);
+        (m, v.sqrt())
+    }
+
+    /// Rank proposals by the optimistic acquisition
+    /// `mean + optimism * sd` and return the indices of the top
+    /// `keep_fraction` (at least one), in descending acquisition order.
+    ///
+    /// # Panics
+    /// Panics unless `0 < keep_fraction <= 1` and `optimism >= 0`.
+    pub fn screen(
+        &self,
+        proposals: &[(Vec<f64>, f64)],
+        keep_fraction: f64,
+        optimism: f64,
+    ) -> Vec<usize> {
+        assert!(
+            keep_fraction > 0.0 && keep_fraction <= 1.0,
+            "surrogate: keep_fraction = {keep_fraction}"
+        );
+        assert!(optimism >= 0.0, "surrogate: optimism = {optimism}");
+        let mut scored: Vec<(usize, f64)> = proposals
+            .iter()
+            .enumerate()
+            .map(|(i, (theta, rho))| {
+                let (m, sd) = self.predict(theta, *rho);
+                (i, m + optimism * sd)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN scores"));
+        let keep = ((proposals.len() as f64 * keep_fraction).ceil() as usize)
+            .clamp(1, proposals.len());
+        scored.truncate(keep);
+        scored.into_iter().map(|(i, _)| i).collect()
+    }
+
+    /// Number of pilot particles the emulator was fitted on.
+    pub fn n_train(&self) -> usize {
+        self.emulator.n_train()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particle::Particle;
+    use episim::checkpoint::SimCheckpoint;
+    use episim::output::DailySeries;
+    use episim::spec::{Compartment, FlowSpec, Infection, ModelSpec, Progression};
+    use episim::state::SimState;
+    use epistats::rng::Xoshiro256PlusPlus;
+
+    fn particle(theta: f64, rho: f64, log_w: f64) -> Particle {
+        let spec = ModelSpec {
+            name: "s".into(),
+            compartments: vec![Compartment::simple("S"), Compartment::new("I", 1, 1.0)],
+            progressions: vec![Progression {
+                from: 1,
+                mean_dwell: 1.0,
+                branches: vec![(0, 1.0)],
+            }],
+            infections: vec![Infection::simple(0, 1)],
+            transmission_rate: theta,
+            flows: vec![FlowSpec { name: "x".into(), edges: vec![] }],
+            censuses: vec![],
+        };
+        Particle {
+            theta: vec![theta],
+            rho,
+            seed: 1,
+            log_weight: log_w,
+            trajectory: DailySeries::new(vec!["x".into()], 1),
+            checkpoint: SimCheckpoint::capture(&spec, &SimState::empty(&spec, 1)),
+            origin: None,
+        }
+    }
+
+    /// Pilot ensemble with a quadratic log-weight surface peaked at
+    /// theta = 0.3, rho = 0.7.
+    fn pilot() -> ParticleEnsemble {
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        let mut particles = Vec::new();
+        for _ in 0..60 {
+            let theta = 0.1 + 0.4 * rng.next_f64();
+            let rho = 0.2 + 0.8 * rng.next_f64();
+            let lw = -200.0 * (theta - 0.3) * (theta - 0.3)
+                - 30.0 * (rho - 0.7) * (rho - 0.7);
+            particles.push(particle(theta, rho, lw));
+        }
+        ParticleEnsemble::from_vec(particles)
+    }
+
+    #[test]
+    fn emulator_recovers_the_weight_surface() {
+        let screen = SurrogateScreen::fit_from_ensemble(&pilot()).unwrap();
+        let (peak, _) = screen.predict(&[0.3], 0.7);
+        let (off, _) = screen.predict(&[0.45], 0.7);
+        let (off2, _) = screen.predict(&[0.3], 0.3);
+        assert!(peak > off + 1.0, "peak {peak} vs off {off}");
+        assert!(peak > off2 + 1.0, "peak {peak} vs off2 {off2}");
+    }
+
+    #[test]
+    fn screening_keeps_the_promising_region() {
+        let screen = SurrogateScreen::fit_from_ensemble(&pilot()).unwrap();
+        let mut rng = Xoshiro256PlusPlus::new(9);
+        let proposals: Vec<(Vec<f64>, f64)> = (0..200)
+            .map(|_| (vec![0.1 + 0.4 * rng.next_f64()], 0.2 + 0.8 * rng.next_f64()))
+            .collect();
+        let kept = screen.screen(&proposals, 0.25, 1.0);
+        assert_eq!(kept.len(), 50);
+        // Kept proposals must be concentrated near theta = 0.3 relative
+        // to the full candidate pool.
+        let dist = |idx: &[usize]| -> f64 {
+            idx.iter()
+                .map(|&i| (proposals[i].0[0] - 0.3).abs())
+                .sum::<f64>()
+                / idx.len() as f64
+        };
+        let all: Vec<usize> = (0..proposals.len()).collect();
+        assert!(
+            dist(&kept) < 0.5 * dist(&all),
+            "kept mean distance {} vs pool {}",
+            dist(&kept),
+            dist(&all)
+        );
+    }
+
+    #[test]
+    fn optimism_preserves_exploration() {
+        // With a pilot covering only theta < 0.3, a far proposal has
+        // huge predictive sd; high optimism should rank it above a known
+        // mediocre one.
+        let mut particles = Vec::new();
+        let mut rng = Xoshiro256PlusPlus::new(4);
+        for _ in 0..30 {
+            let theta = 0.1 + 0.2 * rng.next_f64();
+            let lw = -100.0 * (theta - 0.25) * (theta - 0.25) - 5.0;
+            particles.push(particle(theta, 0.5, lw));
+        }
+        let screen =
+            SurrogateScreen::fit_from_ensemble(&ParticleEnsemble::from_vec(particles))
+                .unwrap();
+        let proposals = vec![
+            (vec![0.12], 0.5), // known-bad region
+            (vec![0.9], 0.5),  // unexplored
+        ];
+        let greedy = screen.screen(&proposals, 0.5, 0.0);
+        let optimistic = screen.screen(&proposals, 0.5, 5.0);
+        // Optimistic pick should flip toward the unexplored point when
+        // its uncertainty bonus dominates.
+        let (_, sd_far) = screen.predict(&[0.9], 0.5);
+        assert!(sd_far > 0.0);
+        assert_eq!(optimistic.len(), 1);
+        assert_eq!(greedy.len(), 1);
+        assert_eq!(optimistic[0], 1, "optimism should favour the unexplored point");
+    }
+
+    #[test]
+    fn handles_dead_particles_via_floor() {
+        let mut e = pilot();
+        e.particles_mut()[0].log_weight = f64::NEG_INFINITY;
+        e.particles_mut()[1].log_weight = f64::NEG_INFINITY;
+        let screen = SurrogateScreen::fit_from_ensemble(&e).unwrap();
+        assert_eq!(screen.n_train(), 60);
+    }
+
+    #[test]
+    fn rejects_tiny_or_dead_pilots() {
+        let few = ParticleEnsemble::from_vec(vec![particle(0.3, 0.5, -1.0)]);
+        assert!(SurrogateScreen::fit_from_ensemble(&few).is_err());
+        let dead = ParticleEnsemble::from_vec(
+            (0..10)
+                .map(|i| particle(0.1 + 0.01 * i as f64, 0.5, f64::NEG_INFINITY))
+                .collect(),
+        );
+        assert!(SurrogateScreen::fit_from_ensemble(&dead).is_err());
+    }
+}

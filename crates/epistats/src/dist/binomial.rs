@@ -1,0 +1,337 @@
+//! Binomial distribution with exact sampling at every scale.
+//!
+//! The binomial is the workhorse of this project twice over: the daily
+//! binomial-chain stepper draws competing-risk transition counts from it
+//! (with `n` up to the full susceptible population), and the paper's
+//! reporting-bias model thins true case counts through it. Sampling must
+//! therefore be **exact** (a normal approximation would bias the observation
+//! model) and fast for both tiny and huge `n * p`.
+
+use serde::{Deserialize, Serialize};
+
+use super::gamma::Gamma;
+use super::Distribution;
+use crate::rng::Xoshiro256PlusPlus;
+use crate::special::{beta_inc, ln_choose};
+
+/// Binomial distribution `Binomial(n, p)`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+/// Below this expected count the O(np) inversion sampler is cheapest.
+const INVERSION_MEAN_CUTOFF: f64 = 12.0;
+/// Below this trial count inversion is always used.
+const INVERSION_N_CUTOFF: u64 = 48;
+
+impl Binomial {
+    /// Create a binomial distribution with `n` trials and success
+    /// probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "Binomial: p = {p} outside [0, 1]"
+        );
+        Self { n, p }
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draw one binomial variate as a native integer.
+    pub fn sample_u64(&self, rng: &mut Xoshiro256PlusPlus) -> u64 {
+        sample_binomial(rng, self.n, self.p)
+    }
+
+    /// Log probability mass at integer `k`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return f64::NEG_INFINITY;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        ln_choose(self.n, k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (1.0 - self.p).ln()
+    }
+}
+
+/// Free-function exact binomial sampler used directly by the simulator's
+/// hot loop (avoids constructing a `Binomial` per draw).
+///
+/// Dispatches to inversion (small mean) or Knuth's beta-splitting
+/// recursion (large mean); both are exact.
+///
+/// # Panics
+/// Panics unless `p` is in `[0, 1]`.
+pub fn sample_binomial(rng: &mut Xoshiro256PlusPlus, n: u64, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "sample_binomial: p = {p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+
+    // Knuth's divide-and-conquer (TAOCP 3.4.1): split the trials with a
+    // beta-distributed order statistic until the subproblem is small.
+    let mut n = n;
+    let mut p = p;
+    let mut acc: u64 = 0;
+    loop {
+        let q = p.min(1.0 - p);
+        if n <= INVERSION_N_CUTOFF || (n as f64) * q <= INVERSION_MEAN_CUTOFF {
+            return acc + small_binomial(rng, n, p);
+        }
+        let a = 1 + n / 2;
+        let b = n + 1 - a;
+        let x = sample_beta_raw(rng, a as f64, b as f64);
+        if x >= p {
+            // All successes fall among the first a-1 trials, rescaled.
+            n = a - 1;
+            p = (p / x).min(1.0);
+        } else {
+            acc += a;
+            n = b - 1;
+            p = ((p - x) / (1.0 - x)).clamp(0.0, 1.0);
+        }
+        if p == 0.0 {
+            return acc;
+        }
+        if p == 1.0 {
+            return acc + n;
+        }
+        if n == 0 {
+            return acc;
+        }
+    }
+}
+
+/// Beta sample via two gammas (kept local: `dist::Beta` clamps away from
+/// the endpoints, which is right for probabilities but would bias the
+/// splitting recursion).
+fn sample_beta_raw(rng: &mut Xoshiro256PlusPlus, a: f64, b: f64) -> f64 {
+    let ga = Gamma::sample_standard(rng, a);
+    let gb = Gamma::sample_standard(rng, b);
+    ga / (ga + gb)
+}
+
+/// Inversion (BINV) sampler; expected O(np) iterations. Uses the p <= 1/2
+/// symmetry internally.
+fn small_binomial(rng: &mut Xoshiro256PlusPlus, n: u64, p: f64) -> u64 {
+    if p > 0.5 {
+        return n - small_binomial(rng, n, 1.0 - p);
+    }
+    if p == 0.0 {
+        return 0;
+    }
+    let q = 1.0 - p;
+    let s = p / q;
+    let a = (n + 1) as f64 * s;
+    let r0 = ((n as f64) * (-p).ln_1p()).exp(); // q^n without underflow drama
+    loop {
+        let mut u = rng.next_f64();
+        let mut r = r0;
+        let mut k: u64 = 0;
+        loop {
+            if u < r {
+                return k;
+            }
+            u -= r;
+            k += 1;
+            if k > n {
+                // Floating-point leakage past the last mass point (u very
+                // close to 1); retry with a fresh uniform.
+                break;
+            }
+            r *= a / k as f64 - s;
+        }
+    }
+}
+
+impl Distribution for Binomial {
+    fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        self.sample_u64(rng) as f64
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 || x.fract() != 0.0 || x > self.n as f64 {
+            return f64::NEG_INFINITY;
+        }
+        self.ln_pmf(x as u64)
+    }
+
+    fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    fn var(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        let k = x.floor() as u64;
+        if k >= self.n {
+            return 1.0;
+        }
+        if self.p == 0.0 {
+            return 1.0;
+        }
+        if self.p == 1.0 {
+            return 0.0;
+        }
+        // P(X <= k) = I_{1-p}(n - k, k + 1)
+        beta_inc((self.n - k) as f64, k as f64 + 1.0, 1.0 - self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check_moments;
+    use super::*;
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = Xoshiro256PlusPlus::new(50);
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 1.0), 100);
+    }
+
+    #[test]
+    fn samples_within_bounds_all_regimes() {
+        let mut rng = Xoshiro256PlusPlus::new(51);
+        for &(n, p) in &[
+            (10u64, 0.3),
+            (100, 0.01),
+            (100, 0.99),
+            (1_000, 0.5),
+            (1_000_000, 0.2),
+            (2_700_000, 0.000_3),
+        ] {
+            for _ in 0..200 {
+                let k = sample_binomial(&mut rng, n, p);
+                assert!(k <= n, "k = {k} > n = {n} at p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn moments_small_regime() {
+        check_moments(&Binomial::new(20, 0.3), 52, 50_000, 4.5);
+        check_moments(&Binomial::new(40, 0.9), 53, 50_000, 4.5);
+    }
+
+    #[test]
+    fn moments_large_regime() {
+        check_moments(&Binomial::new(10_000, 0.37), 54, 20_000, 4.5);
+        check_moments(&Binomial::new(1_000_000, 0.001), 55, 20_000, 4.5);
+        check_moments(&Binomial::new(500_000, 0.73), 56, 20_000, 4.5);
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_matches_cdf() {
+        let d = Binomial::new(30, 0.4);
+        let mut acc = 0.0;
+        for k in 0..=30u64 {
+            acc += d.ln_pmf(k).exp();
+            let cdf = d.cdf(k as f64);
+            assert!(
+                (acc - cdf).abs() < 1e-10,
+                "k = {k}: running sum {acc} vs cdf {cdf}"
+            );
+        }
+        assert!((acc - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pmf_reference_values() {
+        // Binomial(10, 0.5) pmf(5) = 252/1024
+        let d = Binomial::new(10, 0.5);
+        assert!((d.ln_pmf(5) - (252.0f64 / 1024.0).ln()).abs() < 1e-12);
+        assert_eq!(d.ln_pmf(11), f64::NEG_INFINITY);
+        assert_eq!(d.ln_pdf(2.5), f64::NEG_INFINITY);
+        assert_eq!(d.ln_pdf(-1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn exact_distribution_chi_square_large_n_path() {
+        // Exercise the beta-splitting path (n p >> cutoff) and compare the
+        // empirical distribution to the exact pmf with a chi-square test.
+        let n = 400u64;
+        let p = 0.5;
+        let d = Binomial::new(n, p);
+        let mut rng = Xoshiro256PlusPlus::new(57);
+        let reps = 40_000usize;
+        let lo = 160u64;
+        let hi = 240u64;
+        let mut counts = vec![0u64; (hi - lo + 1) as usize + 2];
+        for _ in 0..reps {
+            let k = d.sample_u64(&mut rng);
+            let idx = if k < lo {
+                0
+            } else if k > hi {
+                counts.len() - 1
+            } else {
+                (k - lo + 1) as usize
+            };
+            counts[idx] += 1;
+        }
+        let mut chi2 = 0.0;
+        let mut dof = 0usize;
+        for (idx, &c) in counts.iter().enumerate() {
+            let prob = if idx == 0 {
+                d.cdf(lo as f64 - 1.0)
+            } else if idx == counts.len() - 1 {
+                1.0 - d.cdf(hi as f64)
+            } else {
+                d.ln_pmf(lo + idx as u64 - 1).exp()
+            };
+            let expected = prob * reps as f64;
+            if expected > 5.0 {
+                chi2 += (c as f64 - expected).powi(2) / expected;
+                dof += 1;
+            }
+        }
+        // Loose bound: mean of chi2 is dof, sd ~ sqrt(2 dof); allow 5 sd.
+        let bound = dof as f64 + 5.0 * (2.0 * dof as f64).sqrt();
+        assert!(chi2 < bound, "chi2 = {chi2:.1}, bound = {bound:.1}, dof = {dof}");
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let d = Binomial::new(50, 0.3);
+        let mut prev = -1.0;
+        for k in 0..=50 {
+            let c = d.cdf(k as f64);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!((d.cdf(50.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_probability() {
+        Binomial::new(10, 1.5);
+    }
+}

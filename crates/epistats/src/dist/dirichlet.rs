@@ -1,0 +1,134 @@
+//! Dirichlet distribution over the probability simplex.
+
+use serde::{Deserialize, Serialize};
+
+use super::gamma::Gamma;
+use crate::rng::Xoshiro256PlusPlus;
+use crate::special::ln_gamma;
+
+/// Dirichlet distribution with concentration parameters `alpha`.
+///
+/// Used for joint priors over branching probabilities (e.g. the split of
+/// presymptomatic infections into mild vs severe) when those are treated
+/// as calibration parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Dirichlet {
+    alpha: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// Create a Dirichlet with the given concentration vector.
+    ///
+    /// # Panics
+    /// Panics if fewer than two components, or any `alpha_i <= 0`.
+    pub fn new(alpha: Vec<f64>) -> Self {
+        assert!(alpha.len() >= 2, "Dirichlet: need at least 2 components");
+        for &a in &alpha {
+            assert!(a.is_finite() && a > 0.0, "Dirichlet: bad alpha {a}");
+        }
+        Self { alpha }
+    }
+
+    /// Dimension of the simplex.
+    pub fn len(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// Whether there are zero components (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.alpha.is_empty()
+    }
+
+    /// Draw one point on the simplex (components sum to 1).
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> Vec<f64> {
+        let gs: Vec<f64> = self
+            .alpha
+            .iter()
+            .map(|&a| Gamma::sample_standard(rng, a))
+            .collect();
+        let total: f64 = gs.iter().sum();
+        gs.iter().map(|&g| g / total).collect()
+    }
+
+    /// Log density at a simplex point `x`.
+    ///
+    /// Returns negative infinity if `x` has the wrong length, is outside
+    /// the open simplex, or does not sum to 1 within `1e-9`.
+    pub fn ln_pdf(&self, x: &[f64]) -> f64 {
+        if x.len() != self.alpha.len() {
+            return f64::NEG_INFINITY;
+        }
+        let sum: f64 = x.iter().sum();
+        if (sum - 1.0).abs() > 1e-9 || x.iter().any(|&xi| xi <= 0.0) {
+            return f64::NEG_INFINITY;
+        }
+        let a0: f64 = self.alpha.iter().sum();
+        let mut ln_norm = ln_gamma(a0);
+        let mut acc = 0.0;
+        for (&a, &xi) in self.alpha.iter().zip(x) {
+            ln_norm -= ln_gamma(a);
+            acc += (a - 1.0) * xi.ln();
+        }
+        ln_norm + acc
+    }
+
+    /// Mean vector (`alpha_i / sum(alpha)`).
+    pub fn mean(&self) -> Vec<f64> {
+        let a0: f64 = self.alpha.iter().sum();
+        self.alpha.iter().map(|&a| a / a0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_live_on_simplex() {
+        let d = Dirichlet::new(vec![2.0, 3.0, 5.0]);
+        let mut rng = Xoshiro256PlusPlus::new(90);
+        for _ in 0..1_000 {
+            let x = d.sample(&mut rng);
+            let s: f64 = x.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(x.iter().all(|&xi| xi > 0.0));
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches() {
+        let d = Dirichlet::new(vec![1.0, 4.0]);
+        let mut rng = Xoshiro256PlusPlus::new(91);
+        let n = 50_000;
+        let mut acc = [0.0f64; 2];
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            acc[0] += x[0];
+            acc[1] += x[1];
+        }
+        assert!((acc[0] / n as f64 - 0.2).abs() < 0.01);
+        assert!((acc[1] / n as f64 - 0.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn ln_pdf_uniform_case() {
+        // Dirichlet(1,1,1) is uniform with density Gamma(3) = 2.
+        let d = Dirichlet::new(vec![1.0, 1.0, 1.0]);
+        let v = d.ln_pdf(&[0.2, 0.3, 0.5]);
+        assert!((v - 2f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_pdf_rejects_off_simplex() {
+        let d = Dirichlet::new(vec![2.0, 2.0]);
+        assert_eq!(d.ln_pdf(&[0.5, 0.6]), f64::NEG_INFINITY);
+        assert_eq!(d.ln_pdf(&[1.0, 0.0]), f64::NEG_INFINITY);
+        assert_eq!(d.ln_pdf(&[0.5]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_single_component() {
+        Dirichlet::new(vec![1.0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Exponential distribution.
+
+use serde::{Deserialize, Serialize};
+
+use super::{Distribution, Quantile};
+use crate::rng::Xoshiro256PlusPlus;
+
+/// Exponential distribution with rate `lambda` (mean `1 / lambda`).
+///
+/// Used by the exact Gillespie stepper for inter-event waiting times.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Create an exponential distribution with rate `lambda`.
+    ///
+    /// # Panics
+    /// Panics unless `lambda > 0` and finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "Exponential: invalid rate {lambda}"
+        );
+        Self { lambda }
+    }
+
+    /// Rate parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        -rng.next_f64_open().ln() / self.lambda
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.lambda.ln() - self.lambda * x
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    fn var(&self) -> f64 {
+        1.0 / (self.lambda * self.lambda)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-self.lambda * x).exp_m1()
+        }
+    }
+}
+
+impl Quantile for Exponential {
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile: p = {p} outside [0,1)");
+        -(-p).ln_1p() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{check_ks, check_moments};
+    use super::*;
+
+    #[test]
+    fn moments_and_ks() {
+        check_moments(&Exponential::new(0.7), 20, 50_000, 4.0);
+        check_ks(&Exponential::new(3.0), 21, 20_000);
+    }
+
+    #[test]
+    fn pdf_cdf_quantile() {
+        let d = Exponential::new(2.0);
+        assert!((d.ln_pdf(0.0) - 2f64.ln()).abs() < 1e-14);
+        assert_eq!(d.ln_pdf(-0.1), f64::NEG_INFINITY);
+        assert!((d.cdf(d.quantile(0.5)) - 0.5).abs() < 1e-12);
+        assert!((d.quantile(0.5) - 2f64.ln() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_rate() {
+        Exponential::new(0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Log-normal distribution.
+
+use serde::{Deserialize, Serialize};
+
+use super::normal::Normal;
+use super::{Distribution, Quantile};
+use crate::rng::Xoshiro256PlusPlus;
+use crate::special::{std_normal_cdf, std_normal_quantile};
+
+/// Log-normal distribution: `ln X ~ N(mu, sigma^2)`.
+///
+/// Handy as a positive-support prior for rate parameters in custom
+/// scenarios (the paper itself uses uniform/beta priors).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Create a log-normal with log-scale location `mu` and log-scale
+    /// standard deviation `sigma`.
+    ///
+    /// # Panics
+    /// Panics unless `sigma > 0` and both parameters are finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma > 0.0,
+            "LogNormal: invalid parameters mu = {mu}, sigma = {sigma}"
+        );
+        Self { mu, sigma }
+    }
+
+    /// Construct from a target mean and coefficient of variation on the
+    /// natural scale — the form epidemiological durations are usually
+    /// reported in.
+    ///
+    /// # Panics
+    /// Panics unless `mean > 0` and `cv > 0`.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(mean > 0.0 && cv > 0.0, "from_mean_cv: mean = {mean}, cv = {cv}");
+        let sigma2 = (1.0 + cv * cv).ln();
+        Self::new(mean.ln() - 0.5 * sigma2, sigma2.sqrt())
+    }
+}
+
+const LN_SQRT_2PI: f64 = 0.918_938_533_204_672_7;
+
+impl Distribution for LogNormal {
+    fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        (self.mu + self.sigma * Normal::sample_standard(rng)).exp()
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        -0.5 * z * z - x.ln() - self.sigma.ln() - LN_SQRT_2PI
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    fn var(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            std_normal_cdf((x.ln() - self.mu) / self.sigma)
+        }
+    }
+}
+
+impl Quantile for LogNormal {
+    fn quantile(&self, p: f64) -> f64 {
+        (self.mu + self.sigma * std_normal_quantile(p)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{check_ks, check_moments};
+    use super::*;
+
+    #[test]
+    fn moments_and_ks() {
+        check_moments(&LogNormal::new(0.0, 0.4), 70, 100_000, 5.0);
+        check_ks(&LogNormal::new(1.0, 0.7), 71, 20_000);
+    }
+
+    #[test]
+    fn from_mean_cv_reproduces_moments() {
+        let d = LogNormal::from_mean_cv(5.0, 0.3);
+        assert!((d.mean() - 5.0).abs() < 1e-10);
+        assert!((d.var().sqrt() / d.mean() - 0.3).abs() < 1e-10);
+    }
+
+    #[test]
+    fn support_is_positive() {
+        assert_eq!(LogNormal::new(0.0, 1.0).ln_pdf(0.0), f64::NEG_INFINITY);
+        assert_eq!(LogNormal::new(0.0, 1.0).cdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let d = LogNormal::new(0.5, 0.8);
+        for &p in &[0.1, 0.5, 0.9] {
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Negative-binomial distribution (gamma–Poisson mixture
+//! parameterization).
+
+use serde::{Deserialize, Serialize};
+
+use super::gamma::Gamma;
+use super::poisson::sample_poisson;
+use super::Distribution;
+use crate::rng::Xoshiro256PlusPlus;
+use crate::special::{beta_inc, ln_factorial, ln_gamma};
+
+/// Negative binomial with mean `mu` and dispersion `k`
+/// (variance `mu + mu^2 / k`; `k -> inf` recovers the Poisson).
+///
+/// The standard overdispersed count model for epidemic surveillance data;
+/// sampling is exact via the gamma–Poisson mixture
+/// `X | L ~ Poisson(L)`, `L ~ Gamma(k, k / mu)`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NegBinomial {
+    mu: f64,
+    k: f64,
+}
+
+impl NegBinomial {
+    /// Create with mean `mu >= 0` and dispersion `k > 0`.
+    ///
+    /// # Panics
+    /// Panics on non-finite or out-of-range parameters.
+    pub fn new(mu: f64, k: f64) -> Self {
+        assert!(
+            mu.is_finite() && mu >= 0.0,
+            "NegBinomial: invalid mean {mu}"
+        );
+        assert!(k.is_finite() && k > 0.0, "NegBinomial: invalid dispersion {k}");
+        Self { mu, k }
+    }
+
+    /// Mean parameter.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Dispersion parameter.
+    pub fn dispersion(&self) -> f64 {
+        self.k
+    }
+
+    /// Draw one variate as a native integer.
+    pub fn sample_u64(&self, rng: &mut Xoshiro256PlusPlus) -> u64 {
+        if self.mu == 0.0 {
+            return 0;
+        }
+        let lambda = Gamma::sample_standard(rng, self.k) * self.mu / self.k;
+        sample_poisson(rng, lambda)
+    }
+
+    /// Log probability mass at integer `y`.
+    pub fn ln_pmf(&self, y: u64) -> f64 {
+        if self.mu == 0.0 {
+            return if y == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        let y_f = y as f64;
+        ln_gamma(y_f + self.k) - ln_gamma(self.k) - ln_factorial(y)
+            + self.k * (self.k / (self.k + self.mu)).ln()
+            + y_f * (self.mu / (self.k + self.mu)).ln()
+    }
+}
+
+impl Distribution for NegBinomial {
+    fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        self.sample_u64(rng) as f64
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 || x.fract() != 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        self.ln_pmf(x as u64)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn var(&self) -> f64 {
+        self.mu + self.mu * self.mu / self.k
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if self.mu == 0.0 {
+            return 1.0;
+        }
+        // P(X <= y) = I_p(k, y + 1) with p = k / (k + mu).
+        let y = x.floor();
+        beta_inc(self.k, y + 1.0, self.k / (self.k + self.mu))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check_moments;
+    use super::*;
+
+    #[test]
+    fn moments_across_dispersion_regimes() {
+        check_moments(&NegBinomial::new(10.0, 2.0), 120, 50_000, 5.0);
+        check_moments(&NegBinomial::new(3.0, 50.0), 121, 50_000, 5.0);
+        check_moments(&NegBinomial::new(200.0, 5.0), 122, 20_000, 5.0);
+    }
+
+    #[test]
+    fn variance_exceeds_poisson() {
+        let d = NegBinomial::new(10.0, 2.0);
+        assert!((d.var() - 60.0).abs() < 1e-12);
+        assert!(d.var() > d.mean());
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_matches_cdf() {
+        let d = NegBinomial::new(6.0, 3.0);
+        let mut acc = 0.0;
+        for y in 0..200u64 {
+            acc += d.ln_pmf(y).exp();
+            if y < 60 {
+                let c = d.cdf(y as f64);
+                assert!((acc - c).abs() < 1e-9, "y = {y}: {acc} vs {c}");
+            }
+        }
+        assert!((acc - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_k_approaches_poisson() {
+        use super::super::Poisson;
+        let nb = NegBinomial::new(7.0, 1e7);
+        let pois = Poisson::new(7.0);
+        for y in [0u64, 3, 7, 15] {
+            assert!((nb.ln_pmf(y) - pois.ln_pmf(y)).abs() < 1e-4, "y = {y}");
+        }
+    }
+
+    #[test]
+    fn zero_mean_is_degenerate_at_zero() {
+        let d = NegBinomial::new(0.0, 2.0);
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        assert_eq!(d.sample_u64(&mut rng), 0);
+        assert_eq!(d.ln_pmf(0), 0.0);
+        assert_eq!(d.ln_pmf(1), f64::NEG_INFINITY);
+        assert_eq!(d.cdf(0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_dispersion() {
+        NegBinomial::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Gaussian-process regression (a small, dependency-free emulator).
+//!
+//! The paper's Discussion anticipates that expensive agent-based
+//! simulators will need *surrogates for the individual trajectories*
+//! (citing the authors' own trajectory-oriented emulation work). This
+//! module provides the statistical core: exact GP regression with an
+//! anisotropic squared-exponential kernel, a noise nugget, and
+//! hyperparameter selection by maximizing the log marginal likelihood
+//! over a coarse-to-fine grid — robust, deterministic, and adequate for
+//! the low-dimensional `(theta, rho) -> log-weight` response surfaces
+//! the SMC screening layer fits.
+
+use crate::linalg::Cholesky;
+
+/// Hyperparameters of the squared-exponential kernel
+/// `k(x, x') = s^2 exp(-0.5 sum_d ((x_d - x'_d) / l_d)^2) + nugget 1{x = x'}`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GpHyper {
+    /// Per-dimension lengthscales.
+    pub lengthscales: Vec<f64>,
+    /// Signal variance `s^2`.
+    pub signal_var: f64,
+    /// Noise (nugget) variance.
+    pub noise_var: f64,
+}
+
+/// A fitted Gaussian-process emulator.
+#[derive(Clone, Debug)]
+pub struct GpEmulator {
+    x: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Cholesky,
+    hyper: GpHyper,
+    y_mean: f64,
+}
+
+fn kernel(a: &[f64], b: &[f64], h: &GpHyper) -> f64 {
+    let mut q = 0.0;
+    for ((&xa, &xb), &l) in a.iter().zip(b).zip(&h.lengthscales) {
+        let z = (xa - xb) / l;
+        q += z * z;
+    }
+    h.signal_var * (-0.5 * q).exp()
+}
+
+impl GpEmulator {
+    /// Fit with explicit hyperparameters.
+    ///
+    /// # Errors
+    /// Returns an error on empty/ragged inputs or a non-PD covariance
+    /// (pathological hyperparameters).
+    pub fn fit(x: Vec<Vec<f64>>, y: &[f64], hyper: GpHyper) -> Result<Self, String> {
+        if x.is_empty() || x.len() != y.len() {
+            return Err("gp fit: empty or mismatched training data".into());
+        }
+        let d = x[0].len();
+        if d == 0 || hyper.lengthscales.len() != d {
+            return Err("gp fit: dimension mismatch with lengthscales".into());
+        }
+        if x.iter().any(|xi| xi.len() != d) {
+            return Err("gp fit: ragged inputs".into());
+        }
+        if hyper.signal_var <= 0.0 || hyper.noise_var < 0.0 {
+            return Err("gp fit: invalid variances".into());
+        }
+        if hyper.lengthscales.iter().any(|&l| !(l.is_finite() && l > 0.0)) {
+            return Err("gp fit: invalid lengthscale".into());
+        }
+        let n = x.len();
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let yc: Vec<f64> = y.iter().map(|&v| v - y_mean).collect();
+        let mut k = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = kernel(&x[i], &x[j], &hyper);
+                k[i * n + j] = v;
+                k[j * n + i] = v;
+            }
+            k[i * n + i] += hyper.noise_var + 1e-10 * hyper.signal_var;
+        }
+        let chol = Cholesky::new(&k, n)?;
+        let alpha = chol.solve(&yc);
+        Ok(Self { x, alpha, chol, hyper, y_mean })
+    }
+
+    /// Fit with hyperparameters chosen by maximizing the log marginal
+    /// likelihood over a deterministic grid (lengthscales as fractions of
+    /// each dimension's range; signal variance from the sample variance;
+    /// a small nugget grid).
+    ///
+    /// # Errors
+    /// Propagates [`Self::fit`] failures (after at least one grid point
+    /// succeeds; an all-fail grid returns the last error).
+    pub fn fit_auto(x: Vec<Vec<f64>>, y: &[f64]) -> Result<Self, String> {
+        if x.is_empty() || x.len() != y.len() {
+            return Err("gp fit_auto: empty or mismatched training data".into());
+        }
+        let d = x[0].len();
+        let n = x.len() as f64;
+        let y_mean = y.iter().sum::<f64>() / n;
+        let y_var = (y.iter().map(|&v| (v - y_mean) * (v - y_mean)).sum::<f64>()
+            / (n - 1.0).max(1.0))
+        .max(1e-12);
+        // Per-dimension ranges for lengthscale scaling.
+        let mut ranges = vec![0.0f64; d];
+        for dim in 0..d {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for xi in &x {
+                lo = lo.min(xi[dim]);
+                hi = hi.max(xi[dim]);
+            }
+            ranges[dim] = (hi - lo).max(1e-9);
+        }
+
+        let mut best: Option<(f64, GpEmulator)> = None;
+        let mut last_err = String::new();
+        for &ls_frac in &[0.1, 0.25, 0.5, 1.0] {
+            for &nug_frac in &[1e-4, 1e-2, 1e-1] {
+                let hyper = GpHyper {
+                    lengthscales: ranges.iter().map(|&r| r * ls_frac).collect(),
+                    signal_var: y_var,
+                    noise_var: y_var * nug_frac,
+                };
+                match Self::fit(x.clone(), y, hyper) {
+                    Err(e) => last_err = e,
+                    Ok(gp) => {
+                        let lml = gp.log_marginal_likelihood(y);
+                        if best.as_ref().map_or(true, |(b, _)| lml > *b) {
+                            best = Some((lml, gp));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(_, gp)| gp).ok_or(last_err)
+    }
+
+    /// Predictive mean and variance at a point.
+    ///
+    /// # Panics
+    /// Panics if `xstar` has the wrong dimension.
+    pub fn predict(&self, xstar: &[f64]) -> (f64, f64) {
+        assert_eq!(
+            xstar.len(),
+            self.hyper.lengthscales.len(),
+            "gp predict: dimension mismatch"
+        );
+        let kstar: Vec<f64> =
+            self.x.iter().map(|xi| kernel(xi, xstar, &self.hyper)).collect();
+        let mean = self.y_mean + crate::linalg::dot(&kstar, &self.alpha);
+        let v = self.chol.solve_lower(&kstar);
+        let var = (self.hyper.signal_var + self.hyper.noise_var
+            - crate::linalg::dot(&v, &v))
+        .max(0.0);
+        (mean, var)
+    }
+
+    /// Log marginal likelihood of the training targets under the fitted
+    /// hyperparameters.
+    pub fn log_marginal_likelihood(&self, y: &[f64]) -> f64 {
+        let n = self.x.len() as f64;
+        let yc: Vec<f64> = y.iter().map(|&v| v - self.y_mean).collect();
+        -0.5 * crate::linalg::dot(&yc, &self.alpha)
+            - 0.5 * self.chol.ln_det()
+            - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    /// The fitted hyperparameters.
+    pub fn hyper(&self) -> &GpHyper {
+        &self.hyper
+    }
+
+    /// Number of training points.
+    pub fn n_train(&self) -> usize {
+        self.x.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256PlusPlus;
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn interpolates_smooth_function() {
+        let x = grid_1d(15);
+        let y: Vec<f64> = x.iter().map(|xi| (4.0 * xi[0]).sin()).collect();
+        let gp = GpEmulator::fit_auto(x, &y).unwrap();
+        for &t in &[0.05, 0.33, 0.52, 0.77, 0.95] {
+            let (m, v) = gp.predict(&[t]);
+            let truth = (4.0 * t).sin();
+            assert!((m - truth).abs() < 0.05, "at {t}: {m} vs {truth}");
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let x = grid_1d(10);
+        let y: Vec<f64> = x.iter().map(|xi| xi[0]).collect();
+        let gp = GpEmulator::fit(
+            x,
+            &y,
+            GpHyper { lengthscales: vec![0.1], signal_var: 1.0, noise_var: 1e-6 },
+        )
+        .unwrap();
+        let (_, v_in) = gp.predict(&[0.5]);
+        let (_, v_out) = gp.predict(&[3.0]);
+        assert!(v_out > 10.0 * v_in.max(1e-12), "in {v_in}, out {v_out}");
+        // Far-field variance approaches the prior variance.
+        assert!((v_out - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn exact_at_training_points_with_tiny_nugget() {
+        let x = grid_1d(8);
+        let y: Vec<f64> = x.iter().map(|xi| 2.0 * xi[0] - 1.0).collect();
+        let gp = GpEmulator::fit(
+            x.clone(),
+            &y,
+            GpHyper { lengthscales: vec![0.3], signal_var: 1.0, noise_var: 1e-8 },
+        )
+        .unwrap();
+        for (xi, &yi) in x.iter().zip(&y) {
+            let (m, v) = gp.predict(xi);
+            assert!((m - yi).abs() < 1e-3);
+            assert!(v < 1e-3);
+        }
+    }
+
+    #[test]
+    fn two_dimensional_anisotropy() {
+        // y depends on x0 only; the fit with a long x1 lengthscale should
+        // predict well regardless of x1.
+        let mut rng = Xoshiro256PlusPlus::new(5);
+        let x: Vec<Vec<f64>> =
+            (0..40).map(|_| vec![rng.next_f64(), rng.next_f64() * 100.0]).collect();
+        let y: Vec<f64> = x.iter().map(|xi| (3.0 * xi[0]).cos()).collect();
+        let gp = GpEmulator::fit_auto(x, &y).unwrap();
+        let (m, _) = gp.predict(&[0.4, 50.0]);
+        assert!((m - (1.2f64).cos()).abs() < 0.15, "m = {m}");
+    }
+
+    #[test]
+    fn log_marginal_prefers_sensible_lengthscale() {
+        let x = grid_1d(20);
+        let y: Vec<f64> = x.iter().map(|xi| (6.0 * xi[0]).sin()).collect();
+        let lml = |ls: f64| {
+            GpEmulator::fit(
+                x.clone(),
+                &y,
+                GpHyper { lengthscales: vec![ls], signal_var: 0.5, noise_var: 1e-4 },
+            )
+            .unwrap()
+            .log_marginal_likelihood(&y)
+        };
+        // A wildly long lengthscale cannot explain the oscillation.
+        assert!(lml(0.2) > lml(10.0));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(GpEmulator::fit_auto(vec![], &[]).is_err());
+        assert!(GpEmulator::fit_auto(vec![vec![1.0]], &[1.0, 2.0]).is_err());
+        assert!(GpEmulator::fit(
+            vec![vec![0.0], vec![1.0]],
+            &[0.0, 1.0],
+            GpHyper { lengthscales: vec![-1.0], signal_var: 1.0, noise_var: 0.0 }
+        )
+        .is_err());
+        assert!(GpEmulator::fit(
+            vec![vec![0.0], vec![1.0, 2.0]],
+            &[0.0, 1.0],
+            GpHyper { lengthscales: vec![1.0], signal_var: 1.0, noise_var: 0.0 }
+        )
+        .is_err());
+    }
+}

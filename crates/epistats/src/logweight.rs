@@ -1,0 +1,108 @@
+//! Numerically stable arithmetic on log-scale importance weights.
+//!
+//! Importance weights in the SIS scheme are products of hundreds of
+//! Gaussian likelihood terms and underflow catastrophically in linear
+//! space; all weight handling in `epismc` therefore happens in log space
+//! and funnels through the functions here.
+
+/// `log(sum_i exp(x_i))` computed stably by factoring out the maximum.
+///
+/// Returns negative infinity for an empty slice or a slice of all
+/// negative-infinite entries (an all-zero weight vector).
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    if m == f64::INFINITY {
+        return f64::INFINITY;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + sum.ln()
+}
+
+/// `log(mean_i exp(x_i))`; the log marginal-likelihood estimator of an
+/// importance sample.
+pub fn log_mean_exp(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    log_sum_exp(xs) - (xs.len() as f64).ln()
+}
+
+/// Convert log weights to normalized linear-space probabilities.
+///
+/// Entries of `NEG_INFINITY` map to exactly `0.0`. If every entry is
+/// negative infinity the result is a uniform distribution (the standard
+/// SMC fallback when all particles miss the data — degenerate but
+/// non-crashing; callers should inspect ESS).
+pub fn normalize_log_weights(log_w: &[f64]) -> Vec<f64> {
+    if log_w.is_empty() {
+        return Vec::new();
+    }
+    let lse = log_sum_exp(log_w);
+    if lse == f64::NEG_INFINITY {
+        let u = 1.0 / log_w.len() as f64;
+        return vec![u; log_w.len()];
+    }
+    log_w.iter().map(|&x| (x - lse).exp()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_on_small_values() {
+        let xs = [0.0, (2.0f64).ln(), (3.0f64).ln()];
+        assert!((log_sum_exp(&xs) - 6.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stable_on_extreme_values() {
+        let xs = [-1e4, -1e4 + 1.0];
+        let got = log_sum_exp(&xs);
+        let want = -1e4 + (1.0 + 1f64.exp()).ln();
+        assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+        // Naive evaluation would produce ln(0) = -inf here.
+        let naive: f64 = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert_eq!(naive, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+        assert_eq!(log_sum_exp(&[f64::INFINITY, 0.0]), f64::INFINITY);
+        assert_eq!(log_mean_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_mean_exp_of_constant_is_constant() {
+        let xs = [-3.5; 17];
+        assert!((log_mean_exp(&xs) - (-3.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_sums_to_one() {
+        let log_w = [-1000.0, -1001.0, -999.5, f64::NEG_INFINITY];
+        let w = normalize_log_weights(&log_w);
+        let total: f64 = w.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(w[3], 0.0);
+        assert!(w[2] > w[0] && w[0] > w[1]);
+    }
+
+    #[test]
+    fn all_neg_inf_falls_back_to_uniform() {
+        let w = normalize_log_weights(&[f64::NEG_INFINITY; 4]);
+        for &p in &w {
+            assert!((p - 0.25).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn empty_normalization() {
+        assert!(normalize_log_weights(&[]).is_empty());
+    }
+}

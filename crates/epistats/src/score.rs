@@ -1,0 +1,255 @@
+//! Probabilistic forecast scoring rules.
+//!
+//! The paper positions the SMC framework as an operational forecasting
+//! tool ("up-to-date insights into the evolution of the epidemic"); these
+//! are the standard proper scoring rules used to evaluate such forecasts:
+//! the continuous ranked probability score for ensemble predictions, the
+//! probability integral transform for calibration checking, and interval
+//! score for credible-interval sharpness/coverage trade-offs.
+
+/// Continuous ranked probability score of an ensemble forecast against a
+/// scalar observation, using the standard unbiased ensemble estimator
+///
+/// `CRPS = mean_i |x_i - y| - (1 / (2 n^2)) * sum_{i,j} |x_i - x_j|`.
+///
+/// Lower is better; a perfect deterministic forecast scores 0. Supports
+/// optional weights (normalized internally).
+///
+/// # Panics
+/// Panics on an empty ensemble or (when given) mismatched weight length /
+/// all-zero weights.
+pub fn crps(ensemble: &[f64], observation: f64, weights: Option<&[f64]>) -> f64 {
+    assert!(!ensemble.is_empty(), "crps: empty ensemble");
+    let w = match weights {
+        Some(w) => {
+            assert_eq!(w.len(), ensemble.len(), "crps: weight length mismatch");
+            let total: f64 = w.iter().sum();
+            assert!(total > 0.0, "crps: weights sum to zero");
+            w.iter().map(|&x| x / total).collect::<Vec<f64>>()
+        }
+        None => vec![1.0 / ensemble.len() as f64; ensemble.len()],
+    };
+    let term1: f64 = ensemble
+        .iter()
+        .zip(&w)
+        .map(|(&x, &wi)| wi * (x - observation).abs())
+        .sum();
+    // O(n log n) evaluation of the pairwise term via sorting:
+    // sum_{i,j} w_i w_j |x_i - x_j| = 2 * sum_k x_(k) w_(k) (W_(k) - ...),
+    // computed with cumulative weights over the sorted sample.
+    let mut idx: Vec<usize> = (0..ensemble.len()).collect();
+    idx.sort_by(|&a, &b| ensemble[a].partial_cmp(&ensemble[b]).expect("NaN in ensemble"));
+    let mut cum_w = 0.0;
+    let mut cum_wx = 0.0;
+    let mut pair = 0.0;
+    for &i in &idx {
+        let (x, wi) = (ensemble[i], w[i]);
+        // sum over already-seen (smaller) points j: w_i w_j (x_i - x_j)
+        pair += wi * (x * cum_w - cum_wx);
+        cum_w += wi;
+        cum_wx += wi * x;
+    }
+    term1 - pair
+}
+
+/// Probability integral transform of an observation within an ensemble:
+/// the fraction of ensemble members at or below the observation, with a
+/// half-count at ties (randomization-free midrank convention).
+///
+/// A calibrated forecast system produces PIT values uniform on `[0, 1]`.
+///
+/// # Panics
+/// Panics on an empty ensemble.
+pub fn pit(ensemble: &[f64], observation: f64) -> f64 {
+    assert!(!ensemble.is_empty(), "pit: empty ensemble");
+    let below = ensemble.iter().filter(|&&x| x < observation).count() as f64;
+    let equal = ensemble.iter().filter(|&&x| x == observation).count() as f64;
+    (below + 0.5 * equal) / ensemble.len() as f64
+}
+
+/// Interval score (Gneiting & Raftery 2007) of a central
+/// `(1 - alpha)`-credible interval `[lo, hi]` against an observation:
+/// width plus `2/alpha` times the overshoot on either side. Lower is
+/// better; rewards narrow intervals that still cover.
+///
+/// # Panics
+/// Panics unless `0 < alpha < 1` and `lo <= hi`.
+pub fn interval_score(lo: f64, hi: f64, alpha: f64, observation: f64) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0, "interval_score: alpha = {alpha}");
+    assert!(lo <= hi, "interval_score: inverted interval [{lo}, {hi}]");
+    let mut s = hi - lo;
+    if observation < lo {
+        s += 2.0 / alpha * (lo - observation);
+    }
+    if observation > hi {
+        s += 2.0 / alpha * (observation - hi);
+    }
+    s
+}
+
+/// Mean CRPS of per-day ensemble forecasts against a truth series.
+///
+/// `forecasts[d]` is the ensemble for day `d`; `truth[d]` the realized
+/// value.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn mean_crps(forecasts: &[Vec<f64>], truth: &[f64], weights: Option<&[f64]>) -> f64 {
+    assert_eq!(forecasts.len(), truth.len(), "mean_crps: length mismatch");
+    assert!(!truth.is_empty(), "mean_crps: empty input");
+    forecasts
+        .iter()
+        .zip(truth)
+        .map(|(ens, &y)| crps(ens, y, weights))
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Chi-square-style uniformity statistic of PIT values over `bins`
+/// equal-width bins: `sum (observed - expected)^2 / expected`. Under
+/// calibration it is approximately chi-square with `bins - 1` degrees of
+/// freedom.
+///
+/// # Panics
+/// Panics on empty input or zero bins.
+pub fn pit_uniformity_statistic(pits: &[f64], bins: usize) -> f64 {
+    assert!(!pits.is_empty() && bins > 0, "pit_uniformity: bad input");
+    let mut counts = vec![0usize; bins];
+    for &p in pits {
+        let i = ((p * bins as f64).floor() as usize).min(bins - 1);
+        counts[i] += 1;
+    }
+    let expected = pits.len() as f64 / bins as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Normal};
+    use crate::rng::Xoshiro256PlusPlus;
+
+    /// Naive O(n^2) CRPS for cross-checking the sorted implementation.
+    fn crps_naive(ens: &[f64], y: f64) -> f64 {
+        let n = ens.len() as f64;
+        let t1: f64 = ens.iter().map(|&x| (x - y).abs()).sum::<f64>() / n;
+        let mut t2 = 0.0;
+        for &a in ens {
+            for &b in ens {
+                t2 += (a - b).abs();
+            }
+        }
+        t1 - t2 / (2.0 * n * n)
+    }
+
+    #[test]
+    fn crps_matches_naive_evaluation() {
+        let ens = [3.0, 1.0, 4.0, 1.5, 9.2, 2.6];
+        for &y in &[0.0, 2.0, 5.0, 10.0] {
+            let fast = crps(&ens, y, None);
+            let slow = crps_naive(&ens, y);
+            assert!((fast - slow).abs() < 1e-12, "y = {y}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn crps_of_point_forecast_is_absolute_error() {
+        assert!((crps(&[5.0], 3.0, None) - 2.0).abs() < 1e-14);
+        assert_eq!(crps(&[3.0], 3.0, None), 0.0);
+    }
+
+    #[test]
+    fn crps_prefers_sharp_correct_forecasts() {
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        let sharp: Vec<f64> = Normal::new(10.0, 0.5).sample_n(&mut rng, 400);
+        let vague: Vec<f64> = Normal::new(10.0, 5.0).sample_n(&mut rng, 400);
+        let wrong: Vec<f64> = Normal::new(20.0, 0.5).sample_n(&mut rng, 400);
+        let y = 10.0;
+        let (s, v, w) = (crps(&sharp, y, None), crps(&vague, y, None), crps(&wrong, y, None));
+        assert!(s < v, "sharp {s} should beat vague {v}");
+        assert!(v < w, "vague {v} should beat wrong {w}");
+        // Analytic CRPS of N(mu, sigma) at y = mu is sigma (sqrt(1/pi) *
+        // (2 - sqrt(2))) ~ 0.2337 sigma.
+        assert!((s - 0.2337 * 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn crps_weights_matter() {
+        let ens = [0.0, 10.0];
+        // Heavy weight on the correct member lowers the score.
+        let good = crps(&ens, 0.0, Some(&[0.99, 0.01]));
+        let bad = crps(&ens, 0.0, Some(&[0.01, 0.99]));
+        assert!(good < bad);
+    }
+
+    #[test]
+    fn pit_conventions() {
+        let ens = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(pit(&ens, 0.0), 0.0);
+        assert_eq!(pit(&ens, 10.0), 1.0);
+        assert_eq!(pit(&ens, 2.5), 0.5);
+        // Tie: half-count.
+        assert_eq!(pit(&ens, 2.0), (1.0 + 0.5) / 4.0);
+    }
+
+    #[test]
+    fn pit_is_uniform_for_calibrated_forecasts() {
+        let mut rng = Xoshiro256PlusPlus::new(2);
+        let d = Normal::new(0.0, 1.0);
+        let mut pits = Vec::new();
+        for _ in 0..400 {
+            let ens = d.sample_n(&mut rng, 100);
+            let y = d.sample(&mut rng);
+            pits.push(pit(&ens, y));
+        }
+        let stat = pit_uniformity_statistic(&pits, 10);
+        // chi2(9): mean 9, sd ~4.24; 40 is far out in the tail.
+        assert!(stat < 40.0, "uniformity statistic {stat}");
+    }
+
+    #[test]
+    fn pit_detects_biased_forecasts() {
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        let forecast = Normal::new(2.0, 1.0); // biased high
+        let truth = Normal::new(0.0, 1.0);
+        let mut pits = Vec::new();
+        for _ in 0..400 {
+            let ens = forecast.sample_n(&mut rng, 100);
+            pits.push(pit(&ens, truth.sample(&mut rng)));
+        }
+        let stat = pit_uniformity_statistic(&pits, 10);
+        assert!(stat > 100.0, "biased forecasts should fail uniformity, stat = {stat}");
+    }
+
+    #[test]
+    fn interval_score_behaviour() {
+        // Covered: score = width.
+        assert!((interval_score(0.0, 10.0, 0.1, 5.0) - 10.0).abs() < 1e-12);
+        // Missed below: width + (2/alpha) * overshoot.
+        let s = interval_score(0.0, 10.0, 0.1, -1.0);
+        assert!((s - (10.0 + 20.0)).abs() < 1e-12);
+        // Narrow-but-covering beats wide-but-covering.
+        assert!(interval_score(4.0, 6.0, 0.1, 5.0) < interval_score(0.0, 10.0, 0.1, 5.0));
+    }
+
+    #[test]
+    fn mean_crps_aggregates() {
+        let forecasts = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let truth = [1.5, 3.5];
+        let m = mean_crps(&forecasts, &truth, None);
+        let expect = (crps(&forecasts[0], 1.5, None) + crps(&forecasts[1], 3.5, None)) / 2.0;
+        assert!((m - expect).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic]
+    fn crps_rejects_empty() {
+        crps(&[], 0.0, None);
+    }
+}

@@ -1,0 +1,526 @@
+//! Special mathematical functions.
+//!
+//! Implementations follow the standard numerical recipes: a Lanczos
+//! approximation for the log-gamma function, series / continued-fraction
+//! evaluation for the regularized incomplete gamma and beta functions, a
+//! rational minimax approximation for `erf`, and Acklam's algorithm with a
+//! Halley refinement step for the inverse normal CDF.
+//!
+//! Accuracy targets (validated in the test module against high-precision
+//! reference values): relative error below `1e-12` for `ln_gamma`, below
+//! `1e-10` for the incomplete functions over their usual argument ranges.
+
+/// Natural log of the absolute value of the gamma function.
+///
+/// Uses the Lanczos approximation with g = 7, n = 9 coefficients, which is
+/// accurate to ~15 significant digits for positive arguments. Negative
+/// non-integer arguments are handled through the reflection formula.
+///
+/// # Panics
+/// Panics if `x` is zero or a negative integer (where gamma has poles).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(
+        !(x <= 0.0 && x == x.floor()),
+        "ln_gamma: pole at non-positive integer x = {x}"
+    );
+    if x < 0.5 {
+        // Reflection: Gamma(x) Gamma(1-x) = pi / sin(pi x)
+        let s = (std::f64::consts::PI * x).sin();
+        std::f64::consts::PI.ln() - s.abs().ln() - ln_gamma(1.0 - x)
+    } else {
+        lanczos_ln_gamma(x)
+    }
+}
+
+/// Lanczos coefficients for g = 7 (Godfrey / Numerical Recipes set).
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEF: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_13,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+fn lanczos_ln_gamma(x: f64) -> f64 {
+    let x = x - 1.0;
+    let mut acc = LANCZOS_COEF[0];
+    for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Natural log of the beta function `B(a, b) = Γ(a)Γ(b)/Γ(a+b)`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// `ln(n!)` with an internal cache for small `n` (hot path in binomial
+/// log-pmf evaluation during likelihood computation).
+pub fn ln_factorial(n: u64) -> f64 {
+    const CACHE_LEN: usize = 256;
+    // Lazily built static cache of ln(n!) for n < 256.
+    static CACHE: std::sync::OnceLock<[f64; CACHE_LEN]> = std::sync::OnceLock::new();
+    let cache = CACHE.get_or_init(|| {
+        let mut c = [0.0f64; CACHE_LEN];
+        let mut acc = 0.0f64;
+        for (n, slot) in c.iter_mut().enumerate() {
+            if n > 0 {
+                acc += (n as f64).ln();
+            }
+            *slot = acc;
+        }
+        c
+    });
+    if (n as usize) < CACHE_LEN {
+        cache[n as usize]
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// Log of the binomial coefficient `C(n, k)`.
+///
+/// Returns negative infinity when `k > n` (an impossible draw), which lets
+/// binomial log-pmf evaluation degrade gracefully instead of panicking.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Error function.
+///
+/// Computed through the regularized incomplete gamma function via the
+/// identity `erf(x) = sign(x) * P(1/2, x^2)`, which reuses the carefully
+/// tested series / continued-fraction machinery below and is accurate to
+/// ~1e-14 relative error across the full range.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let p = gamma_p(0.5, x * x);
+    if x > 0.0 {
+        p
+    } else {
+        -p
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`.
+///
+/// For positive arguments this evaluates `Q(1/2, x^2)` directly (continued
+/// fraction), so deep-tail values like `erfc(8) ~ 1e-29` keep full relative
+/// precision instead of cancelling against 1.
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        if x == 0.0 {
+            1.0
+        } else {
+            gamma_q(0.5, x * x)
+        }
+    } else {
+        1.0 + gamma_p(0.5, x * x)
+    }
+}
+
+/// Standard normal cumulative distribution function.
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Inverse of the standard normal CDF (the probit function).
+///
+/// Acklam's rational approximation (~1.15e-9 relative error) refined with
+/// one Halley iteration, giving near machine precision.
+///
+/// # Panics
+/// Panics if `p` is outside the open interval `(0, 1)`.
+pub fn std_normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "std_normal_quantile: p = {p} not in (0,1)");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement using the exact CDF.
+    let e = std_normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// Series expansion for `x < a + 1`, continued fraction otherwise
+/// (Numerical Recipes `gammp`).
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_p: invalid a = {a}, x = {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cont_frac(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_q: invalid a = {a}, x = {x}");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_series(a, x)
+    } else {
+        gamma_cont_frac(a, x)
+    }
+}
+
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let ln_ga = ln_gamma(a);
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_ga).exp()
+}
+
+fn gamma_cont_frac(a: f64, x: f64) -> f64 {
+    const FPMIN: f64 = f64::MIN_POSITIVE / f64::EPSILON;
+    let ln_ga = ln_gamma(a);
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_ga).exp() * h
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+///
+/// Continued-fraction evaluation (Lentz's method) with the symmetry
+/// transformation for fast convergence.
+pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta_inc: invalid a = {a}, b = {b}");
+    assert!((0.0..=1.0).contains(&x), "beta_inc: x = {x} not in [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b);
+    if x < (a + 1.0) / (a + b + 2.0) {
+        (ln_front.exp() / a) * beta_cont_frac(a, b, x)
+    } else {
+        1.0 - (((b * (1.0 - x).ln() + a * x.ln() - ln_beta(a, b)).exp()) / b)
+            * beta_cont_frac(b, a, 1.0 - x)
+    }
+}
+
+fn beta_cont_frac(a: f64, b: f64, x: f64) -> f64 {
+    const FPMIN: f64 = f64::MIN_POSITIVE / f64::EPSILON;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..500 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    h
+}
+
+/// Digamma function (logarithmic derivative of the gamma function).
+///
+/// Recurrence to push the argument above 6, then the asymptotic series.
+pub fn digamma(x: f64) -> f64 {
+    assert!(
+        !(x <= 0.0 && x == x.floor()),
+        "digamma: pole at non-positive integer x = {x}"
+    );
+    if x < 0.0 {
+        // Reflection: psi(1-x) - psi(x) = pi cot(pi x)
+        return digamma(1.0 - x)
+            - std::f64::consts::PI / (std::f64::consts::PI * x).tan();
+    }
+    let mut x = x;
+    let mut result = 0.0;
+    while x < 10.0 {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    result + x.ln() - 0.5 * inv
+        - inv2
+            * (1.0 / 12.0
+                - inv2
+                    * (1.0 / 120.0
+                        - inv2
+                            * (1.0 / 252.0
+                                - inv2 * (1.0 / 240.0 - inv2 / 132.0))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(got: f64, want: f64, rel: f64) {
+        let err = if want == 0.0 {
+            got.abs()
+        } else {
+            ((got - want) / want).abs()
+        };
+        assert!(
+            err < rel,
+            "got {got}, want {want}, rel err {err:.3e} >= {rel:.1e}"
+        );
+    }
+
+    #[test]
+    fn ln_gamma_matches_reference() {
+        // Reference values computed with mpmath at 30 digits.
+        assert_close(ln_gamma(0.5), 0.572_364_942_924_700_1, 1e-13);
+        assert_close(ln_gamma(1.0), 0.0, 1e-13);
+        assert_close(ln_gamma(2.0), 0.0, 1e-13);
+        assert_close(ln_gamma(3.5), 1.200_973_602_347_074_3, 1e-13);
+        assert_close(ln_gamma(10.0), 12.801_827_480_081_469, 1e-13);
+        assert_close(ln_gamma(100.0), 359.134_205_369_575_4, 1e-13);
+        assert_close(ln_gamma(1e4), 82_099.717_496_442_38, 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_reflection_negative_arguments() {
+        // Gamma(-0.5) = -2 sqrt(pi); ln|Gamma(-0.5)| = ln(2 sqrt(pi))
+        assert_close(
+            ln_gamma(-0.5),
+            (2.0 * std::f64::consts::PI.sqrt()).ln(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn ln_gamma_panics_at_pole() {
+        ln_gamma(-2.0);
+    }
+
+    #[test]
+    fn ln_gamma_factorial_consistency() {
+        for n in 1..30u64 {
+            let direct = ln_factorial(n);
+            let via_gamma = ln_gamma(n as f64 + 1.0);
+            assert_close(direct, via_gamma, 1e-12);
+        }
+    }
+
+    #[test]
+    fn ln_factorial_large_uses_gamma() {
+        assert_close(ln_factorial(1000), ln_gamma(1001.0), 1e-13);
+    }
+
+    #[test]
+    fn ln_choose_basics() {
+        assert_close(ln_choose(5, 2), 10f64.ln(), 1e-12);
+        assert_close(ln_choose(52, 5), 2_598_960f64.ln(), 1e-12);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+        assert_close(ln_choose(10, 0), 0.0, 1e-12);
+        assert_close(ln_choose(10, 10), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        assert_close(erf(0.1), 0.112_462_916_018_284_9, 1e-10);
+        assert_close(erf(0.5), 0.520_499_877_813_046_5, 1e-10);
+        assert_close(erf(1.0), 0.842_700_792_949_714_9, 1e-10);
+        assert_close(erf(2.0), 0.995_322_265_018_952_7, 1e-10);
+        assert_close(erf(3.0), 0.999_977_909_503_001_4, 1e-9);
+        assert_close(erf(-1.0), -0.842_700_792_949_714_9, 1e-10);
+        assert_eq!(erf(0.0), 0.0);
+    }
+
+    #[test]
+    fn erfc_tail_values() {
+        assert_close(erfc(4.0), 1.541_725_790_028_002e-8, 1e-7);
+        assert_close(erfc(5.0), 1.537_459_794_428_035e-12, 1e-6);
+        assert_close(erfc(8.0), 1.122_429_717_298_146e-29, 1e-6);
+    }
+
+    #[test]
+    fn erf_erfc_complementarity() {
+        for &x in &[0.0, 0.3, 0.9, 1.5, 2.5, 3.7, 4.5] {
+            assert_close(erf(x) + erfc(x), 1.0, 1e-12);
+            assert_close(erf(-x), -erf(x), 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_symmetry_and_values() {
+        assert_close(std_normal_cdf(0.0), 0.5, 1e-14);
+        assert_close(std_normal_cdf(1.0), 0.841_344_746_068_542_9, 1e-10);
+        assert_close(std_normal_cdf(-1.0), 0.158_655_253_931_457_1, 1e-10);
+        assert_close(std_normal_cdf(1.96), 0.975_002_104_851_779_7, 1e-9);
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf() {
+        for &p in &[1e-6, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.975, 0.999_999] {
+            let x = std_normal_quantile(p);
+            assert_close(std_normal_cdf(x), p, 1e-9);
+        }
+        assert_close(std_normal_quantile(0.975), 1.959_963_984_540_054, 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn normal_quantile_rejects_zero() {
+        std_normal_quantile(0.0);
+    }
+
+    #[test]
+    fn gamma_p_q_reference() {
+        // P(a, x) reference values (mpmath gammainc regularized).
+        assert_close(gamma_p(1.0, 1.0), 1.0 - (-1.0f64).exp(), 1e-12);
+        assert_close(gamma_p(2.5, 1.0), 0.150_854_963_915_390_36, 1e-10);
+        assert_close(gamma_p(2.5, 5.0), 0.924_764_753_853_487_8, 1e-10);
+        assert_close(gamma_p(10.0, 10.0), 0.542_070_285_528_148, 1e-10);
+        for &(a, x) in &[(0.5, 0.5), (3.0, 2.0), (8.0, 12.0)] {
+            assert_close(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12);
+        }
+        assert_eq!(gamma_p(2.0, 0.0), 0.0);
+        assert_eq!(gamma_q(2.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn beta_inc_reference() {
+        // I_x(a,b) reference values (mpmath betainc regularized).
+        assert_close(beta_inc(2.0, 3.0, 0.5), 0.687_5, 1e-12);
+        assert_close(beta_inc(0.5, 0.5, 0.5), 0.5, 1e-12);
+        assert_close(beta_inc(5.0, 1.0, 0.8), 0.327_68, 1e-12);
+        assert_close(beta_inc(4.0, 1.0, 0.9), 0.6561, 1e-12);
+        assert_eq!(beta_inc(2.0, 2.0, 0.0), 0.0);
+        assert_eq!(beta_inc(2.0, 2.0, 1.0), 1.0);
+        // Symmetry I_x(a,b) = 1 - I_{1-x}(b,a)
+        for &(a, b, x) in &[(2.0, 5.0, 0.3), (1.5, 0.7, 0.6), (8.0, 3.0, 0.9)] {
+            assert_close(beta_inc(a, b, x), 1.0 - beta_inc(b, a, 1.0 - x), 1e-11);
+        }
+    }
+
+    #[test]
+    fn digamma_reference() {
+        const EULER: f64 = 0.577_215_664_901_532_9;
+        assert_close(digamma(1.0), -EULER, 1e-12);
+        assert_close(digamma(2.0), 1.0 - EULER, 1e-12);
+        assert_close(digamma(0.5), -EULER - 2.0 * 2f64.ln(), 1e-12);
+        assert_close(digamma(10.0), 2.251_752_589_066_721, 1e-11);
+    }
+}

@@ -1,0 +1,150 @@
+//! Bring your own simulator: define a custom compartmental model with the
+//! generic `ModelSpec` engine, wrap it in a `TrajectorySimulator`, and
+//! calibrate it with the same SIS machinery — nothing in the calibrator
+//! is COVID-specific (the paper's Discussion: "the approach applies
+//! equally well to other stochastic simulation models").
+//!
+//! The model here is an SIRS influenza-like process with waning immunity.
+//!
+//! Run with: `cargo run --release --example custom_model`
+
+use epismc::prelude::*;
+use epismc::sim::checkpoint::SimCheckpoint;
+use epismc::sim::spec::{CensusSpec, Compartment, FlowSpec, Infection, ModelSpec, Progression};
+use epismc::smc::simulator::TrajectorySimulator;
+use epismc::smc::sis::{ObservedData, Priors, SingleWindowIs};
+
+/// SIRS with waning immunity: S -> I -> R -> S.
+#[derive(Clone)]
+struct SirsSimulator {
+    population: u64,
+    initial_infected: u64,
+    infectious_period: f64,
+    waning_period: f64,
+}
+
+impl SirsSimulator {
+    fn spec(&self, theta: f64) -> ModelSpec {
+        ModelSpec {
+            name: "sirs".into(),
+            compartments: vec![
+                Compartment::simple("S"),
+                Compartment::new("I", 2, 1.0),
+                Compartment::new("R", 1, 0.0),
+            ],
+            progressions: vec![
+                Progression {
+                    from: 1,
+                    mean_dwell: self.infectious_period,
+                    branches: vec![(2, 1.0)],
+                },
+                Progression {
+                    from: 2,
+                    mean_dwell: self.waning_period,
+                    branches: vec![(0, 1.0)],
+                },
+            ],
+            infections: vec![Infection::simple(0, 1)],
+            transmission_rate: theta,
+            flows: vec![FlowSpec { name: "infections".into(), edges: vec![(0, 1)] }],
+            censuses: vec![CensusSpec { name: "prevalence".into(), compartments: vec![1] }],
+        }
+    }
+
+    fn build(&self, theta: &[f64], seed: u64) -> Result<Simulation<BinomialChainStepper>, String> {
+        if theta.len() != 1 {
+            return Err("SIRS expects one parameter".into());
+        }
+        let spec = self.spec(theta[0]);
+        let mut st = epismc::sim::state::SimState::empty(&spec, seed);
+        st.seed_compartment(&spec, 0, self.population - self.initial_infected);
+        st.seed_compartment(&spec, 1, self.initial_infected);
+        Simulation::new(spec, BinomialChainStepper::daily(), st)
+    }
+}
+
+impl TrajectorySimulator for SirsSimulator {
+    fn theta_dim(&self) -> usize {
+        1
+    }
+
+    fn output_names(&self) -> Vec<String> {
+        vec!["infections".into(), "prevalence".into()]
+    }
+
+    fn run_fresh(
+        &self,
+        theta: &[f64],
+        seed: u64,
+        end_day: u32,
+    ) -> Result<(DailySeries, SimCheckpoint), String> {
+        let mut sim = self.build(theta, seed)?;
+        sim.run_until(end_day);
+        let ck = sim.checkpoint();
+        Ok((sim.into_series(), ck))
+    }
+
+    fn run_from(
+        &self,
+        checkpoint: &SimCheckpoint,
+        theta: &[f64],
+        seed: u64,
+        end_day: u32,
+    ) -> Result<(DailySeries, SimCheckpoint), String> {
+        if theta.len() != 1 {
+            return Err("SIRS expects one parameter".into());
+        }
+        let mut sim = Simulation::resume_with_seed(
+            self.spec(theta[0]),
+            BinomialChainStepper::daily(),
+            checkpoint,
+            seed,
+        )?;
+        sim.run_until(end_day);
+        let ck = sim.checkpoint();
+        Ok((sim.into_series(), ck))
+    }
+}
+
+fn main() {
+    let sirs = SirsSimulator {
+        population: 30_000,
+        initial_infected: 90,
+        infectious_period: 4.0,
+        waning_period: 60.0,
+    };
+
+    // Generate synthetic observations from a known theta, unbiased.
+    let true_theta = 0.55;
+    let (truth_series, _) = sirs.run_fresh(&[true_theta], 99, 40).expect("truth run");
+    let observed_cases = truth_series.series_f64("infections").expect("series");
+
+    // Calibrate with a flat prior; identity-like setup (rho plays no role
+    // since the bias is binomial but we observe everything: rho ~ 1).
+    let config = CalibrationConfig::builder()
+        .n_params(300)
+        .n_replicates(6)
+        .resample_size(600)
+        .seed(3)
+        .build();
+    let priors = Priors {
+        theta: vec![Box::new(UniformPrior::new(0.2, 1.0))],
+        rho: Box::new(BetaPrior::new(50.0, 1.0)), // concentrated near full reporting
+    };
+    let observed = ObservedData::cases_only(observed_cases);
+    let result = SingleWindowIs::new(&sirs, config)
+        .run(&priors, &observed, TimeWindow::new(10, 40))
+        .expect("calibration");
+
+    let th = PosteriorSummary::of_theta(&result.posterior, 0);
+    println!("custom SIRS model calibration:");
+    println!(
+        "  true theta {true_theta:.2}, posterior mean {:.3} [90% CI {:.3}, {:.3}]",
+        th.mean, th.q05, th.q95
+    );
+    assert!(
+        th.covers(true_theta),
+        "true theta should fall inside the 90% credible interval"
+    );
+    println!("  truth inside the 90% CI — the generic engine calibrates custom models");
+}

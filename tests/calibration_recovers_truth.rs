@@ -1,0 +1,137 @@
+//! End-to-end: a single-window importance-sampling calibration recovers
+//! the known ground-truth parameters of the paper's scenario.
+
+use epismc::prelude::*;
+
+fn setup() -> (Scenario, GroundTruth, CovidSimulator) {
+    let scenario = Scenario::paper_tiny();
+    let truth = generate_ground_truth(&scenario, scenario.truth_seed);
+    let simulator = CovidSimulator::new(scenario.base_params.clone()).unwrap();
+    (scenario, truth, simulator)
+}
+
+fn config(seed: u64) -> CalibrationConfig {
+    CalibrationConfig::builder()
+        .n_params(300)
+        .n_replicates(6)
+        .resample_size(600)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn posterior_covers_true_theta_and_concentrates() {
+    let (_, truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let window = TimeWindow::new(20, 33);
+    let mut cfg = config(1);
+    cfg.keep_prior_ensemble = true;
+    let result = SingleWindowIs::new(&simulator, cfg)
+        .run(&Priors::paper(), &observed, window)
+        .unwrap();
+
+    let post = PosteriorSummary::of_theta(&result.posterior, 0);
+    let true_theta = truth.theta_truth[(window.start - 1) as usize];
+    assert!(
+        post.covers(true_theta),
+        "90% CI [{:.3}, {:.3}] misses truth {true_theta}",
+        post.q05,
+        post.q95
+    );
+    // The posterior must be materially tighter than the U(0.1, 0.5) prior
+    // (sd ~ 0.115).
+    assert!(post.sd < 0.08, "posterior sd {:.3} did not concentrate", post.sd);
+    // Sanity on the diagnostics.
+    assert!(result.ess > 1.0 && result.ess <= (300 * 6) as f64);
+    assert!(result.unique_ancestors > 10);
+    assert!(result.log_marginal.is_finite());
+}
+
+#[test]
+fn posterior_trajectories_track_observed_window() {
+    let (_, truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let window = TimeWindow::new(20, 33);
+    let result = SingleWindowIs::new(&simulator, config(2))
+        .run(&Priors::paper(), &observed, window)
+        .unwrap();
+    let ribbon = Ribbon::from_ensemble_reported(
+        &result.posterior,
+        "infections",
+        window.start,
+        window.end,
+    )
+    .unwrap();
+    let obs: Vec<f64> = (window.start..=window.end)
+        .map(|d| truth.observed_cases[(d - 1) as usize])
+        .collect();
+    let cov = coverage(&ribbon, &obs);
+    assert!(cov >= 0.6, "posterior 90% ribbon covers only {cov:.2} of observations");
+}
+
+#[test]
+fn wider_observation_noise_gives_wider_posterior() {
+    let (_, truth, simulator) = setup();
+    let window = TimeWindow::new(20, 33);
+    let sds: Vec<f64> = [1.0, 4.0]
+        .iter()
+        .map(|&sigma| {
+            let observed = ObservedData::cases_only_with(
+                truth.observed_cases.clone(),
+                BiasMode::Sampled,
+                sigma,
+            );
+            let result = SingleWindowIs::new(&simulator, config(3))
+                .run(&Priors::paper(), &observed, window)
+                .unwrap();
+            PosteriorSummary::of_theta(&result.posterior, 0).sd
+        })
+        .collect();
+    assert!(
+        sds[1] > sds[0],
+        "sigma 4 posterior sd {:.4} should exceed sigma 1 sd {:.4}",
+        sds[1],
+        sds[0]
+    );
+}
+
+#[test]
+fn impossible_data_degenerates_gracefully() {
+    // Observations wildly above anything the model can produce: weights
+    // all collapse; the driver must still return a posterior (uniform
+    // fallback) rather than panic, with tell-tale diagnostics.
+    let (_, _, simulator) = setup();
+    let observed = ObservedData::cases_only(vec![1e9; 90]);
+    let result = SingleWindowIs::new(&simulator, config(4))
+        .run(&Priors::paper(), &observed, TimeWindow::new(20, 33))
+        .unwrap();
+    assert_eq!(result.posterior.len(), 600);
+    assert!(result.log_marginal < -1e4, "log marginal {:.1}", result.log_marginal);
+}
+
+#[test]
+fn prior_dimension_mismatch_is_an_error() {
+    let (_, truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let priors = Priors {
+        theta: vec![
+            Box::new(UniformPrior::new(0.1, 0.5)),
+            Box::new(UniformPrior::new(0.1, 0.5)),
+        ],
+        rho: Box::new(BetaPrior::new(4.0, 1.0)),
+    };
+    let err = SingleWindowIs::new(&simulator, config(5))
+        .run(&priors, &observed, TimeWindow::new(20, 33))
+        .unwrap_err();
+    assert!(err.contains("dimension"), "{err}");
+}
+
+#[test]
+fn window_beyond_observations_is_an_error() {
+    let (_, truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let err = SingleWindowIs::new(&simulator, config(6))
+        .run(&Priors::paper(), &observed, TimeWindow::new(85, 120))
+        .unwrap_err();
+    assert!(err.contains("does not cover"), "{err}");
+}

@@ -1,0 +1,209 @@
+//! Integration tests of the extension layers working against the real
+//! COVID simulator: posterior-predictive forecasting, resample-move
+//! rejuvenation, surrogate screening, the checkpoint store, and the
+//! declarative SBC validator — each exercised through the public facade.
+
+use epismc::prelude::*;
+use epismc::sim::store::CheckpointStore;
+use epismc::smc::forecast::Forecaster;
+use epismc::smc::rejuvenate::{rejuvenate, RejuvenationConfig};
+use epismc::smc::simulator::TrajectorySimulator;
+use epismc::smc::surrogate::SurrogateScreen;
+
+fn setup() -> (Scenario, GroundTruth, CovidSimulator) {
+    let scenario = Scenario::paper_tiny();
+    let truth = generate_ground_truth(&scenario, scenario.truth_seed);
+    let simulator = CovidSimulator::new(scenario.base_params.clone()).unwrap();
+    (scenario, truth, simulator)
+}
+
+fn config(seed: u64) -> CalibrationConfig {
+    CalibrationConfig::builder()
+        .n_params(200)
+        .n_replicates(5)
+        .resample_size(400)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn forecast_from_calibrated_posterior_is_sane() {
+    let (_, truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let window = TimeWindow::new(20, 47);
+    let result = SingleWindowIs::new(&simulator, config(1))
+        .run(&Priors::paper(), &observed, window)
+        .unwrap();
+
+    let forecast = Forecaster::new(&simulator)
+        .forecast(&result.posterior, 20, 60, 7, &["infections", "deaths"])
+        .unwrap();
+    assert_eq!(forecast.start_day, 48);
+    assert_eq!(forecast.len(), 20);
+
+    // The realized truth lies mostly inside the 90% band for the first
+    // forecast week (uncertainty compounds later).
+    let (_, lo, _, hi) = forecast.band("infections", 0.05, 0.95);
+    let mut inside = 0;
+    for d in 0..7usize {
+        let y = truth.true_cases[47 + d];
+        if y >= lo[d] && y <= hi[d] {
+            inside += 1;
+        }
+    }
+    assert!(inside >= 4, "only {inside}/7 early forecast days covered");
+
+    // CRPS of the calibrated forecast beats a deliberately wrong one.
+    let future: Vec<f64> = truth.true_cases[47..67].to_vec();
+    let good = forecast.mean_crps("infections", &future);
+    let bad = Forecaster::new(&simulator)
+        .forecast_with(&result.posterior, 20, 60, 7, &["infections"], |_| vec![0.05])
+        .unwrap()
+        .mean_crps("infections", &future);
+    assert!(good < bad, "calibrated CRPS {good:.1} vs wrong {bad:.1}");
+}
+
+#[test]
+fn rejuvenation_diversifies_a_covid_posterior() {
+    let (_, truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let window = TimeWindow::new(20, 33);
+    let result = SingleWindowIs::new(&simulator, config(2))
+        .run(&Priors::paper(), &observed, window)
+        .unwrap();
+    let mut posterior = result.posterior;
+    let before = posterior.unique_inputs();
+
+    let stats = rejuvenate(
+        &simulator,
+        &mut posterior,
+        &observed,
+        window,
+        &RejuvenationConfig {
+            moves: 1,
+            step_theta: vec![0.02],
+            step_rho: 0.05,
+            support_theta: vec![(0.05, 0.8)],
+            support_rho: (0.05, 1.0),
+            temper: 1.0,
+        },
+        11,
+        None,
+    )
+    .unwrap();
+    assert!(stats.proposed == posterior.len());
+    assert!(posterior.unique_inputs() > before);
+    // Post-move trajectories still span the window.
+    for p in posterior.particles().iter().take(5) {
+        assert!(p.trajectory.window("infections", window.start, window.end).is_some());
+        assert_eq!(p.checkpoint.day, window.end);
+    }
+    // Posterior still near the data-supported region.
+    let th = PosteriorSummary::of_theta(&posterior, 0);
+    assert!(th.covers(truth.theta_truth[19]) || (th.mean - truth.theta_truth[19]).abs() < 0.08);
+}
+
+#[test]
+fn surrogate_screen_learns_from_a_real_pilot() {
+    let (_, truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let mut cfg = config(3);
+    cfg.n_params = 60;
+    cfg.n_replicates = 3;
+    cfg.keep_prior_ensemble = true;
+    let result = SingleWindowIs::new(&simulator, cfg)
+        .run(&Priors::paper(), &observed, TimeWindow::new(20, 33))
+        .unwrap();
+    let pilot = result.prior_ensemble.unwrap();
+    let screen = SurrogateScreen::fit_from_ensemble(&pilot).unwrap();
+
+    // The emulator's predicted-best theta should be near the actual
+    // posterior mean.
+    let post_mean = result.posterior.mean_theta(0);
+    let grid: Vec<(Vec<f64>, f64)> =
+        (0..80).map(|i| (vec![0.1 + 0.4 * i as f64 / 79.0], 0.8)).collect();
+    let best = screen.screen(&grid, 0.05, 0.0);
+    let best_theta = grid[best[0]].0[0];
+    assert!(
+        (best_theta - post_mean).abs() < 0.1,
+        "surrogate best {best_theta:.3} vs posterior mean {post_mean:.3}"
+    );
+}
+
+#[test]
+fn store_supports_recalibration_when_new_data_arrive() {
+    // Operational loop: keep time-stamped checkpoints of posterior
+    // particles; when a new week of data lands, restart from the stored
+    // states closest to the new window instead of re-running history.
+    let (_, truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let result = SingleWindowIs::new(&simulator, config(4))
+        .run(&Priors::paper(), &observed, TimeWindow::new(20, 33))
+        .unwrap();
+
+    let mut store = CheckpointStore::new();
+    for (i, p) in result.posterior.particles().iter().take(50).enumerate() {
+        store.insert(&format!("p{i}"), p.checkpoint.day, &p.checkpoint);
+    }
+    assert_eq!(store.len(), 50);
+
+    // "New data through day 47 arrived": restart each stored state.
+    let mut continued = 0;
+    for i in 0..50 {
+        let (day, ck) = store
+            .latest_at_or_before(&format!("p{i}"), 47)
+            .unwrap()
+            .expect("stored");
+        assert_eq!(day, 33);
+        let p = &result.posterior.particles()[i];
+        let (tail, _) = simulator.run_from(&ck, &p.theta, 1000 + i as u64, 47).unwrap();
+        assert_eq!(tail.start_day(), 34);
+        assert_eq!(tail.len(), 14);
+        continued += 1;
+    }
+    assert_eq!(continued, 50);
+
+    // Pruning after the window advances keeps memory bounded.
+    let removed = store.prune_before(34);
+    assert_eq!(removed, 50);
+}
+
+#[test]
+fn sbc_runs_through_the_public_api() {
+    use epismc::smc::validate::{run_sbc, SbcConfig};
+    let simulator = epismc::smc::simulator::SeirSimulator::new(
+        epismc::sim::seir::SeirParams {
+            population: 6_000,
+            initial_exposed: 30,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let priors = Priors {
+        theta: vec![Box::new(UniformPrior::new(0.2, 0.7))],
+        rho: Box::new(BetaPrior::new(4.0, 1.0)),
+    };
+    let result = run_sbc(
+        &simulator,
+        &priors,
+        &SbcConfig {
+            replicates: 10,
+            subsample: 10,
+            window: TimeWindow::new(5, 20),
+            seed: 12,
+            calibration: CalibrationConfig::builder()
+                .n_params(60)
+                .n_replicates(3)
+                .resample_size(100)
+                .seed(1)
+                .build(),
+        },
+    )
+    .unwrap();
+    assert_eq!(result.theta_ranks.len(), 10);
+    assert!(result.theta_ranks.iter().all(|&r| r <= 10));
+    // Ranks are not all identical (the posterior actually moves).
+    let distinct: std::collections::HashSet<usize> =
+        result.theta_ranks.iter().copied().collect();
+    assert!(distinct.len() > 2, "degenerate SBC ranks: {:?}", result.theta_ranks);
+}

@@ -1,0 +1,113 @@
+//! The alternative observation models through the full pipeline: a
+//! reporting *delay* on top of binomial thinning, and a negative-binomial
+//! likelihood — both assembled as custom `DataSource`s (the paper's
+//! "highly adaptable framework... various types of likelihoods [and]
+//! measurement bias models").
+
+use std::sync::Arc;
+
+use epismc::prelude::*;
+use epismc::smc::sis::{DataSource, ObservedSeries};
+use epismc::stats::dist::sample_binomial;
+
+fn setup() -> (GroundTruth, CovidSimulator) {
+    let scenario = Scenario::paper_tiny();
+    let truth = generate_ground_truth(&scenario, scenario.truth_seed);
+    let simulator = CovidSimulator::new(scenario.base_params).unwrap();
+    (truth, simulator)
+}
+
+fn config(seed: u64) -> CalibrationConfig {
+    CalibrationConfig::builder()
+        .n_params(250)
+        .n_replicates(5)
+        .resample_size(500)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn delayed_bias_model_recovers_theta_from_lagged_data() {
+    let (truth, simulator) = setup();
+    // Build observations with a known 2-day mean reporting delay applied
+    // on top of the thinning.
+    let delay = DelayedBinomialBias::geometric(BiasMode::Sampled, 2.0, 8);
+    let mut rng = Xoshiro256PlusPlus::new(404);
+    let lagged: Vec<f64> = {
+        use epismc::smc::observation::BiasModel;
+        delay.observe(&truth.true_cases, 0.65, &mut rng)
+    };
+
+    // Calibrate with the *matching* delayed-bias source.
+    let observed = ObservedData {
+        sources: vec![DataSource {
+            series: "infections".into(),
+            observed: ObservedSeries::from_day_one(lagged.clone()),
+            bias: Arc::new(DelayedBinomialBias::geometric(BiasMode::Sampled, 2.0, 8)),
+            likelihood: Arc::new(GaussianSqrtLikelihood::paper()),
+        }],
+    };
+    let result = SingleWindowIs::new(&simulator, config(1))
+        .run(&Priors::paper(), &observed, TimeWindow::new(20, 40))
+        .unwrap();
+    let th = PosteriorSummary::of_theta(&result.posterior, 0);
+    let true_theta = truth.theta_truth[19];
+    assert!(
+        th.covers(true_theta) || (th.mean - true_theta).abs() < 0.05,
+        "delayed-bias calibration missed: mean {:.3}, truth {true_theta:.3}",
+        th.mean
+    );
+
+    // A naive calibration that ignores the delay biases theta low (the
+    // lagged curve looks like a slower epidemic): the matching model's
+    // error must not be worse.
+    let naive = ObservedData::cases_only(lagged);
+    let result_naive = SingleWindowIs::new(&simulator, config(1))
+        .run(&Priors::paper(), &naive, TimeWindow::new(20, 40))
+        .unwrap();
+    let err_matched = (th.mean - true_theta).abs();
+    let err_naive =
+        (PosteriorSummary::of_theta(&result_naive.posterior, 0).mean - true_theta).abs();
+    assert!(
+        err_matched <= err_naive + 0.02,
+        "matched {err_matched:.3} vs naive {err_naive:.3}"
+    );
+}
+
+#[test]
+fn negbinomial_likelihood_calibrates_overdispersed_counts() {
+    let (truth, simulator) = setup();
+    // Overdispersed observations: binomial thinning plus day-level
+    // multiplicative noise (reporting batch effects).
+    let mut rng = Xoshiro256PlusPlus::new(77);
+    let noisy: Vec<f64> = truth
+        .true_cases
+        .iter()
+        .map(|&c| {
+            let thinned = sample_binomial(&mut rng, c as u64, 0.7) as f64;
+            let boost = 0.6 + 0.8 * rng.next_f64(); // U(0.6, 1.4) batch factor
+            (thinned * boost).round()
+        })
+        .collect();
+    let observed = ObservedData {
+        sources: vec![DataSource {
+            series: "infections".into(),
+            observed: ObservedSeries::from_day_one(noisy),
+            bias: Arc::new(BinomialBias::mean()),
+            likelihood: Arc::new(NegBinomialLikelihood::new(8.0)),
+        }],
+    };
+    let result = SingleWindowIs::new(&simulator, config(2))
+        .run(&Priors::paper(), &observed, TimeWindow::new(20, 40))
+        .unwrap();
+    let th = PosteriorSummary::of_theta(&result.posterior, 0);
+    let true_theta = truth.theta_truth[19];
+    assert!(
+        (th.mean - true_theta).abs() < 0.08,
+        "NB calibration: mean {:.3} vs truth {true_theta:.3}",
+        th.mean
+    );
+    // Overdispersion-aware weighting keeps a healthy ensemble (the
+    // too-sharp Gaussian would collapse on this noise level).
+    assert!(result.ess > 20.0, "ESS {:.1}", result.ess);
+}

@@ -1,0 +1,70 @@
+//! The calibrator on non-monotone dynamics: the `second_wave` scenario
+//! suppresses transmission far below threshold and then relaxes it. The
+//! sequential scheme (with adaptive refinement for the large jumps) must
+//! track the down-up trajectory of theta.
+
+use epismc::prelude::*;
+
+#[test]
+fn sequential_calibration_follows_suppression_and_relaxation() {
+    let mut scenario = epismc::data::Scenario::second_wave();
+    scenario.base_params.population = 30_000;
+    scenario.base_params.initial_exposed = 60;
+    let truth = generate_ground_truth(&scenario, 5);
+    let simulator = CovidSimulator::new(scenario.base_params.clone()).unwrap();
+
+    let config = CalibrationConfig::builder()
+        .n_params(300)
+        .n_replicates(6)
+        .resample_size(600)
+        .seed(8)
+        .build();
+    let calibrator = SequentialCalibrator::new(
+        &simulator,
+        config,
+        vec![JitterKernel::symmetric(0.15, 0.03, 0.8)],
+        JitterKernel::asymmetric(0.05, 0.05, 0.05, 1.0),
+    )
+    .with_adaptive(AdaptiveConfig {
+        max_iterations: 3,
+        target_ess_fraction: 0.05,
+        jitter_decay: 0.8,
+    });
+    // Windows spanning wave 1, suppression, trough, and wave 2.
+    let plan = WindowPlan::new(vec![
+        TimeWindow::new(15, 30),
+        TimeWindow::new(31, 55),
+        TimeWindow::new(56, 80),
+        TimeWindow::new(81, 110),
+    ]);
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let result = calibrator
+        .run(&Priors::paper(), &observed, &plan)
+        .unwrap();
+    let trace = result.parameter_trace();
+    let theta: Vec<f64> = trace.iter().map(|t| t.1).collect();
+
+    // Wave 1 (truth 0.42): near the prior's upper region.
+    assert!(theta[0] > 0.3, "wave-1 estimate {:.3}", theta[0]);
+    // Suppression (truth 0.12): a clear drop.
+    assert!(
+        theta[1] < theta[0] - 0.10,
+        "suppression not tracked: {:.3} -> {:.3}",
+        theta[0],
+        theta[1]
+    );
+    // Relaxation (truth 0.45 from day 80): a clear rebound in the last
+    // window relative to the trough estimate.
+    let trough = theta[1].min(theta[2]);
+    assert!(
+        theta[3] > trough + 0.10,
+        "relaxation not tracked: trough {:.3}, final {:.3}",
+        trough,
+        theta[3]
+    );
+    // The adaptive machinery engaged on at least one hard window.
+    assert!(
+        result.windows.iter().any(|w| w.iterations > 1),
+        "expected adaptive iterations on the jump windows"
+    );
+}

@@ -1,0 +1,155 @@
+//! The sequential calibrator across multiple windows: time-varying
+//! parameter tracking, incremental-likelihood correctness, and the
+//! paper's cases-vs-cases+deaths comparison.
+
+use epismc::prelude::*;
+
+fn setup() -> (Scenario, GroundTruth, CovidSimulator) {
+    let scenario = Scenario::paper_tiny();
+    let truth = generate_ground_truth(&scenario, scenario.truth_seed);
+    let simulator = CovidSimulator::new(scenario.base_params.clone()).unwrap();
+    (scenario, truth, simulator)
+}
+
+fn config(seed: u64) -> CalibrationConfig {
+    CalibrationConfig::builder()
+        .n_params(300)
+        .n_replicates(6)
+        .resample_size(600)
+        .seed(seed)
+        .build()
+}
+
+fn calibrator<'a>(
+    simulator: &'a CovidSimulator,
+    seed: u64,
+) -> SequentialCalibrator<'a, CovidSimulator> {
+    SequentialCalibrator::new(
+        simulator,
+        config(seed),
+        vec![JitterKernel::symmetric(0.10, 0.05, 0.8)],
+        JitterKernel::asymmetric(0.05, 0.08, 0.05, 1.0),
+    )
+}
+
+#[test]
+fn tracks_the_theta_jump_at_day_62() {
+    let (scenario, truth, simulator) = setup();
+    let plan = WindowPlan::paper(scenario.horizon);
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let result = calibrator(&simulator, 1)
+        .run(&Priors::paper(), &observed, &plan)
+        .unwrap();
+    assert_eq!(result.windows.len(), 4);
+
+    let trace = result.parameter_trace();
+    // Truth: 0.30, 0.27, 0.25, 0.40. The final window's jump must be
+    // visible: last estimate clearly above the third's.
+    let third = trace[2].1;
+    let fourth = trace[3].1;
+    assert!(
+        fourth > third + 0.03,
+        "window 4 mean {fourth:.3} does not reflect the jump from {third:.3}"
+    );
+    // Early windows should sit near the 0.25-0.30 truth band.
+    for (i, &(_, mean, _, _, _)) in trace.iter().take(3).enumerate() {
+        assert!(
+            (0.2..0.36).contains(&mean),
+            "window {i} mean {mean:.3} far from truth band"
+        );
+    }
+    // Every window's posterior trajectories extend to that window's end.
+    for w in &result.windows {
+        for p in w.posterior.particles().iter().take(3) {
+            assert!(p.trajectory.window("infections", 1, w.window.end).is_some());
+            assert_eq!(p.checkpoint.day, w.window.end);
+        }
+    }
+}
+
+#[test]
+fn adding_deaths_does_not_hurt_and_typically_tightens() {
+    let (_scenario, truth, simulator) = setup();
+    let plan = WindowPlan::new(vec![TimeWindow::new(20, 33), TimeWindow::new(34, 47)]);
+    let obs_cases = ObservedData::cases_only(truth.observed_cases.clone());
+    let obs_both =
+        ObservedData::cases_and_deaths(truth.observed_cases.clone(), truth.deaths.clone());
+
+    let res_cases = calibrator(&simulator, 2)
+        .run(&Priors::paper(), &obs_cases, &plan)
+        .unwrap();
+    let res_both = calibrator(&simulator, 2)
+        .run(&Priors::paper(), &obs_both, &plan)
+        .unwrap();
+
+    let sd_cases = res_cases.final_posterior().sd_theta(0);
+    let sd_both = res_both.final_posterior().sd_theta(0);
+    // The paper's Fig 5 claim, allowing slack for the tiny scenario's
+    // sparse death counts: the joint posterior must not be materially
+    // wider than the cases-only posterior.
+    assert!(
+        sd_both < 1.25 * sd_cases,
+        "cases+deaths sd {sd_both:.4} much wider than cases-only {sd_cases:.4}"
+    );
+    // And both must still cover the truth.
+    let t = truth.theta_truth[33];
+    assert!(PosteriorSummary::of_theta(res_both.final_posterior(), 0).covers(t));
+}
+
+#[test]
+fn sequential_posterior_consistent_with_single_big_window() {
+    // Calibrating [20, 47] in two sequential windows should land in the
+    // same neighbourhood as one joint window over the same days.
+    let (_, truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let seq = calibrator(&simulator, 3)
+        .run(
+            &Priors::paper(),
+            &observed,
+            &WindowPlan::new(vec![TimeWindow::new(20, 33), TimeWindow::new(34, 47)]),
+        )
+        .unwrap();
+    let joint = SingleWindowIs::new(&simulator, config(3))
+        .run(&Priors::paper(), &observed, TimeWindow::new(20, 47))
+        .unwrap();
+    let m_seq = seq.final_posterior().mean_theta(0);
+    let m_joint = joint.posterior.mean_theta(0);
+    assert!(
+        (m_seq - m_joint).abs() < 0.06,
+        "sequential {m_seq:.3} vs joint {m_joint:.3} disagree"
+    );
+}
+
+#[test]
+fn rho_posterior_responds_to_the_reporting_level() {
+    // Generate two truths that differ only in reporting: rho = 0.35 vs
+    // 0.95 throughout. The posterior mean of rho must be lower for the
+    // poorly reported data than for the well reported data.
+    let mut low = Scenario::paper_tiny();
+    low.rho_schedule = PiecewiseConstant::constant(0.35);
+    let mut high = Scenario::paper_tiny();
+    high.rho_schedule = PiecewiseConstant::constant(0.95);
+
+    let simulator = CovidSimulator::new(low.base_params.clone()).unwrap();
+    let window = TimeWindow::new(20, 47);
+    let mut means = Vec::new();
+    for scenario in [&low, &high] {
+        let truth = generate_ground_truth(scenario, 123);
+        let observed = ObservedData::cases_only(truth.observed_cases.clone());
+        // A flat rho prior so the data must do the work.
+        let priors = Priors {
+            theta: vec![Box::new(UniformPrior::new(0.1, 0.5))],
+            rho: Box::new(BetaPrior::new(1.0, 1.0)),
+        };
+        let result = SingleWindowIs::new(&simulator, config(4))
+            .run(&priors, &observed, window)
+            .unwrap();
+        means.push(result.posterior.mean_rho());
+    }
+    assert!(
+        means[0] < means[1],
+        "rho posterior: low-reporting mean {:.3} should be below high-reporting {:.3}",
+        means[0],
+        means[1]
+    );
+}
