@@ -3,9 +3,9 @@
 //! replay-from-day-0 for growing elapsed horizons.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epidata::Scenario;
 use episim::checkpoint::SimCheckpoint;
 use epismc_core::simulator::{CovidSimulator, TrajectorySimulator};
-use epidata::Scenario;
 use std::hint::black_box;
 
 fn simulator() -> CovidSimulator {
@@ -49,5 +49,41 @@ fn bench_restart_vs_replay(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serialization, bench_restart_vs_replay);
+/// The full sequential continuation step as the calibrator performs it:
+/// simulate 14 days from a checkpoint, then attach the new window to the
+/// ancestor's history. With shared storage the attach is an `O(window)`
+/// `Arc` append regardless of how deep the history is; the owned
+/// variant re-copies all `elapsed` days first.
+fn bench_continuation_with_history(c: &mut Criterion) {
+    use episim::output::SharedTrajectory;
+    let sim = simulator();
+    let mut group = c.benchmark_group("continuation_with_history");
+    group.sample_size(20);
+    for elapsed in [33u32, 61, 120] {
+        let (history, ck) = sim.run_fresh(&[0.3], 1, elapsed).unwrap();
+        let shared_history = SharedTrajectory::root(history.clone());
+        group.bench_function(BenchmarkId::new("shared", elapsed), |b| {
+            b.iter(|| {
+                let (tail, _) = sim.run_from(&ck, &[0.35], 2, elapsed + 14).unwrap();
+                black_box(shared_history.append(tail).len())
+            });
+        });
+        group.bench_function(BenchmarkId::new("owned", elapsed), |b| {
+            b.iter(|| {
+                let (tail, _) = sim.run_from(&ck, &[0.35], 2, elapsed + 14).unwrap();
+                let mut t = history.clone();
+                t.extend(&tail);
+                black_box(t.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_serialization,
+    bench_restart_vs_replay,
+    bench_continuation_with_history
+);
 criterion_main!(benches);

@@ -2,19 +2,19 @@
 //! `score_window` path (bias thinning + likelihood) for both bias modes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use episim::output::DailySeries;
+use episim::output::{DailySeries, SharedTrajectory};
 use epismc_core::likelihood::{GaussianSqrtLikelihood, Likelihood};
 use epismc_core::observation::BiasMode;
 use epismc_core::sis::{score_window, ObservedData};
 use epismc_core::window::TimeWindow;
 use std::hint::black_box;
 
-fn trajectory(days: usize, level: u64) -> DailySeries {
+fn trajectory(days: usize, level: u64) -> SharedTrajectory {
     let mut t = DailySeries::new(vec!["infections".into(), "deaths".into()], 1);
     for d in 0..days {
         t.push_day(&[level + d as u64, (d / 10) as u64]);
     }
-    t
+    SharedTrajectory::root(t)
 }
 
 fn bench_gaussian(c: &mut Criterion) {
@@ -31,27 +31,16 @@ fn bench_score_window(c: &mut Criterion) {
     let window = TimeWindow::new(20, 33);
     let mut group = c.benchmark_group("score_window");
     for (label, mode) in [("sampled", BiasMode::Sampled), ("mean", BiasMode::Mean)] {
-        let obs = ObservedData::cases_only_with(
-            (0..33).map(|d| 150.0 + d as f64).collect(),
-            mode,
-            1.0,
-        );
+        let obs =
+            ObservedData::cases_only_with((0..33).map(|d| 150.0 + d as f64).collect(), mode, 1.0);
         group.bench_function(format!("cases_{label}"), |b| {
-            b.iter(|| {
-                black_box(
-                    score_window(black_box(&traj), 0.75, 99, &obs, window).unwrap(),
-                )
-            });
+            b.iter(|| black_box(score_window(black_box(&traj), 0.75, 99, &obs, window).unwrap()));
         });
     }
-    let obs_both = ObservedData::cases_and_deaths(
-        (0..33).map(|d| 150.0 + d as f64).collect(),
-        vec![1.0; 33],
-    );
+    let obs_both =
+        ObservedData::cases_and_deaths((0..33).map(|d| 150.0 + d as f64).collect(), vec![1.0; 33]);
     group.bench_function("cases_and_deaths_sampled", |b| {
-        b.iter(|| {
-            black_box(score_window(black_box(&traj), 0.75, 99, &obs_both, window).unwrap())
-        });
+        b.iter(|| black_box(score_window(black_box(&traj), 0.75, 99, &obs_both, window).unwrap()));
     });
     group.finish();
 }

@@ -9,7 +9,9 @@ use std::hint::black_box;
 fn weights(n: usize) -> Vec<f64> {
     // A realistic skewed weight profile: exponential decay with a heavy
     // head, like a post-likelihood importance-weight vector.
-    (0..n).map(|i| (-(i as f64) / (n as f64 / 8.0)).exp() + 1e-9).collect()
+    (0..n)
+        .map(|i| (-(i as f64) / (n as f64 / 8.0)).exp() + 1e-9)
+        .collect()
 }
 
 fn bench_resamplers(c: &mut Criterion) {
@@ -25,13 +27,10 @@ fn bench_resamplers(c: &mut Criterion) {
             Box::new(Residual),
         ];
         for s in schemes {
-            group.bench_function(
-                BenchmarkId::new(s.name(), n),
-                |b| {
-                    let mut rng = Xoshiro256PlusPlus::new(42);
-                    b.iter(|| black_box(s.resample(&w, draw, &mut rng)));
-                },
-            );
+            group.bench_function(BenchmarkId::new(s.name(), n), |b| {
+                let mut rng = Xoshiro256PlusPlus::new(42);
+                b.iter(|| black_box(s.resample(&w, draw, &mut rng)));
+            });
         }
     }
     group.finish();

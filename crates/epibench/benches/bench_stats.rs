@@ -39,8 +39,9 @@ fn bench_gp(c: &mut Criterion) {
     group.sample_size(10);
     for n in [50usize, 150] {
         let mut rng = Xoshiro256PlusPlus::new(2);
-        let x: Vec<Vec<f64>> =
-            (0..n).map(|_| vec![rng.next_f64(), rng.next_f64()]).collect();
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.next_f64(), rng.next_f64()])
+            .collect();
         let y: Vec<f64> = x.iter().map(|xi| (5.0 * xi[0]).sin() + xi[1]).collect();
         group.bench_function(BenchmarkId::new("fit_auto", n), |b| {
             b.iter(|| black_box(GpEmulator::fit_auto(x.clone(), &y).unwrap()));

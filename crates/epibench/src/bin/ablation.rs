@@ -58,7 +58,10 @@ fn main() {
     println!("weighted target mean theta = {target_mean:.4}");
     println!(
         "{}",
-        row(&["scheme", "mean_bias", "resamp_var", "uniq_mean"].map(String::from), &widths)
+        row(
+            &["scheme", "mean_bias", "resamp_var", "uniq_mean"].map(String::from),
+            &widths
+        )
     );
     let mut scheme_rows: Vec<(String, f64, f64, f64)> = Vec::new();
     for s in &schemes {
@@ -97,11 +100,13 @@ fn main() {
     let widths = [10, 10, 10, 10, 10];
     println!(
         "{}",
-        row(&["mode", "th_mean", "th_sd", "rho_mean", "rho_sd"].map(String::from), &widths)
+        row(
+            &["mode", "th_mean", "th_sd", "rho_mean", "rho_sd"].map(String::from),
+            &widths
+        )
     );
     for (label, mode) in [("sampled", BiasMode::Sampled), ("mean", BiasMode::Mean)] {
-        let obs =
-            ObservedData::cases_only_with(truth.observed_cases.clone(), mode, 1.0);
+        let obs = ObservedData::cases_only_with(truth.observed_cases.clone(), mode, 1.0);
         let res = SingleWindowIs::new(&simulator, args.config())
             .run(&Priors::paper(), &obs, window)
             .expect("calibration");
@@ -136,7 +141,10 @@ fn main() {
     let widths = [10, 10, 10, 8, 7];
     println!(
         "{}",
-        row(&["variant", "th_w4", "abs_err", "ESS%", "iters"].map(String::from), &widths)
+        row(
+            &["variant", "th_w4", "abs_err", "ESS%", "iters"].map(String::from),
+            &widths
+        )
     );
     let mut adapt_rows: Vec<(String, f64, f64, f64, f64)> = Vec::new();
     for (label, adaptive) in [
@@ -191,7 +199,12 @@ fn main() {
         ("scheme_uniq", scheme_rows.iter().map(|r| r.3).collect()),
         (
             "adaptive_err",
-            adapt_rows.iter().map(|r| r.2).chain(std::iter::repeat(0.0)).take(4).collect(),
+            adapt_rows
+                .iter()
+                .map(|r| r.2)
+                .chain(std::iter::repeat(0.0))
+                .take(4)
+                .collect(),
         ),
     ]);
     let path = args.out_dir.join("ablation.csv");

@@ -29,8 +29,8 @@ fn main() {
     let spec = match args.first() {
         None => RunSpec::default(),
         Some(path) => {
-            let json = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let json =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
             RunSpec::from_json(&json).unwrap_or_else(|e| panic!("invalid spec: {e}"))
         }
     };
@@ -43,7 +43,11 @@ fn main() {
         spec.calibration.n_params,
         spec.calibration.n_replicates,
         spec.sources,
-        if spec.adaptive.is_some() { " | adaptive" } else { "" }
+        if spec.adaptive.is_some() {
+            " | adaptive"
+        } else {
+            ""
+        }
     );
 
     let truth = generate_ground_truth(&scenario, scenario.truth_seed);
@@ -62,8 +66,7 @@ fn main() {
         ),
     };
     let (kt, kr) = spec.kernels();
-    let mut calibrator =
-        SequentialCalibrator::new(&simulator, spec.calibration.clone(), kt, kr);
+    let mut calibrator = SequentialCalibrator::new(&simulator, spec.calibration.clone(), kt, kr);
     if let Some(a) = spec.adaptive {
         calibrator = calibrator.with_adaptive(a);
     }
@@ -88,8 +91,8 @@ fn main() {
     for w in &result.windows {
         let th = PosteriorSummary::of_theta(&w.posterior, 0);
         let rh = PosteriorSummary::of_rho(&w.posterior);
-        let ess_pct = 100.0 * w.ess
-            / (spec.calibration.n_params * spec.calibration.n_replicates) as f64;
+        let ess_pct =
+            100.0 * w.ess / (spec.calibration.n_params * spec.calibration.n_replicates) as f64;
         println!(
             "{}",
             row(
@@ -132,8 +135,8 @@ fn main() {
 
     let lo = plan.windows()[0].start;
     let hi = plan.horizon();
-    let reported = Ribbon::from_ensemble_reported(final_post, "infections", lo, hi)
-        .expect("ribbon");
+    let reported =
+        Ribbon::from_ensemble_reported(final_post, "infections", lo, hi).expect("ribbon");
     let days: Vec<f64> = (lo..=hi).map(|d| d as f64).collect();
     let rib = Table::from_pairs(vec![
         ("day", days),
@@ -141,7 +144,11 @@ fn main() {
         ("q50", reported.q50),
         ("q95", reported.q95),
     ]);
-    rib.write_csv(&out.join("reported_ribbon.csv")).expect("write ribbon");
+    rib.write_csv(&out.join("reported_ribbon.csv"))
+        .expect("write ribbon");
 
-    println!("\nwrote parameter_trace.csv, posterior_samples.csv, reported_ribbon.csv under {}", out.display());
+    println!(
+        "\nwrote parameter_trace.csv, posterior_samples.csv, reported_ribbon.csv under {}",
+        out.display()
+    );
 }

@@ -23,8 +23,7 @@ fn main() {
     println!(
         "{}",
         row(
-            &["day", "true", "observed", "deaths", "theta", "rho"]
-                .map(String::from),
+            &["day", "true", "observed", "deaths", "theta", "rho"].map(String::from),
             &widths
         )
     );

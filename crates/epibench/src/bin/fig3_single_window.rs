@@ -24,17 +24,18 @@ fn main() {
     let window = TimeWindow::new(20, 33);
     println!(
         "fig3: single-window IS on '{}', window [{}, {}], {} x {} trajectories, resample {}",
-        scenario.name, window.start, window.end, config.n_params, config.n_replicates,
+        scenario.name,
+        window.start,
+        window.end,
+        config.n_params,
+        config.n_replicates,
         config.resample_size
     );
 
     let truth = generate_ground_truth(&scenario, scenario.truth_seed);
     let simulator = CovidSimulator::new(scenario.base_params.clone()).expect("params");
-    let observed = ObservedData::cases_only_with(
-        truth.observed_cases.clone(),
-        args.bias_mode,
-        config.sigma,
-    );
+    let observed =
+        ObservedData::cases_only_with(truth.observed_cases.clone(), args.bias_mode, config.sigma);
     let started = std::time::Instant::now();
     let result = SingleWindowIs::new(&simulator, config)
         .run(&Priors::paper(), &observed, window)
@@ -62,7 +63,10 @@ fn main() {
     let true_theta = truth.theta_truth[(window.start - 1) as usize];
     print_summary("prior ", &prior_theta);
     print_summary("post  ", &post_theta);
-    println!("truth  : {true_theta:.3}  (covered by 90% CI: {})", post_theta.covers(true_theta));
+    println!(
+        "truth  : {true_theta:.3}  (covered by 90% CI: {})",
+        post_theta.covers(true_theta)
+    );
     println!(
         "sd shrinkage: {:.3} -> {:.3} ({:.1}x)",
         prior_theta.sd,
@@ -77,23 +81,21 @@ fn main() {
     let true_rho = truth.rho_truth[(window.start - 1) as usize];
     print_summary("prior ", &prior_rho);
     print_summary("post  ", &post_rho);
-    println!("truth  : {true_rho:.3}  (covered by 90% CI: {})", post_rho.covers(true_rho));
+    println!(
+        "truth  : {true_rho:.3}  (covered by 90% CI: {})",
+        post_rho.covers(true_rho)
+    );
     println!(
         "note: the paper observes rho is less constrained than theta under the strong Beta(4,1) prior"
     );
 
     // --- Left panel: trajectory envelopes. ---
     section("trajectory envelope on the window (reported scale)");
-    let prior_rib =
-        Ribbon::from_ensemble_reported(prior, "infections", window.start, window.end)
+    let prior_rib = Ribbon::from_ensemble_reported(prior, "infections", window.start, window.end)
+        .expect("ribbon");
+    let post_rib =
+        Ribbon::from_ensemble_reported(&result.posterior, "infections", window.start, window.end)
             .expect("ribbon");
-    let post_rib = Ribbon::from_ensemble_reported(
-        &result.posterior,
-        "infections",
-        window.start,
-        window.end,
-    )
-    .expect("ribbon");
     let widths = [4, 10, 20, 20];
     println!(
         "{}",

@@ -9,9 +9,9 @@
 use epibench::{row, section, Args};
 use epidata::{generate_ground_truth, io::Table};
 use epismc_core::diagnostics::{coverage, joint_density, PosteriorSummary, Ribbon};
+use epismc_core::prior::JitterKernel;
 use epismc_core::simulator::CovidSimulator;
 use epismc_core::sis::{ObservedData, Priors, SequentialCalibrator};
-use epismc_core::prior::JitterKernel;
 use epismc_core::window::WindowPlan;
 
 fn main() {
@@ -21,16 +21,16 @@ fn main() {
     let plan = WindowPlan::paper(scenario.horizon);
     println!(
         "fig4: sequential calibration (cases only) on '{}', {} windows, {} x {} per window",
-        scenario.name, plan.len(), config.n_params, config.n_replicates
+        scenario.name,
+        plan.len(),
+        config.n_params,
+        config.n_replicates
     );
 
     let truth = generate_ground_truth(&scenario, scenario.truth_seed);
     let simulator = CovidSimulator::new(scenario.base_params.clone()).expect("params");
-    let observed = ObservedData::cases_only_with(
-        truth.observed_cases.clone(),
-        args.bias_mode,
-        config.sigma,
-    );
+    let observed =
+        ObservedData::cases_only_with(truth.observed_cases.clone(), args.bias_mode, config.sigma);
     // The paper: symmetric uniform jitter for theta, asymmetric (skewed
     // toward higher reporting) for rho.
     let calibrator = SequentialCalibrator::new(
@@ -51,9 +51,11 @@ fn main() {
     println!(
         "{}",
         row(
-            &["window", "th_mean", "th_sd", "th_true", "rho_mean", "rho_sd",
-              "rho_true", "ESS%", "uniq"]
-                .map(String::from),
+            &[
+                "window", "th_mean", "th_sd", "th_true", "rho_mean", "rho_sd", "rho_true", "ESS%",
+                "uniq"
+            ]
+            .map(String::from),
             &widths
         )
     );
@@ -116,8 +118,9 @@ fn main() {
     let obs_span: Vec<f64> = (lo..=hi)
         .map(|d| truth.observed_cases[(d - 1) as usize])
         .collect();
-    let true_span: Vec<f64> =
-        (lo..=hi).map(|d| truth.true_cases[(d - 1) as usize]).collect();
+    let true_span: Vec<f64> = (lo..=hi)
+        .map(|d| truth.true_cases[(d - 1) as usize])
+        .collect();
     println!(
         "reported cases: 90% coverage {:.2}, mean 90% width {:.0}",
         coverage(&reported, &obs_span),
@@ -130,7 +133,12 @@ fn main() {
     );
     println!(
         "actual-case median above reported median (reporting < 1): {}",
-        actual.q50.iter().zip(&reported.q50).filter(|(a, r)| a >= r).count()
+        actual
+            .q50
+            .iter()
+            .zip(&reported.q50)
+            .filter(|(a, r)| a >= r)
+            .count()
     );
 
     // --- CSV artifacts. ---

@@ -46,11 +46,8 @@ fn main() {
     let truth = generate_ground_truth(&scenario, scenario.truth_seed);
     let simulator = CovidSimulator::new(scenario.base_params.clone()).expect("params");
 
-    let obs_cases = ObservedData::cases_only_with(
-        truth.observed_cases.clone(),
-        args.bias_mode,
-        1.0,
-    );
+    let obs_cases =
+        ObservedData::cases_only_with(truth.observed_cases.clone(), args.bias_mode, 1.0);
     let obs_both = ObservedData::cases_and_deaths_with(
         truth.observed_cases.clone(),
         truth.deaths.clone(),
@@ -61,7 +58,10 @@ fn main() {
     let started = std::time::Instant::now();
     let res_cases = run(&simulator, &args, &obs_cases, &plan);
     let res_both = run(&simulator, &args, &obs_both, &plan);
-    println!("done in {:.1}s (both runs)", started.elapsed().as_secs_f64());
+    println!(
+        "done in {:.1}s (both runs)",
+        started.elapsed().as_secs_f64()
+    );
 
     // --- Fig 5b: per-window posteriors under both data configurations. ---
     section("per-window posterior vs truth  [Fig 5b]");
@@ -69,9 +69,17 @@ fn main() {
     println!(
         "{}",
         row(
-            &["window", "th_cases", "th_both", "th_true", "rho_cases", "rho_both",
-              "rho_true", "sd_ratio"]
-                .map(String::from),
+            &[
+                "window",
+                "th_cases",
+                "th_both",
+                "th_true",
+                "rho_cases",
+                "rho_both",
+                "rho_true",
+                "sd_ratio"
+            ]
+            .map(String::from),
             &widths
         )
     );
@@ -116,8 +124,7 @@ fn main() {
     // --- Fig 5a: ribbons under cases+deaths; width comparison. ---
     let lo = plan.windows()[0].start;
     let hi = plan.horizon();
-    let span =
-        |v: &[f64]| -> Vec<f64> { (lo..=hi).map(|d| v[(d - 1) as usize]).collect() };
+    let span = |v: &[f64]| -> Vec<f64> { (lo..=hi).map(|d| v[(d - 1) as usize]).collect() };
     let obs_span = span(&truth.observed_cases);
     let true_span = span(&truth.true_cases);
     let death_span = span(&truth.deaths);
@@ -125,13 +132,12 @@ fn main() {
     let rep_cases =
         Ribbon::from_ensemble_reported(res_cases.final_posterior(), "infections", lo, hi)
             .expect("ribbon");
-    let rep_both =
-        Ribbon::from_ensemble_reported(res_both.final_posterior(), "infections", lo, hi)
-            .expect("ribbon");
-    let act_both = Ribbon::from_ensemble(res_both.final_posterior(), "infections", lo, hi)
+    let rep_both = Ribbon::from_ensemble_reported(res_both.final_posterior(), "infections", lo, hi)
         .expect("ribbon");
-    let deaths_both = Ribbon::from_ensemble(res_both.final_posterior(), "deaths", lo, hi)
-        .expect("ribbon");
+    let act_both =
+        Ribbon::from_ensemble(res_both.final_posterior(), "infections", lo, hi).expect("ribbon");
+    let deaths_both =
+        Ribbon::from_ensemble(res_both.final_posterior(), "deaths", lo, hi).expect("ribbon");
 
     section("uncertainty reduction from adding deaths  [Fig 5a vs Fig 4a]");
     println!(
@@ -181,5 +187,9 @@ fn main() {
     ]);
     let trace_path = args.out_dir.join("fig5_parameter_trace.csv");
     trace_table.write_csv(&trace_path).expect("write csv");
-    println!("\nwrote {} and {}", rib_path.display(), trace_path.display());
+    println!(
+        "\nwrote {} and {}",
+        rib_path.display(),
+        trace_path.display()
+    );
 }

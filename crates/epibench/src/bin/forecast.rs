@@ -22,11 +22,7 @@ fn main() {
     let scenario = args.scenario();
     let truth = generate_ground_truth(&scenario, scenario.truth_seed);
     let simulator = CovidSimulator::new(scenario.base_params.clone()).expect("params");
-    let observed = ObservedData::cases_only_with(
-        truth.observed_cases.clone(),
-        args.bias_mode,
-        1.0,
-    );
+    let observed = ObservedData::cases_only_with(truth.observed_cases.clone(), args.bias_mode, 1.0);
     println!(
         "forecast: calibrate '{}' through day 61, forecast days 62..90 ({} x {})",
         scenario.name, args.n_params, args.n_replicates
@@ -51,7 +47,10 @@ fn main() {
     let res3 = make_calibrator()
         .run(&Priors::paper(), &observed, &plan3)
         .expect("calibration");
-    println!("3-window calibration done in {:.1}s", started.elapsed().as_secs_f64());
+    println!(
+        "3-window calibration done in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
 
     let horizon_days = scenario.horizon - 61;
     let future_truth: Vec<f64> = truth.true_cases[61..scenario.horizon as usize].to_vec();
@@ -59,7 +58,13 @@ fn main() {
 
     // (a) the honest day-61 forecast,
     let honest = fc
-        .forecast(res3.final_posterior(), horizon_days, 300, 9, &["infections"])
+        .forecast(
+            res3.final_posterior(),
+            horizon_days,
+            300,
+            9,
+            &["infections"],
+        )
         .expect("forecast");
     // (b) an oracle that knows the post-jump theta,
     let oracle = fc
@@ -80,7 +85,10 @@ fn main() {
     let widths = [24, 12, 14];
     println!(
         "{}",
-        row(&["forecast", "mean_CRPS", "PIT_chi2(4)"].map(String::from), &widths)
+        row(
+            &["forecast", "mean_CRPS", "PIT_chi2(4)"].map(String::from),
+            &widths
+        )
     );
     println!(
         "{}",

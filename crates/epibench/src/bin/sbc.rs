@@ -67,7 +67,13 @@ fn main() {
     };
     section("rank histograms (uniform = calibrated)");
     let widths = [8, 28, 14];
-    println!("{}", row(&["param", "histogram (5 bins)", "chi2(4)"].map(String::from), &widths));
+    println!(
+        "{}",
+        row(
+            &["param", "histogram (5 bins)", "chi2(4)"].map(String::from),
+            &widths
+        )
+    );
     for (label, ranks) in [
         ("theta", result.normalized_theta_ranks()),
         ("rho", result.normalized_rho_ranks()),
@@ -77,11 +83,7 @@ fn main() {
         println!(
             "{}",
             row(
-                &[
-                    label.to_string(),
-                    format!("{h:?}"),
-                    format!("{stat:.1}"),
-                ],
+                &[label.to_string(), format!("{h:?}"), format!("{stat:.1}"),],
                 &widths
             )
         );

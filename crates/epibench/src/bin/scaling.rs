@@ -43,7 +43,10 @@ fn main() {
     let widths = [8, 10, 10, 12];
     println!(
         "{}",
-        row(&["threads", "time_s", "speedup", "efficiency%"].map(String::from), &widths)
+        row(
+            &["threads", "time_s", "speedup", "efficiency%"].map(String::from),
+            &widths
+        )
     );
     let mut base_time = 0.0f64;
     let mut scaling_rows: Vec<[f64; 4]> = Vec::new();
@@ -99,9 +102,7 @@ fn main() {
         let (_, ck) = simulator.run_fresh(&theta, 1, prev).expect("run");
         let start = Instant::now();
         for r in 0..reps {
-            std::hint::black_box(
-                simulator.run_from(&ck, &theta, r, end).expect("run"),
-            );
+            std::hint::black_box(simulator.run_from(&ck, &theta, r, end).expect("run"));
         }
         let ck_ms = start.elapsed().as_secs_f64() * 1000.0 / reps as f64;
         // Replay path: from day 0 to end each time.
@@ -133,7 +134,10 @@ fn main() {
         ("threads", scaling_rows.iter().map(|r| r[0]).collect()),
         ("seconds", scaling_rows.iter().map(|r| r[1]).collect()),
         ("speedup", scaling_rows.iter().map(|r| r[2]).collect()),
-        ("efficiency_pct", scaling_rows.iter().map(|r| r[3]).collect()),
+        (
+            "efficiency_pct",
+            scaling_rows.iter().map(|r| r[3]).collect(),
+        ),
     ]);
     let p1 = args.out_dir.join("scaling_threads.csv");
     scale_table.write_csv(&p1).expect("write csv");

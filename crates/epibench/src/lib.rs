@@ -92,17 +92,14 @@ impl Args {
                     args.n_params = take("--n-params").parse().expect("--n-params: integer")
                 }
                 "--n-reps" => {
-                    args.n_replicates =
-                        take("--n-reps").parse().expect("--n-reps: integer")
+                    args.n_replicates = take("--n-reps").parse().expect("--n-reps: integer")
                 }
                 "--resample" => {
-                    args.resample_size =
-                        take("--resample").parse().expect("--resample: integer")
+                    args.resample_size = take("--resample").parse().expect("--resample: integer")
                 }
                 "--seed" => args.seed = take("--seed").parse().expect("--seed: integer"),
                 "--threads" => {
-                    args.threads =
-                        Some(take("--threads").parse().expect("--threads: integer"))
+                    args.threads = Some(take("--threads").parse().expect("--threads: integer"))
                 }
                 "--bias-mode" => {
                     args.bias_mode = match take("--bias-mode").as_str() {
@@ -193,11 +190,25 @@ mod tests {
     #[test]
     fn individual_flags_override() {
         let a = Args::parse_from(
-            ["--scale", "tiny", "--n-params", "10", "--n-reps", "2", "--seed", "9",
-             "--threads", "3", "--bias-mode", "mean", "--resample", "44"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
+            [
+                "--scale",
+                "tiny",
+                "--n-params",
+                "10",
+                "--n-reps",
+                "2",
+                "--seed",
+                "9",
+                "--threads",
+                "3",
+                "--bias-mode",
+                "mean",
+                "--resample",
+                "44",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         );
         assert_eq!(a.scenario().name, "paper-tiny");
         assert_eq!(a.n_params, 10);

@@ -35,7 +35,11 @@ pub struct JitterSpec {
 
 impl Default for JitterSpec {
     fn default() -> Self {
-        Self { theta_half: 0.10, rho_down: 0.05, rho_up: 0.06 }
+        Self {
+            theta_half: 0.10,
+            rho_down: 0.05,
+            rho_up: 0.06,
+        }
     }
 }
 
@@ -126,9 +130,7 @@ impl RunSpec {
         if self.windows.last().expect("non-empty").1 > scen.horizon {
             return Err("runspec: window beyond scenario horizon".into());
         }
-        if !(self.jitter.theta_half > 0.0
-            && self.jitter.rho_down > 0.0
-            && self.jitter.rho_up > 0.0)
+        if !(self.jitter.theta_half > 0.0 && self.jitter.rho_down > 0.0 && self.jitter.rho_up > 0.0)
         {
             return Err("runspec: jitter half-widths must be positive".into());
         }
@@ -154,7 +156,10 @@ impl RunSpec {
     /// Build the window plan.
     pub fn window_plan(&self) -> WindowPlan {
         WindowPlan::new(
-            self.windows.iter().map(|&(a, b)| TimeWindow::new(a, b)).collect(),
+            self.windows
+                .iter()
+                .map(|&(a, b)| TimeWindow::new(a, b))
+                .collect(),
         )
     }
 

@@ -121,7 +121,7 @@ pub fn generate_ground_truth(scenario: &Scenario, seed: u64) -> GroundTruth {
 
     // Apply the time-varying binomial reporting bias.
     let rho_truth = scenario.rho_truth();
-    let mut bias_rng = Xoshiro256PlusPlus::new(derive_stream(seed, &[0x0B5E_ED]));
+    let mut bias_rng = Xoshiro256PlusPlus::new(derive_stream(seed, &[0x000B_5EED]));
     let observed_cases: Vec<f64> = true_cases
         .iter()
         .zip(&rho_truth)
@@ -198,15 +198,12 @@ mod tests {
         // shared history: after day 62 the paper's theta = 0.40 must
         // produce more late-epidemic infections on average.
         let mut flat = Scenario::paper_tiny();
-        flat.theta_schedule = crate::schedule::PiecewiseConstant::new(
-            vec![0, 34, 48],
-            vec![0.30, 0.27, 0.25],
-        );
+        flat.theta_schedule =
+            crate::schedule::PiecewiseConstant::new(vec![0, 34, 48], vec![0.30, 0.27, 0.25]);
         let mut late_paper = 0.0;
         let mut late_flat = 0.0;
         for seed in 0..6 {
-            late_paper += generate_ground_truth(&Scenario::paper_tiny(), seed)
-                .true_cases[70..]
+            late_paper += generate_ground_truth(&Scenario::paper_tiny(), seed).true_cases[70..]
                 .iter()
                 .sum::<f64>();
             late_flat += generate_ground_truth(&flat, seed).true_cases[70..]

@@ -83,11 +83,7 @@ impl Table {
         let mut w = BufWriter::new(File::create(path)?);
         writeln!(w, "{}", self.headers.join(","))?;
         for row in 0..self.len() {
-            let line: Vec<String> = self
-                .columns
-                .iter()
-                .map(|c| format_float(c[row]))
-                .collect();
+            let line: Vec<String> = self.columns.iter().map(|c| format_float(c[row])).collect();
             writeln!(w, "{}", line.join(","))?;
         }
         w.flush()
@@ -104,8 +100,10 @@ impl Table {
             .next()
             .ok_or("empty csv")?
             .map_err(|e| e.to_string())?;
-        let headers: Vec<String> =
-            header_line.split(',').map(|s| s.trim().to_string()).collect();
+        let headers: Vec<String> = header_line
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .collect();
         let mut table = Table::new(headers);
         for (lineno, line) in lines.enumerate() {
             let line = line.map_err(|e| e.to_string())?;

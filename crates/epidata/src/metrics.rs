@@ -78,10 +78,7 @@ pub fn doubling_time(rate: f64) -> Option<f64> {
 ///
 /// # Panics
 /// Panics if `generation_interval` is empty or does not sum to ~1.
-pub fn instantaneous_r(
-    daily_incidence: &[f64],
-    generation_interval: &[f64],
-) -> Vec<Option<f64>> {
+pub fn instantaneous_r(daily_incidence: &[f64], generation_interval: &[f64]) -> Vec<Option<f64>> {
     assert!(!generation_interval.is_empty(), "instantaneous_r: empty w");
     let total: f64 = generation_interval.iter().sum();
     assert!(
@@ -173,8 +170,11 @@ mod tests {
         let mut inc = vec![10.0; 8];
         for _ in 0..40 {
             let t = inc.len();
-            let denom: f64 =
-                w.iter().enumerate().map(|(s, &ws)| ws * inc[t - 1 - s]).sum();
+            let denom: f64 = w
+                .iter()
+                .enumerate()
+                .map(|(s, &ws)| ws * inc[t - 1 - s])
+                .sum();
             inc.push(r_true * denom);
         }
         let rs = instantaneous_r(&inc, &w);

@@ -79,14 +79,8 @@ impl Scenario {
                 initial_exposed: 250,
                 ..CovidParams::default()
             },
-            theta_schedule: PiecewiseConstant::new(
-                vec![0, 30, 80],
-                vec![0.42, 0.12, 0.45],
-            ),
-            rho_schedule: PiecewiseConstant::new(
-                vec![0, 30, 90],
-                vec![0.5, 0.85, 0.65],
-            ),
+            theta_schedule: PiecewiseConstant::new(vec![0, 30, 80], vec![0.42, 0.12, 0.45]),
+            rho_schedule: PiecewiseConstant::new(vec![0, 30, 90], vec![0.5, 0.85, 0.65]),
             horizon: 120,
             truth_seed: 20_240_616,
         }
@@ -154,7 +148,11 @@ mod tests {
 
     #[test]
     fn built_in_scenarios_validate() {
-        for s in [Scenario::paper_full(), Scenario::paper_small(), Scenario::paper_tiny()] {
+        for s in [
+            Scenario::paper_full(),
+            Scenario::paper_small(),
+            Scenario::paper_tiny(),
+        ] {
             assert!(s.validate().is_ok(), "{} invalid", s.name);
             assert_eq!(s.horizon, 90);
         }

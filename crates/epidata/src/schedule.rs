@@ -19,10 +19,17 @@ impl PiecewiseConstant {
     /// `breaks[0] == 0`, and breaks strictly increase.
     pub fn new(breaks: Vec<u32>, values: Vec<f64>) -> Self {
         assert!(!breaks.is_empty(), "PiecewiseConstant: empty schedule");
-        assert_eq!(breaks.len(), values.len(), "PiecewiseConstant: length mismatch");
+        assert_eq!(
+            breaks.len(),
+            values.len(),
+            "PiecewiseConstant: length mismatch"
+        );
         assert_eq!(breaks[0], 0, "PiecewiseConstant: first break must be day 0");
         for w in breaks.windows(2) {
-            assert!(w[0] < w[1], "PiecewiseConstant: breaks must strictly increase");
+            assert!(
+                w[0] < w[1],
+                "PiecewiseConstant: breaks must strictly increase"
+            );
         }
         Self { breaks, values }
     }

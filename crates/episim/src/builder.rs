@@ -21,17 +21,21 @@
 //! assert_eq!(spec.compartments.len(), 3);
 //! ```
 
-use crate::spec::{
-    CensusSpec, Compartment, FlowSpec, Infection, ModelSpec, Progression,
-};
+use crate::spec::{CensusSpec, Compartment, FlowSpec, Infection, ModelSpec, Progression};
+
+/// Pending progression: `(from, mean_dwell, [(to, probability)])`.
+type ProgressionEntry = (String, f64, Vec<(String, f64)>);
+/// Pending infection:
+/// `(susceptible, infectious, relative_rate, optional exposure branches)`.
+type InfectionEntry = (String, String, f64, Option<Vec<(String, f64)>>);
 
 /// Name-based builder for [`ModelSpec`].
 #[derive(Clone, Debug)]
 pub struct ModelSpecBuilder {
     name: String,
     compartments: Vec<Compartment>,
-    progressions: Vec<(String, f64, Vec<(String, f64)>)>,
-    infections: Vec<(String, String, f64, Option<Vec<(String, f64)>>)>,
+    progressions: Vec<ProgressionEntry>,
+    infections: Vec<InfectionEntry>,
     transmission_rate: f64,
     flows: Vec<(String, Vec<(String, String)>)>,
     censuses: Vec<(String, Vec<String>)>,
@@ -54,7 +58,8 @@ impl ModelSpecBuilder {
     /// Add a compartment with `stages` Erlang stages and an infectivity
     /// weight.
     pub fn compartment(mut self, name: &str, stages: u32, infectivity: f64) -> Self {
-        self.compartments.push(Compartment::new(name, stages, infectivity));
+        self.compartments
+            .push(Compartment::new(name, stages, infectivity));
         self
     }
 
@@ -105,7 +110,10 @@ impl ModelSpecBuilder {
     pub fn flow(mut self, name: &str, edges: &[(&str, &str)]) -> Self {
         self.flows.push((
             name.to_string(),
-            edges.iter().map(|&(a, b)| (a.to_string(), b.to_string())).collect(),
+            edges
+                .iter()
+                .map(|&(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
         ));
         self
     }
@@ -238,7 +246,10 @@ mod tests {
 
     #[test]
     fn unknown_names_are_reported() {
-        let err = sir().progression("X", 2.0, &[("R", 1.0)]).build().unwrap_err();
+        let err = sir()
+            .progression("X", 2.0, &[("R", 1.0)])
+            .build()
+            .unwrap_err();
         assert!(err.contains("unknown compartment 'X'"), "{err}");
         let err = sir().flow("bad", &[("S", "Z")]).build().unwrap_err();
         assert!(err.contains("'Z'"), "{err}");

@@ -149,7 +149,12 @@ impl SimCheckpoint {
         for s in &mut rng_state {
             *s = data.get_u64_le();
         }
-        Ok(Self { layout_hash: layout, day, stage_counts, rng_state })
+        Ok(Self {
+            layout_hash: layout,
+            day,
+            stage_counts,
+            rng_state,
+        })
     }
 
     /// Size of the binary encoding in bytes.
@@ -178,7 +183,10 @@ mod tests {
             }],
             infections: vec![Infection::simple(0, 1)],
             transmission_rate: 0.3,
-            flows: vec![FlowSpec { name: "inf".into(), edges: vec![(0, 1)] }],
+            flows: vec![FlowSpec {
+                name: "inf".into(),
+                edges: vec![(0, 1)],
+            }],
             censuses: vec![],
         }
     }

@@ -361,8 +361,14 @@ impl CovidModel {
             infections: vec![Infection::simple(S.id(), E.id())],
             transmission_rate: p.transmission_rate,
             flows: vec![
-                FlowSpec { name: "infections".into(), edges: vec![(S.id(), E.id())] },
-                FlowSpec { name: "deaths".into(), edges: vec![(Icu.id(), D.id())] },
+                FlowSpec {
+                    name: "infections".into(),
+                    edges: vec![(S.id(), E.id())],
+                },
+                FlowSpec {
+                    name: "deaths".into(),
+                    edges: vec![(Icu.id(), D.id())],
+                },
                 FlowSpec {
                     name: "detected".into(),
                     edges: vec![
@@ -382,7 +388,10 @@ impl CovidModel {
                     name: "hospital_census".into(),
                     compartments: vec![H.id(), Icu.id(), Hp.id()],
                 },
-                CensusSpec { name: "icu_census".into(), compartments: vec![Icu.id()] },
+                CensusSpec {
+                    name: "icu_census".into(),
+                    compartments: vec![Icu.id()],
+                },
             ],
         }
     }
@@ -391,7 +400,11 @@ impl CovidModel {
     pub fn initial_state(&self, seed: u64) -> SimState {
         let spec = self.spec();
         let mut st = SimState::empty(&spec, seed);
-        st.seed_compartment(&spec, C::S.id(), self.params.population - self.params.initial_exposed);
+        st.seed_compartment(
+            &spec,
+            C::S.id(),
+            self.params.population - self.params.initial_exposed,
+        );
         st.seed_compartment(&spec, C::E.id(), self.params.initial_exposed);
         st
     }
@@ -399,7 +412,10 @@ impl CovidModel {
     /// Clone of the parameters with a different transmission rate — the
     /// common re-parameterization in the calibration loop.
     pub fn with_transmission_rate(&self, theta: f64) -> CovidParams {
-        CovidParams { transmission_rate: theta, ..self.params.clone() }
+        CovidParams {
+            transmission_rate: theta,
+            ..self.params.clone()
+        }
     }
 }
 
@@ -436,8 +452,7 @@ mod tests {
     fn epidemic_produces_cases_and_deaths() {
         let m = CovidModel::new(small_params()).unwrap();
         let mut sim =
-            Simulation::new(m.spec(), BinomialChainStepper::daily(), m.initial_state(42))
-                .unwrap();
+            Simulation::new(m.spec(), BinomialChainStepper::daily(), m.initial_state(42)).unwrap();
         sim.run_until(120);
         let inf: u64 = sim.series().series("infections").unwrap().iter().sum();
         let deaths: u64 = sim.series().series("deaths").unwrap().iter().sum();
@@ -455,8 +470,7 @@ mod tests {
     fn deaths_lag_infections() {
         let m = CovidModel::new(small_params()).unwrap();
         let mut sim =
-            Simulation::new(m.spec(), BinomialChainStepper::daily(), m.initial_state(7))
-                .unwrap();
+            Simulation::new(m.spec(), BinomialChainStepper::daily(), m.initial_state(7)).unwrap();
         sim.run_until(60);
         let deaths = sim.series().series("deaths").unwrap();
         // The death pipeline is ~latent + presymp + severe + hosp + icu
@@ -469,14 +483,21 @@ mod tests {
     fn higher_transmission_more_infections() {
         let mut totals = Vec::new();
         for theta in [0.15, 0.45] {
-            let params = CovidParams { transmission_rate: theta, ..small_params() };
+            let params = CovidParams {
+                transmission_rate: theta,
+                ..small_params()
+            };
             let m = CovidModel::new(params).unwrap();
             let mut sim =
                 Simulation::new(m.spec(), BinomialChainStepper::daily(), m.initial_state(9))
                     .unwrap();
             sim.run_until(80);
             totals.push(
-                sim.series().series("infections").unwrap().iter().sum::<u64>(),
+                sim.series()
+                    .series("infections")
+                    .unwrap()
+                    .iter()
+                    .sum::<u64>(),
             );
         }
         assert!(totals[1] > 3 * totals[0], "{totals:?}");
@@ -484,9 +505,15 @@ mod tests {
 
     #[test]
     fn branch_probabilities_validated() {
-        let bad = CovidParams { frac_symptomatic: 1.4, ..CovidParams::default() };
+        let bad = CovidParams {
+            frac_symptomatic: 1.4,
+            ..CovidParams::default()
+        };
         assert!(CovidModel::new(bad).is_err());
-        let bad2 = CovidParams { latent_period: 0.0, ..CovidParams::default() };
+        let bad2 = CovidParams {
+            latent_period: 0.0,
+            ..CovidParams::default()
+        };
         assert!(CovidModel::new(bad2).is_err());
         let bad3 = CovidParams {
             initial_exposed: 10,
@@ -532,7 +559,10 @@ mod tests {
             cd += d;
         }
         let rel = (gi - ci).abs() / gi.max(1.0);
-        assert!(rel < 0.10, "infections: gillespie {gi:.0} vs chain {ci:.0} ({rel:.3})");
+        assert!(
+            rel < 0.10,
+            "infections: gillespie {gi:.0} vs chain {ci:.0} ({rel:.3})"
+        );
         // Deaths are sparse; allow a loose band.
         assert!(
             (gd - cd).abs() <= 3.0 * (gd.max(cd)).sqrt().max(4.0),
@@ -544,8 +574,7 @@ mod tests {
     fn checkpoint_reparameterization_round_trip() {
         let m = CovidModel::new(small_params()).unwrap();
         let mut sim =
-            Simulation::new(m.spec(), BinomialChainStepper::daily(), m.initial_state(5))
-                .unwrap();
+            Simulation::new(m.spec(), BinomialChainStepper::daily(), m.initial_state(5)).unwrap();
         sim.run_until(30);
         let ck = sim.checkpoint();
         // New theta, same layout: restore must succeed.
@@ -562,8 +591,7 @@ mod tests {
         })
         .unwrap();
         assert!(
-            Simulation::resume_with_seed(m3.spec(), BinomialChainStepper::daily(), &ck, 1)
-                .is_err()
+            Simulation::resume_with_seed(m3.spec(), BinomialChainStepper::daily(), &ck, 1).is_err()
         );
     }
 }

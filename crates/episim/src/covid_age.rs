@@ -235,8 +235,8 @@ impl CovidAgeParams {
 
 /// Per-group compartment roles, in layout order.
 const ROLES: [&str; 15] = [
-    "S", "E", "As_u", "As_d", "P_u", "P_d", "Sm_u", "Sm_d", "Ss_u", "Ss_d", "H", "C",
-    "Hp", "D", "R",
+    "S", "E", "As_u", "As_d", "P_u", "P_d", "Sm_u", "Sm_d", "Ss_u", "Ss_d", "H", "C", "Hp", "D",
+    "R",
 ];
 const N_ROLES: usize = ROLES.len();
 /// Roles that are infectious outside hospital (with their base weight
@@ -329,7 +329,10 @@ impl CovidAgeModel {
                     from: Self::cid(gi, ROLE_E),
                     mean_dwell: sh.latent_period,
                     branches: vec![
-                        (Self::cid(gi, ROLE_AS_U), (1.0 - fs) * (1.0 - sh.detect_asymp)),
+                        (
+                            Self::cid(gi, ROLE_AS_U),
+                            (1.0 - fs) * (1.0 - sh.detect_asymp),
+                        ),
                         (Self::cid(gi, ROLE_AS_D), (1.0 - fs) * sh.detect_asymp),
                         (Self::cid(gi, ROLE_P_U), fs * (1.0 - sh.detect_presymp)),
                         (Self::cid(gi, ROLE_P_D), fs * sh.detect_presymp),
@@ -349,7 +352,10 @@ impl CovidAgeModel {
                     from: Self::cid(gi, ROLE_P_U),
                     mean_dwell: sh.presymp_duration,
                     branches: vec![
-                        (Self::cid(gi, ROLE_SM_U), (1.0 - fsev) * (1.0 - sh.detect_mild)),
+                        (
+                            Self::cid(gi, ROLE_SM_U),
+                            (1.0 - fsev) * (1.0 - sh.detect_mild),
+                        ),
                         (Self::cid(gi, ROLE_SM_D), (1.0 - fsev) * sh.detect_mild),
                         (Self::cid(gi, ROLE_SS_U), fsev * (1.0 - sh.detect_severe)),
                         (Self::cid(gi, ROLE_SS_D), fsev * sh.detect_severe),
@@ -409,8 +415,8 @@ impl CovidAgeModel {
             // Structured infection: group gi's susceptibles feel every
             // group gj's infectious pool scaled by contact[gi][gj].
             let infectious_roles = [
-                ROLE_AS_U, ROLE_AS_D, ROLE_P_U, ROLE_P_D, ROLE_SM_U, ROLE_SM_D,
-                ROLE_SS_U, ROLE_SS_D,
+                ROLE_AS_U, ROLE_AS_D, ROLE_P_U, ROLE_P_D, ROLE_SM_U, ROLE_SM_D, ROLE_SS_U,
+                ROLE_SS_D,
             ];
             let mut sources = Vec::with_capacity(n_groups * infectious_roles.len());
             for (gj, &w) in p.contact[gi].iter().enumerate() {
@@ -486,7 +492,11 @@ impl CovidAgeModel {
         let spec = self.spec();
         let mut st = SimState::empty(&spec, seed);
         for (gi, g) in self.params.groups.iter().enumerate() {
-            st.seed_compartment(&spec, Self::cid(gi, ROLE_S), g.population - g.initial_exposed);
+            st.seed_compartment(
+                &spec,
+                Self::cid(gi, ROLE_S),
+                g.population - g.initial_exposed,
+            );
             st.seed_compartment(&spec, Self::cid(gi, ROLE_E), g.initial_exposed);
         }
         st
@@ -517,14 +527,13 @@ mod tests {
     #[test]
     fn population_conserved_and_outputs_consistent() {
         let m = small();
-        let mut sim = Simulation::new(
-            m.spec(),
-            BinomialChainStepper::daily(),
-            m.initial_state(3),
-        )
-        .unwrap();
+        let mut sim =
+            Simulation::new(m.spec(), BinomialChainStepper::daily(), m.initial_state(3)).unwrap();
         sim.run_until(100);
-        assert_eq!(sim.state().total_population(), m.params().total_population());
+        assert_eq!(
+            sim.state().total_population(),
+            m.params().total_population()
+        );
         let s = sim.series();
         // Aggregate infections equal the sum of per-group infections.
         let total: Vec<u64> = s.series("infections").unwrap().to_vec();
@@ -614,24 +623,16 @@ mod tests {
     #[test]
     fn checkpoint_restart_works_for_age_model() {
         let m = small();
-        let mut sim = Simulation::new(
-            m.spec(),
-            BinomialChainStepper::daily(),
-            m.initial_state(5),
-        )
-        .unwrap();
+        let mut sim =
+            Simulation::new(m.spec(), BinomialChainStepper::daily(), m.initial_state(5)).unwrap();
         sim.run_until(40);
         let ck = sim.checkpoint();
         let mut hot = m.params().clone();
         hot.transmission_rate = 0.6;
         let m2 = CovidAgeModel::new(hot).unwrap();
-        let mut resumed = Simulation::resume_with_seed(
-            m2.spec(),
-            BinomialChainStepper::daily(),
-            &ck,
-            77,
-        )
-        .unwrap();
+        let mut resumed =
+            Simulation::resume_with_seed(m2.spec(), BinomialChainStepper::daily(), &ck, 77)
+                .unwrap();
         resumed.run_until(80);
         assert_eq!(resumed.state().day, 80);
         assert_eq!(

@@ -98,12 +98,7 @@ impl Stepper for BinomialChainStepper {
                     if s + 1 < stages {
                         deltas[base + s + 1] += exits as i64;
                     } else {
-                        multinomial_split(
-                            &mut state.rng,
-                            exits,
-                            &prog.branches,
-                            &mut branch_buf,
-                        );
+                        multinomial_split(&mut state.rng, exits, &prog.branches, &mut branch_buf);
                         for &(target, count) in &branch_buf {
                             deltas[model.offsets[target]] += count as i64;
                             model.record_edge(flows, from, target, count);

@@ -49,14 +49,23 @@ impl CompiledSpec {
     pub fn new(spec: ModelSpec) -> Result<Self, String> {
         spec.validate()?;
         let offsets = spec.stage_offsets();
-        let stage_rates = spec.progressions.iter().map(|p| spec.stage_rate(p)).collect();
+        let stage_rates = spec
+            .progressions
+            .iter()
+            .map(|p| spec.stage_rate(p))
+            .collect();
         let mut edge_flows: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
         for (fi, f) in spec.flows.iter().enumerate() {
             for &edge in &f.edges {
                 edge_flows.entry(edge).or_default().push(fi);
             }
         }
-        Ok(Self { spec, offsets, stage_rates, edge_flows })
+        Ok(Self {
+            spec,
+            offsets,
+            stage_rates,
+            edge_flows,
+        })
     }
 
     /// Add `count` traversals of the `(from, to)` edge to every flow
@@ -149,8 +158,14 @@ mod tests {
             infections: vec![Infection::simple(0, 1)],
             transmission_rate: 0.5,
             flows: vec![
-                FlowSpec { name: "infections".into(), edges: vec![(0, 1)] },
-                FlowSpec { name: "recoveries".into(), edges: vec![(1, 2)] },
+                FlowSpec {
+                    name: "infections".into(),
+                    edges: vec![(0, 1)],
+                },
+                FlowSpec {
+                    name: "recoveries".into(),
+                    edges: vec![(1, 2)],
+                },
             ],
             censuses: vec![],
         }
@@ -166,7 +181,10 @@ mod tests {
     #[test]
     fn record_edge_fans_out_to_watchers() {
         let mut s = si_spec();
-        s.flows.push(FlowSpec { name: "also_inf".into(), edges: vec![(0, 1)] });
+        s.flows.push(FlowSpec {
+            name: "also_inf".into(),
+            edges: vec![(0, 1)],
+        });
         let c = CompiledSpec::new(s).unwrap();
         let mut flows = vec![0u64; 3];
         c.record_edge(&mut flows, 0, 1, 7);

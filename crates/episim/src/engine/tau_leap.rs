@@ -79,8 +79,7 @@ impl Stepper for TauLeapStepper {
                     if occ == 0 {
                         continue;
                     }
-                    let exits =
-                        sample_poisson(&mut state.rng, rate * occ as f64 * tau).min(occ);
+                    let exits = sample_poisson(&mut state.rng, rate * occ as f64 * tau).min(occ);
                     if exits == 0 {
                         continue;
                     }
@@ -88,12 +87,7 @@ impl Stepper for TauLeapStepper {
                     if s + 1 < stages {
                         deltas[base + s + 1] += exits as i64;
                     } else {
-                        multinomial_split(
-                            &mut state.rng,
-                            exits,
-                            &prog.branches,
-                            &mut branch_buf,
-                        );
+                        multinomial_split(&mut state.rng, exits, &prog.branches, &mut branch_buf);
                         for &(target, count) in &branch_buf {
                             deltas[model.offsets[target]] += count as i64;
                             model.record_edge(flows, from, target, count);

@@ -1,6 +1,9 @@
-//! Recorded simulation output: named daily series.
+//! Recorded simulation output: named daily series, owned
+//! ([`DailySeries`]) or structurally shared across a particle ensemble
+//! ([`SharedTrajectory`]).
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+use std::sync::Arc;
 
 /// Daily output series recorded during a run: one row per simulated day,
 /// one named column per flow counter and census in the model spec.
@@ -19,7 +22,11 @@ impl DailySeries {
     /// at `start_day`.
     pub fn new(names: Vec<String>, start_day: u32) -> Self {
         let columns = vec![Vec::new(); names.len()];
-        Self { names, columns, start_day }
+        Self {
+            names,
+            columns,
+            start_day,
+        }
     }
 
     /// Append one day's values (must match the column count).
@@ -27,7 +34,11 @@ impl DailySeries {
     /// # Panics
     /// Panics on a length mismatch.
     pub fn push_day(&mut self, values: &[u64]) {
-        assert_eq!(values.len(), self.columns.len(), "push_day: column mismatch");
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "push_day: column mismatch"
+        );
         for (col, &v) in self.columns.iter_mut().zip(values) {
             col.push(v);
         }
@@ -100,6 +111,351 @@ impl DailySeries {
     }
 }
 
+/// One immutable span of recorded days inside a [`SharedTrajectory`]
+/// chain. Segments link backwards to the segment they continue, so every
+/// particle descended from the same ancestor shares the ancestor's
+/// segments by `Arc` instead of holding its own copy of the history.
+#[derive(Debug)]
+struct TrajectorySegment {
+    /// The days this segment recorded (its `start_day` is the absolute
+    /// day right after the parent chain ends).
+    series: DailySeries,
+    /// The chain being continued (`None` for the day-0 root segment).
+    parent: Option<Arc<TrajectorySegment>>,
+    /// Absolute first day of the whole chain (cached from the root).
+    chain_start: u32,
+    /// Total recorded days across the whole chain, this segment included.
+    chain_len: usize,
+}
+
+/// A persistent, structurally shared daily-output trajectory.
+///
+/// A windowed calibration keeps thousands of particles whose histories
+/// are mostly identical: every child of a resampled ancestor repeats the
+/// ancestor's past and differs only in the newest window. Storing each
+/// particle as an owned [`DailySeries`] makes a continuation cost
+/// `O(history)` in time and memory; a `SharedTrajectory` is an
+/// `Arc`-linked chain of immutable per-window segments, so continuing a
+/// trajectory appends one segment in `O(window)` and all descendants
+/// share their common prefix.
+///
+/// Reads gather across segments and therefore return owned vectors
+/// rather than slices; [`Self::flatten`] produces a plain
+/// [`DailySeries`] when contiguous storage is needed.
+#[derive(Clone, Debug)]
+pub struct SharedTrajectory {
+    head: Arc<TrajectorySegment>,
+}
+
+impl SharedTrajectory {
+    /// Wrap a fully owned series as a single root segment.
+    pub fn root(series: DailySeries) -> Self {
+        let chain_start = series.start_day();
+        let chain_len = series.len();
+        Self {
+            head: Arc::new(TrajectorySegment {
+                series,
+                parent: None,
+                chain_start,
+                chain_len,
+            }),
+        }
+    }
+
+    /// An empty trajectory with the given column names, starting at
+    /// `start_day`.
+    pub fn empty(names: Vec<String>, start_day: u32) -> Self {
+        Self::root(DailySeries::new(names, start_day))
+    }
+
+    /// Continue this trajectory with the next window's recorded days.
+    /// `O(1)` in the length of the existing history: the new trajectory
+    /// shares every prior segment with `self` (and with any other
+    /// continuation of the same ancestor).
+    ///
+    /// # Panics
+    /// Panics if the names differ or `tail` does not start on the day
+    /// right after this trajectory ends (the same contract as
+    /// [`DailySeries::extend`]).
+    #[must_use]
+    pub fn append(&self, tail: DailySeries) -> Self {
+        assert_eq!(self.names(), tail.names(), "append: column names differ");
+        assert_eq!(
+            self.head.chain_start as usize + self.head.chain_len,
+            tail.start_day() as usize,
+            "append: day ranges are not contiguous"
+        );
+        if tail.is_empty() {
+            return self.clone();
+        }
+        if self.is_empty() && self.head.parent.is_none() {
+            // Nothing to share yet: drop the empty root.
+            return Self::root(tail);
+        }
+        let chain_len = self.head.chain_len + tail.len();
+        Self {
+            head: Arc::new(TrajectorySegment {
+                series: tail,
+                parent: Some(Arc::clone(&self.head)),
+                chain_start: self.head.chain_start,
+                chain_len,
+            }),
+        }
+    }
+
+    /// Column names in storage order.
+    pub fn names(&self) -> &[String] {
+        self.head.series.names()
+    }
+
+    /// Total recorded days across all segments.
+    pub fn len(&self) -> usize {
+        self.head.chain_len
+    }
+
+    /// Whether any days have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.head.chain_len == 0
+    }
+
+    /// First recorded day index.
+    pub fn start_day(&self) -> u32 {
+        self.head.chain_start
+    }
+
+    /// Last recorded day index (`None` when empty).
+    pub fn end_day(&self) -> Option<u32> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.head.chain_start + self.head.chain_len as u32 - 1)
+        }
+    }
+
+    /// The chain root-first, so reads run in day order.
+    fn chain(&self) -> Vec<&TrajectorySegment> {
+        let mut segs = Vec::new();
+        let mut cur = Some(&self.head);
+        while let Some(seg) = cur {
+            segs.push(seg.as_ref());
+            cur = seg.parent.as_ref();
+        }
+        segs.reverse();
+        segs
+    }
+
+    /// A full column by name, gathered across segments.
+    pub fn series(&self, name: &str) -> Option<Vec<u64>> {
+        let col = self.names().iter().position(|n| n == name)?;
+        let mut out = Vec::with_capacity(self.len());
+        for seg in self.chain() {
+            out.extend_from_slice(&seg.series.columns[col]);
+        }
+        Some(out)
+    }
+
+    /// A full column by name as `f64`.
+    pub fn series_f64(&self, name: &str) -> Option<Vec<f64>> {
+        self.series(name)
+            .map(|s| s.into_iter().map(|v| v as f64).collect())
+    }
+
+    /// The sub-range of a column covering absolute days
+    /// `[day_lo, day_hi]` inclusive, if fully recorded.
+    pub fn window(&self, name: &str, day_lo: u32, day_hi: u32) -> Option<Vec<u64>> {
+        if day_lo < self.head.chain_start || day_hi < day_lo {
+            return None;
+        }
+        let end = self.head.chain_start as usize + self.head.chain_len;
+        if day_hi as usize >= end {
+            return None;
+        }
+        let col = self.names().iter().position(|n| n == name)?;
+        let mut out = Vec::with_capacity((day_hi - day_lo + 1) as usize);
+        for seg in self.chain() {
+            if seg.series.is_empty() {
+                continue;
+            }
+            let s_lo = seg.series.start_day() as usize;
+            let s_hi = s_lo + seg.series.len() - 1;
+            let lo = (day_lo as usize).max(s_lo);
+            let hi = (day_hi as usize).min(s_hi);
+            if lo > hi {
+                continue;
+            }
+            out.extend_from_slice(&seg.series.columns[col][lo - s_lo..=hi - s_lo]);
+        }
+        Some(out)
+    }
+
+    /// Copy the whole chain into one contiguous owned [`DailySeries`].
+    pub fn flatten(&self) -> DailySeries {
+        let mut flat = DailySeries::new(self.names().to_vec(), self.head.chain_start);
+        for seg in self.chain() {
+            for (dst, src) in flat.columns.iter_mut().zip(&seg.series.columns) {
+                dst.extend_from_slice(src);
+            }
+        }
+        flat
+    }
+
+    /// Iterate recorded days in order as `(absolute_day, row)` pairs,
+    /// with one row value per column in [`Self::names`] order.
+    pub fn iter_days(&self) -> DayRows {
+        let mut segments: Vec<Arc<TrajectorySegment>> = Vec::new();
+        let mut cur = Some(&self.head);
+        while let Some(seg) = cur {
+            segments.push(Arc::clone(seg));
+            cur = seg.parent.as_ref();
+        }
+        segments.reverse();
+        DayRows {
+            segments,
+            seg: 0,
+            row: 0,
+            day: self.head.chain_start,
+        }
+    }
+
+    /// The prefix of this trajectory up to and including absolute day
+    /// `day` (the whole trajectory if `day` is past the end; empty if
+    /// `day` precedes the start).
+    ///
+    /// When `day` falls on a segment boundary — the common case, because
+    /// segments are appended per calibration window and cuts happen at
+    /// window-start checkpoints — the prefix is returned in `O(segments)`
+    /// with zero copying: it *is* the shared ancestor chain. A
+    /// mid-segment cut copies only the partial segment and still shares
+    /// everything before it.
+    #[must_use]
+    pub fn truncated(&self, day: u32) -> Self {
+        let start = self.head.chain_start;
+        if day < start || self.is_empty() {
+            return Self::empty(self.names().to_vec(), start);
+        }
+        if day >= start + self.head.chain_len as u32 - 1 {
+            return self.clone();
+        }
+        // Walk head-ward until the segment containing `day`.
+        let mut seg = &self.head;
+        loop {
+            let seg_first = seg.series.start_day();
+            if day + 1 == seg_first {
+                // Cut exactly before this segment: the parent chain is
+                // the prefix, shared as-is.
+                let parent = seg.parent.as_ref().expect("day >= start");
+                return Self {
+                    head: Arc::clone(parent),
+                };
+            }
+            if day >= seg_first {
+                break;
+            }
+            seg = seg.parent.as_ref().expect("chain covers day");
+        }
+        // Mid-segment cut: share the parent chain, copy the kept rows.
+        let prefix = match &seg.parent {
+            Some(p) => Self {
+                head: Arc::clone(p),
+            },
+            None => Self::empty(self.names().to_vec(), start),
+        };
+        let seg_first = seg.series.start_day();
+        let keep = (day - seg_first + 1) as usize;
+        let mut partial = DailySeries::new(self.names().to_vec(), seg_first);
+        for d in 0..keep {
+            let row: Vec<u64> = seg.series.columns.iter().map(|c| c[d]).collect();
+            partial.push_day(&row);
+        }
+        prefix.append(partial)
+    }
+
+    /// Number of segments in the chain.
+    pub fn segment_count(&self) -> usize {
+        self.chain().len()
+    }
+
+    /// `(segment id, heap bytes of recorded values)` per segment, root
+    /// first. The id is the segment's allocation address: two particles
+    /// that share a segment report the same id, so deduplicating by id
+    /// across an ensemble measures the bytes actually held.
+    pub fn segment_footprint(&self) -> Vec<(usize, usize)> {
+        self.chain()
+            .into_iter()
+            .map(|seg| {
+                let bytes: usize = seg
+                    .series
+                    .columns
+                    .iter()
+                    .map(|c| c.len() * std::mem::size_of::<u64>())
+                    .sum();
+                (std::ptr::from_ref(seg) as usize, bytes)
+            })
+            .collect()
+    }
+
+    /// Heap bytes of recorded values a standalone owned copy of the full
+    /// history would take — the denominator of the sharing ratio.
+    pub fn flat_bytes(&self) -> usize {
+        self.len() * self.names().len() * std::mem::size_of::<u64>()
+    }
+}
+
+impl PartialEq for SharedTrajectory {
+    /// Content equality: same names, alignment, and day values,
+    /// regardless of how the history is segmented.
+    fn eq(&self, other: &Self) -> bool {
+        self.flatten() == other.flatten()
+    }
+}
+
+impl From<DailySeries> for SharedTrajectory {
+    fn from(series: DailySeries) -> Self {
+        Self::root(series)
+    }
+}
+
+impl Serialize for SharedTrajectory {
+    fn to_value(&self) -> Value {
+        self.flatten().to_value()
+    }
+}
+
+impl Deserialize for SharedTrajectory {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        DailySeries::from_value(v).map(Self::root)
+    }
+}
+
+/// Iterator over the `(absolute_day, row)` pairs of a
+/// [`SharedTrajectory`] (see [`SharedTrajectory::iter_days`]).
+pub struct DayRows {
+    segments: Vec<Arc<TrajectorySegment>>,
+    seg: usize,
+    row: usize,
+    day: u32,
+}
+
+impl Iterator for DayRows {
+    type Item = (u32, Vec<u64>);
+
+    fn next(&mut self) -> Option<(u32, Vec<u64>)> {
+        while self.seg < self.segments.len() {
+            let series = &self.segments[self.seg].series;
+            if self.row < series.len() {
+                let row: Vec<u64> = series.columns.iter().map(|c| c[self.row]).collect();
+                let day = self.day;
+                self.row += 1;
+                self.day += 1;
+                return Some((day, row));
+            }
+            self.seg += 1;
+            self.row = 0;
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +517,138 @@ mod tests {
     #[should_panic]
     fn push_rejects_wrong_width() {
         sample().push_day(&[1]);
+    }
+
+    fn segment(start: u32, values: &[(u64, u64)]) -> DailySeries {
+        let mut s = DailySeries::new(vec!["a".into(), "b".into()], start);
+        for &(a, b) in values {
+            s.push_day(&[a, b]);
+        }
+        s
+    }
+
+    /// A three-segment chain: days 0..=2, 3..=4, 5..=6.
+    fn chained() -> SharedTrajectory {
+        SharedTrajectory::root(segment(0, &[(1, 10), (2, 20), (3, 30)]))
+            .append(segment(3, &[(4, 40), (5, 50)]))
+            .append(segment(5, &[(6, 60), (7, 70)]))
+    }
+
+    #[test]
+    fn shared_reads_span_segments() {
+        let t = chained();
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.start_day(), 0);
+        assert_eq!(t.end_day(), Some(6));
+        assert_eq!(t.segment_count(), 3);
+        assert_eq!(t.series("a").unwrap(), vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(
+            t.series_f64("b").unwrap(),
+            vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0]
+        );
+        assert!(t.series("c").is_none());
+        // Window crossing two segment boundaries.
+        assert_eq!(t.window("a", 2, 5).unwrap(), vec![3, 4, 5, 6]);
+        // Window inside one segment.
+        assert_eq!(t.window("b", 3, 4).unwrap(), vec![40, 50]);
+        // Out-of-coverage windows.
+        assert!(t.window("a", 0, 7).is_none());
+        assert!(t.window("a", 5, 4).is_none());
+    }
+
+    #[test]
+    fn append_shares_the_prefix() {
+        let base = SharedTrajectory::root(segment(0, &[(1, 10), (2, 20)]));
+        let child1 = base.append(segment(2, &[(3, 30)]));
+        let child2 = base.append(segment(2, &[(9, 90)]));
+        // Both children report the same id for the shared root segment.
+        let f1 = child1.segment_footprint();
+        let f2 = child2.segment_footprint();
+        assert_eq!(f1.len(), 2);
+        assert_eq!(f1[0], f2[0], "root segment must be shared, not copied");
+        assert_ne!(f1[1].0, f2[1].0);
+        // The parent is untouched by either continuation.
+        assert_eq!(base.len(), 2);
+        assert_eq!(child1.series("a").unwrap(), vec![1, 2, 3]);
+        assert_eq!(child2.series("a").unwrap(), vec![1, 2, 9]);
+        // Bytes: each segment row holds 2 columns * 8 bytes.
+        assert_eq!(f1[0].1, 2 * 2 * 8);
+        assert_eq!(child1.flat_bytes(), 3 * 2 * 8);
+    }
+
+    #[test]
+    fn flatten_matches_owned_extend() {
+        let t = chained();
+        let mut owned = segment(0, &[(1, 10), (2, 20), (3, 30)]);
+        owned.extend(&segment(3, &[(4, 40), (5, 50)]));
+        owned.extend(&segment(5, &[(6, 60), (7, 70)]));
+        assert_eq!(t.flatten(), owned);
+        assert_eq!(t, SharedTrajectory::root(owned));
+    }
+
+    #[test]
+    fn iter_days_walks_the_chain_in_order() {
+        let rows: Vec<(u32, Vec<u64>)> = chained().iter_days().collect();
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0], (0, vec![1, 10]));
+        assert_eq!(rows[3], (3, vec![4, 40]));
+        assert_eq!(rows[6], (6, vec![7, 70]));
+    }
+
+    #[test]
+    fn truncated_at_boundary_is_the_shared_parent() {
+        let t = chained();
+        let prefix = t.truncated(4);
+        assert_eq!(prefix.len(), 5);
+        assert_eq!(prefix.segment_count(), 2);
+        // Zero copying: the prefix heads are the very same segments.
+        assert_eq!(
+            prefix.segment_footprint(),
+            t.segment_footprint()[..2].to_vec()
+        );
+        // Past-the-end and before-the-start cuts.
+        assert_eq!(t.truncated(99).len(), 7);
+        assert_eq!(t.truncated(0).len(), 1); // day 0 keeps the first row
+        let t1 = SharedTrajectory::root(segment(5, &[(1, 1)]));
+        assert!(t1.truncated(4).is_empty());
+        assert_eq!(t1.truncated(4).start_day(), 5);
+    }
+
+    #[test]
+    fn truncated_mid_segment_copies_only_the_tail_segment() {
+        let t = chained();
+        let prefix = t.truncated(3); // cuts inside the middle segment
+        assert_eq!(prefix.len(), 4);
+        assert_eq!(prefix.series("a").unwrap(), vec![1, 2, 3, 4]);
+        // The root segment is still shared.
+        assert_eq!(prefix.segment_footprint()[0], t.segment_footprint()[0]);
+    }
+
+    #[test]
+    fn empty_root_append_and_serde_round_trip() {
+        let e = SharedTrajectory::empty(vec!["a".into(), "b".into()], 0);
+        assert!(e.is_empty());
+        assert_eq!(e.end_day(), None);
+        let t = e.append(segment(0, &[(1, 10)]));
+        assert_eq!(t.segment_count(), 1, "empty root should be dropped");
+        assert_eq!(t.len(), 1);
+        let json = serde_json::to_string(&chained()).unwrap();
+        let back: SharedTrajectory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, chained());
+        assert_eq!(back.segment_count(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn append_rejects_gap() {
+        let _ = chained().append(segment(9, &[(1, 1)]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn append_rejects_name_mismatch() {
+        let mut other = DailySeries::new(vec!["x".into(), "y".into()], 7);
+        other.push_day(&[0, 0]);
+        let _ = chained().append(other);
     }
 }

@@ -29,7 +29,12 @@ impl<S: Stepper> Simulation<S> {
         // Row i of the series covers day `state.day + 1 + i`: the first
         // step advances the clock to day start+1 and records that day.
         let series = DailySeries::new(model.spec.output_names(), state.day + 1);
-        Ok(Self { model, stepper, state, series })
+        Ok(Self {
+            model,
+            stepper,
+            state,
+            series,
+        })
     }
 
     /// Resume from a checkpoint under a (possibly re-parameterized) spec,
@@ -123,8 +128,14 @@ mod tests {
             }],
             infections: vec![Infection::simple(0, 1)],
             transmission_rate: 0.5,
-            flows: vec![FlowSpec { name: "infections".into(), edges: vec![(0, 1)] }],
-            censuses: vec![CensusSpec { name: "active".into(), compartments: vec![1] }],
+            flows: vec![FlowSpec {
+                name: "infections".into(),
+                edges: vec![(0, 1)],
+            }],
+            censuses: vec![CensusSpec {
+                name: "active".into(),
+                compartments: vec![1],
+            }],
         }
     }
 
@@ -143,7 +154,10 @@ mod tests {
         sim.run_until(30);
         let series = sim.series();
         assert_eq!(series.len(), 30);
-        assert_eq!(series.names(), &["infections".to_string(), "active".to_string()]);
+        assert_eq!(
+            series.names(),
+            &["infections".to_string(), "active".to_string()]
+        );
         let total_inf: u64 = series.series("infections").unwrap().iter().sum();
         assert!(total_inf > 100);
         // Census on the last day matches the live state.
@@ -159,15 +173,14 @@ mod tests {
         let sp = spec();
         let st = start_state(&sp, 2);
         // Uninterrupted run to day 40.
-        let mut full = Simulation::new(sp.clone(), BinomialChainStepper::daily(), st.clone())
-            .unwrap();
+        let mut full =
+            Simulation::new(sp.clone(), BinomialChainStepper::daily(), st.clone()).unwrap();
         full.run_until(40);
         // Interrupted: run to day 20, checkpoint, resume, run to 40.
         let mut first = Simulation::new(sp.clone(), BinomialChainStepper::daily(), st).unwrap();
         first.run_until(20);
         let ck = first.checkpoint();
-        let mut second =
-            Simulation::resume(sp, BinomialChainStepper::daily(), &ck).unwrap();
+        let mut second = Simulation::resume(sp, BinomialChainStepper::daily(), &ck).unwrap();
         second.run_until(40);
         assert_eq!(second.state(), full.state());
         // The resumed series covers days 21..=40 and matches the tail of

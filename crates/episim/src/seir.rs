@@ -99,7 +99,11 @@ impl SeirModel {
                 Compartment::simple("R"),
             ],
             progressions: vec![
-                Progression { from: 1, mean_dwell: p.latent_period, branches: vec![(2, 1.0)] },
+                Progression {
+                    from: 1,
+                    mean_dwell: p.latent_period,
+                    branches: vec![(2, 1.0)],
+                },
                 Progression {
                     from: 2,
                     mean_dwell: p.infectious_period,
@@ -109,10 +113,19 @@ impl SeirModel {
             infections: vec![Infection::simple(0, 1)],
             transmission_rate: p.transmission_rate,
             flows: vec![
-                FlowSpec { name: "infections".into(), edges: vec![(0, 1)] },
-                FlowSpec { name: "recoveries".into(), edges: vec![(2, 3)] },
+                FlowSpec {
+                    name: "infections".into(),
+                    edges: vec![(0, 1)],
+                },
+                FlowSpec {
+                    name: "recoveries".into(),
+                    edges: vec![(2, 3)],
+                },
             ],
-            censuses: vec![CensusSpec { name: "infectious".into(), compartments: vec![2] }],
+            censuses: vec![CensusSpec {
+                name: "infectious".into(),
+                compartments: vec![2],
+            }],
         }
     }
 
@@ -121,7 +134,11 @@ impl SeirModel {
     pub fn initial_state(&self, seed: u64) -> SimState {
         let spec = self.spec();
         let mut st = SimState::empty(&spec, seed);
-        st.seed_compartment(&spec, 0, self.params.population - self.params.initial_exposed);
+        st.seed_compartment(
+            &spec,
+            0,
+            self.params.population - self.params.initial_exposed,
+        );
         st.seed_compartment(&spec, 1, self.params.initial_exposed);
         st
     }
@@ -186,6 +203,10 @@ mod tests {
             ..SeirParams::default()
         })
         .is_err());
-        assert!(SeirModel::new(SeirParams { stages: 0, ..SeirParams::default() }).is_err());
+        assert!(SeirModel::new(SeirParams {
+            stages: 0,
+            ..SeirParams::default()
+        })
+        .is_err());
     }
 }

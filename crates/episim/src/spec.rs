@@ -30,12 +30,20 @@ pub struct Compartment {
 impl Compartment {
     /// A non-infectious compartment with a single stage.
     pub fn simple(name: &str) -> Self {
-        Self { name: name.to_string(), stages: 1, infectivity: 0.0 }
+        Self {
+            name: name.to_string(),
+            stages: 1,
+            infectivity: 0.0,
+        }
     }
 
     /// A compartment with the given Erlang stage count and infectivity.
     pub fn new(name: &str, stages: u32, infectivity: f64) -> Self {
-        Self { name: name.to_string(), stages, infectivity }
+        Self {
+            name: name.to_string(),
+            stages,
+            infectivity,
+        }
     }
 }
 
@@ -77,7 +85,12 @@ pub struct Infection {
 impl Infection {
     /// Homogeneous-mixing infection with baseline susceptibility.
     pub fn simple(susceptible: CompartmentId, exposed: CompartmentId) -> Self {
-        Self { susceptible, exposed, susceptibility: 1.0, sources: None }
+        Self {
+            susceptible,
+            exposed,
+            susceptibility: 1.0,
+            sources: None,
+        }
     }
 
     /// Structured-mixing infection: explicit source weights (e.g. one
@@ -88,7 +101,12 @@ impl Infection {
         susceptibility: f64,
         sources: Vec<(CompartmentId, f64)>,
     ) -> Self {
-        Self { susceptible, exposed, susceptibility, sources: Some(sources) }
+        Self {
+            susceptible,
+            exposed,
+            susceptibility,
+            sources: Some(sources),
+        }
     }
 }
 
@@ -241,7 +259,10 @@ impl ModelSpec {
         for c in &self.censuses {
             for &i in &c.compartments {
                 if i >= n {
-                    return Err(format!("census '{}' references unknown compartment", c.name));
+                    return Err(format!(
+                        "census '{}' references unknown compartment",
+                        c.name
+                    ));
                 }
             }
         }
@@ -308,8 +329,14 @@ mod tests {
             }],
             infections: vec![Infection::simple(0, 1)],
             transmission_rate: 0.3,
-            flows: vec![FlowSpec { name: "infections".into(), edges: vec![(0, 1)] }],
-            censuses: vec![CensusSpec { name: "infectious".into(), compartments: vec![1] }],
+            flows: vec![FlowSpec {
+                name: "infections".into(),
+                edges: vec![(0, 1)],
+            }],
+            censuses: vec![CensusSpec {
+                name: "infectious".into(),
+                compartments: vec![1],
+            }],
         }
     }
 

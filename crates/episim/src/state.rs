@@ -67,8 +67,7 @@ impl SimState {
         let mut weighted = 0.0;
         for (id, c) in spec.compartments.iter().enumerate() {
             if c.infectivity > 0.0 {
-                let count: u64 =
-                    self.stage_counts[offsets[id]..offsets[id + 1]].iter().sum();
+                let count: u64 = self.stage_counts[offsets[id]..offsets[id + 1]].iter().sum();
                 weighted += c.infectivity * count as f64;
             }
         }
@@ -130,7 +129,10 @@ mod tests {
             }],
             infections: vec![Infection::simple(0, 1)],
             transmission_rate: 0.4,
-            flows: vec![FlowSpec { name: "inf".into(), edges: vec![(0, 1)] }],
+            flows: vec![FlowSpec {
+                name: "inf".into(),
+                edges: vec![(0, 1)],
+            }],
             censuses: vec![],
         }
     }
@@ -171,23 +173,20 @@ mod tests {
         st.seed_compartment(&s, 1, 100);
         // Homogeneous with susceptibility 1 matches the global FOI.
         let inf = Infection::simple(0, 1);
-        assert!(
-            (st.force_of_infection_for(&s, &inf) - st.force_of_infection(&s)).abs()
-                < 1e-14
-        );
+        assert!((st.force_of_infection_for(&s, &inf) - st.force_of_infection(&s)).abs() < 1e-14);
         // Susceptibility multiplier scales linearly.
-        let half = Infection { susceptibility: 0.5, ..Infection::simple(0, 1) };
+        let half = Infection {
+            susceptibility: 0.5,
+            ..Infection::simple(0, 1)
+        };
         assert!(
-            (st.force_of_infection_for(&s, &half) - 0.5 * st.force_of_infection(&s))
-                .abs()
-                < 1e-15
+            (st.force_of_infection_for(&s, &half) - 0.5 * st.force_of_infection(&s)).abs() < 1e-15
         );
         // Structured sources: weight 2 on compartment I doubles the FOI;
         // sourcing only from the (non-infectious) S pool gives zero.
         let double = Infection::weighted(0, 1, 1.0, vec![(1, 2.0)]);
         assert!(
-            (st.force_of_infection_for(&s, &double) - 2.0 * st.force_of_infection(&s))
-                .abs()
+            (st.force_of_infection_for(&s, &double) - 2.0 * st.force_of_infection(&s)).abs()
                 < 1e-15
         );
         let none = Infection::weighted(0, 1, 1.0, vec![(0, 1.0)]);

@@ -48,7 +48,10 @@ impl CheckpointStore {
     /// entry with the same key.
     pub fn insert(&mut self, run: &str, day: u32, checkpoint: &SimCheckpoint) {
         self.entries.insert(
-            CheckpointKey { run: run.to_string(), day },
+            CheckpointKey {
+                run: run.to_string(),
+                day,
+            },
             checkpoint.to_bytes(),
         );
     }
@@ -58,7 +61,10 @@ impl CheckpointStore {
     /// # Errors
     /// Returns an error if the stored bytes fail to decode (corruption).
     pub fn get(&self, run: &str, day: u32) -> Result<Option<SimCheckpoint>, String> {
-        match self.entries.get(&CheckpointKey { run: run.to_string(), day }) {
+        match self.entries.get(&CheckpointKey {
+            run: run.to_string(),
+            day,
+        }) {
             None => Ok(None),
             Some(b) => SimCheckpoint::from_bytes(b).map(Some),
         }
@@ -74,8 +80,14 @@ impl CheckpointStore {
         run: &str,
         day: u32,
     ) -> Result<Option<(u32, SimCheckpoint)>, String> {
-        let lo = CheckpointKey { run: run.to_string(), day: 0 };
-        let hi = CheckpointKey { run: run.to_string(), day };
+        let lo = CheckpointKey {
+            run: run.to_string(),
+            day: 0,
+        };
+        let hi = CheckpointKey {
+            run: run.to_string(),
+            day,
+        };
         match self.entries.range(lo..=hi).next_back() {
             None => Ok(None),
             Some((k, b)) => Ok(Some((k.day, SimCheckpoint::from_bytes(b)?))),
@@ -84,15 +96,20 @@ impl CheckpointStore {
 
     /// All stamped days for a run, ascending.
     pub fn days(&self, run: &str) -> Vec<u32> {
-        let lo = CheckpointKey { run: run.to_string(), day: 0 };
-        let hi = CheckpointKey { run: run.to_string(), day: u32::MAX };
+        let lo = CheckpointKey {
+            run: run.to_string(),
+            day: 0,
+        };
+        let hi = CheckpointKey {
+            run: run.to_string(),
+            day: u32::MAX,
+        };
         self.entries.range(lo..=hi).map(|(k, _)| k.day).collect()
     }
 
     /// Distinct run labels in the store.
     pub fn runs(&self) -> Vec<String> {
-        let mut out: Vec<String> =
-            self.entries.keys().map(|k| k.run.clone()).collect();
+        let mut out: Vec<String> = self.entries.keys().map(|k| k.run.clone()).collect();
         out.dedup();
         out
     }
@@ -144,15 +161,19 @@ impl CheckpointStore {
             let (run, day) = stem
                 .rsplit_once('@')
                 .ok_or_else(|| format!("file name '{stem}' missing '@day'"))?;
-            let day: u32 =
-                day.parse().map_err(|e| format!("file '{stem}': bad day: {e}"))?;
-            let bytes =
-                std::fs::read(&path).map_err(|e| format!("read {path:?}: {e}"))?;
+            let day: u32 = day
+                .parse()
+                .map_err(|e| format!("file '{stem}': bad day: {e}"))?;
+            let bytes = std::fs::read(&path).map_err(|e| format!("read {path:?}: {e}"))?;
             // Validate eagerly so corruption surfaces at load, not use.
             SimCheckpoint::from_bytes(&bytes)?;
-            store
-                .entries
-                .insert(CheckpointKey { run: run.to_string(), day }, bytes.into());
+            store.entries.insert(
+                CheckpointKey {
+                    run: run.to_string(),
+                    day,
+                },
+                bytes.into(),
+            );
         }
         Ok(store)
     }

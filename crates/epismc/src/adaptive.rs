@@ -38,7 +38,11 @@ pub struct AdaptiveConfig {
 
 impl Default for AdaptiveConfig {
     fn default() -> Self {
-        Self { max_iterations: 3, target_ess_fraction: 0.10, jitter_decay: 0.7 }
+        Self {
+            max_iterations: 3,
+            target_ess_fraction: 0.10,
+            jitter_decay: 0.7,
+        }
     }
 }
 
@@ -58,7 +62,10 @@ impl AdaptiveConfig {
             ));
         }
         if !(self.jitter_decay > 0.0 && self.jitter_decay <= 1.0) {
-            return Err(format!("jitter_decay = {} outside (0, 1]", self.jitter_decay));
+            return Err(format!(
+                "jitter_decay = {} outside (0, 1]",
+                self.jitter_decay
+            ));
         }
         Ok(())
     }
@@ -81,14 +88,20 @@ mod tests {
 
     #[test]
     fn rejects_bad_fields() {
-        let mut a = AdaptiveConfig::default();
-        a.max_iterations = 0;
+        let a = AdaptiveConfig {
+            max_iterations: 0,
+            ..Default::default()
+        };
         assert!(a.validate().is_err());
-        let mut a = AdaptiveConfig::default();
-        a.target_ess_fraction = 0.0;
+        let a = AdaptiveConfig {
+            target_ess_fraction: 0.0,
+            ..Default::default()
+        };
         assert!(a.validate().is_err());
-        let mut a = AdaptiveConfig::default();
-        a.jitter_decay = 1.5;
+        let a = AdaptiveConfig {
+            jitter_decay: 1.5,
+            ..Default::default()
+        };
         assert!(a.validate().is_err());
     }
 
@@ -126,11 +139,8 @@ mod tests {
     fn adaptive_refinement_improves_jump_tracking() {
         let sim = seir();
         let (cases, true_late_theta) = jump_truth();
-        let observed = ObservedData::cases_only_with(
-            cases,
-            crate::observation::BiasMode::Mean,
-            1.0,
-        );
+        let observed =
+            ObservedData::cases_only_with(cases, crate::observation::BiasMode::Mean, 1.0);
         let plan = WindowPlan::new(vec![TimeWindow::new(5, 25), TimeWindow::new(26, 50)]);
         let priors = Priors {
             theta: vec![Box::new(crate::prior::UniformPrior::new(0.1, 0.9))],
@@ -158,10 +168,8 @@ mod tests {
             .run(&priors, &observed, &plan)
             .unwrap();
 
-        let err_plain =
-            (plain.final_posterior().mean_theta(0) - true_late_theta).abs();
-        let err_adaptive =
-            (adaptive.final_posterior().mean_theta(0) - true_late_theta).abs();
+        let err_plain = (plain.final_posterior().mean_theta(0) - true_late_theta).abs();
+        let err_adaptive = (adaptive.final_posterior().mean_theta(0) - true_late_theta).abs();
         // Adaptive iterations walk the ensemble toward the jumped truth.
         assert!(
             err_adaptive < err_plain,
@@ -196,6 +204,9 @@ mod tests {
         })
         .run(&Priors::paper(), &observed, &plan)
         .unwrap();
-        assert_eq!(result.windows[0].iterations, 1, "should stop after one pass");
+        assert_eq!(
+            result.windows[0].iterations, 1,
+            "should stop after one pass"
+        );
     }
 }

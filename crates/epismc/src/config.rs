@@ -57,7 +57,9 @@ impl Default for CalibrationConfig {
 impl CalibrationConfig {
     /// Start building a configuration from the defaults.
     pub fn builder() -> CalibrationConfigBuilder {
-        CalibrationConfigBuilder { cfg: Self::default() }
+        CalibrationConfigBuilder {
+            cfg: Self::default(),
+        }
     }
 
     /// Total trajectories simulated per window.
@@ -176,8 +178,10 @@ mod tests {
 
     #[test]
     fn validate_catches_bad_sigma() {
-        let mut cfg = CalibrationConfig::default();
-        cfg.sigma = 0.0;
+        let mut cfg = CalibrationConfig {
+            sigma: 0.0,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
         cfg.sigma = f64::NAN;
         assert!(cfg.validate().is_err());

@@ -91,9 +91,7 @@ impl Ribbon {
         let mut matrix: Vec<Vec<f64>> = vec![Vec::with_capacity(ensemble.len()); n_days];
         for p in ensemble.particles() {
             let w = p.trajectory.window(series, day_lo, day_hi).ok_or_else(|| {
-                format!(
-                    "ribbon: trajectory does not cover '{series}' on [{day_lo}, {day_hi}]"
-                )
+                format!("ribbon: trajectory does not cover '{series}' on [{day_lo}, {day_hi}]")
             })?;
             let vals: Vec<f64> = w.iter().map(|&v| v as f64).collect();
             let vals = transform(vals, p.rho);
@@ -230,31 +228,31 @@ pub fn joint_density(
         };
         let (xmin, xmax) = xs
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| (a.min(v), b.max(v)));
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+                (a.min(v), b.max(v))
+            });
         let (ymin, ymax) = ys
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| (a.min(v), b.max(v)));
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+                (a.min(v), b.max(v))
+            });
         (pad(xmin, xmax), pad(ymin, ymax))
     });
-    let grid = Kde2d::new(&xs, &ys, Some(&ws)).grid(
-        (x_lo, x_hi),
-        (y_lo, y_hi),
-        resolution,
-        resolution,
-    );
+    let grid =
+        Kde2d::new(&xs, &ys, Some(&ws)).grid((x_lo, x_hi), (y_lo, y_hi), resolution, resolution);
     let level50 = grid.hdr_level(0.5);
     let level90 = grid.hdr_level(0.9);
-    JointDensity { grid, level50, level90 }
+    JointDensity {
+        grid,
+        level50,
+        level90,
+    }
 }
 
 /// Posterior-predictive draw of reported counts for one particle: thins
 /// its true series through a *sampled* binomial with its `rho` (used by
 /// the figure binaries for predictive spaghetti).
-pub fn predictive_reported(
-    truth: &[f64],
-    rho: f64,
-    seed: u64,
-) -> Vec<f64> {
+pub fn predictive_reported(truth: &[f64], rho: f64, seed: u64) -> Vec<f64> {
     use epistats::dist::sample_binomial;
     let mut rng = Xoshiro256PlusPlus::new(seed);
     truth
@@ -283,7 +281,10 @@ mod tests {
             }],
             infections: vec![Infection::simple(0, 1)],
             transmission_rate: 0.1,
-            flows: vec![FlowSpec { name: "infections".into(), edges: vec![(0, 1)] }],
+            flows: vec![FlowSpec {
+                name: "infections".into(),
+                edges: vec![(0, 1)],
+            }],
             censuses: vec![],
         };
         let mut traj = DailySeries::new(vec!["infections".into()], 1);
@@ -295,7 +296,7 @@ mod tests {
             rho,
             seed: level,
             log_weight: log_w,
-            trajectory: traj,
+            trajectory: traj.into(),
             checkpoint: SimCheckpoint::capture(&spec, &SimState::empty(&spec, 1)),
             origin: None,
         }
@@ -334,7 +335,11 @@ mod tests {
         let mut e = ensemble();
         e.particles_mut()[2].log_weight = 10.0; // dominate
         let r = Ribbon::from_ensemble(&e, "infections", 1, 10).unwrap();
-        assert!(r.q50[0] > 290.0, "median {} should be pulled to 300", r.q50[0]);
+        assert!(
+            r.q50[0] > 290.0,
+            "median {} should be pulled to 300",
+            r.q50[0]
+        );
     }
 
     #[test]
@@ -348,8 +353,8 @@ mod tests {
     fn coverage_counts_inside_days() {
         let r = Ribbon::from_ensemble(&ensemble(), "infections", 1, 10).unwrap();
         // Truth at the median: covered; truth way outside: not.
-        assert_eq!(coverage(&r, &vec![200.0; 10]), 1.0);
-        assert_eq!(coverage(&r, &vec![1e6; 10]), 0.0);
+        assert_eq!(coverage(&r, &[200.0; 10]), 1.0);
+        assert_eq!(coverage(&r, &[1e6; 10]), 0.0);
         let mut half = vec![200.0; 10];
         for v in half.iter_mut().take(5) {
             *v = 1e6;

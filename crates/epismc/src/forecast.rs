@@ -59,7 +59,12 @@ impl Forecast {
     ///
     /// # Panics
     /// Panics if the series is unknown.
-    pub fn band(&self, name: &str, q_lo: f64, q_hi: f64) -> (Vec<u32>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    pub fn band(
+        &self,
+        name: &str,
+        q_lo: f64,
+        q_hi: f64,
+    ) -> (Vec<u32>, Vec<f64>, Vec<f64>, Vec<f64>) {
         let (_, cols) = self
             .series
             .iter()
@@ -108,24 +113,31 @@ impl Forecast {
 }
 
 /// Posterior-predictive forecaster over a calibrated ensemble.
+///
+/// Owns its [`ParallelRunner`], so a pinned thread pool is built once at
+/// [`Self::with_threads`] and reused by every forecast call.
 pub struct Forecaster<'a, S: TrajectorySimulator> {
     simulator: &'a S,
-    threads: Option<usize>,
+    runner: ParallelRunner,
 }
 
 impl<'a, S: TrajectorySimulator> Forecaster<'a, S> {
     /// Create a forecaster over a simulator.
     pub fn new(simulator: &'a S) -> Self {
-        Self { simulator, threads: None }
+        Self {
+            simulator,
+            runner: ParallelRunner::new(),
+        }
     }
 
-    /// Pin the rayon thread count.
+    /// Pin the rayon thread count (the dedicated pool is built here,
+    /// once, not per forecast call).
     ///
     /// # Panics
     /// Panics if `threads` is zero.
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "Forecaster: threads must be >= 1");
-        self.threads = Some(threads);
+        self.runner = ParallelRunner::with_threads(threads);
         self
     }
 
@@ -144,7 +156,9 @@ impl<'a, S: TrajectorySimulator> Forecaster<'a, S> {
         seed: u64,
         series_names: &[&str],
     ) -> Result<Forecast, String> {
-        self.forecast_with(ensemble, days, n_members, seed, series_names, |t| t.to_vec())
+        self.forecast_with(ensemble, days, n_members, seed, series_names, |t| {
+            t.to_vec()
+        })
     }
 
     /// Like [`Self::forecast`], but transforming each particle's
@@ -172,7 +186,11 @@ impl<'a, S: TrajectorySimulator> Forecaster<'a, S> {
             return Err("forecast: days and n_members must be positive".into());
         }
         let horizon = ensemble.particles()[0].checkpoint.day;
-        if ensemble.particles().iter().any(|p| p.checkpoint.day != horizon) {
+        if ensemble
+            .particles()
+            .iter()
+            .any(|p| p.checkpoint.day != horizon)
+        {
             return Err("forecast: ensemble checkpoints at mixed horizons".into());
         }
 
@@ -181,22 +199,17 @@ impl<'a, S: TrajectorySimulator> Forecaster<'a, S> {
         let weights = ensemble.normalized_weights();
         let picks = Multinomial.resample(&weights, n_members, &mut rng);
 
-        let runner = match self.threads {
-            Some(t) => ParallelRunner::with_threads(t),
-            None => ParallelRunner::new(),
-        };
         let runs: Vec<Result<episim::output::DailySeries, String>> =
-            runner.run_indexed(n_members, |m| {
+            self.runner.run_indexed(n_members, |m| {
                 let p = &ensemble.particles()[picks[m]];
                 let theta = transform(&p.theta);
-                let member_seed = derive_stream(seed, &[0xF0CA_57 as u64, m as u64]);
+                let member_seed = derive_stream(seed, &[0x00F0_CA57_u64, m as u64]);
                 let (tail, _) =
                     self.simulator
                         .run_from(&p.checkpoint, &theta, member_seed, horizon + days)?;
                 Ok(tail)
             });
-        let runs: Vec<episim::output::DailySeries> =
-            runs.into_iter().collect::<Result<_, _>>()?;
+        let runs: Vec<episim::output::DailySeries> = runs.into_iter().collect::<Result<_, _>>()?;
 
         let mut series = Vec::with_capacity(series_names.len());
         for &name in series_names {
@@ -211,7 +224,10 @@ impl<'a, S: TrajectorySimulator> Forecaster<'a, S> {
             }
             series.push((name.to_string(), cols));
         }
-        Ok(Forecast { start_day: horizon + 1, series })
+        Ok(Forecast {
+            start_day: horizon + 1,
+            series,
+        })
     }
 }
 
@@ -236,11 +252,7 @@ mod tests {
         // Truth and its continuation (days 31..60) for scoring.
         let (full, _) = sim.run_fresh(&[0.4], 777, 60).unwrap();
         let cases = full.series_f64("infections").unwrap();
-        let observed = ObservedData::cases_only_with(
-            cases[..30].to_vec(),
-            BiasMode::Mean,
-            1.0,
-        );
+        let observed = ObservedData::cases_only_with(cases[..30].to_vec(), BiasMode::Mean, 1.0);
         let cfg = CalibrationConfig::builder()
             .n_params(120)
             .n_replicates(4)
@@ -272,10 +284,7 @@ mod tests {
         let f2 = Forecaster::new(&sim)
             .forecast(&posterior, 30, 50, 9, &["infections"])
             .unwrap();
-        assert_eq!(
-            f.ensemble("infections", 10),
-            f2.ensemble("infections", 10)
-        );
+        assert_eq!(f.ensemble("infections", 10), f2.ensemble("infections", 10));
     }
 
     #[test]
@@ -306,16 +315,23 @@ mod tests {
             .forecast_with(&posterior, 30, 60, 13, &["infections"], |_| vec![0.1])
             .unwrap()
             .mean_crps("infections", &future);
-        assert!(good < bad, "calibrated CRPS {good:.1} not below mis-specified {bad:.1}");
+        assert!(
+            good < bad,
+            "calibrated CRPS {good:.1} not below mis-specified {bad:.1}"
+        );
     }
 
     #[test]
     fn intervention_transform_reduces_caseload() {
         let (sim, posterior, _) = calibrated();
         let fc = Forecaster::new(&sim);
-        let base = fc.forecast(&posterior, 30, 60, 17, &["infections"]).unwrap();
+        let base = fc
+            .forecast(&posterior, 30, 60, 17, &["infections"])
+            .unwrap();
         let cut = fc
-            .forecast_with(&posterior, 30, 60, 17, &["infections"], |t| vec![t[0] * 0.4])
+            .forecast_with(&posterior, 30, 60, 17, &["infections"], |t| {
+                vec![t[0] * 0.4]
+            })
             .unwrap();
         let total = |f: &Forecast| -> f64 {
             (0..f.len())
@@ -337,7 +353,9 @@ mod tests {
     fn rejects_degenerate_inputs() {
         let (sim, posterior, _) = calibrated();
         let fc = Forecaster::new(&sim);
-        assert!(fc.forecast(&ParticleEnsemble::new(), 10, 10, 1, &["infections"]).is_err());
+        assert!(fc
+            .forecast(&ParticleEnsemble::new(), 10, 10, 1, &["infections"])
+            .is_err());
         assert!(fc.forecast(&posterior, 0, 10, 1, &["infections"]).is_err());
         assert!(fc.forecast(&posterior, 10, 0, 1, &["infections"]).is_err());
         assert!(fc.forecast(&posterior, 10, 10, 1, &["bogus"]).is_err());

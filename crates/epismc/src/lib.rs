@@ -62,11 +62,11 @@ pub use prior::{BetaPrior, JitterKernel, Prior, UniformPrior};
 pub use rejuvenate::{rejuvenate, RejuvenationConfig, RejuvenationStats};
 pub use resample::{Multinomial, Resampler, Residual, Stratified, Systematic};
 pub use runner::ParallelRunner;
-pub use surrogate::SurrogateScreen;
-pub use tempered::{tempered_single_window, TemperedConfig, TemperedResult};
 pub use simulator::{CovidSimulator, SeirSimulator, TrajectorySimulator};
 pub use sis::{
-    CalibrationResult, DataSource, ObservedData, ObservedSeries, Priors,
-    SequentialCalibrator, SingleWindowIs, WindowResult,
+    CalibrationResult, DataSource, ObservedData, ObservedSeries, Priors, SequentialCalibrator,
+    SingleWindowIs, WindowResult,
 };
+pub use surrogate::SurrogateScreen;
+pub use tempered::{tempered_single_window, TemperedConfig, TemperedResult};
 pub use window::{TimeWindow, WindowPlan};

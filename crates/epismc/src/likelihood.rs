@@ -319,6 +319,9 @@ mod tests {
         let g = GaussianSqrtLikelihood::new(1.0);
         let pen_nb = nb.log_likelihood(&[300.0], &[300.0]) - nb.log_likelihood(&[300.0], &[100.0]);
         let pen_g = g.log_likelihood(&[300.0], &[300.0]) - g.log_likelihood(&[300.0], &[100.0]);
-        assert!(pen_nb < pen_g, "NB penalty {pen_nb} should be smaller than Gaussian {pen_g}");
+        assert!(
+            pen_nb < pen_g,
+            "NB penalty {pen_nb} should be smaller than Gaussian {pen_g}"
+        );
     }
 }

@@ -46,12 +46,16 @@ pub struct BinomialBias {
 impl BinomialBias {
     /// Sampled thinning — the paper's model.
     pub fn sampled() -> Self {
-        Self { mode: BiasMode::Sampled }
+        Self {
+            mode: BiasMode::Sampled,
+        }
     }
 
     /// Conditional-mean thinning.
     pub fn mean() -> Self {
-        Self { mode: BiasMode::Mean }
+        Self {
+            mode: BiasMode::Mean,
+        }
     }
 }
 
@@ -109,11 +113,17 @@ impl DelayedBinomialBias {
     /// Panics if the pmf is empty, has negative entries, or does not sum
     /// to 1 within `1e-9`.
     pub fn new(mode: BiasMode, delay_pmf: Vec<f64>) -> Self {
-        assert!(!delay_pmf.is_empty(), "DelayedBinomialBias: empty delay pmf");
+        assert!(
+            !delay_pmf.is_empty(),
+            "DelayedBinomialBias: empty delay pmf"
+        );
         let total: f64 = delay_pmf
             .iter()
             .map(|&p| {
-                assert!(p >= 0.0 && p.is_finite(), "DelayedBinomialBias: bad pmf entry {p}");
+                assert!(
+                    p >= 0.0 && p.is_finite(),
+                    "DelayedBinomialBias: bad pmf entry {p}"
+                );
                 p
             })
             .sum();
@@ -130,10 +140,14 @@ impl DelayedBinomialBias {
     /// # Panics
     /// Panics unless `mean_days >= 0` and `max_days >= 1`.
     pub fn geometric(mode: BiasMode, mean_days: f64, max_days: usize) -> Self {
-        assert!(mean_days >= 0.0 && max_days >= 1, "geometric: bad parameters");
+        assert!(
+            mean_days >= 0.0 && max_days >= 1,
+            "geometric: bad parameters"
+        );
         let p = 1.0 / (1.0 + mean_days);
-        let mut pmf: Vec<f64> =
-            (0..=max_days).map(|d| p * (1.0 - p).powi(d as i32)).collect();
+        let mut pmf: Vec<f64> = (0..=max_days)
+            .map(|d| p * (1.0 - p).powi(d as i32))
+            .collect();
         let total: f64 = pmf.iter().sum();
         for v in &mut pmf {
             *v /= total;
@@ -174,11 +188,7 @@ impl BiasModel for DelayedBinomialBias {
                         let take = if d == self.delay_pmf.len() - 1 || prob_left <= 0.0 {
                             remaining
                         } else {
-                            sample_binomial(
-                                rng,
-                                remaining,
-                                (pd / prob_left).clamp(0.0, 1.0),
-                            )
+                            sample_binomial(rng, remaining, (pd / prob_left).clamp(0.0, 1.0))
                         };
                         // Reports landing past the observation horizon are
                         // simply not (yet) observed.
@@ -241,8 +251,8 @@ mod tests {
         let mean: f64 = obs.iter().sum::<f64>() / obs.len() as f64;
         assert!((mean - 600.0).abs() < 3.0, "mean = {mean}");
         // Variance should match n p (1-p) = 240, not 0 (mean thinning).
-        let var: f64 = obs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>()
-            / (obs.len() - 1) as f64;
+        let var: f64 =
+            obs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (obs.len() - 1) as f64;
         assert!((var - 240.0).abs() < 30.0, "var = {var}");
         for &o in &obs {
             assert!((0.0..=1000.0).contains(&o));

@@ -6,7 +6,7 @@
 //! particle is one specific epidemic history, not just a parameter value.
 
 use episim::checkpoint::SimCheckpoint;
-use episim::output::DailySeries;
+use episim::output::SharedTrajectory;
 use epistats::logweight::normalize_log_weights;
 use epistats::summary::{ess, weighted_mean, weighted_quantile, weighted_variance};
 
@@ -24,7 +24,10 @@ pub struct Particle {
     /// Unnormalized log importance weight.
     pub log_weight: f64,
     /// Recorded daily output from day 0 through the last simulated day.
-    pub trajectory: DailySeries,
+    /// Structurally shared: particles continued from a common ancestor
+    /// hold the ancestor's history by `Arc`, so cloning a particle and
+    /// appending a window are both `O(window)`, not `O(history)`.
+    pub trajectory: SharedTrajectory,
     /// Full simulator state at the last window boundary (enables
     /// parameter-overriding continuation).
     pub checkpoint: SimCheckpoint,
@@ -44,7 +47,9 @@ pub struct ParticleEnsemble {
 impl ParticleEnsemble {
     /// Create an empty ensemble.
     pub fn new() -> Self {
-        Self { particles: Vec::new() }
+        Self {
+            particles: Vec::new(),
+        }
     }
 
     /// Wrap an existing particle vector.
@@ -203,10 +208,7 @@ mod tests {
     fn dummy_particle(theta: f64, rho: f64, seed: u64, log_w: f64) -> Particle {
         let spec = ModelSpec {
             name: "d".into(),
-            compartments: vec![
-                Compartment::simple("S"),
-                Compartment::new("I", 1, 1.0),
-            ],
+            compartments: vec![Compartment::simple("S"), Compartment::new("I", 1, 1.0)],
             progressions: vec![Progression {
                 from: 1,
                 mean_dwell: 1.0,
@@ -214,7 +216,10 @@ mod tests {
             }],
             infections: vec![Infection::simple(0, 1)],
             transmission_rate: theta,
-            flows: vec![FlowSpec { name: "x".into(), edges: vec![] }],
+            flows: vec![FlowSpec {
+                name: "x".into(),
+                edges: vec![],
+            }],
             censuses: vec![],
         };
         let st = SimState::empty(&spec, seed);
@@ -223,7 +228,7 @@ mod tests {
             rho,
             seed,
             log_weight: log_w,
-            trajectory: DailySeries::new(vec!["x".into()], 0),
+            trajectory: SharedTrajectory::empty(vec!["x".into()], 0),
             checkpoint: SimCheckpoint::capture(&spec, &st),
             origin: None,
         }

@@ -127,7 +127,12 @@ impl JitterKernel {
     /// Panics unless `half > 0` and `lo < hi`.
     pub fn symmetric(half: f64, lo: f64, hi: f64) -> Self {
         assert!(half > 0.0 && lo < hi, "JitterKernel: bad parameters");
-        Self { down: half, up: half, lo, hi }
+        Self {
+            down: half,
+            up: half,
+            lo,
+            hi,
+        }
     }
 
     /// Asymmetric kernel.
@@ -135,7 +140,10 @@ impl JitterKernel {
     /// # Panics
     /// Panics unless both half-widths are positive and `lo < hi`.
     pub fn asymmetric(down: f64, up: f64, lo: f64, hi: f64) -> Self {
-        assert!(down > 0.0 && up > 0.0 && lo < hi, "JitterKernel: bad parameters");
+        assert!(
+            down > 0.0 && up > 0.0 && lo < hi,
+            "JitterKernel: bad parameters"
+        );
         Self { down, up, lo, hi }
     }
 

@@ -68,7 +68,7 @@ impl RejuvenationConfig {
             return Err(format!("temper = {} outside (0, 1]", self.temper));
         }
         for &(lo, hi) in self.support_theta.iter().chain([&self.support_rho]) {
-            if !(lo < hi) {
+            if lo >= hi {
                 return Err(format!("invalid support [{lo}, {hi}]"));
             }
         }
@@ -137,28 +137,51 @@ pub fn rejuvenate<S: TrajectorySimulator>(
     master_seed: u64,
     threads: Option<usize>,
 ) -> Result<RejuvenationStats, String> {
+    let runner = ParallelRunner::from_option(threads);
+    rejuvenate_with(
+        simulator,
+        ensemble,
+        observed,
+        window,
+        config,
+        master_seed,
+        &runner,
+    )
+}
+
+/// Like [`rejuvenate`], but reusing a caller-owned [`ParallelRunner`] —
+/// callers that rejuvenate repeatedly (e.g. the annealed sampler) should
+/// build one runner and pass it to every pass instead of paying a pool
+/// build per call.
+///
+/// # Errors
+/// Propagates simulator and scoring failures, and invalid configs.
+#[allow(clippy::too_many_arguments)]
+pub fn rejuvenate_with<S: TrajectorySimulator>(
+    simulator: &S,
+    ensemble: &mut ParticleEnsemble,
+    observed: &ObservedData,
+    window: TimeWindow,
+    config: &RejuvenationConfig,
+    master_seed: u64,
+    runner: &ParallelRunner,
+) -> Result<RejuvenationStats, String> {
     config.validate()?;
     if ensemble.is_empty() {
         return Ok(RejuvenationStats::default());
     }
-    let runner = match threads {
-        Some(t) => ParallelRunner::with_threads(t),
-        None => ParallelRunner::new(),
-    };
 
     // Work on owned copies in parallel, then write back.
     let particles: Vec<_> = ensemble.particles().to_vec();
-    let moved: Vec<Result<(crate::particle::Particle, usize), String>> = runner
-        .run_indexed(particles.len(), |i| {
+    let moved: Vec<Result<(crate::particle::Particle, usize), String>> =
+        runner.run_indexed(particles.len(), |i| {
             let mut p = particles[i].clone();
-            let mut rng =
-                Xoshiro256PlusPlus::from_stream(master_seed, &[0x4E10_u64, i as u64]);
+            let mut rng = Xoshiro256PlusPlus::from_stream(master_seed, &[0x4E10_u64, i as u64]);
             let bias_seed = derive_stream(master_seed, &[0x4E11_u64, i as u64]);
             // Current likelihood under a fixed bias draw (shared between
             // current and proposed states so the comparison is exact in
             // the parameters).
-            let mut current_ll =
-                score_window(&p.trajectory, p.rho, bias_seed, observed, window)?;
+            let mut current_ll = score_window(&p.trajectory, p.rho, bias_seed, observed, window)?;
             let mut accepted_here = 0usize;
 
             for _ in 0..config.moves {
@@ -181,26 +204,22 @@ pub fn rejuvenate<S: TrajectorySimulator>(
 
                 // Re-simulate the window with the SAME seed.
                 let (trajectory_new, checkpoint_new) = match &p.origin {
-                    None => simulator.run_fresh(&theta_new, p.seed, window.end)?,
+                    None => {
+                        let (t, ck) = simulator.run_fresh(&theta_new, p.seed, window.end)?;
+                        (episim::output::SharedTrajectory::root(t), ck)
+                    }
                     Some(origin) => {
                         let (tail, ck) =
                             simulator.run_from(origin, &theta_new, p.seed, window.end)?;
-                        // Stitch the (unchanged) pre-window history.
-                        let mut t = head_of(&p.trajectory, origin.day)?;
-                        t.extend(&tail);
-                        (t, ck)
+                        // Share the (unchanged) pre-window history: only the
+                        // re-simulated window segment is fresh storage.
+                        (p.trajectory.truncated(origin.day).append(tail), ck)
                     }
                 };
-                let proposed_ll = score_window(
-                    &trajectory_new,
-                    rho_new,
-                    bias_seed,
-                    observed,
-                    window,
-                )?;
+                let proposed_ll =
+                    score_window(&trajectory_new, rho_new, bias_seed, observed, window)?;
                 let accept = proposed_ll >= current_ll
-                    || rng.next_f64()
-                        < (config.temper * (proposed_ll - current_ll)).exp();
+                    || rng.next_f64() < (config.temper * (proposed_ll - current_ll)).exp();
                 if accept {
                     p.theta = theta_new;
                     p.rho = rho_new;
@@ -223,35 +242,6 @@ pub fn rejuvenate<S: TrajectorySimulator>(
         stats.accepted += acc;
     }
     Ok(stats)
-}
-
-/// The prefix of a trajectory up to and including absolute day `day`.
-fn head_of(
-    trajectory: &episim::output::DailySeries,
-    day: u32,
-) -> Result<episim::output::DailySeries, String> {
-    let mut head = episim::output::DailySeries::new(
-        trajectory.names().to_vec(),
-        trajectory.start_day(),
-    );
-    if day < trajectory.start_day() {
-        return Ok(head);
-    }
-    let names: Vec<String> = trajectory.names().to_vec();
-    let n_days = (day - trajectory.start_day() + 1) as usize;
-    for d in 0..n_days {
-        let row: Vec<u64> = names
-            .iter()
-            .map(|n| {
-                trajectory
-                    .series(n)
-                    .and_then(|s| s.get(d).copied())
-                    .ok_or_else(|| format!("trajectory too short for day {day}"))
-            })
-            .collect::<Result<_, _>>()?;
-        head.push_day(&row);
-    }
-    Ok(head)
 }
 
 #[cfg(test)]
@@ -371,10 +361,26 @@ mod tests {
         let (sim, posterior, observed, window) = calibrated();
         let mut a = posterior.clone();
         let mut b = posterior.clone();
-        rejuvenate(&sim, &mut a, &observed, window, &default_config(), 7, Some(1))
-            .unwrap();
-        rejuvenate(&sim, &mut b, &observed, window, &default_config(), 7, Some(2))
-            .unwrap();
+        rejuvenate(
+            &sim,
+            &mut a,
+            &observed,
+            window,
+            &default_config(),
+            7,
+            Some(1),
+        )
+        .unwrap();
+        rejuvenate(
+            &sim,
+            &mut b,
+            &observed,
+            window,
+            &default_config(),
+            7,
+            Some(2),
+        )
+        .unwrap();
         let fp = |e: &ParticleEnsemble| -> Vec<u64> {
             e.particles().iter().map(|p| p.theta[0].to_bits()).collect()
         };
@@ -385,24 +391,49 @@ mod tests {
     fn empty_ensemble_is_a_noop() {
         let (sim, _, observed, window) = calibrated();
         let mut empty = ParticleEnsemble::new();
-        let stats =
-            rejuvenate(&sim, &mut empty, &observed, window, &default_config(), 1, None)
-                .unwrap();
+        let stats = rejuvenate(
+            &sim,
+            &mut empty,
+            &observed,
+            window,
+            &default_config(),
+            1,
+            None,
+        )
+        .unwrap();
         assert_eq!(stats.proposed, 0);
         assert_eq!(stats.acceptance_rate(), 0.0);
     }
 
     #[test]
-    fn head_of_extracts_prefix() {
-        let mut t = episim::output::DailySeries::new(vec!["a".into()], 1);
-        for v in [1u64, 2, 3, 4, 5] {
-            t.push_day(&[v]);
-        }
-        let h = head_of(&t, 3).unwrap();
-        assert_eq!(h.len(), 3);
-        assert_eq!(h.series("a").unwrap(), &[1, 2, 3]);
-        // Day before the series start: empty prefix.
-        let h0 = head_of(&t, 0).unwrap();
-        assert_eq!(h0.len(), 0);
+    fn rejuvenation_with_shared_runner_matches_per_call_runners() {
+        let (sim, posterior, observed, window) = calibrated();
+        let mut a = posterior.clone();
+        let mut b = posterior.clone();
+        let runner = ParallelRunner::with_threads(2);
+        rejuvenate_with(
+            &sim,
+            &mut a,
+            &observed,
+            window,
+            &default_config(),
+            7,
+            &runner,
+        )
+        .unwrap();
+        rejuvenate(
+            &sim,
+            &mut b,
+            &observed,
+            window,
+            &default_config(),
+            7,
+            Some(1),
+        )
+        .unwrap();
+        let fp = |e: &ParticleEnsemble| -> Vec<u64> {
+            e.particles().iter().map(|p| p.theta[0].to_bits()).collect()
+        };
+        assert_eq!(fp(&a), fp(&b));
     }
 }

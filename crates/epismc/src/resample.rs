@@ -16,12 +16,7 @@ pub trait Resampler: Send + Sync {
     /// Draw `n` ancestor indices with `P(index = i)` proportional to
     /// `weights[i]`. Weights need not be normalized but must be
     /// non-negative with a positive sum.
-    fn resample(
-        &self,
-        weights: &[f64],
-        n: usize,
-        rng: &mut Xoshiro256PlusPlus,
-    ) -> Vec<usize>;
+    fn resample(&self, weights: &[f64], n: usize, rng: &mut Xoshiro256PlusPlus) -> Vec<usize>;
 
     /// Short identifier for logs and bench labels.
     fn name(&self) -> &'static str;

@@ -13,27 +13,69 @@
 //!    comparisons are not confounded by Monte Carlo noise.
 
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Process-wide count of dedicated pools built so far.
+static POOL_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Total dedicated rayon pools built by [`ParallelRunner::with_threads`]
+/// since process start. The sequential calibrator constructs its runner
+/// once per run, so a whole multi-window calibration should advance this
+/// by at most one — the telemetry in
+/// [`crate::sis::TrajectoryTelemetry::pool_builds`] reports the per-window
+/// delta to make regressions (a pool rebuilt per window batch) visible.
+pub fn pool_build_count() -> usize {
+    POOL_BUILDS.load(Ordering::Relaxed)
+}
 
 /// Parallel grid executor.
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// A runner with a pinned thread count owns its dedicated pool: the pool
+/// is built **once**, at construction, and reused by every
+/// [`Self::run_grid`] call. Construct one runner per calibration run and
+/// pass it down — not one per window batch.
+#[derive(Clone, Debug, Default)]
 pub struct ParallelRunner {
     threads: Option<usize>,
+    pool: Option<Arc<rayon::ThreadPool>>,
 }
 
 impl ParallelRunner {
     /// Use rayon's global default pool.
     pub fn new() -> Self {
-        Self { threads: None }
+        Self {
+            threads: None,
+            pool: None,
+        }
     }
 
     /// Use a dedicated pool with exactly `threads` workers (the knob the
-    /// scaling benchmark sweeps).
+    /// scaling benchmark sweeps). The pool is built here, once.
     ///
     /// # Panics
     /// Panics if `threads` is zero.
     pub fn with_threads(threads: usize) -> Self {
         assert!(threads > 0, "ParallelRunner: threads must be >= 1");
-        Self { threads: Some(threads) }
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to build rayon pool");
+        POOL_BUILDS.fetch_add(1, Ordering::Relaxed);
+        Self {
+            threads: Some(threads),
+            pool: Some(Arc::new(pool)),
+        }
+    }
+
+    /// A runner for an optional thread count: dedicated pool when
+    /// `Some`, rayon's default pool when `None` (the
+    /// [`crate::config::CalibrationConfig::threads`] convention).
+    pub fn from_option(threads: Option<usize>) -> Self {
+        match threads {
+            Some(t) => Self::with_threads(t),
+            None => Self::new(),
+        }
     }
 
     /// Configured thread count (`None` = rayon default).
@@ -56,13 +98,9 @@ impl ParallelRunner {
                 .map(|idx| f(idx / n_replicates, idx % n_replicates))
                 .collect()
         };
-        match self.threads {
+        match &self.pool {
             None => work(&f),
-            Some(t) => rayon::ThreadPoolBuilder::new()
-                .num_threads(t)
-                .build()
-                .expect("failed to build rayon pool")
-                .install(|| work(&f)),
+            Some(pool) => pool.install(|| work(&f)),
         }
     }
 
@@ -94,8 +132,7 @@ mod tests {
     #[test]
     fn results_identical_across_thread_counts() {
         let f = |i: usize, r: usize| {
-            let mut rng =
-                epistats::rng::Xoshiro256PlusPlus::from_stream(99, &[i as u64, r as u64]);
+            let mut rng = epistats::rng::Xoshiro256PlusPlus::from_stream(99, &[i as u64, r as u64]);
             rng.next()
         };
         let serial = ParallelRunner::with_threads(1).run_grid(8, 8, f);
@@ -128,6 +165,34 @@ mod tests {
             live.fetch_sub(1, Ordering::SeqCst);
         });
         assert_eq!(peak.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn pool_is_built_once_per_runner() {
+        let runner = ParallelRunner::with_threads(2);
+        let built = runner.pool.as_ref().map(Arc::as_ptr);
+        assert!(built.is_some(), "dedicated runner pre-builds its pool");
+        for _ in 0..5 {
+            let out = runner.run_grid(4, 2, |i, r| i * 10 + r);
+            assert_eq!(out.len(), 8);
+        }
+        // Repeated grids and clones reuse the very same pool allocation.
+        assert_eq!(runner.pool.as_ref().map(Arc::as_ptr), built);
+        let clone = runner.clone();
+        assert_eq!(clone.pool.as_ref().map(Arc::as_ptr), built);
+        // Default-pool runners never build a dedicated pool.
+        assert!(ParallelRunner::new().pool.is_none());
+        assert!(ParallelRunner::from_option(None).pool.is_none());
+        assert_eq!(ParallelRunner::from_option(Some(3)).threads(), Some(3));
+    }
+
+    #[test]
+    fn pool_build_counter_advances_on_construction() {
+        // Other tests build pools concurrently, so only monotonicity and
+        // a lower bound are asserted.
+        let before = pool_build_count();
+        let _runner = ParallelRunner::with_threads(1);
+        assert!(pool_build_count() > before);
     }
 
     #[test]

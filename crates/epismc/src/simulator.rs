@@ -75,7 +75,11 @@ impl CovidSimulator {
     /// Propagates parameter validation failures.
     pub fn new(base: CovidParams) -> Result<Self, String> {
         base.validate()?;
-        Ok(Self { base, substeps: 1, calibrate_detection: false })
+        Ok(Self {
+            base,
+            substeps: 1,
+            calibrate_detection: false,
+        })
     }
 
     /// Use a finer chain-binomial step (substeps per day).
@@ -108,8 +112,10 @@ impl CovidSimulator {
                 theta.len()
             ));
         }
-        let mut params =
-            CovidParams { transmission_rate: theta[0], ..self.base.clone() };
+        let mut params = CovidParams {
+            transmission_rate: theta[0],
+            ..self.base.clone()
+        };
         if self.calibrate_detection {
             let m = theta[1];
             if !(m.is_finite() && m >= 0.0) {
@@ -196,9 +202,15 @@ impl SeirSimulator {
 
     fn model_with(&self, theta: &[f64]) -> Result<SeirModel, String> {
         if theta.len() != 1 {
-            return Err(format!("SeirSimulator expects 1 parameter, got {}", theta.len()));
+            return Err(format!(
+                "SeirSimulator expects 1 parameter, got {}",
+                theta.len()
+            ));
         }
-        SeirModel::new(SeirParams { transmission_rate: theta[0], ..self.base.clone() })
+        SeirModel::new(SeirParams {
+            transmission_rate: theta[0],
+            ..self.base.clone()
+        })
     }
 }
 
@@ -292,7 +304,10 @@ mod tests {
         let (cold, _) = sim.run_from(&ck, &[0.05], 7, 60).unwrap();
         let hot_total: u64 = hot.series("infections").unwrap().iter().sum();
         let cold_total: u64 = cold.series("infections").unwrap().iter().sum();
-        assert!(hot_total > 2 * cold_total.max(1), "hot {hot_total} vs cold {cold_total}");
+        assert!(
+            hot_total > 2 * cold_total.max(1),
+            "hot {hot_total} vs cold {cold_total}"
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@ use crate::runner::ParallelRunner;
 use crate::simulator::TrajectorySimulator;
 use crate::window::{TimeWindow, WindowPlan};
 
-use episim::output::DailySeries;
+use episim::output::SharedTrajectory;
 
 /// Stream-derivation tags (arbitrary distinct constants).
 const TAG_SIM_SEED: u64 = 0x5EED_0001;
@@ -52,7 +52,10 @@ impl ObservedSeries {
     /// A series starting at day 1 (the usual case: observations from the
     /// epidemic's first simulated day).
     pub fn from_day_one(values: Vec<f64>) -> Self {
-        Self { start_day: 1, values }
+        Self {
+            start_day: 1,
+            values,
+        }
     }
 
     /// The slice covering absolute days `[lo, hi]`, if fully observed.
@@ -68,9 +71,15 @@ impl ObservedSeries {
         Some(&self.values[a..=b])
     }
 
-    /// Last observed day.
-    pub fn end_day(&self) -> u32 {
-        self.start_day + self.values.len() as u32 - 1
+    /// Last observed day, or `None` for an empty series (an empty series
+    /// used to underflow here: `start_day + 0 - 1` panics in debug and
+    /// wraps in release).
+    pub fn end_day(&self) -> Option<u32> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.start_day + self.values.len() as u32 - 1)
+        }
     }
 }
 
@@ -170,6 +179,70 @@ impl Priors {
     }
 }
 
+/// Memory and scheduling telemetry of one calibrated window's posterior
+/// ensemble — the numbers behind the structural-sharing claim: per-window
+/// resident trajectory bytes should stay roughly flat as windows
+/// accumulate, while the flat-equivalent bytes grow linearly.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TrajectoryTelemetry {
+    /// Trajectory bytes actually resident for the posterior ensemble:
+    /// every distinct segment counted once, however many particles share
+    /// it.
+    pub shared_bytes: usize,
+    /// Bytes the same ensemble would hold if every particle owned a flat
+    /// copy of its full history (the pre-sharing representation).
+    pub flat_bytes: usize,
+    /// Distinct trajectory segments across the ensemble.
+    pub unique_segments: usize,
+    /// Total segment references across the ensemble (chain lengths
+    /// summed); `segment_refs - unique_segments` references were shared
+    /// rather than copied.
+    pub segment_refs: usize,
+    /// Dedicated rayon pools built while computing this window. The
+    /// sequential calibrator pre-builds its pool once per run, so this
+    /// should be 0 for every window it emits.
+    pub pool_builds: usize,
+}
+
+impl TrajectoryTelemetry {
+    /// Segment references satisfied by sharing instead of copying.
+    pub fn reused_segments(&self) -> usize {
+        self.segment_refs - self.unique_segments
+    }
+
+    /// `flat_bytes / shared_bytes` — how many times over the ensemble's
+    /// history would have been duplicated without structural sharing
+    /// (1.0 when nothing is shared, 0 on an empty ensemble).
+    pub fn sharing_ratio(&self) -> f64 {
+        if self.shared_bytes == 0 {
+            0.0
+        } else {
+            self.flat_bytes as f64 / self.shared_bytes as f64
+        }
+    }
+}
+
+/// Measure the posterior ensemble's trajectory footprint by
+/// deduplicating segments on their allocation identity.
+fn measure_telemetry(posterior: &ParticleEnsemble, pool_builds: usize) -> TrajectoryTelemetry {
+    let mut seen = std::collections::HashSet::new();
+    let mut t = TrajectoryTelemetry {
+        pool_builds,
+        ..Default::default()
+    };
+    for p in posterior.particles() {
+        t.flat_bytes += p.trajectory.flat_bytes();
+        for (id, bytes) in p.trajectory.segment_footprint() {
+            t.segment_refs += 1;
+            if seen.insert(id) {
+                t.unique_segments += 1;
+                t.shared_bytes += bytes;
+            }
+        }
+    }
+    t
+}
+
 /// The outcome of calibrating one window.
 #[derive(Debug)]
 pub struct WindowResult {
@@ -192,6 +265,8 @@ pub struct WindowResult {
     pub iterations: usize,
     /// Wall-clock time of the window (simulation + weighting + resampling).
     pub wall_time: Duration,
+    /// Trajectory-memory and pool telemetry of the posterior ensemble.
+    pub telemetry: TrajectoryTelemetry,
 }
 
 /// Compute a particle's log weight for a window: the joint log likelihood
@@ -201,7 +276,7 @@ pub struct WindowResult {
 /// Returns an error if the trajectory or the observed data do not cover
 /// the window, or the trajectory lacks a referenced series.
 pub fn score_window(
-    trajectory: &DailySeries,
+    trajectory: &SharedTrajectory,
     rho: f64,
     bias_seed: u64,
     observed: &ObservedData,
@@ -217,17 +292,18 @@ pub fn score_window(
                     src.series, window.start, window.end
                 )
             })?;
-        let obs_w = src.observed.window(window.start, window.end).ok_or_else(|| {
-            format!(
-                "observed series '{}' does not cover days [{}, {}]",
-                src.series, window.start, window.end
-            )
-        })?;
+        let obs_w = src
+            .observed
+            .window(window.start, window.end)
+            .ok_or_else(|| {
+                format!(
+                    "observed series '{}' does not cover days [{}, {}]",
+                    src.series, window.start, window.end
+                )
+            })?;
         let sim_f: Vec<f64> = sim_w.iter().map(|&v| v as f64).collect();
-        let mut bias_rng = Xoshiro256PlusPlus::from_stream(
-            bias_seed,
-            &[TAG_BIAS, window.start as u64, si as u64],
-        );
+        let mut bias_rng =
+            Xoshiro256PlusPlus::from_stream(bias_seed, &[TAG_BIAS, window.start as u64, si as u64]);
         let sim_obs = src.bias.observe(&sim_f, rho, &mut bias_rng);
         comp.add(src.likelihood.log_likelihood(obs_w, &sim_obs));
     }
@@ -243,6 +319,7 @@ fn finalize_window(
     rng: &mut Xoshiro256PlusPlus,
     started: std::time::Instant,
     iterations: usize,
+    pool_builds: usize,
 ) -> WindowResult {
     let ensemble = ParticleEnsemble::from_vec(candidates);
     let weights = ensemble.normalized_weights();
@@ -257,19 +334,27 @@ fn finalize_window(
     let unique_ancestors = unique.len();
 
     let mut posterior = ParticleEnsemble::from_vec(
-        idx.iter().map(|&i| ensemble.particles()[i].clone()).collect(),
+        idx.iter()
+            .map(|&i| ensemble.particles()[i].clone())
+            .collect(),
     );
     posterior.set_uniform_weights();
+    let telemetry = measure_telemetry(&posterior, pool_builds);
 
     WindowResult {
         window,
         posterior,
-        prior_ensemble: if config.keep_prior_ensemble { Some(ensemble) } else { None },
+        prior_ensemble: if config.keep_prior_ensemble {
+            Some(ensemble)
+        } else {
+            None
+        },
         ess: window_ess,
         log_marginal,
         unique_ancestors,
         iterations,
         wall_time: started.elapsed(),
+        telemetry,
     }
 }
 
@@ -331,8 +416,7 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
         // Draw parameter tuples from the prior.
         let tuples: Vec<(Vec<f64>, f64)> = (0..cfg.n_params)
             .map(|_| {
-                let theta: Vec<f64> =
-                    priors.theta.iter().map(|p| p.sample(&mut rng)).collect();
+                let theta: Vec<f64> = priors.theta.iter().map(|p| p.sample(&mut rng)).collect();
                 let rho = priors.rho.sample(&mut rng);
                 (theta, rho)
             })
@@ -344,19 +428,15 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
             .map(|r| derive_stream(cfg.seed, &[TAG_SIM_SEED, r as u64]))
             .collect();
 
-        let runner = match cfg.threads {
-            Some(t) => ParallelRunner::with_threads(t),
-            None => ParallelRunner::new(),
-        };
+        let runner = ParallelRunner::from_option(cfg.threads);
         let results: Vec<Result<Particle, String>> =
             runner.run_grid(cfg.n_params, cfg.n_replicates, |i, r| {
                 let (theta, rho) = &tuples[i];
                 let (trajectory, checkpoint) =
                     self.simulator.run_fresh(theta, rep_seeds[r], window.end)?;
-                let bias_seed =
-                    derive_stream(cfg.seed, &[TAG_BIAS, i as u64, r as u64]);
-                let log_weight =
-                    score_window(&trajectory, *rho, bias_seed, observed, window)?;
+                let trajectory = SharedTrajectory::root(trajectory);
+                let bias_seed = derive_stream(cfg.seed, &[TAG_BIAS, i as u64, r as u64]);
+                let log_weight = score_window(&trajectory, *rho, bias_seed, observed, window)?;
                 Ok(Particle {
                     theta: theta.clone(),
                     rho: *rho,
@@ -367,9 +447,19 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
                     origin: None,
                 })
             });
-        let candidates: Vec<Particle> =
-            results.into_iter().collect::<Result<_, _>>()?;
-        Ok(finalize_window(window, candidates, cfg, &mut rng, started, 1))
+        let candidates: Vec<Particle> = results.into_iter().collect::<Result<_, _>>()?;
+        // This driver built its own runner, so a dedicated pool (if any)
+        // is charged to this window.
+        let pool_builds = usize::from(runner.threads().is_some());
+        Ok(finalize_window(
+            window,
+            candidates,
+            cfg,
+            &mut rng,
+            started,
+            1,
+            pool_builds,
+        ))
     }
 }
 
@@ -446,7 +536,13 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
         jitter_rho: JitterKernel,
     ) -> Self {
         config.validate().expect("invalid CalibrationConfig");
-        Self { simulator, config, jitter_theta, jitter_rho, adaptive: None }
+        Self {
+            simulator,
+            config,
+            jitter_theta,
+            jitter_rho,
+            adaptive: None,
+        }
     }
 
     /// Enable adaptive ESS-triggered refinement: when a window's
@@ -485,16 +581,17 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                 self.simulator.theta_dim()
             ));
         }
+        // One runner — and therefore at most one dedicated pool — for the
+        // whole calibration run, hoisted out of the per-window (and
+        // per-adaptive-iteration) batch loop.
+        let runner = ParallelRunner::from_option(self.config.threads);
         let mut windows: Vec<WindowResult> = Vec::with_capacity(plan.len());
 
         for (widx, &window) in plan.windows().iter().enumerate() {
             let result = if widx == 0 {
                 // Window 1: Algorithm 1 from the prior (with optional
                 // adaptive refinement over fresh runs).
-                let mut rng = Xoshiro256PlusPlus::from_stream(
-                    self.config.seed,
-                    &[TAG_WINDOW, 0],
-                );
+                let mut rng = Xoshiro256PlusPlus::from_stream(self.config.seed, &[TAG_WINDOW, 0]);
                 let proposals: Vec<Proposal> = (0..self.config.n_params)
                     .map(|_| Proposal {
                         ancestor: 0,
@@ -502,13 +599,11 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                         rho: priors.rho.sample(&mut rng),
                     })
                     .collect();
-                self.adaptive_window(observed, window, 0, None, proposals, rng)?
+                self.adaptive_window(&runner, observed, window, 0, None, proposals, rng)?
             } else {
                 let ancestors = &windows[widx - 1].posterior;
-                let mut rng = Xoshiro256PlusPlus::from_stream(
-                    self.config.seed,
-                    &[TAG_WINDOW, widx as u64],
-                );
+                let mut rng =
+                    Xoshiro256PlusPlus::from_stream(self.config.seed, &[TAG_WINDOW, widx as u64]);
                 let n_anc = ancestors.len() as u64;
                 let proposals: Vec<Proposal> = (0..self.config.n_params)
                     .map(|_| {
@@ -527,6 +622,7 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                     })
                     .collect();
                 self.adaptive_window(
+                    &runner,
                     observed,
                     window,
                     widx,
@@ -541,9 +637,14 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
     }
 
     /// Simulate/weight one window, re-proposing with shrinking kernels
-    /// while the adaptive criterion demands it, then finalize.
+    /// while the adaptive criterion demands it, then finalize. The runner
+    /// (and its pool) is pre-built by [`Self::run`], so every batch —
+    /// across windows *and* adaptive iterations — reuses it; windows
+    /// therefore report `pool_builds == 0`.
+    #[allow(clippy::too_many_arguments)]
     fn adaptive_window(
         &self,
+        runner: &ParallelRunner,
         observed: &ObservedData,
         window: TimeWindow,
         window_index: usize,
@@ -555,27 +656,33 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
         let cfg = &self.config;
         let mut iteration = 0usize;
         loop {
-            let candidates =
-                self.simulate_batch(&proposals, ancestors, observed, window, window_index, iteration)?;
+            let candidates = self.simulate_batch(
+                runner,
+                &proposals,
+                ancestors,
+                observed,
+                window,
+                window_index,
+                iteration,
+            )?;
             iteration += 1;
 
             let adaptive = match &self.adaptive {
                 None => {
                     return Ok(finalize_window(
-                        window, candidates, cfg, &mut rng, started, iteration,
+                        window, candidates, cfg, &mut rng, started, iteration, 0,
                     ))
                 }
                 Some(a) => a,
             };
-            let log_w: Vec<f64> =
-                candidates.iter().map(|p| p.log_weight).collect();
+            let log_w: Vec<f64> = candidates.iter().map(|p| p.log_weight).collect();
             let weights = epistats::logweight::normalize_log_weights(&log_w);
             let current_ess = ess(&weights);
             if iteration >= adaptive.max_iterations
                 || current_ess >= adaptive.target_ess_fraction * candidates.len() as f64
             {
                 return Ok(finalize_window(
-                    window, candidates, cfg, &mut rng, started, iteration,
+                    window, candidates, cfg, &mut rng, started, iteration, 0,
                 ));
             }
 
@@ -587,8 +694,7 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                 up: (k.up * decay).max(1e-6),
                 ..*k
             };
-            let theta_kernels: Vec<JitterKernel> =
-                self.jitter_theta.iter().map(shrink).collect();
+            let theta_kernels: Vec<JitterKernel> = self.jitter_theta.iter().map(shrink).collect();
             let rho_kernel = shrink(&self.jitter_rho);
             let picks = Multinomial.resample(&weights, cfg.n_params, &mut rng);
             proposals = picks
@@ -613,8 +719,10 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
 
     /// Run the `(proposal, replicate)` grid: fresh day-0 runs when
     /// `ancestors` is `None`, checkpoint continuations otherwise.
+    #[allow(clippy::too_many_arguments)]
     fn simulate_batch(
         &self,
+        runner: &ParallelRunner,
         proposals: &[Proposal],
         ancestors: Option<&ParticleEnsemble>,
         observed: &ObservedData,
@@ -627,22 +735,24 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
             .map(|r| {
                 derive_stream(
                     cfg.seed,
-                    &[TAG_SIM_SEED, window_index as u64, iteration as u64, r as u64],
+                    &[
+                        TAG_SIM_SEED,
+                        window_index as u64,
+                        iteration as u64,
+                        r as u64,
+                    ],
                 )
             })
             .collect();
-        let runner = match cfg.threads {
-            Some(t) => ParallelRunner::with_threads(t),
-            None => ParallelRunner::new(),
-        };
         let results: Vec<Result<Particle, String>> =
             runner.run_grid(proposals.len(), cfg.n_replicates, |i, r| {
                 let prop = &proposals[i];
                 let (trajectory, checkpoint, origin) = match ancestors {
                     None => {
                         let (t, ck) =
-                            self.simulator.run_fresh(&prop.theta, rep_seeds[r], window.end)?;
-                        (t, ck, None)
+                            self.simulator
+                                .run_fresh(&prop.theta, rep_seeds[r], window.end)?;
+                        (SharedTrajectory::root(t), ck, None)
                     }
                     Some(anc_set) => {
                         let anc = &anc_set.particles()[prop.ancestor];
@@ -652,9 +762,13 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                             rep_seeds[r],
                             window.end,
                         )?;
-                        let mut trajectory = anc.trajectory.clone();
-                        trajectory.extend(&tail);
-                        (trajectory, ck, Some(anc.checkpoint.clone()))
+                        // O(window), not O(history): the ancestor's past
+                        // is shared structurally, never copied.
+                        (
+                            anc.trajectory.append(tail),
+                            ck,
+                            Some(anc.checkpoint.clone()),
+                        )
                     }
                 };
                 let bias_seed = derive_stream(
@@ -668,8 +782,7 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                     ],
                 );
                 // Incremental likelihood: only this window's data.
-                let log_weight =
-                    score_window(&trajectory, prop.rho, bias_seed, observed, window)?;
+                let log_weight = score_window(&trajectory, prop.rho, bias_seed, observed, window)?;
                 Ok(Particle {
                     theta: prop.theta.clone(),
                     rho: prop.rho,
@@ -695,7 +808,20 @@ mod tests {
         assert_eq!(s.window(5, 5).unwrap(), &[5.0]);
         assert!(s.window(0, 2).is_none());
         assert!(s.window(4, 6).is_none());
-        assert_eq!(s.end_day(), 5);
+        assert_eq!(s.end_day(), Some(5));
+    }
+
+    #[test]
+    fn empty_observed_series_has_no_end_day() {
+        // Regression: `start_day + len - 1` underflowed on empty series.
+        let empty = ObservedSeries::from_day_one(Vec::new());
+        assert_eq!(empty.end_day(), None);
+        assert!(empty.window(1, 1).is_none());
+        let zero_start = ObservedSeries {
+            start_day: 0,
+            values: Vec::new(),
+        };
+        assert_eq!(zero_start.end_day(), None);
     }
 
     #[test]
@@ -711,7 +837,7 @@ mod tests {
 
     #[test]
     fn score_window_reports_missing_coverage() {
-        let traj = DailySeries::new(vec!["infections".into()], 1);
+        let traj = SharedTrajectory::empty(vec!["infections".into()], 1);
         let obs = ObservedData::cases_only(vec![1.0; 5]);
         let err = score_window(&traj, 0.5, 1, &obs, TimeWindow::new(1, 3)).unwrap_err();
         assert!(err.contains("trajectory does not cover"), "{err}");
@@ -719,6 +845,7 @@ mod tests {
 
     #[test]
     fn score_window_prefers_matching_trajectory() {
+        use episim::output::DailySeries;
         let mut good = DailySeries::new(vec!["infections".into()], 1);
         let mut bad = DailySeries::new(vec!["infections".into()], 1);
         for day in 0..5 {
@@ -727,9 +854,10 @@ mod tests {
         }
         // Observed ~ 0.8 * good trajectory.
         let observed: Vec<f64> = (0..5).map(|d| 0.8 * (100 + d) as f64).collect();
-        let obs =
-            ObservedData::cases_only_with(observed, BiasMode::Mean, 1.0);
+        let obs = ObservedData::cases_only_with(observed, BiasMode::Mean, 1.0);
         let w = TimeWindow::new(1, 5);
+        let good = SharedTrajectory::root(good);
+        let bad = SharedTrajectory::root(bad);
         let lg = score_window(&good, 0.8, 7, &obs, w).unwrap();
         let lb = score_window(&bad, 0.8, 7, &obs, w).unwrap();
         assert!(lg > lb, "good {lg} should beat bad {lb}");
@@ -737,10 +865,12 @@ mod tests {
 
     #[test]
     fn score_window_bias_draw_is_reproducible() {
+        use episim::output::DailySeries;
         let mut traj = DailySeries::new(vec!["infections".into()], 1);
         for _ in 0..5 {
             traj.push_day(&[250]);
         }
+        let traj = SharedTrajectory::root(traj);
         let obs = ObservedData::cases_only(vec![200.0; 5]);
         let w = TimeWindow::new(1, 5);
         let a = score_window(&traj, 0.8, 42, &obs, w).unwrap();
@@ -748,5 +878,32 @@ mod tests {
         let c = score_window(&traj, 0.8, 43, &obs, w).unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c); // different bias seed, different thinning draw
+    }
+
+    #[test]
+    fn score_window_is_segmentation_invariant() {
+        use episim::output::DailySeries;
+        // The same history, stored as one segment vs three, must score
+        // bit-identically (the equivalence the storage refactor rests on).
+        let mut flat = DailySeries::new(vec!["infections".into()], 1);
+        for d in 0..9u64 {
+            flat.push_day(&[100 + 7 * d]);
+        }
+        let one = SharedTrajectory::root(flat.clone());
+        let mut seg1 = DailySeries::new(vec!["infections".into()], 1);
+        let mut seg2 = DailySeries::new(vec!["infections".into()], 4);
+        let mut seg3 = DailySeries::new(vec!["infections".into()], 7);
+        for d in 0..3u64 {
+            seg1.push_day(&[100 + 7 * d]);
+            seg2.push_day(&[100 + 7 * (d + 3)]);
+            seg3.push_day(&[100 + 7 * (d + 6)]);
+        }
+        let three = SharedTrajectory::root(seg1).append(seg2).append(seg3);
+        assert_eq!(one, three);
+        let obs = ObservedData::cases_only(vec![90.0; 9]);
+        let w = TimeWindow::new(2, 8);
+        let a = score_window(&one, 0.8, 42, &obs, w).unwrap();
+        let b = score_window(&three, 0.8, 42, &obs, w).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 }

@@ -57,10 +57,17 @@ impl SurrogateScreen {
             let mut feat = p.theta.clone();
             feat.push(p.rho);
             x.push(feat);
-            y.push(if p.log_weight.is_finite() { p.log_weight } else { floor });
+            y.push(if p.log_weight.is_finite() {
+                p.log_weight
+            } else {
+                floor
+            });
         }
         let emulator = GpEmulator::fit_auto(x, &y)?;
-        Ok(Self { emulator, theta_dim })
+        Ok(Self {
+            emulator,
+            theta_dim,
+        })
     }
 
     /// Predicted `(mean, sd)` of the log weight at a parameter tuple.
@@ -101,8 +108,8 @@ impl SurrogateScreen {
             })
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN scores"));
-        let keep = ((proposals.len() as f64 * keep_fraction).ceil() as usize)
-            .clamp(1, proposals.len());
+        let keep =
+            ((proposals.len() as f64 * keep_fraction).ceil() as usize).clamp(1, proposals.len());
         scored.truncate(keep);
         scored.into_iter().map(|(i, _)| i).collect()
     }
@@ -134,7 +141,10 @@ mod tests {
             }],
             infections: vec![Infection::simple(0, 1)],
             transmission_rate: theta,
-            flows: vec![FlowSpec { name: "x".into(), edges: vec![] }],
+            flows: vec![FlowSpec {
+                name: "x".into(),
+                edges: vec![],
+            }],
             censuses: vec![],
         };
         Particle {
@@ -142,7 +152,7 @@ mod tests {
             rho,
             seed: 1,
             log_weight: log_w,
-            trajectory: DailySeries::new(vec!["x".into()], 1),
+            trajectory: DailySeries::new(vec!["x".into()], 1).into(),
             checkpoint: SimCheckpoint::capture(&spec, &SimState::empty(&spec, 1)),
             origin: None,
         }
@@ -156,8 +166,7 @@ mod tests {
         for _ in 0..60 {
             let theta = 0.1 + 0.4 * rng.next_f64();
             let rho = 0.2 + 0.8 * rng.next_f64();
-            let lw = -200.0 * (theta - 0.3) * (theta - 0.3)
-                - 30.0 * (rho - 0.7) * (rho - 0.7);
+            let lw = -200.0 * (theta - 0.3) * (theta - 0.3) - 30.0 * (rho - 0.7) * (rho - 0.7);
             particles.push(particle(theta, rho, lw));
         }
         ParticleEnsemble::from_vec(particles)
@@ -212,8 +221,7 @@ mod tests {
             particles.push(particle(theta, 0.5, lw));
         }
         let screen =
-            SurrogateScreen::fit_from_ensemble(&ParticleEnsemble::from_vec(particles))
-                .unwrap();
+            SurrogateScreen::fit_from_ensemble(&ParticleEnsemble::from_vec(particles)).unwrap();
         let proposals = vec![
             (vec![0.12], 0.5), // known-bad region
             (vec![0.9], 0.5),  // unexplored
@@ -226,7 +234,10 @@ mod tests {
         assert!(sd_far > 0.0);
         assert_eq!(optimistic.len(), 1);
         assert_eq!(greedy.len(), 1);
-        assert_eq!(optimistic[0], 1, "optimism should favour the unexplored point");
+        assert_eq!(
+            optimistic[0], 1,
+            "optimism should favour the unexplored point"
+        );
     }
 
     #[test]

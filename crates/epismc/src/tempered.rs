@@ -19,8 +19,9 @@ use epistats::summary::ess;
 
 use crate::config::CalibrationConfig;
 use crate::particle::ParticleEnsemble;
-use crate::rejuvenate::{rejuvenate, RejuvenationConfig, RejuvenationStats};
+use crate::rejuvenate::{rejuvenate_with, RejuvenationConfig, RejuvenationStats};
 use crate::resample::{Multinomial, Resampler};
+use crate::runner::ParallelRunner;
 use crate::simulator::TrajectorySimulator;
 use crate::sis::{score_window, ObservedData, Priors, SingleWindowIs};
 use crate::window::TimeWindow;
@@ -60,7 +61,10 @@ impl TemperedConfig {
     /// A geometric four-rung ladder `[1/8, 1/4, 1/2, 1]` with the given
     /// move settings.
     pub fn geometric(rejuvenation: RejuvenationConfig) -> Self {
-        Self { ladder: vec![0.125, 0.25, 0.5, 1.0], rejuvenation }
+        Self {
+            ladder: vec![0.125, 0.25, 0.5, 1.0],
+            rejuvenation,
+        }
     }
 }
 
@@ -104,6 +108,8 @@ pub fn tempered_single_window<S: TrajectorySimulator>(
     let mut rng = Xoshiro256PlusPlus::from_stream(config.seed, &[0x7E4D_u64]);
     let mut rung_ess = Vec::with_capacity(tempered.ladder.len());
     let mut rung_moves = Vec::with_capacity(tempered.ladder.len());
+    // One pool for every rung's move step, not one per rung.
+    let runner = ParallelRunner::from_option(config.threads);
 
     let mut phi_prev = 0.0;
     for (k, &phi) in tempered.ladder.iter().enumerate() {
@@ -121,21 +127,23 @@ pub fn tempered_single_window<S: TrajectorySimulator>(
             ensemble.len()
         };
         let picks = Multinomial.resample(&weights, target, &mut rng);
-        let resampled: Vec<_> =
-            picks.iter().map(|&i| ensemble.particles()[i].clone()).collect();
+        let resampled: Vec<_> = picks
+            .iter()
+            .map(|&i| ensemble.particles()[i].clone())
+            .collect();
         ensemble = ParticleEnsemble::from_vec(resampled);
 
         // Tempered move step to restore diversity at this rung.
         let mut move_cfg = tempered.rejuvenation.clone();
         move_cfg.temper = phi;
-        let stats = rejuvenate(
+        let stats = rejuvenate_with(
             simulator,
             &mut ensemble,
             observed,
             window,
             &move_cfg,
             derive_stream(config.seed, &[0x7E4E, k as u64]),
-            config.threads,
+            &runner,
         )?;
         rung_moves.push(stats);
 
@@ -150,7 +158,11 @@ pub fn tempered_single_window<S: TrajectorySimulator>(
 
     let mut posterior = ensemble;
     posterior.set_uniform_weights();
-    Ok(TemperedResult { posterior, rung_ess, rung_moves })
+    Ok(TemperedResult {
+        posterior,
+        rung_ess,
+        rung_moves,
+    })
 }
 
 #[cfg(test)]
@@ -243,13 +255,25 @@ mod tests {
     fn ladder_validation() {
         let ok = TemperedConfig::geometric(move_cfg());
         assert!(ok.validate().is_ok());
-        let bad = TemperedConfig { ladder: vec![0.5, 0.25, 1.0], rejuvenation: move_cfg() };
+        let bad = TemperedConfig {
+            ladder: vec![0.5, 0.25, 1.0],
+            rejuvenation: move_cfg(),
+        };
         assert!(bad.validate().is_err());
-        let bad = TemperedConfig { ladder: vec![0.5], rejuvenation: move_cfg() };
+        let bad = TemperedConfig {
+            ladder: vec![0.5],
+            rejuvenation: move_cfg(),
+        };
         assert!(bad.validate().is_err());
-        let bad = TemperedConfig { ladder: vec![], rejuvenation: move_cfg() };
+        let bad = TemperedConfig {
+            ladder: vec![],
+            rejuvenation: move_cfg(),
+        };
         assert!(bad.validate().is_err());
-        let bad = TemperedConfig { ladder: vec![0.5, 1.5], rejuvenation: move_cfg() };
+        let bad = TemperedConfig {
+            ladder: vec![0.5, 1.5],
+            rejuvenation: move_cfg(),
+        };
         assert!(bad.validate().is_err());
     }
 

@@ -99,43 +99,50 @@ pub fn run_sbc<S: TrajectorySimulator>(
     let mut rho_ranks = Vec::with_capacity(config.replicates);
 
     for k in 0..config.replicates {
-        let mut rng =
-            Xoshiro256PlusPlus::from_stream(config.seed, &[0x5BC0_u64, k as u64]);
+        let mut rng = Xoshiro256PlusPlus::from_stream(config.seed, &[0x5BC0_u64, k as u64]);
         let theta_true = priors.theta[0].sample(&mut rng);
         let rho_true = priors.rho.sample(&mut rng);
 
         // Prior-predictive data.
         let truth_seed = derive_stream(config.seed, &[0x5BC1, k as u64]);
-        let (truth, _) =
-            simulator.run_fresh(&[theta_true], truth_seed, config.window.end)?;
+        let (truth, _) = simulator.run_fresh(&[theta_true], truth_seed, config.window.end)?;
         let true_cases = truth
             .series_f64("infections")
             .ok_or("sbc: simulator lacks 'infections'")?;
         let bias = BinomialBias::sampled();
-        let mut bias_rng =
-            Xoshiro256PlusPlus::from_stream(config.seed, &[0x5BC2, k as u64]);
+        let mut bias_rng = Xoshiro256PlusPlus::from_stream(config.seed, &[0x5BC2, k as u64]);
         let observed_cases = bias.observe(&true_cases, rho_true, &mut bias_rng);
 
         // Posterior.
         let mut cal = config.calibration.clone();
         cal.seed = derive_stream(config.seed, &[0x5BC3, k as u64]);
-        let observed =
-            ObservedData::cases_only_with(observed_cases, BiasMode::Sampled, cal.sigma);
-        let result =
-            SingleWindowIs::new(simulator, cal).run(priors, &observed, config.window)?;
+        let observed = ObservedData::cases_only_with(observed_cases, BiasMode::Sampled, cal.sigma);
+        let result = SingleWindowIs::new(simulator, cal).run(priors, &observed, config.window)?;
 
         // Thin the (uniformly weighted) posterior to `subsample` draws and
         // rank the truths.
         let post = &result.posterior;
         let stride = (post.len() / config.subsample).max(1);
-        let theta_draws: Vec<f64> =
-            post.thetas(0).into_iter().step_by(stride).take(config.subsample).collect();
-        let rho_draws: Vec<f64> =
-            post.rhos().into_iter().step_by(stride).take(config.subsample).collect();
+        let theta_draws: Vec<f64> = post
+            .thetas(0)
+            .into_iter()
+            .step_by(stride)
+            .take(config.subsample)
+            .collect();
+        let rho_draws: Vec<f64> = post
+            .rhos()
+            .into_iter()
+            .step_by(stride)
+            .take(config.subsample)
+            .collect();
         theta_ranks.push(theta_draws.iter().filter(|&&t| t < theta_true).count());
         rho_ranks.push(rho_draws.iter().filter(|&&r| r < rho_true).count());
     }
-    Ok(SbcResult { theta_ranks, rho_ranks, subsample: config.subsample })
+    Ok(SbcResult {
+        theta_ranks,
+        rho_ranks,
+        subsample: config.subsample,
+    })
 }
 
 #[cfg(test)]
@@ -192,8 +199,8 @@ mod tests {
         // sits above most truths, so ranks pile up at 0.
         let mut broken_cfg = config.clone();
         broken_cfg.replicates = 24;
-        let broken = run_sbc_with_mismatched_truth(&sim, &priors, &wrong_priors, &broken_cfg)
-            .unwrap();
+        let broken =
+            run_sbc_with_mismatched_truth(&sim, &priors, &wrong_priors, &broken_cfg).unwrap();
         let stat_broken = broken.theta_uniformity(4);
         assert!(
             stat_broken > 3.0 * stat_good.max(1.0),
@@ -201,7 +208,10 @@ mod tests {
         );
         // Generous absolute band for the good pipeline: chi2(3) mean 3,
         // far tail at ~16; allow finite-ensemble slack.
-        assert!(stat_good < 20.0, "uniformity statistic {stat_good:.1} too large");
+        assert!(
+            stat_good < 20.0,
+            "uniformity statistic {stat_good:.1} too large"
+        );
     }
 
     /// SBC variant where truths come from `truth_priors` but calibration
@@ -216,27 +226,21 @@ mod tests {
         let mut theta_ranks = Vec::new();
         let mut rho_ranks = Vec::new();
         for k in 0..config.replicates {
-            let mut rng =
-                Xoshiro256PlusPlus::from_stream(config.seed, &[0xBAD0_u64, k as u64]);
+            let mut rng = Xoshiro256PlusPlus::from_stream(config.seed, &[0xBAD0_u64, k as u64]);
             let theta_true = truth_priors.theta[0].sample(&mut rng);
             let rho_true = truth_priors.rho.sample(&mut rng);
             let truth_seed = derive_stream(config.seed, &[0xBAD1, k as u64]);
-            let (truth, _) =
-                simulator.run_fresh(&[theta_true], truth_seed, config.window.end)?;
+            let (truth, _) = simulator.run_fresh(&[theta_true], truth_seed, config.window.end)?;
             let true_cases = truth.series_f64("infections").unwrap();
             let bias = BinomialBias::sampled();
-            let mut bias_rng =
-                Xoshiro256PlusPlus::from_stream(config.seed, &[0xBAD2, k as u64]);
+            let mut bias_rng = Xoshiro256PlusPlus::from_stream(config.seed, &[0xBAD2, k as u64]);
             let observed_cases = bias.observe(&true_cases, rho_true, &mut bias_rng);
             let mut cal = config.calibration.clone();
             cal.seed = derive_stream(config.seed, &[0xBAD3, k as u64]);
-            let observed = ObservedData::cases_only_with(
-                observed_cases,
-                BiasMode::Sampled,
-                cal.sigma,
-            );
-            let result = SingleWindowIs::new(simulator, cal)
-                .run(fit_priors, &observed, config.window)?;
+            let observed =
+                ObservedData::cases_only_with(observed_cases, BiasMode::Sampled, cal.sigma);
+            let result =
+                SingleWindowIs::new(simulator, cal).run(fit_priors, &observed, config.window)?;
             let post = &result.posterior;
             let stride = (post.len() / config.subsample).max(1);
             let draws: Vec<f64> = post
@@ -248,7 +252,11 @@ mod tests {
             theta_ranks.push(draws.iter().filter(|&&t| t < theta_true).count());
             rho_ranks.push(0);
         }
-        Ok(SbcResult { theta_ranks, rho_ranks, subsample: config.subsample })
+        Ok(SbcResult {
+            theta_ranks,
+            rho_ranks,
+            subsample: config.subsample,
+        })
     }
 
     #[test]
@@ -265,7 +273,10 @@ mod tests {
             rho_ranks: vec![3, 3, 3],
             subsample: 15,
         };
-        for v in r.normalized_theta_ranks().iter().chain(r.normalized_rho_ranks().iter())
+        for v in r
+            .normalized_theta_ranks()
+            .iter()
+            .chain(r.normalized_rho_ranks().iter())
         {
             assert!((0.0..=1.0).contains(v));
         }

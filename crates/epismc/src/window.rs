@@ -69,7 +69,10 @@ impl WindowPlan {
     /// # Panics
     /// Panics unless `horizon >= 62`.
     pub fn paper(horizon: u32) -> Self {
-        assert!(horizon >= 62, "paper plan needs horizon >= 62, got {horizon}");
+        assert!(
+            horizon >= 62,
+            "paper plan needs horizon >= 62, got {horizon}"
+        );
         Self::new(vec![
             TimeWindow::new(20, 33),
             TimeWindow::new(34, 47),
@@ -154,12 +157,12 @@ mod tests {
 
     #[test]
     fn regular_plan_covers_exactly() {
-        let p = WindowPlan::regular(10, 7, 44);
-        // [10,16], [17,23], [24,30], [31,44] (last absorbs remainder).
+        let p = WindowPlan::regular(10, 7, 42);
+        // [10,16], [17,23], [24,30], [31,42] (last absorbs remainder).
         assert_eq!(p.len(), 4);
         assert_eq!(p.windows()[0], TimeWindow::new(10, 16));
-        assert_eq!(p.windows()[3], TimeWindow::new(31, 44));
-        assert_eq!(p.horizon(), 44);
+        assert_eq!(p.windows()[3], TimeWindow::new(31, 42));
+        assert_eq!(p.horizon(), 42);
         // Contiguity: each window starts right after the previous one.
         for pair in p.windows().windows(2) {
             assert_eq!(pair[1].start, pair[0].end + 1);

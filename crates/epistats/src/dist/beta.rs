@@ -55,8 +55,7 @@ impl Distribution for Beta {
         if x <= 0.0 || x >= 1.0 {
             return f64::NEG_INFINITY;
         }
-        (self.a - 1.0) * x.ln() + (self.b - 1.0) * (1.0 - x).ln()
-            - ln_beta(self.a, self.b)
+        (self.a - 1.0) * x.ln() + (self.b - 1.0) * (1.0 - x).ln() - ln_beta(self.a, self.b)
     }
 
     fn mean(&self) -> f64 {

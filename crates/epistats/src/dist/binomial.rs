@@ -33,10 +33,7 @@ impl Binomial {
     /// # Panics
     /// Panics unless `p` is in `[0, 1]`.
     pub fn new(n: u64, p: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "Binomial: p = {p} outside [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&p), "Binomial: p = {p} outside [0, 1]");
         Self { n, p }
     }
 
@@ -66,9 +63,7 @@ impl Binomial {
         if self.p == 1.0 {
             return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
         }
-        ln_choose(self.n, k)
-            + k as f64 * self.p.ln()
-            + (self.n - k) as f64 * (1.0 - self.p).ln()
+        ln_choose(self.n, k) + k as f64 * self.p.ln() + (self.n - k) as f64 * (1.0 - self.p).ln()
     }
 }
 
@@ -314,7 +309,10 @@ mod tests {
         }
         // Loose bound: mean of chi2 is dof, sd ~ sqrt(2 dof); allow 5 sd.
         let bound = dof as f64 + 5.0 * (2.0 * dof as f64).sqrt();
-        assert!(chi2 < bound, "chi2 = {chi2:.1}, bound = {bound:.1}, dof = {dof}");
+        assert!(
+            chi2 < bound,
+            "chi2 = {chi2:.1}, bound = {bound:.1}, dof = {dof}"
+        );
     }
 
     #[test]

@@ -70,7 +70,11 @@ impl Categorical {
             threshold[i as usize] = 1.0;
             alias[i as usize] = i;
         }
-        Self { probs, alias, threshold }
+        Self {
+            probs,
+            alias,
+            threshold,
+        }
     }
 
     /// Number of categories.

@@ -38,7 +38,10 @@ impl LogNormal {
     /// # Panics
     /// Panics unless `mean > 0` and `cv > 0`.
     pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
-        assert!(mean > 0.0 && cv > 0.0, "from_mean_cv: mean = {mean}, cv = {cv}");
+        assert!(
+            mean > 0.0 && cv > 0.0,
+            "from_mean_cv: mean = {mean}, cv = {cv}"
+        );
         let sigma2 = (1.0 + cv * cv).ln();
         Self::new(mean.ln() - 0.5 * sigma2, sigma2.sqrt())
     }

@@ -80,17 +80,11 @@ pub(crate) mod testutil {
 
     /// Draw `n` samples and check the empirical mean and variance against
     /// the analytic moments within `tol_sigmas` standard errors.
-    pub fn check_moments<D: Distribution>(
-        dist: &D,
-        seed: u64,
-        n: usize,
-        tol_sigmas: f64,
-    ) {
+    pub fn check_moments<D: Distribution>(dist: &D, seed: u64, n: usize, tol_sigmas: f64) {
         let mut rng = Xoshiro256PlusPlus::new(seed);
         let xs = dist.sample_n(&mut rng, n);
         let mean: f64 = xs.iter().sum::<f64>() / n as f64;
-        let var: f64 =
-            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
         let se_mean = (dist.var() / n as f64).sqrt();
         assert!(
             (mean - dist.mean()).abs() < tol_sigmas * se_mean.max(1e-12),

@@ -31,7 +31,10 @@ impl NegBinomial {
             mu.is_finite() && mu >= 0.0,
             "NegBinomial: invalid mean {mu}"
         );
-        assert!(k.is_finite() && k > 0.0, "NegBinomial: invalid dispersion {k}");
+        assert!(
+            k.is_finite() && k > 0.0,
+            "NegBinomial: invalid dispersion {k}"
+        );
         Self { mu, k }
     }
 

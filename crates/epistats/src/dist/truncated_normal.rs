@@ -30,7 +30,10 @@ impl TruncatedNormal {
     /// Panics unless `sigma > 0`, `lo < hi`, and the interval carries
     /// non-vanishing probability mass under the parent normal.
     pub fn new(mu: f64, sigma: f64, lo: f64, hi: f64) -> Self {
-        assert!(sigma.is_finite() && sigma > 0.0, "TruncatedNormal: sigma = {sigma}");
+        assert!(
+            sigma.is_finite() && sigma > 0.0,
+            "TruncatedNormal: sigma = {sigma}"
+        );
         assert!(lo < hi, "TruncatedNormal: empty interval [{lo}, {hi}]");
         let cdf_lo = std_normal_cdf((lo - mu) / sigma);
         let cdf_hi = std_normal_cdf((hi - mu) / sigma);
@@ -38,7 +41,14 @@ impl TruncatedNormal {
             cdf_hi - cdf_lo > 1e-300,
             "TruncatedNormal: interval mass underflows (mu = {mu}, sigma = {sigma}, [{lo}, {hi}])"
         );
-        Self { mu, sigma, lo, hi, cdf_lo, cdf_hi }
+        Self {
+            mu,
+            sigma,
+            lo,
+            hi,
+            cdf_lo,
+            cdf_hi,
+        }
     }
 
     /// Probability mass of `[lo, hi]` under the parent normal.

@@ -63,7 +63,11 @@ impl GpEmulator {
         if hyper.signal_var <= 0.0 || hyper.noise_var < 0.0 {
             return Err("gp fit: invalid variances".into());
         }
-        if hyper.lengthscales.iter().any(|&l| !(l.is_finite() && l > 0.0)) {
+        if hyper
+            .lengthscales
+            .iter()
+            .any(|&l| !(l.is_finite() && l > 0.0))
+        {
             return Err("gp fit: invalid lengthscale".into());
         }
         let n = x.len();
@@ -80,7 +84,13 @@ impl GpEmulator {
         }
         let chol = Cholesky::new(&k, n)?;
         let alpha = chol.solve(&yc);
-        Ok(Self { x, alpha, chol, hyper, y_mean })
+        Ok(Self {
+            x,
+            alpha,
+            chol,
+            hyper,
+            y_mean,
+        })
     }
 
     /// Fit with hyperparameters chosen by maximizing the log marginal
@@ -125,7 +135,7 @@ impl GpEmulator {
                     Err(e) => last_err = e,
                     Ok(gp) => {
                         let lml = gp.log_marginal_likelihood(y);
-                        if best.as_ref().map_or(true, |(b, _)| lml > *b) {
+                        if best.as_ref().is_none_or(|(b, _)| lml > *b) {
                             best = Some((lml, gp));
                         }
                     }
@@ -145,13 +155,15 @@ impl GpEmulator {
             self.hyper.lengthscales.len(),
             "gp predict: dimension mismatch"
         );
-        let kstar: Vec<f64> =
-            self.x.iter().map(|xi| kernel(xi, xstar, &self.hyper)).collect();
+        let kstar: Vec<f64> = self
+            .x
+            .iter()
+            .map(|xi| kernel(xi, xstar, &self.hyper))
+            .collect();
         let mean = self.y_mean + crate::linalg::dot(&kstar, &self.alpha);
         let v = self.chol.solve_lower(&kstar);
-        let var = (self.hyper.signal_var + self.hyper.noise_var
-            - crate::linalg::dot(&v, &v))
-        .max(0.0);
+        let var =
+            (self.hyper.signal_var + self.hyper.noise_var - crate::linalg::dot(&v, &v)).max(0.0);
         (mean, var)
     }
 
@@ -205,7 +217,11 @@ mod tests {
         let gp = GpEmulator::fit(
             x,
             &y,
-            GpHyper { lengthscales: vec![0.1], signal_var: 1.0, noise_var: 1e-6 },
+            GpHyper {
+                lengthscales: vec![0.1],
+                signal_var: 1.0,
+                noise_var: 1e-6,
+            },
         )
         .unwrap();
         let (_, v_in) = gp.predict(&[0.5]);
@@ -222,7 +238,11 @@ mod tests {
         let gp = GpEmulator::fit(
             x.clone(),
             &y,
-            GpHyper { lengthscales: vec![0.3], signal_var: 1.0, noise_var: 1e-8 },
+            GpHyper {
+                lengthscales: vec![0.3],
+                signal_var: 1.0,
+                noise_var: 1e-8,
+            },
         )
         .unwrap();
         for (xi, &yi) in x.iter().zip(&y) {
@@ -237,8 +257,9 @@ mod tests {
         // y depends on x0 only; the fit with a long x1 lengthscale should
         // predict well regardless of x1.
         let mut rng = Xoshiro256PlusPlus::new(5);
-        let x: Vec<Vec<f64>> =
-            (0..40).map(|_| vec![rng.next_f64(), rng.next_f64() * 100.0]).collect();
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|_| vec![rng.next_f64(), rng.next_f64() * 100.0])
+            .collect();
         let y: Vec<f64> = x.iter().map(|xi| (3.0 * xi[0]).cos()).collect();
         let gp = GpEmulator::fit_auto(x, &y).unwrap();
         let (m, _) = gp.predict(&[0.4, 50.0]);
@@ -253,7 +274,11 @@ mod tests {
             GpEmulator::fit(
                 x.clone(),
                 &y,
-                GpHyper { lengthscales: vec![ls], signal_var: 0.5, noise_var: 1e-4 },
+                GpHyper {
+                    lengthscales: vec![ls],
+                    signal_var: 0.5,
+                    noise_var: 1e-4,
+                },
             )
             .unwrap()
             .log_marginal_likelihood(&y)
@@ -269,13 +294,21 @@ mod tests {
         assert!(GpEmulator::fit(
             vec![vec![0.0], vec![1.0]],
             &[0.0, 1.0],
-            GpHyper { lengthscales: vec![-1.0], signal_var: 1.0, noise_var: 0.0 }
+            GpHyper {
+                lengthscales: vec![-1.0],
+                signal_var: 1.0,
+                noise_var: 0.0
+            }
         )
         .is_err());
         assert!(GpEmulator::fit(
             vec![vec![0.0], vec![1.0, 2.0]],
             &[0.0, 1.0],
-            GpHyper { lengthscales: vec![1.0], signal_var: 1.0, noise_var: 0.0 }
+            GpHyper {
+                lengthscales: vec![1.0],
+                signal_var: 1.0,
+                noise_var: 0.0
+            }
         )
         .is_err());
     }

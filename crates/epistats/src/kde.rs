@@ -39,7 +39,11 @@ impl Kde1d {
         // Silverman: 0.9 * sd * n^(-1/5); floor the bandwidth so that
         // degenerate ensembles still produce a usable (if spiky) density.
         let bw = (0.9 * sd * n_eff.powf(-0.2)).max(1e-9);
-        Self { xs: xs.to_vec(), ws, bandwidth: bw }
+        Self {
+            xs: xs.to_vec(),
+            ws,
+            bandwidth: bw,
+        }
     }
 
     /// Override the bandwidth (e.g. for sensitivity checks).
@@ -114,8 +118,16 @@ impl DensityGrid {
     /// Panics unless `mass` is in `(0, 1)`.
     pub fn hdr_level(&self, mass: f64) -> f64 {
         assert!(mass > 0.0 && mass < 1.0, "hdr_level: mass = {mass}");
-        let dx = if self.x.len() > 1 { self.x[1] - self.x[0] } else { 1.0 };
-        let dy = if self.y.len() > 1 { self.y[1] - self.y[0] } else { 1.0 };
+        let dx = if self.x.len() > 1 {
+            self.x[1] - self.x[0]
+        } else {
+            1.0
+        };
+        let dy = if self.y.len() > 1 {
+            self.y[1] - self.y[0]
+        } else {
+            1.0
+        };
         let cell = dx * dy;
         let mut dens: Vec<f64> = self.z.clone();
         dens.sort_by(|a, b| b.partial_cmp(a).unwrap());
@@ -133,8 +145,16 @@ impl DensityGrid {
     /// Total probability mass on the grid (should be close to 1 if the
     /// grid covers the support).
     pub fn total_mass(&self) -> f64 {
-        let dx = if self.x.len() > 1 { self.x[1] - self.x[0] } else { 1.0 };
-        let dy = if self.y.len() > 1 { self.y[1] - self.y[0] } else { 1.0 };
+        let dx = if self.x.len() > 1 {
+            self.x[1] - self.x[0]
+        } else {
+            1.0
+        };
+        let dy = if self.y.len() > 1 {
+            self.y[1] - self.y[0]
+        } else {
+            1.0
+        };
         self.z.iter().sum::<f64>() * dx * dy
     }
 
@@ -174,7 +194,13 @@ impl Kde2d {
         let factor = n_eff.powf(-1.0 / 6.0); // Scott, d = 2
         let bw_x = (weighted_variance(xs, &ws).sqrt() * factor).max(1e-9);
         let bw_y = (weighted_variance(ys, &ws).sqrt() * factor).max(1e-9);
-        Self { xs: xs.to_vec(), ys: ys.to_vec(), ws, bw_x, bw_y }
+        Self {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            ws,
+            bw_x,
+            bw_y,
+        }
     }
 
     /// Override both bandwidths.
@@ -182,7 +208,10 @@ impl Kde2d {
     /// # Panics
     /// Panics unless both are positive.
     pub fn with_bandwidths(mut self, bw_x: f64, bw_y: f64) -> Self {
-        assert!(bw_x > 0.0 && bw_y > 0.0, "Kde2d: bandwidths must be positive");
+        assert!(
+            bw_x > 0.0 && bw_y > 0.0,
+            "Kde2d: bandwidths must be positive"
+        );
         self.bw_x = bw_x;
         self.bw_y = bw_y;
         self
@@ -214,7 +243,10 @@ impl Kde2d {
         nx: usize,
         ny: usize,
     ) -> DensityGrid {
-        assert!(nx >= 2 && ny >= 2 && x_lo < x_hi && y_lo < y_hi, "Kde2d::grid: bad spec");
+        assert!(
+            nx >= 2 && ny >= 2 && x_lo < x_hi && y_lo < y_hi,
+            "Kde2d::grid: bad spec"
+        );
         let x: Vec<f64> = (0..nx)
             .map(|i| x_lo + (x_hi - x_lo) * i as f64 / (nx - 1) as f64)
             .collect();
@@ -298,7 +330,10 @@ mod tests {
         // For a standard bivariate normal the 50% HDR level is
         // pdf at radius r where 1 - exp(-r^2/2) = 0.5 -> level = 0.5/(2 pi).
         let want = 0.5 / (2.0 * std::f64::consts::PI);
-        assert!((l50 - want).abs() / want < 0.35, "l50 = {l50}, want ~ {want}");
+        assert!(
+            (l50 - want).abs() / want < 0.35,
+            "l50 = {l50}, want ~ {want}"
+        );
     }
 
     #[test]

@@ -33,9 +33,7 @@ impl Cholesky {
                 }
                 if i == j {
                     if sum <= 0.0 {
-                        return Err(format!(
-                            "cholesky: non-positive pivot {sum:.3e} at row {i}"
-                        ));
+                        return Err(format!("cholesky: non-positive pivot {sum:.3e} at row {i}"));
                     }
                     l[i * n + i] = sum.sqrt();
                 } else {
@@ -55,6 +53,7 @@ impl Cholesky {
     ///
     /// # Panics
     /// Panics if `b` has the wrong length.
+    #[allow(clippy::needless_range_loop)] // triangular index arithmetic reads clearer than iterators
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         assert_eq!(b.len(), self.n, "cholesky solve: wrong rhs length");
         let mut y = self.solve_lower(b);
@@ -74,6 +73,7 @@ impl Cholesky {
     ///
     /// # Panics
     /// Panics if `b` has the wrong length.
+    #[allow(clippy::needless_range_loop)] // triangular index arithmetic reads clearer than iterators
     pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
         assert_eq!(b.len(), self.n, "cholesky solve_lower: wrong rhs length");
         let mut y = vec![0.0f64; self.n];
@@ -89,7 +89,10 @@ impl Cholesky {
 
     /// `ln det(A) = 2 sum_i ln L_ii`.
     pub fn ln_det(&self) -> f64 {
-        (0..self.n).map(|i| self.l[i * self.n + i].ln()).sum::<f64>() * 2.0
+        (0..self.n)
+            .map(|i| self.l[i * self.n + i].ln())
+            .sum::<f64>()
+            * 2.0
     }
 
     /// The lower factor (row-major).
@@ -106,7 +109,13 @@ pub fn matvec(a: &[f64], x: &[f64]) -> Vec<f64> {
     let n = x.len();
     assert_eq!(a.len(), n * n, "matvec: dimension mismatch");
     (0..n)
-        .map(|i| a[i * n..(i + 1) * n].iter().zip(x).map(|(&aij, &xj)| aij * xj).sum())
+        .map(|i| {
+            a[i * n..(i + 1) * n]
+                .iter()
+                .zip(x)
+                .map(|(&aij, &xj)| aij * xj)
+                .sum()
+        })
         .collect()
 }
 

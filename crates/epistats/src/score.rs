@@ -38,7 +38,11 @@ pub fn crps(ensemble: &[f64], observation: f64, weights: Option<&[f64]>) -> f64 
     // sum_{i,j} w_i w_j |x_i - x_j| = 2 * sum_k x_(k) w_(k) (W_(k) - ...),
     // computed with cumulative weights over the sorted sample.
     let mut idx: Vec<usize> = (0..ensemble.len()).collect();
-    idx.sort_by(|&a, &b| ensemble[a].partial_cmp(&ensemble[b]).expect("NaN in ensemble"));
+    idx.sort_by(|&a, &b| {
+        ensemble[a]
+            .partial_cmp(&ensemble[b])
+            .expect("NaN in ensemble")
+    });
     let mut cum_w = 0.0;
     let mut cum_wx = 0.0;
     let mut pair = 0.0;
@@ -75,7 +79,10 @@ pub fn pit(ensemble: &[f64], observation: f64) -> f64 {
 /// # Panics
 /// Panics unless `0 < alpha < 1` and `lo <= hi`.
 pub fn interval_score(lo: f64, hi: f64, alpha: f64, observation: f64) -> f64 {
-    assert!(alpha > 0.0 && alpha < 1.0, "interval_score: alpha = {alpha}");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "interval_score: alpha = {alpha}"
+    );
     assert!(lo <= hi, "interval_score: inverted interval [{lo}, {hi}]");
     let mut s = hi - lo;
     if observation < lo {
@@ -171,7 +178,11 @@ mod tests {
         let vague: Vec<f64> = Normal::new(10.0, 5.0).sample_n(&mut rng, 400);
         let wrong: Vec<f64> = Normal::new(20.0, 0.5).sample_n(&mut rng, 400);
         let y = 10.0;
-        let (s, v, w) = (crps(&sharp, y, None), crps(&vague, y, None), crps(&wrong, y, None));
+        let (s, v, w) = (
+            crps(&sharp, y, None),
+            crps(&vague, y, None),
+            crps(&wrong, y, None),
+        );
         assert!(s < v, "sharp {s} should beat vague {v}");
         assert!(v < w, "vague {v} should beat wrong {w}");
         // Analytic CRPS of N(mu, sigma) at y = mu is sigma (sqrt(1/pi) *
@@ -224,7 +235,10 @@ mod tests {
             pits.push(pit(&ens, truth.sample(&mut rng)));
         }
         let stat = pit_uniformity_statistic(&pits, 10);
-        assert!(stat > 100.0, "biased forecasts should fail uniformity, stat = {stat}");
+        assert!(
+            stat > 100.0,
+            "biased forecasts should fail uniformity, stat = {stat}"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub fn ln_gamma(x: f64) -> f64 {
 
 /// Lanczos coefficients for g = 7 (Godfrey / Numerical Recipes set).
 const LANCZOS_G: f64 = 7.0;
+#[allow(clippy::excessive_precision)] // published coefficients kept verbatim
 const LANCZOS_COEF: [f64; 9] = [
     0.999_999_999_999_809_93,
     676.520_368_121_885_1,
@@ -143,8 +144,12 @@ pub fn std_normal_cdf(x: f64) -> f64 {
 ///
 /// # Panics
 /// Panics if `p` is outside the open interval `(0, 1)`.
+#[allow(clippy::excessive_precision)] // Acklam's published coefficients kept verbatim
 pub fn std_normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "std_normal_quantile: p = {p} not in (0,1)");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "std_normal_quantile: p = {p} not in (0,1)"
+    );
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
@@ -349,8 +354,7 @@ pub fn digamma(x: f64) -> f64 {
     );
     if x < 0.0 {
         // Reflection: psi(1-x) - psi(x) = pi cot(pi x)
-        return digamma(1.0 - x)
-            - std::f64::consts::PI / (std::f64::consts::PI * x).tan();
+        return digamma(1.0 - x) - std::f64::consts::PI / (std::f64::consts::PI * x).tan();
     }
     let mut x = x;
     let mut result = 0.0;
@@ -360,14 +364,11 @@ pub fn digamma(x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result + x.ln() - 0.5 * inv
+    result + x.ln()
+        - 0.5 * inv
         - inv2
             * (1.0 / 12.0
-                - inv2
-                    * (1.0 / 120.0
-                        - inv2
-                            * (1.0 / 252.0
-                                - inv2 * (1.0 / 240.0 - inv2 / 132.0))))
+                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))))
 }
 
 #[cfg(test)]

@@ -175,7 +175,12 @@ impl Histogram {
     /// Panics unless `lo < hi` and `bins > 0`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(lo < hi && bins > 0, "Histogram: bad configuration");
-        Self { lo, hi, counts: vec![0.0; bins], total: 0.0 }
+        Self {
+            lo,
+            hi,
+            counts: vec![0.0; bins],
+            total: 0.0,
+        }
     }
 
     /// Add a value with weight 1; out-of-range values are clamped into the
@@ -229,10 +234,7 @@ pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
     if denom == 0.0 {
         return f64::NAN;
     }
-    let num: f64 = xs
-        .windows(k + 1)
-        .map(|w| (w[0] - m) * (w[k] - m))
-        .sum();
+    let num: f64 = xs.windows(k + 1).map(|w| (w[0] - m) * (w[k] - m)).sum();
     num / denom
 }
 
@@ -357,7 +359,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternating_series() {
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&xs, 1) < -0.9);
         assert!(autocorrelation(&xs, 2) > 0.9);
         assert!(autocorrelation(&[1.0, 1.0, 1.0], 1).is_nan());

@@ -3,8 +3,8 @@
 //! special-function identities, across randomly drawn parameterizations.
 
 use epistats::dist::{
-    sample_binomial, sample_poisson, Beta, Binomial, Distribution, Exponential, Gamma,
-    LogNormal, Normal, Poisson, Quantile, TruncatedNormal, Uniform,
+    sample_binomial, sample_poisson, Beta, Binomial, Distribution, Exponential, Gamma, LogNormal,
+    Normal, Poisson, Quantile, TruncatedNormal, Uniform,
 };
 use epistats::rng::Xoshiro256PlusPlus;
 use epistats::special::{beta_inc, gamma_p, gamma_q, ln_gamma};

@@ -48,8 +48,11 @@ impl TrajectorySimulator for CovidAgeSimulator {
         end_day: u32,
     ) -> Result<(DailySeries, SimCheckpoint), String> {
         let m = self.model(theta)?;
-        let mut sim =
-            Simulation::new(m.spec(), BinomialChainStepper::daily(), m.initial_state(seed))?;
+        let mut sim = Simulation::new(
+            m.spec(),
+            BinomialChainStepper::daily(),
+            m.initial_state(seed),
+        )?;
         sim.run_until(end_day);
         let ck = sim.checkpoint();
         Ok((sim.into_series(), ck))
@@ -86,9 +89,7 @@ fn main() {
     let mut rng = Xoshiro256PlusPlus::new(7);
     let observed_cases: Vec<f64> = true_cases
         .iter()
-        .map(|&c| {
-            epismc::stats::dist::sample_binomial(&mut rng, c as u64, 0.7) as f64
-        })
+        .map(|&c| epismc::stats::dist::sample_binomial(&mut rng, c as u64, 0.7) as f64)
         .collect();
 
     // Calibrate the global transmission rate.
@@ -112,7 +113,8 @@ fn main() {
     // the calibrated posterior checkpoints.
     println!("\n45-day forecast of total deaths under age-targeted interventions:");
     let horizon = 45 + 45;
-    let scenarios: Vec<(&str, Box<dyn Fn(&mut CovidAgeParams)>)> = vec![
+    type ScenarioEdit = Box<dyn Fn(&mut CovidAgeParams)>;
+    let scenarios: Vec<(&str, ScenarioEdit)> = vec![
         ("status quo", Box::new(|_| {})),
         (
             "close schools (child rows/cols -60%)",

@@ -46,8 +46,14 @@ impl SirsSimulator {
             ],
             infections: vec![Infection::simple(0, 1)],
             transmission_rate: theta,
-            flows: vec![FlowSpec { name: "infections".into(), edges: vec![(0, 1)] }],
-            censuses: vec![CensusSpec { name: "prevalence".into(), compartments: vec![1] }],
+            flows: vec![FlowSpec {
+                name: "infections".into(),
+                edges: vec![(0, 1)],
+            }],
+            censuses: vec![CensusSpec {
+                name: "prevalence".into(),
+                compartments: vec![1],
+            }],
         }
     }
 

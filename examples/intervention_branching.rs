@@ -75,7 +75,5 @@ fn main() {
         .filter(|&&t| t < 0.5 * sq_median)
         .count() as f64
         / futures[1].2.len() as f64;
-    println!(
-        "\nP(intervention halves caseload vs status-quo median) = {frac_halved:.2}"
-    );
+    println!("\nP(intervention halves caseload vs status-quo median) = {frac_halved:.2}");
 }

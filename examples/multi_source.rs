@@ -41,7 +41,10 @@ fn main() {
         likelihood: Arc::new(GaussianSqrtLikelihood::new(2.0)),
     });
 
-    println!("calibrating window [{}, {}] under three data configurations:\n", window.start, window.end);
+    println!(
+        "calibrating window [{}, {}] under three data configurations:\n",
+        window.start, window.end
+    );
     println!(
         "{:>16} {:>9} {:>9} {:>9} {:>8}",
         "sources", "th_mean", "th_sd", "rho_mean", "ESS"

@@ -39,7 +39,10 @@ fn main() {
     // 4. Posterior summaries.
     let theta = PosteriorSummary::of_theta(&result.posterior, 0);
     let rho = PosteriorSummary::of_rho(&result.posterior);
-    println!("\nposterior after window [{}, {}]:", window.start, window.end);
+    println!(
+        "\nposterior after window [{}, {}]:",
+        window.start, window.end
+    );
     println!(
         "  theta: mean {:.3} [90% CI {:.3}, {:.3}]   (truth {:.2})",
         theta.mean, theta.q05, theta.q95, truth.theta_truth[19]
@@ -54,6 +57,9 @@ fn main() {
         result.posterior.len(),
         result.unique_ancestors
     );
-    assert!(theta.covers(truth.theta_truth[19]), "truth should be inside the 90% CI");
+    assert!(
+        theta.covers(truth.theta_truth[19]),
+        "truth should be inside the 90% CI"
+    );
     println!("\ntruth covered by the 90% credible interval — calibration succeeded");
 }

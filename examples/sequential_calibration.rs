@@ -36,7 +36,10 @@ fn main() {
         .expect("calibration");
 
     println!("time-varying parameter estimates (cases only):");
-    println!("{:>10} {:>9} {:>9} {:>9} {:>9}", "window", "theta", "th_true", "rho", "rho_true");
+    println!(
+        "{:>10} {:>9} {:>9} {:>9} {:>9}",
+        "window", "theta", "th_true", "rho", "rho_true"
+    );
     for (w, th_mean, _, rho_mean, _) in result.parameter_trace() {
         println!(
             "{:>10} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
@@ -51,7 +54,10 @@ fn main() {
     // The final window's ensemble carries checkpoints at day `horizon`:
     // forecast 14 more days by continuing a handful of posterior
     // particles with their own calibrated theta.
-    println!("\n14-day forecast beyond day {} (posterior predictive):", scenario.horizon);
+    println!(
+        "\n14-day forecast beyond day {} (posterior predictive):",
+        scenario.horizon
+    );
     let post = result.final_posterior();
     let horizon = scenario.horizon;
     let mut totals = Vec::new();
@@ -59,9 +65,7 @@ fn main() {
         let (tail, _) = simulator
             .run_from(&p.checkpoint, &p.theta, 1_000 + i as u64, horizon + 14)
             .expect("forecast");
-        totals.push(
-            tail.series("infections").unwrap().iter().sum::<u64>() as f64,
-        );
+        totals.push(tail.series("infections").unwrap().iter().sum::<u64>() as f64);
     }
     totals.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let q = |p: f64| totals[((totals.len() - 1) as f64 * p) as usize];

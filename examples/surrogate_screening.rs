@@ -9,9 +9,9 @@
 //! Run with: `cargo run --release --example surrogate_screening`
 
 use epismc::prelude::*;
+use epismc::smc::simulator::TrajectorySimulator;
 use epismc::smc::sis::score_window;
 use epismc::smc::surrogate::SurrogateScreen;
-use epismc::smc::simulator::TrajectorySimulator;
 use epismc::stats::rng::derive_stream;
 
 fn main() {
@@ -69,6 +69,7 @@ fn main() {
             let (theta, rho) = &pool[i];
             let seed = derive_stream(500, &[tag, j as u64]);
             let (traj, _) = simulator.run_fresh(theta, seed, window.end).expect("sim");
+            let traj = episim::output::SharedTrajectory::root(traj);
             let lw = score_window(&traj, *rho, seed, &observed, window).expect("score");
             total += lw.exp();
         }

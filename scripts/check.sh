@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repository-wide quality gate: formatting, lints, tests.
+#
+# Run from the repository root. This is the same sequence CI runs
+# (.github/workflows/ci.yml), so a clean local pass means a green build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "All checks passed."

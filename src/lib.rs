@@ -63,14 +63,12 @@ pub use epistats as stats;
 /// Commonly used items across the workspace, re-exported for examples and
 /// downstream users.
 pub mod prelude {
-    pub use crate::data::{
-        generate_ground_truth, GroundTruth, PiecewiseConstant, Scenario,
-    };
+    pub use crate::data::{generate_ground_truth, GroundTruth, PiecewiseConstant, Scenario};
     pub use crate::sim::{
         checkpoint::SimCheckpoint,
         covid::{CovidModel, CovidParams},
         engine::{BinomialChainStepper, GillespieStepper, Stepper, TauLeapStepper},
-        output::DailySeries,
+        output::{DailySeries, SharedTrajectory},
         seir::{SeirModel, SeirParams},
         Simulation,
     };
@@ -80,20 +78,18 @@ pub mod prelude {
         diagnostics::{coverage, joint_density, PosteriorSummary, Ribbon},
         forecast::{Forecast, Forecaster},
         likelihood::{
-            CompositeLikelihood, GaussianSqrtLikelihood, Likelihood,
-            NegBinomialLikelihood,
+            CompositeLikelihood, GaussianSqrtLikelihood, Likelihood, NegBinomialLikelihood,
         },
-        observation::{
-            BiasMode, BinomialBias, DelayedBinomialBias, IdentityBias,
-        },
+        observation::{BiasMode, BinomialBias, DelayedBinomialBias, IdentityBias},
         particle::{Particle, ParticleEnsemble},
         prior::{BetaPrior, JitterKernel, Prior, UniformPrior},
-        rejuvenate::{rejuvenate, RejuvenationConfig},
+        rejuvenate::{rejuvenate, rejuvenate_with, RejuvenationConfig},
         resample::{Multinomial, Resampler, Residual, Stratified, Systematic},
+        runner::{pool_build_count, ParallelRunner},
         simulator::{CovidSimulator, SeirSimulator, TrajectorySimulator},
         sis::{
-            CalibrationResult, ObservedData, Priors, SequentialCalibrator,
-            SingleWindowIs,
+            score_window, CalibrationResult, ObservedData, Priors, SequentialCalibrator,
+            SingleWindowIs, TrajectoryTelemetry,
         },
         surrogate::SurrogateScreen,
         tempered::{tempered_single_window, TemperedConfig},

@@ -40,7 +40,11 @@ fn posterior_covers_true_theta_and_concentrates() {
     );
     // The posterior must be materially tighter than the U(0.1, 0.5) prior
     // (sd ~ 0.115).
-    assert!(post.sd < 0.08, "posterior sd {:.3} did not concentrate", post.sd);
+    assert!(
+        post.sd < 0.08,
+        "posterior sd {:.3} did not concentrate",
+        post.sd
+    );
     // Sanity on the diagnostics.
     assert!(result.ess > 1.0 && result.ess <= (300 * 6) as f64);
     assert!(result.unique_ancestors > 10);
@@ -55,18 +59,17 @@ fn posterior_trajectories_track_observed_window() {
     let result = SingleWindowIs::new(&simulator, config(2))
         .run(&Priors::paper(), &observed, window)
         .unwrap();
-    let ribbon = Ribbon::from_ensemble_reported(
-        &result.posterior,
-        "infections",
-        window.start,
-        window.end,
-    )
-    .unwrap();
+    let ribbon =
+        Ribbon::from_ensemble_reported(&result.posterior, "infections", window.start, window.end)
+            .unwrap();
     let obs: Vec<f64> = (window.start..=window.end)
         .map(|d| truth.observed_cases[(d - 1) as usize])
         .collect();
     let cov = coverage(&ribbon, &obs);
-    assert!(cov >= 0.6, "posterior 90% ribbon covers only {cov:.2} of observations");
+    assert!(
+        cov >= 0.6,
+        "posterior 90% ribbon covers only {cov:.2} of observations"
+    );
 }
 
 #[test]
@@ -106,7 +109,11 @@ fn impossible_data_degenerates_gracefully() {
         .run(&Priors::paper(), &observed, TimeWindow::new(20, 33))
         .unwrap();
     assert_eq!(result.posterior.len(), 600);
-    assert!(result.log_marginal < -1e4, "log marginal {:.1}", result.log_marginal);
+    assert!(
+        result.log_marginal < -1e4,
+        "log marginal {:.1}",
+        result.log_marginal
+    );
 }
 
 #[test]

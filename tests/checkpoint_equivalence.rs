@@ -29,8 +29,7 @@ fn resume_is_bit_exact_with_uninterrupted_run() {
     .unwrap();
     first.run_until(35);
     let ck = first.checkpoint();
-    let mut resumed =
-        Simulation::resume(model.spec(), BinomialChainStepper::daily(), &ck).unwrap();
+    let mut resumed = Simulation::resume(model.spec(), BinomialChainStepper::daily(), &ck).unwrap();
     resumed.run_until(80);
 
     assert_eq!(resumed.state(), full.state());
@@ -75,11 +74,26 @@ fn checkpoint_restart_matches_paper_parameter_list() {
     let ck = sim.checkpoint();
 
     let variants = [
-        CovidParams { transmission_rate: 0.45, ..base.clone() },
-        CovidParams { frac_symptomatic: 0.5, ..base.clone() },
-        CovidParams { frac_severe: 0.15, ..base.clone() },
-        CovidParams { rel_infectious_asymp: 0.4, ..base.clone() },
-        CovidParams { rel_infectious_detected: 0.1, ..base.clone() },
+        CovidParams {
+            transmission_rate: 0.45,
+            ..base.clone()
+        },
+        CovidParams {
+            frac_symptomatic: 0.5,
+            ..base.clone()
+        },
+        CovidParams {
+            frac_severe: 0.15,
+            ..base.clone()
+        },
+        CovidParams {
+            rel_infectious_asymp: 0.4,
+            ..base.clone()
+        },
+        CovidParams {
+            rel_infectious_detected: 0.1,
+            ..base.clone()
+        },
     ];
     for params in variants {
         let m = CovidModel::new(params).unwrap();

@@ -40,7 +40,10 @@ fn same_seed_same_posterior() {
     let b = SingleWindowIs::new(&simulator, config(42, None))
         .run(&Priors::paper(), &observed, window)
         .unwrap();
-    assert_eq!(posterior_fingerprint(&a.posterior), posterior_fingerprint(&b.posterior));
+    assert_eq!(
+        posterior_fingerprint(&a.posterior),
+        posterior_fingerprint(&b.posterior)
+    );
     assert_eq!(a.ess, b.ess);
     assert_eq!(a.log_marginal, b.log_marginal);
 }
@@ -56,7 +59,10 @@ fn different_seed_different_posterior() {
     let b = SingleWindowIs::new(&simulator, config(43, None))
         .run(&Priors::paper(), &observed, window)
         .unwrap();
-    assert_ne!(posterior_fingerprint(&a.posterior), posterior_fingerprint(&b.posterior));
+    assert_ne!(
+        posterior_fingerprint(&a.posterior),
+        posterior_fingerprint(&b.posterior)
+    );
 }
 
 #[test]

@@ -57,7 +57,9 @@ fn forecast_from_calibrated_posterior_is_sane() {
     let future: Vec<f64> = truth.true_cases[47..67].to_vec();
     let good = forecast.mean_crps("infections", &future);
     let bad = Forecaster::new(&simulator)
-        .forecast_with(&result.posterior, 20, 60, 7, &["infections"], |_| vec![0.05])
+        .forecast_with(&result.posterior, 20, 60, 7, &["infections"], |_| {
+            vec![0.05]
+        })
         .unwrap()
         .mean_crps("infections", &future);
     assert!(good < bad, "calibrated CRPS {good:.1} vs wrong {bad:.1}");
@@ -95,7 +97,10 @@ fn rejuvenation_diversifies_a_covid_posterior() {
     assert!(posterior.unique_inputs() > before);
     // Post-move trajectories still span the window.
     for p in posterior.particles().iter().take(5) {
-        assert!(p.trajectory.window("infections", window.start, window.end).is_some());
+        assert!(p
+            .trajectory
+            .window("infections", window.start, window.end)
+            .is_some());
         assert_eq!(p.checkpoint.day, window.end);
     }
     // Posterior still near the data-supported region.
@@ -120,8 +125,9 @@ fn surrogate_screen_learns_from_a_real_pilot() {
     // The emulator's predicted-best theta should be near the actual
     // posterior mean.
     let post_mean = result.posterior.mean_theta(0);
-    let grid: Vec<(Vec<f64>, f64)> =
-        (0..80).map(|i| (vec![0.1 + 0.4 * i as f64 / 79.0], 0.8)).collect();
+    let grid: Vec<(Vec<f64>, f64)> = (0..80)
+        .map(|i| (vec![0.1 + 0.4 * i as f64 / 79.0], 0.8))
+        .collect();
     let best = screen.screen(&grid, 0.05, 0.0);
     let best_theta = grid[best[0]].0[0];
     assert!(
@@ -156,7 +162,9 @@ fn store_supports_recalibration_when_new_data_arrive() {
             .expect("stored");
         assert_eq!(day, 33);
         let p = &result.posterior.particles()[i];
-        let (tail, _) = simulator.run_from(&ck, &p.theta, 1000 + i as u64, 47).unwrap();
+        let (tail, _) = simulator
+            .run_from(&ck, &p.theta, 1000 + i as u64, 47)
+            .unwrap();
         assert_eq!(tail.start_day(), 34);
         assert_eq!(tail.len(), 14);
         continued += 1;
@@ -171,13 +179,11 @@ fn store_supports_recalibration_when_new_data_arrive() {
 #[test]
 fn sbc_runs_through_the_public_api() {
     use epismc::smc::validate::{run_sbc, SbcConfig};
-    let simulator = epismc::smc::simulator::SeirSimulator::new(
-        epismc::sim::seir::SeirParams {
-            population: 6_000,
-            initial_exposed: 30,
-            ..Default::default()
-        },
-    )
+    let simulator = epismc::smc::simulator::SeirSimulator::new(epismc::sim::seir::SeirParams {
+        population: 6_000,
+        initial_exposed: 30,
+        ..Default::default()
+    })
     .unwrap();
     let priors = Priors {
         theta: vec![Box::new(UniformPrior::new(0.2, 0.7))],
@@ -203,7 +209,10 @@ fn sbc_runs_through_the_public_api() {
     assert_eq!(result.theta_ranks.len(), 10);
     assert!(result.theta_ranks.iter().all(|&r| r <= 10));
     // Ranks are not all identical (the posterior actually moves).
-    let distinct: std::collections::HashSet<usize> =
-        result.theta_ranks.iter().copied().collect();
-    assert!(distinct.len() > 2, "degenerate SBC ranks: {:?}", result.theta_ranks);
+    let distinct: std::collections::HashSet<usize> = result.theta_ranks.iter().copied().collect();
+    assert!(
+        distinct.len() > 2,
+        "degenerate SBC ranks: {:?}",
+        result.theta_ranks
+    );
 }

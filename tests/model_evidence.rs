@@ -76,7 +76,10 @@ fn evidence_prefers_the_bias_aware_configuration_given_deaths() {
     scenario.rho_schedule = PiecewiseConstant::constant(0.30);
     let truth = generate_ground_truth(&scenario, scenario.truth_seed);
     let window_deaths: f64 = truth.deaths[19..47].iter().sum();
-    assert!(window_deaths > 10.0, "need informative deaths, got {window_deaths}");
+    assert!(
+        window_deaths > 10.0,
+        "need informative deaths, got {window_deaths}"
+    );
     let simulator = CovidSimulator::new(scenario.base_params.clone()).unwrap();
 
     let bias_aware = Priors::paper(); // Beta(4,1): mass over (0,1)
@@ -84,12 +87,8 @@ fn evidence_prefers_the_bias_aware_configuration_given_deaths() {
         theta: vec![Box::new(UniformPrior::new(0.1, 0.5))],
         rho: Box::new(BetaPrior::new(5_000.0, 1.0)), // rho ~ 0.9998
     };
-    let data = || {
-        ObservedData::cases_and_deaths(
-            truth.observed_cases.clone(),
-            truth.deaths.clone(),
-        )
-    };
+    let data =
+        || ObservedData::cases_and_deaths(truth.observed_cases.clone(), truth.deaths.clone());
     let res_aware = run_with_data(&simulator, data(), &bias_aware, 1);
     let res_full = run_with_data(&simulator, data(), &full_reporting, 1);
     let lbf = res_aware.total_log_marginal() - res_full.total_log_marginal();

@@ -10,14 +10,14 @@ use proptest::prelude::*;
 
 fn arb_covid_params() -> impl Strategy<Value = CovidParams> {
     (
-        0.05f64..0.8,   // transmission rate
-        0.3f64..0.9,    // frac symptomatic
-        0.01f64..0.3,   // frac severe
-        0.0f64..1.0,    // detect mild
-        0.1f64..1.0,    // rel infectious asymp
-        0.0f64..1.0,    // rel infectious detected
-        1u32..4,        // latent stages
-        1u32..4,        // progression stages
+        0.05f64..0.8, // transmission rate
+        0.3f64..0.9,  // frac symptomatic
+        0.01f64..0.3, // frac severe
+        0.0f64..1.0,  // detect mild
+        0.1f64..1.0,  // rel infectious asymp
+        0.0f64..1.0,  // rel infectious detected
+        1u32..4,      // latent stages
+        1u32..4,      // progression stages
     )
         .prop_map(|(theta, fs, fsev, dm, ka, kd, ls, ps)| CovidParams {
             transmission_rate: theta,

@@ -38,9 +38,7 @@ fn sequential_calibration_follows_suppression_and_relaxation() {
         TimeWindow::new(81, 110),
     ]);
     let observed = ObservedData::cases_only(truth.observed_cases.clone());
-    let result = calibrator
-        .run(&Priors::paper(), &observed, &plan)
-        .unwrap();
+    let result = calibrator.run(&Priors::paper(), &observed, &plan).unwrap();
     let trace = result.parameter_trace();
     let theta: Vec<f64> = trace.iter().map(|t| t.1).collect();
 

@@ -1,0 +1,234 @@
+//! Equivalence and memory guarantees of the structurally-shared
+//! trajectory storage.
+//!
+//! The `SharedTrajectory` refactor must be *invisible* in the results:
+//! posterior parameters, seeds, and every stored trajectory value have to
+//! be bit-identical to the owned-`DailySeries` baseline. The golden
+//! fingerprints below were captured by running this exact configuration
+//! against the pre-refactor owned storage; the tests assert the shared
+//! storage reproduces them, for several thread counts, and that a long
+//! calibration actually holds far less memory than flat storage would.
+
+use epismc::prelude::*;
+
+/// FNV-1a over little-endian u64 chunks.
+fn fnv(h: &mut u64, x: u64) {
+    for b in x.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+const FNV_INIT: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Golden values captured from the owned-`DailySeries` baseline (same
+/// scenario, seed 11, threads = 2) before the storage refactor.
+const GOLDEN_PARAM_HASH: u64 = 0xC27B_41A4_434C_2B3F;
+const GOLDEN_TRAJ_HASH: u64 = 0x0B2C_7DCB_EAD8_945D;
+const GOLDEN_FIRST_THETA_BITS: u64 = 0x3FDD_B234_2519_D682;
+const GOLDEN_FIRST_RHO_BITS: u64 = 0x3FEF_344D_B3B6_D941;
+const GOLDEN_FIRST_SEED: u64 = 17587011020251177920;
+const GOLDEN_TOTAL_LOG_MARGINAL: f64 = -51.881472306370995;
+
+fn scenario() -> (SeirSimulator, ObservedData, WindowPlan) {
+    let sim = SeirSimulator::new(SeirParams {
+        population: 15_000,
+        initial_exposed: 50,
+        ..SeirParams::default()
+    })
+    .unwrap();
+    let (truth, _) = sim.run_fresh(&[0.45], 99, 45).unwrap();
+    let observed =
+        ObservedData::cases_only_with(truth.series_f64("infections").unwrap(), BiasMode::Mean, 1.0);
+    (sim, observed, WindowPlan::regular(5, 20, 45))
+}
+
+fn priors() -> Priors {
+    Priors {
+        theta: vec![Box::new(UniformPrior::new(0.1, 0.9))],
+        rho: Box::new(BetaPrior::new(100.0, 1.0)),
+    }
+}
+
+fn calibrate(threads: Option<usize>) -> CalibrationResult {
+    let (sim, observed, plan) = scenario();
+    let mut builder = CalibrationConfig::builder()
+        .n_params(60)
+        .n_replicates(3)
+        .resample_size(120)
+        .seed(11);
+    if let Some(t) = threads {
+        builder = builder.threads(t);
+    }
+    let cal = SequentialCalibrator::new(
+        &sim,
+        builder.build(),
+        vec![JitterKernel::symmetric(0.08, 0.05, 0.8)],
+        JitterKernel::asymmetric(0.05, 0.08, 0.05, 1.0),
+    );
+    cal.run(&priors(), &observed, &plan).unwrap()
+}
+
+/// `(param_hash, traj_hash)` fingerprints of a final posterior, hashing
+/// every particle's parameters and every stored trajectory value.
+fn fingerprints(result: &CalibrationResult) -> (u64, u64) {
+    let mut param_hash = FNV_INIT;
+    let mut traj_hash = FNV_INIT;
+    for p in result.final_posterior().particles() {
+        fnv(&mut param_hash, p.theta[0].to_bits());
+        fnv(&mut param_hash, p.rho.to_bits());
+        fnv(&mut param_hash, p.seed);
+        let t = &p.trajectory;
+        fnv(&mut traj_hash, t.start_day() as u64);
+        fnv(&mut traj_hash, t.len() as u64);
+        for name in t.names().to_vec() {
+            for &v in t.series(&name).unwrap().iter() {
+                fnv(&mut traj_hash, v);
+            }
+        }
+    }
+    (param_hash, traj_hash)
+}
+
+#[test]
+fn shared_storage_reproduces_owned_storage_goldens() {
+    let result = calibrate(Some(2));
+    let (param_hash, traj_hash) = fingerprints(&result);
+    assert_eq!(
+        param_hash, GOLDEN_PARAM_HASH,
+        "posterior parameters diverged from the owned-storage baseline"
+    );
+    assert_eq!(
+        traj_hash, GOLDEN_TRAJ_HASH,
+        "trajectory contents diverged from the owned-storage baseline"
+    );
+    let first = &result.final_posterior().particles()[0];
+    assert_eq!(first.theta[0].to_bits(), GOLDEN_FIRST_THETA_BITS);
+    assert_eq!(first.rho.to_bits(), GOLDEN_FIRST_RHO_BITS);
+    assert_eq!(first.seed, GOLDEN_FIRST_SEED);
+    assert_eq!(first.trajectory.len(), 45);
+    assert_eq!(first.trajectory.start_day(), 1);
+    assert!(
+        (result.total_log_marginal() - GOLDEN_TOTAL_LOG_MARGINAL).abs() < 1e-9,
+        "log evidence drifted: {}",
+        result.total_log_marginal()
+    );
+}
+
+#[test]
+fn fingerprints_are_thread_count_invariant() {
+    for threads in [None, Some(1), Some(4)] {
+        let result = calibrate(threads);
+        let (param_hash, traj_hash) = fingerprints(&result);
+        assert_eq!(param_hash, GOLDEN_PARAM_HASH, "threads = {threads:?}");
+        assert_eq!(traj_hash, GOLDEN_TRAJ_HASH, "threads = {threads:?}");
+    }
+}
+
+#[test]
+fn flattened_trajectories_match_segment_reads() {
+    let result = calibrate(Some(2));
+    for p in result.final_posterior().particles().iter().take(10) {
+        let flat = p.trajectory.flatten();
+        assert_eq!(flat.len(), p.trajectory.len());
+        assert_eq!(flat.start_day(), p.trajectory.start_day());
+        for name in p.trajectory.names().to_vec() {
+            // Whole-series reads agree between chain walk and flat copy.
+            assert_eq!(
+                p.trajectory.series(&name).unwrap(),
+                flat.series(&name).unwrap()
+            );
+            // Windowed reads agree with the flat slice.
+            let lo = p.trajectory.start_day() + 3;
+            let hi = p.trajectory.end_day().unwrap() - 2;
+            let windowed = p.trajectory.window(&name, lo, hi).unwrap();
+            let offset = (lo - flat.start_day()) as usize;
+            assert_eq!(
+                windowed.as_slice(),
+                &flat.series(&name).unwrap()[offset..offset + windowed.len()]
+            );
+        }
+        // Day-row iteration covers every day exactly once, in order.
+        let days: Vec<u32> = p.trajectory.iter_days().map(|(d, _)| d).collect();
+        let expected: Vec<u32> = (p.trajectory.start_day()
+            ..p.trajectory.start_day() + p.trajectory.len() as u32)
+            .collect();
+        assert_eq!(days, expected);
+    }
+}
+
+/// The acceptance criterion of the storage refactor: across a 20-window
+/// calibration, the ensemble's *unique* trajectory bytes stay far below
+/// what per-particle flat storage would hold, because continued particles
+/// share their ancestors' history instead of copying it.
+#[test]
+fn twenty_window_calibration_shares_trajectory_memory() {
+    let sim = SeirSimulator::new(SeirParams {
+        population: 15_000,
+        initial_exposed: 50,
+        ..SeirParams::default()
+    })
+    .unwrap();
+    let (truth, _) = sim.run_fresh(&[0.45], 7, 104).unwrap();
+    let observed =
+        ObservedData::cases_only_with(truth.series_f64("infections").unwrap(), BiasMode::Mean, 2.0);
+    // Days 5..=104 in 5-day windows: exactly 20 windows.
+    let plan = WindowPlan::regular(5, 5, 104);
+    assert_eq!(plan.windows().len(), 20);
+    let cfg = CalibrationConfig::builder()
+        .n_params(40)
+        .n_replicates(2)
+        .resample_size(80)
+        .seed(23)
+        .threads(2)
+        .build();
+    let result = SequentialCalibrator::new(
+        &sim,
+        cfg,
+        vec![JitterKernel::symmetric(0.08, 0.05, 0.8)],
+        JitterKernel::asymmetric(0.05, 0.08, 0.05, 1.0),
+    )
+    .run(&priors(), &observed, &plan)
+    .unwrap();
+    assert_eq!(result.windows.len(), 20);
+
+    for (i, w) in result.windows.iter().enumerate() {
+        let t = w.telemetry;
+        // Sharing can only reduce memory, never inflate it.
+        assert!(
+            t.shared_bytes <= t.flat_bytes,
+            "window {i}: shared {} > flat {}",
+            t.shared_bytes,
+            t.flat_bytes
+        );
+        // The calibrator builds its pool once per *run*, before the
+        // window loop — no window may report a pool build.
+        assert_eq!(t.pool_builds, 0, "window {i} rebuilt a thread pool");
+    }
+
+    let last = result.windows.last().unwrap().telemetry;
+    // Deep histories are heavily shared: resampled siblings hold their
+    // common ancestors' segments by reference, so unique bytes sit well
+    // below the per-particle flat footprint.
+    assert!(
+        last.sharing_ratio() >= 3.0,
+        "sharing ratio {:.2} below 3 after 20 windows (shared {} / flat {})",
+        last.sharing_ratio(),
+        last.shared_bytes,
+        last.flat_bytes
+    );
+    assert!(
+        last.reused_segments() > 0,
+        "no segment was shared across the final ensemble"
+    );
+    // Memory per window stays roughly constant: the *unique* bytes the
+    // last ensemble adds on top of an early-calibration ensemble are a
+    // small multiple of one window's worth, not 19 windows' worth.
+    let early = result.windows[4].telemetry;
+    let growth = last.shared_bytes as f64 / early.shared_bytes.max(1) as f64;
+    let flat_growth = last.flat_bytes as f64 / early.flat_bytes.max(1) as f64;
+    assert!(
+        growth < flat_growth,
+        "shared bytes grew {growth:.2}x vs flat {flat_growth:.2}x — history is being copied"
+    );
+}

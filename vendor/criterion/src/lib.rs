@@ -1,0 +1,224 @@
+//! Minimal offline stand-in for `criterion`: wall-clock timing with the
+//! same bench-definition API surface (`Criterion`, `BenchmarkGroup`,
+//! `Bencher`, `BenchmarkId`, `Throughput`, `criterion_group!`,
+//! `criterion_main!`) but none of the statistics machinery. Each
+//! benchmark is warmed up briefly, then timed over an adaptive number of
+//! iterations, and the mean time per iteration is printed.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Measurement back-ends (name-compatible with upstream; only wall-clock
+/// timing exists here).
+pub mod measurement {
+    /// Wall-clock time measurement (the upstream default).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct WallTime;
+}
+
+/// Throughput annotation (recorded, reported alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes, decimal multiple reporting.
+    BytesDecimal(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of the various accepted name types into a display string.
+pub trait IntoBenchmarkId {
+    /// The display name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, first warming up, then iterating until the
+    /// measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up & per-iteration estimate.
+        let warm_start = Instant::now();
+        std::hint::black_box(routine());
+        let per_iter = warm_start.elapsed().max(Duration::from_nanos(1));
+        let target: u64 =
+            (MEASURE_BUDGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..target {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = target;
+    }
+}
+
+fn report(name: &str, throughput: Option<Throughput>, b: &Bencher) {
+    if b.iterations == 0 {
+        println!("{name:<50} (no measurement)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iterations as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) => {
+            format!("  {:>12.0} B/s", n as f64 / per_iter)
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<50} {:>12.3} µs/iter  ({} iters){rate}",
+        per_iter * 1e6,
+        b.iterations
+    );
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut b);
+        report(name, None, &b);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            throughput: None,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix. The measurement
+/// type parameter mirrors upstream's signature (only
+/// [`measurement::WallTime`] exists here).
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Set the per-iteration sample count (accepted, ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement time (accepted, ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Record throughput for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_name());
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut b);
+        report(&full, self.throughput, &b);
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Define a benchmark group function from a list of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

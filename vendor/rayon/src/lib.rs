@@ -1,0 +1,232 @@
+//! Minimal offline stand-in for `rayon`, covering the subset this
+//! workspace uses: `(0..n).into_par_iter().map(f).collect::<Vec<_>>()`
+//! and a dedicated `ThreadPool` with `install`.
+//!
+//! Execution is chunked across `std::thread::scope` workers; results are
+//! concatenated in index order, so collection order is deterministic and
+//! independent of scheduling — the same guarantee real rayon's indexed
+//! collect provides. A pool of one thread runs strictly sequentially on
+//! the calling thread.
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::Range;
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn current_threads() -> usize {
+    POOL_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(default_threads)
+}
+
+/// Error building a thread pool (never produced by this stand-in).
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Debug for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ThreadPoolBuildError")
+    }
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a dedicated pool.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with the default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin the worker count (`0` = default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    ///
+    /// # Errors
+    /// Never fails in this stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A pool with a fixed worker count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count governing any parallel
+    /// iterators it executes.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(Some(self.threads)));
+        let out = f();
+        POOL_THREADS.with(|c| c.set(prev));
+        out
+    }
+
+    /// Configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter;
+
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangePar;
+
+    fn into_par_iter(self) -> RangePar {
+        RangePar { range: self }
+    }
+}
+
+/// Parallel iterator over an index range.
+pub struct RangePar {
+    range: Range<usize>,
+}
+
+impl RangePar {
+    /// Map each index through `f`.
+    pub fn map<T, F>(self, f: F) -> MapPar<F>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Send + Sync,
+    {
+        MapPar {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+/// Mapped parallel iterator.
+pub struct MapPar<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+/// Collection target for parallel iterators (only `Vec<T>` here).
+pub trait FromParallelIterator<T> {
+    /// Build from index-ordered results.
+    fn from_ordered(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+impl<F> MapPar<F> {
+    /// Evaluate in parallel; results are in index order regardless of
+    /// scheduling.
+    pub fn collect<T, C>(self) -> C
+    where
+        T: Send,
+        F: Fn(usize) -> T + Send + Sync,
+        C: FromParallelIterator<T>,
+    {
+        C::from_ordered(run_chunked(self.range, &self.f))
+    }
+}
+
+fn run_chunked<T, F>(range: Range<usize>, f: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Send + Sync,
+{
+    let n = range.len();
+    let workers = current_threads().max(1).min(n.max(1));
+    if workers <= 1 {
+        return range.map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let start = range.start;
+    let end = range.end;
+    let chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = (start + w * chunk).min(end);
+                let hi = (lo + chunk).min(end);
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// The traits needed for `.into_par_iter().map(..).collect()`.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_collection_across_pools() {
+        let f = |i: usize| i * 3;
+        let seq: Vec<usize> = (0..97).map(f).collect();
+        let par: Vec<usize> = (0..97usize).into_par_iter().map(f).collect();
+        assert_eq!(seq, par);
+        let pooled: Vec<usize> = ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap()
+            .install(|| (0..97usize).into_par_iter().map(f).collect());
+        assert_eq!(seq, pooled);
+    }
+
+    #[test]
+    fn install_restores_previous_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| assert_eq!(current_threads(), 2));
+        assert!(POOL_THREADS.with(|c| c.get()).is_none());
+    }
+}

@@ -1,0 +1,366 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde stand-in. No `syn`/`quote`: the item is parsed directly
+//! from the token stream, which is sufficient because this workspace only
+//! derives on named-field structs (no generics) and unit-variant enums.
+//!
+//! Supported attributes:
+//! * container: `#[serde(rename_all = "snake_case")]` (enums)
+//! * field: `#[serde(default)]`, `#[serde(default = "path")]`,
+//!   `#[serde(skip)]` (combinable, e.g. `skip, default = "path")`)
+//!
+//! Matching real serde semantics where it matters here: missing
+//! `Option<T>` fields deserialize to `None` without needing `default`,
+//! unknown JSON fields are ignored, and `skip` fields are neither written
+//! nor read (reconstructed from their default).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    item.gen_serialize()
+        .parse()
+        .expect("serde_derive: generated code")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    item.gen_deserialize()
+        .parse()
+        .expect("serde_derive: generated code")
+}
+
+/// One named struct field with its serde attributes.
+struct Field {
+    name: String,
+    /// `#[serde(skip)]` present.
+    skip: bool,
+    /// `#[serde(default)]` present (use `Default::default()` if missing).
+    default_std: bool,
+    /// `#[serde(default = "path")]` function path.
+    default_fn: Option<String>,
+    /// First identifier of the field type (detects `Option`).
+    type_head: String,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    /// Unit variants, with their (possibly renamed) wire names.
+    Enum(Vec<(String, String)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Serde attribute items collected from one `#[serde(...)]` group.
+#[derive(Default)]
+struct SerdeAttrs {
+    skip: bool,
+    default_std: bool,
+    default_fn: Option<String>,
+    rename_all: Option<String>,
+}
+
+fn parse_serde_attr(group: &proc_macro::Group, out: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    // Tokens are `serde ( ... )`.
+    let inner = match tokens.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(g)] if id.to_string() == "serde" => g.stream(),
+        _ => return,
+    };
+    let items: Vec<TokenTree> = inner.into_iter().collect();
+    let mut i = 0;
+    while i < items.len() {
+        if let TokenTree::Ident(id) = &items[i] {
+            let key = id.to_string();
+            let has_eq = matches!(
+                items.get(i + 1),
+                Some(TokenTree::Punct(p)) if p.as_char() == '='
+            );
+            if has_eq {
+                let lit = match items.get(i + 2) {
+                    Some(TokenTree::Literal(l)) => l.to_string(),
+                    other => panic!("serde_derive: expected literal after {key} =, got {other:?}"),
+                };
+                let unquoted = lit.trim_matches('"').to_string();
+                match key.as_str() {
+                    "default" => out.default_fn = Some(unquoted),
+                    "rename_all" => out.rename_all = Some(unquoted),
+                    other => panic!("serde_derive: unsupported attribute {other}"),
+                }
+                i += 3;
+            } else {
+                match key.as_str() {
+                    "skip" => out.skip = true,
+                    "default" => out.default_std = true,
+                    other => panic!("serde_derive: unsupported attribute {other}"),
+                }
+                i += 1;
+            }
+        } else {
+            // Separator commas.
+            i += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut container = SerdeAttrs::default();
+
+    // Leading attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_serde_attr(g, &mut container);
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    if matches!(tokens.get(i + 2), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by this stand-in");
+    }
+    let body = match tokens.get(i + 2) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive: expected braced body for {name}, got {other:?}"),
+    };
+
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_fields(body)),
+        "enum" => Shape::Enum(parse_variants(body, container.rename_all.as_deref())),
+        other => panic!("serde_derive: unsupported item kind {other}"),
+    };
+    Item { name, shape }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        // Field attributes (doc comments included).
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                parse_serde_attr(g, &mut attrs);
+            }
+            i += 2;
+        }
+        // Visibility.
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected ':' after field {name}, got {other:?}"),
+        }
+        // Type tokens until a comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        let mut type_head = String::new();
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                TokenTree::Ident(id) if type_head.is_empty() => {
+                    type_head = id.to_string();
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+            default_std: attrs.default_std,
+            default_fn: attrs.default_fn,
+            type_head,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream, rename_all: Option<&str>) -> Vec<(String, String)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let variant = id.to_string();
+                // Reject data-carrying variants.
+                if let Some(TokenTree::Group(_)) = tokens.get(i + 1) {
+                    panic!("serde_derive: only unit enum variants are supported");
+                }
+                let wire = match rename_all {
+                    Some("snake_case") => to_snake_case(&variant),
+                    Some(other) => panic!("serde_derive: unsupported rename_all = {other}"),
+                    None => variant.clone(),
+                };
+                variants.push((variant, wire));
+                i += 1;
+            }
+            other => panic!("serde_derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn to_snake_case(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 4);
+    for (i, c) in s.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+impl Item {
+    fn gen_serialize(&self) -> String {
+        match &self.shape {
+            Shape::Struct(fields) => {
+                let mut pushes = String::new();
+                for f in fields.iter().filter(|f| !f.skip) {
+                    pushes.push_str(&format!(
+                        "__fields.push((String::from(\"{n}\"), \
+                         ::serde::Serialize::to_value(&self.{n})));\n",
+                        n = f.name
+                    ));
+                }
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                     let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                     {pushes}\
+                     ::serde::Value::Object(__fields)\n\
+                     }}\n}}\n",
+                    name = self.name
+                )
+            }
+            Shape::Enum(variants) => {
+                let mut arms = String::new();
+                for (variant, wire) in variants {
+                    arms.push_str(&format!(
+                        "Self::{variant} => ::serde::Value::Str(String::from(\"{wire}\")),\n"
+                    ));
+                }
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                     match self {{\n{arms}}}\n\
+                     }}\n}}\n",
+                    name = self.name
+                )
+            }
+        }
+    }
+
+    fn gen_deserialize(&self) -> String {
+        match &self.shape {
+            Shape::Struct(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    let missing = if let Some(path) = &f.default_fn {
+                        format!("{path}()")
+                    } else if f.default_std {
+                        "::std::default::Default::default()".to_string()
+                    } else if f.type_head == "Option" {
+                        "::std::option::Option::None".to_string()
+                    } else {
+                        format!(
+                            "return Err(String::from(\"missing field {n} in {name}\"))",
+                            n = f.name,
+                            name = self.name
+                        )
+                    };
+                    if f.skip {
+                        inits.push_str(&format!("{n}: {missing},\n", n = f.name));
+                    } else {
+                        inits.push_str(&format!(
+                            "{n}: match __v.get_field(\"{n}\") {{\n\
+                             Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                             None => {missing},\n\
+                             }},\n",
+                            n = f.name
+                        ));
+                    }
+                }
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> Result<Self, String> {{\n\
+                     if __v.as_object().is_none() {{\n\
+                     return Err(String::from(\"expected object for {name}\"));\n\
+                     }}\n\
+                     Ok(Self {{\n{inits}}})\n\
+                     }}\n}}\n",
+                    name = self.name
+                )
+            }
+            Shape::Enum(variants) => {
+                let mut arms = String::new();
+                for (variant, wire) in variants {
+                    arms.push_str(&format!("\"{wire}\" => Ok(Self::{variant}),\n"));
+                }
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> Result<Self, String> {{\n\
+                     match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                     {arms}\
+                     __other => Err(format!(\"unknown {name} variant {{__other}}\")),\n\
+                     }},\n\
+                     _ => Err(String::from(\"expected string for {name}\")),\n\
+                     }}\n\
+                     }}\n}}\n",
+                    name = self.name
+                )
+            }
+        }
+    }
+}
