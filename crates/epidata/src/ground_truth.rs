@@ -14,6 +14,7 @@ use episim::runner::Simulation;
 use epistats::dist::sample_binomial;
 use epistats::rng::{derive_stream, Xoshiro256PlusPlus};
 
+use crate::error::DataError;
 use crate::scenario::Scenario;
 
 /// The generated ground truth: unobserved true series, the biased
@@ -49,6 +50,7 @@ impl GroundTruth {
     pub fn realized_reporting_fraction(&self) -> f64 {
         let t: f64 = self.true_cases.iter().sum();
         let o: f64 = self.observed_cases.iter().sum();
+        // epilint: allow(float-eq) — guards exact division by zero; t is a sum of integer-valued counts
         if t == 0.0 {
             0.0
         } else {
@@ -66,9 +68,20 @@ impl GroundTruth {
 ///
 /// # Panics
 /// Panics if the scenario is invalid (programming error in scenario
-/// construction — validated scenarios never fail here).
+/// construction — validated scenarios never fail here). Use
+/// [`try_generate_ground_truth`] to handle the failure instead.
 pub fn generate_ground_truth(scenario: &Scenario, seed: u64) -> GroundTruth {
-    scenario.validate().expect("invalid scenario");
+    // epilint: allow(panic-unwrap) — documented panicking convenience wrapper over the fallible path
+    try_generate_ground_truth(scenario, seed).expect("invalid scenario")
+}
+
+/// Fallible variant of [`generate_ground_truth`].
+///
+/// # Errors
+/// Returns [`DataError::Scenario`] when the scenario fails validation or
+/// the truth simulation cannot be constructed or resumed.
+pub fn try_generate_ground_truth(scenario: &Scenario, seed: u64) -> Result<GroundTruth, DataError> {
+    scenario.validate().map_err(DataError::Scenario)?;
     let horizon = scenario.horizon;
 
     // Segment boundaries: [0, c1), [c1, c2), ..., [ck, horizon].
@@ -80,13 +93,12 @@ pub fn generate_ground_truth(scenario: &Scenario, seed: u64) -> GroundTruth {
         transmission_rate: theta0,
         ..scenario.base_params.clone()
     })
-    .expect("validated");
+    .map_err(DataError::Scenario)?;
     let mut sim = Simulation::new(
         model.spec(),
         BinomialChainStepper::daily(),
         model.initial_state(seed),
-    )
-    .expect("validated");
+    )?;
 
     let mut series: Option<DailySeries> = None;
     let mut prev_end = 0u32;
@@ -101,9 +113,8 @@ pub fn generate_ground_truth(scenario: &Scenario, seed: u64) -> GroundTruth {
                 transmission_rate: theta,
                 ..scenario.base_params.clone()
             })
-            .expect("validated");
-            sim = Simulation::resume(model.spec(), BinomialChainStepper::daily(), &ck)
-                .expect("layout unchanged");
+            .map_err(DataError::Scenario)?;
+            sim = Simulation::resume(model.spec(), BinomialChainStepper::daily(), &ck)?;
         }
         sim.run_until(end);
         match &mut series {
@@ -112,12 +123,17 @@ pub fn generate_ground_truth(scenario: &Scenario, seed: u64) -> GroundTruth {
         }
         prev_end = end;
     }
-    let series = series.expect("at least one segment");
+    let series = series.ok_or_else(|| DataError::Scenario("empty theta schedule".into()))?;
 
-    let true_cases = series.series_f64("infections").expect("recorded");
-    let deaths = series.series_f64("deaths").expect("recorded");
-    let hospital_census = series.series_f64("hospital_census").expect("recorded");
-    let icu_census = series.series_f64("icu_census").expect("recorded");
+    let recorded = |name: &str| {
+        series
+            .series_f64(name)
+            .ok_or_else(|| DataError::Scenario(format!("series '{name}' not recorded")))
+    };
+    let true_cases = recorded("infections")?;
+    let deaths = recorded("deaths")?;
+    let hospital_census = recorded("hospital_census")?;
+    let icu_census = recorded("icu_census")?;
 
     // Apply the time-varying binomial reporting bias.
     let rho_truth = scenario.rho_truth();
@@ -125,10 +141,11 @@ pub fn generate_ground_truth(scenario: &Scenario, seed: u64) -> GroundTruth {
     let observed_cases: Vec<f64> = true_cases
         .iter()
         .zip(&rho_truth)
+        // epilint: allow(lossy-cast) — eta is an integer-valued simulator count carried in f64; the cast is exact
         .map(|(&eta, &rho)| sample_binomial(&mut bias_rng, eta as u64, rho) as f64)
         .collect();
 
-    GroundTruth {
+    Ok(GroundTruth {
         true_cases,
         observed_cases,
         deaths,
@@ -137,7 +154,7 @@ pub fn generate_ground_truth(scenario: &Scenario, seed: u64) -> GroundTruth {
         theta_truth: scenario.theta_truth(),
         rho_truth,
         series,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -8,6 +8,8 @@ use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
+use crate::error::DataError;
+
 /// A simple columnar table: named `f64` columns of equal length.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Table {
@@ -92,29 +94,49 @@ impl Table {
     /// Read a CSV produced by [`Self::write_csv`].
     ///
     /// # Errors
-    /// Returns IO errors and parse failures as strings.
-    pub fn read_csv(path: &Path) -> Result<Self, String> {
-        let f = File::open(path).map_err(|e| format!("open {path:?}: {e}"))?;
+    /// Returns [`DataError::Io`] on filesystem failures,
+    /// [`DataError::EmptyCsv`] when the header row is missing,
+    /// [`DataError::NonNumericCell`] when a cell does not parse, and
+    /// [`DataError::RaggedRow`] when a row's width differs from the
+    /// header's.
+    pub fn read_csv(path: &Path) -> Result<Self, DataError> {
+        let display = path.display().to_string();
+        let io_err = |e: std::io::Error| DataError::Io {
+            path: display.clone(),
+            message: e.to_string(),
+        };
+        let f = File::open(path).map_err(io_err)?;
         let mut lines = BufReader::new(f).lines();
         let header_line = lines
             .next()
-            .ok_or("empty csv")?
-            .map_err(|e| e.to_string())?;
+            .ok_or(DataError::EmptyCsv {
+                path: display.clone(),
+            })?
+            .map_err(io_err)?;
         let headers: Vec<String> = header_line
             .split(',')
             .map(|s| s.trim().to_string())
             .collect();
         let mut table = Table::new(headers);
         for (lineno, line) in lines.enumerate() {
-            let line = line.map_err(|e| e.to_string())?;
+            let line = line.map_err(io_err)?;
             if line.trim().is_empty() {
                 continue;
             }
             let row: Result<Vec<f64>, _> =
                 line.split(',').map(|s| s.trim().parse::<f64>()).collect();
-            let row = row.map_err(|e| format!("line {}: {e}", lineno + 2))?;
+            let row = row.map_err(|e| DataError::NonNumericCell {
+                path: display.clone(),
+                line: lineno + 2,
+                message: e.to_string(),
+            })?;
             if row.len() != table.columns.len() {
-                return Err(format!("line {}: width mismatch", lineno + 2));
+                return Err(DataError::RaggedRow {
+                    path: display.clone(),
+                    line: lineno + 2,
+                    expected: table.columns.len(),
+                    found: row.len(),
+                });
             }
             table.push_row(&row);
         }
@@ -125,6 +147,7 @@ impl Table {
 /// Compact float formatting: integers stay integral, everything else gets
 /// enough digits to round-trip plot-quality values.
 fn format_float(v: f64) -> String {
+    // epilint: allow(float-eq, lossy-cast) — exact integrality test: fract() == 0.0 is the definition of "prints as an integer", and the cast is then exact
     if v.fract() == 0.0 && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {
@@ -168,8 +191,50 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.csv");
         std::fs::write(&path, "a,b\n1,2\n3\n").unwrap();
-        assert!(Table::read_csv(&path).is_err());
+        match Table::read_csv(&path) {
+            Err(DataError::RaggedRow {
+                line,
+                expected,
+                found,
+                ..
+            }) => {
+                assert_eq!((line, expected, found), (3, 2, 1));
+            }
+            other => panic!("expected RaggedRow, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_rejects_empty_file() {
+        let dir = std::env::temp_dir().join("epidata-io-test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.csv");
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(
+            Table::read_csv(&path),
+            Err(DataError::EmptyCsv { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_rejects_non_numeric_cell() {
+        let dir = std::env::temp_dir().join("epidata-io-test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nan.csv");
+        std::fs::write(&path, "a,b\n1,2\n3,oops\n").unwrap();
+        match Table::read_csv(&path) {
+            Err(DataError::NonNumericCell { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected NonNumericCell, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_reports_missing_file_as_io() {
+        let path = std::env::temp_dir().join("epidata-io-nope/definitely-missing.csv");
+        assert!(matches!(Table::read_csv(&path), Err(DataError::Io { .. })));
     }
 
     #[test]

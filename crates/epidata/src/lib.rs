@@ -19,12 +19,14 @@
 //! * [`io`] — CSV writers/readers for every series and summary the
 //!   figure binaries emit.
 
+pub mod error;
 pub mod ground_truth;
 pub mod io;
 pub mod metrics;
 pub mod scenario;
 pub mod schedule;
 
-pub use ground_truth::{generate_ground_truth, GroundTruth};
+pub use error::DataError;
+pub use ground_truth::{generate_ground_truth, try_generate_ground_truth, GroundTruth};
 pub use scenario::Scenario;
 pub use schedule::PiecewiseConstant;

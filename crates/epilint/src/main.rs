@@ -1,0 +1,47 @@
+//! CLI driver for the `epilint` workspace lints.
+//!
+//! Reads `epilint.toml` at the workspace root, lints every configured
+//! crate's library sources, prints `file:line` diagnostics, and exits
+//! nonzero when any violation remains.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> Result<PathBuf, String> {
+    // crates/epilint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .ok_or_else(|| "cannot locate workspace root from CARGO_MANIFEST_DIR".to_string())
+}
+
+fn run() -> Result<usize, String> {
+    let root = workspace_root()?;
+    let config_path = root.join("epilint.toml");
+    let config_text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("read {}: {e}", config_path.display()))?;
+    let config = epilint::Config::parse(&config_text).map_err(|e| format!("epilint.toml: {e}"))?;
+    let violations = epilint::lint_workspace(&root, &config)?;
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    Ok(violations.len())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(0) => {
+            println!("epilint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(n) => {
+            eprintln!("epilint: {n} violation(s)");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("epilint: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

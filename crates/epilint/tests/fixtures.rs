@@ -1,0 +1,130 @@
+//! Fixture-driven integration tests: each rule fires on a known-bad
+//! fixture file with exact `file:line` diagnostics, and waivers behave
+//! as documented.
+
+use epilint::{lint_source, CrateConfig, Rule, Violation};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn all_rules(name: &str) -> Vec<Violation> {
+    let cfg = CrateConfig {
+        name: "fixture".into(),
+        rules: Rule::ALL.to_vec(),
+        float_paths: Vec::new(),
+    };
+    lint_source(&cfg, name, &fixture(name))
+}
+
+fn render(violations: &[Violation]) -> Vec<String> {
+    violations.iter().map(ToString::to_string).collect()
+}
+
+#[test]
+fn r1_fixture_exact_diagnostics() {
+    let got = render(&all_rules("r1_panics.rs"));
+    let want = vec![
+        "r1_panics.rs:5: [panic-unwrap] `unwrap`",
+        "r1_panics.rs:6: [panic-unwrap] `expect`",
+        "r1_panics.rs:8: [panic-unwrap] `panic!`",
+        "r1_panics.rs:11: [panic-unwrap] `unreachable!`",
+        "r1_panics.rs:12: [panic-unwrap] `todo!`",
+        "r1_panics.rs:13: [panic-unwrap] `unimplemented!`",
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn r2_fixture_exact_diagnostics() {
+    let got = render(&all_rules("r2_hash.rs"));
+    let want = vec![
+        "r2_hash.rs:3: [hash-iter] `HashMap`",
+        "r2_hash.rs:4: [hash-iter] `HashSet`",
+        "r2_hash.rs:6: [hash-iter] `HashMap`",
+        "r2_hash.rs:7: [hash-iter] `HashSet`",
+        "r2_hash.rs:9: [hash-iter] `HashMap`",
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn r3_fixture_exact_diagnostics() {
+    let got = render(&all_rules("r3_clock.rs"));
+    let want = vec![
+        "r3_clock.rs:4: [wall-clock] `thread_rng`",
+        "r3_clock.rs:5: [wall-clock] `from_entropy`",
+        "r3_clock.rs:6: [wall-clock] `SystemTime`",
+        "r3_clock.rs:7: [wall-clock] `Instant::now`",
+        "r3_clock.rs:8: [wall-clock] `rand::random`",
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn r4_fixture_exact_diagnostics() {
+    let got = render(&all_rules("r4_float.rs"));
+    let want = vec![
+        "r4_float.rs:4: [float-eq] bare float comparison `y == 0.0`",
+        "r4_float.rs:7: [float-eq] bare float comparison `1.5 != mu`",
+        "r4_float.rs:10: [lossy-cast] lossy `as u64` cast on a float-bearing expression",
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn waiver_fixture_behavior() {
+    let got = render(&all_rules("waivers.rs"));
+    // Same-line and line-above waivers suppress; the named-rule waiver
+    // leaves the HashMap hit; the reasonless waiver is itself an error
+    // and does not suppress its line.
+    let want = vec![
+        "waivers.rs:14: [hash-iter] `HashMap`",
+        "waivers.rs:18: [panic-unwrap] waiver missing a reason after the rule list",
+        "waivers.rs:18: [panic-unwrap] `unwrap`",
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn test_code_fixture_is_exempt() {
+    let got = render(&all_rules("test_code.rs"));
+    // Only the post-test-module unwrap fires: comments, strings, and the
+    // #[cfg(test)] module body are all exempt.
+    let want = vec!["test_code.rs:20: [panic-unwrap] `unwrap`"];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn disabled_rules_do_not_fire() {
+    let cfg = CrateConfig {
+        name: "fixture".into(),
+        rules: vec![Rule::WallClock],
+        float_paths: Vec::new(),
+    };
+    let got = lint_source(&cfg, "r1_panics.rs", &fixture("r1_panics.rs"));
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn epilint_binary_is_wired_into_workspace_gate() {
+    // The quality gate and CI must invoke the linter between clippy and
+    // the test suite so violations fail fast.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    for (file, needle) in [
+        ("scripts/check.sh", "cargo run -p epilint"),
+        (".github/workflows/ci.yml", "scripts/check.sh"),
+        ("epilint.toml", "[crate.episim]"),
+    ] {
+        let path = root.join(file);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        assert!(text.contains(needle), "{file} must contain `{needle}`");
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: every R1 (panic-unwrap) construct, one per line.
+// Not compiled by cargo (lives below tests/); consumed by fixtures.rs.
+
+fn fallible(x: Option<u32>, v: &[u32]) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a > b {
+        panic!("impossible");
+    }
+    match a {
+        0 => unreachable!(),
+        1 => todo!(),
+        _ => unimplemented!(),
+    }
+}
+
+fn fine(x: Option<u32>) -> u32 {
+    // unwrap_or / expect_err relatives are not panicking escapes.
+    x.unwrap_or(0)
+}

@@ -1,0 +1,15 @@
+// Fixture: R2 (hash-iter) — randomized-iteration-order containers.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn build() -> HashMap<u32, u32> {
+    let mut seen: HashSet<u32> = HashSet::new();
+    seen.insert(1);
+    HashMap::new()
+}
+
+fn ordered() {
+    // BTree containers are the sanctioned replacements.
+    let _m: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+}

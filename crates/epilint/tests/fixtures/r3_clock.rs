@@ -1,0 +1,14 @@
+// Fixture: R3 (wall-clock) — OS entropy and wall-clock reads.
+
+fn nondeterministic() {
+    let mut rng = rand::thread_rng();
+    let seeded = Rng::from_entropy();
+    let t0 = std::time::SystemTime::now();
+    let t1 = std::time::Instant::now();
+    let x: f64 = rand::random();
+}
+
+fn deterministic(seed: u64) {
+    // Seeded construction is the sanctioned path.
+    let rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+}

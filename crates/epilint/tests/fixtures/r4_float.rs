@@ -1,0 +1,20 @@
+// Fixture: R4 (float-eq / lossy-cast) in likelihood-style code.
+
+fn likelihood(y: f64, mu: f64) -> f64 {
+    if y == 0.0 {
+        return mu;
+    }
+    if 1.5 != mu {
+        return y;
+    }
+    let count = y.round() as u64;
+    count as f64
+}
+
+fn fine(y: f64, n: usize) -> f64 {
+    // Tolerance comparisons and float-to-float casts are allowed.
+    if (y - 1.0).abs() < 1e-12 {
+        return 0.0;
+    }
+    n as f64
+}

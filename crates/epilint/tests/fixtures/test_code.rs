@@ -1,0 +1,21 @@
+// Fixture: #[cfg(test)] items, comments, and strings are exempt.
+
+fn library_code(msg: &str) -> &str {
+    // A mention of .unwrap() in a comment is not a violation.
+    let s = "panic!(\"inside a string\") and .unwrap() too";
+    msg
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_here() {
+        let v: Vec<u32> = Vec::new();
+        v.first().unwrap();
+        panic!("tests may panic");
+    }
+}
+
+fn after_test_module(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,19 @@
+// Fixture: waiver behavior — suppression, scoping, malformed waivers.
+
+fn waived_same_line(x: Option<u32>) -> u32 {
+    x.unwrap() // epilint: allow(panic-unwrap) — fixture: invariant documented here
+}
+
+fn waived_line_above(x: Option<u32>) -> u32 {
+    // epilint: allow(panic-unwrap) — fixture: caller guarantees Some
+    x.unwrap()
+}
+
+fn waiver_only_covers_named_rule() {
+    // The waiver names panic-unwrap, so the HashMap hit still fires.
+    let _m: HashMap<u32, u32> = make().unwrap(); // epilint: allow(panic-unwrap) — fixture
+}
+
+fn waiver_missing_reason(x: Option<u32>) -> u32 {
+    x.unwrap() // epilint: allow(panic-unwrap)
+}

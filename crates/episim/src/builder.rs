@@ -21,6 +21,7 @@
 //! assert_eq!(spec.compartments.len(), 3);
 //! ```
 
+use crate::error::SimError;
 use crate::spec::{CensusSpec, Compartment, FlowSpec, Infection, ModelSpec, Progression};
 
 /// Pending progression: `(from, mean_dwell, [(to, probability)])`.
@@ -130,9 +131,16 @@ impl ModelSpecBuilder {
     /// Resolve names to indices and validate.
     ///
     /// # Errors
-    /// Returns unknown-name errors plus everything
+    /// Returns [`SimError::Spec`] for unknown names plus everything
     /// [`ModelSpec::validate`] checks.
-    pub fn build(self) -> Result<ModelSpec, String> {
+    pub fn build(self) -> Result<ModelSpec, SimError> {
+        let spec = self.resolve().map_err(SimError::Spec)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Resolve compartment names to indices.
+    fn resolve(self) -> Result<ModelSpec, String> {
         let id_of = |name: &str| -> Result<usize, String> {
             self.compartments
                 .iter()
@@ -198,7 +206,7 @@ impl ModelSpecBuilder {
                 })
             })
             .collect::<Result<_, String>>()?;
-        let spec = ModelSpec {
+        Ok(ModelSpec {
             name: self.name,
             compartments: self.compartments,
             progressions,
@@ -206,9 +214,7 @@ impl ModelSpecBuilder {
             transmission_rate: self.transmission_rate,
             flows,
             censuses,
-        };
-        spec.validate()?;
-        Ok(spec)
+        })
     }
 }
 
@@ -249,13 +255,22 @@ mod tests {
         let err = sir()
             .progression("X", 2.0, &[("R", 1.0)])
             .build()
-            .unwrap_err();
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("unknown compartment 'X'"), "{err}");
-        let err = sir().flow("bad", &[("S", "Z")]).build().unwrap_err();
+        let err = sir()
+            .flow("bad", &[("S", "Z")])
+            .build()
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("'Z'"), "{err}");
-        let err = sir().census("bad", &["Q"]).build().unwrap_err();
+        let err = sir().census("bad", &["Q"]).build().unwrap_err().to_string();
         assert!(err.contains("'Q'"), "{err}");
-        let err = sir().infection("S", "Nope").build().unwrap_err();
+        let err = sir()
+            .infection("S", "Nope")
+            .build()
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("'Nope'"), "{err}");
     }
 
@@ -289,7 +304,8 @@ mod tests {
             .compartment("B", 1, 0.0)
             .progression("A", 1.0, &[("B", 0.5)])
             .build()
-            .unwrap_err();
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("sum to"), "{err}");
     }
 }

@@ -16,6 +16,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use epistats::rng::Xoshiro256PlusPlus;
 use serde::{Deserialize, Serialize};
 
+use crate::error::SimError;
 use crate::spec::ModelSpec;
 use crate::state::SimState;
 
@@ -71,17 +72,17 @@ impl SimCheckpoint {
     /// spec.
     ///
     /// # Errors
-    /// Returns an error if the spec's layout differs from the one the
-    /// checkpoint was captured under.
-    pub fn restore(&self, spec: &ModelSpec) -> Result<SimState, String> {
+    /// Returns [`SimError::Checkpoint`] if the spec's layout differs from
+    /// the one the checkpoint was captured under.
+    pub fn restore(&self, spec: &ModelSpec) -> Result<SimState, SimError> {
         if layout_hash(spec) != self.layout_hash {
-            return Err(format!(
-                "checkpoint layout mismatch for model '{}': captured under a different compartment structure",
+            return Err(SimError::Checkpoint(format!(
+                "layout mismatch for model '{}': captured under a different compartment structure",
                 spec.name
-            ));
+            )));
         }
         if self.stage_counts.len() != spec.total_stages() {
-            return Err("checkpoint stage-count length mismatch".into());
+            return Err(SimError::Checkpoint("stage-count length mismatch".into()));
         }
         Ok(SimState {
             day: self.day,
@@ -97,7 +98,7 @@ impl SimCheckpoint {
     ///
     /// # Errors
     /// Same layout checks as [`Self::restore`].
-    pub fn restore_with_seed(&self, spec: &ModelSpec, seed: u64) -> Result<SimState, String> {
+    pub fn restore_with_seed(&self, spec: &ModelSpec, seed: u64) -> Result<SimState, SimError> {
         let mut st = self.restore(spec)?;
         st.rng = Xoshiro256PlusPlus::new(seed);
         Ok(st)
@@ -123,23 +124,26 @@ impl SimCheckpoint {
     /// Decode the binary encoding.
     ///
     /// # Errors
-    /// Returns an error on truncation, bad magic, or unknown version.
-    pub fn from_bytes(mut data: &[u8]) -> Result<Self, String> {
+    /// Returns [`SimError::Checkpoint`] on truncation, bad magic, or an
+    /// unknown version.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self, SimError> {
         if data.remaining() < 22 {
-            return Err("checkpoint: truncated header".into());
+            return Err(SimError::Checkpoint("truncated header".into()));
         }
         if data.get_u32_le() != MAGIC {
-            return Err("checkpoint: bad magic".into());
+            return Err(SimError::Checkpoint("bad magic".into()));
         }
         let version = data.get_u16_le();
         if version != VERSION {
-            return Err(format!("checkpoint: unsupported version {version}"));
+            return Err(SimError::Checkpoint(format!(
+                "unsupported version {version}"
+            )));
         }
         let layout = data.get_u64_le();
         let day = data.get_u32_le();
         let n = data.get_u32_le() as usize;
         if data.remaining() < 8 * (n + 4) {
-            return Err("checkpoint: truncated body".into());
+            return Err(SimError::Checkpoint("truncated body".into()));
         }
         let mut stage_counts = Vec::with_capacity(n);
         for _ in 0..n {

@@ -199,7 +199,7 @@ impl CovidAgeParams {
         if !(self.transmission_rate.is_finite() && self.transmission_rate >= 0.0) {
             return Err(format!("transmission_rate {}", self.transmission_rate));
         }
-        let mut names = std::collections::HashSet::new();
+        let mut names = std::collections::BTreeSet::new();
         for g in &self.groups {
             if !names.insert(g.name.as_str()) {
                 return Err(format!("duplicate group name '{}'", g.name));

@@ -84,6 +84,7 @@ impl Stepper for GillespieStepper {
                     }
                     idx -= stages;
                 }
+                // epilint: allow(panic-unwrap) — chosen < total channel count by construction of the scan above
                 let (pi, stage) = found.expect("channel index in range");
                 let prog = &spec.progressions[pi];
                 let base = model.offsets[prog.from];
@@ -95,6 +96,7 @@ impl Stepper for GillespieStepper {
                 } else {
                     // Branch selection.
                     let mut v = state.rng.next_f64();
+                    // epilint: allow(panic-unwrap) — spec validation rejects empty branch lists
                     let mut target = prog.branches.last().expect("validated").0;
                     for &(t, p) in &prog.branches {
                         if v < p {

@@ -18,11 +18,12 @@ pub use binomial_chain::BinomialChainStepper;
 pub use gillespie::GillespieStepper;
 pub use tau_leap::TauLeapStepper;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use epistats::dist::sample_binomial;
 use epistats::rng::Xoshiro256PlusPlus;
 
+use crate::error::SimError;
 use crate::spec::ModelSpec;
 use crate::state::SimState;
 
@@ -37,8 +38,9 @@ pub struct CompiledSpec {
     /// Per-progression per-stage exit rate.
     pub stage_rates: Vec<f64>,
     /// Map from a `(from, to)` compartment edge to the flow-series indices
-    /// that count it.
-    edge_flows: HashMap<(usize, usize), Vec<usize>>,
+    /// that count it. A `BTreeMap` so any future iteration is in key
+    /// order — replay determinism must not depend on hasher state.
+    edge_flows: BTreeMap<(usize, usize), Vec<usize>>,
 }
 
 impl CompiledSpec {
@@ -46,7 +48,7 @@ impl CompiledSpec {
     ///
     /// # Errors
     /// Propagates [`ModelSpec::validate`] failures.
-    pub fn new(spec: ModelSpec) -> Result<Self, String> {
+    pub fn new(spec: ModelSpec) -> Result<Self, SimError> {
         spec.validate()?;
         let offsets = spec.stage_offsets();
         let stage_rates = spec
@@ -54,7 +56,7 @@ impl CompiledSpec {
             .iter()
             .map(|p| spec.stage_rate(p))
             .collect();
-        let mut edge_flows: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        let mut edge_flows: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
         for (fi, f) in spec.flows.iter().enumerate() {
             for &edge in &f.edges {
                 edge_flows.entry(edge).or_default().push(fi);

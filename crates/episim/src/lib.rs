@@ -34,6 +34,7 @@ pub mod checkpoint;
 pub mod covid;
 pub mod covid_age;
 pub mod engine;
+pub mod error;
 pub mod output;
 pub mod runner;
 pub mod seir;
@@ -46,6 +47,7 @@ pub use checkpoint::SimCheckpoint;
 pub use covid::{CovidModel, CovidParams};
 pub use covid_age::{AgeGroup, CovidAgeModel, CovidAgeParams};
 pub use engine::{BinomialChainStepper, GillespieStepper, Stepper, TauLeapStepper};
+pub use error::SimError;
 pub use output::DailySeries;
 pub use runner::Simulation;
 pub use seir::{SeirModel, SeirParams};

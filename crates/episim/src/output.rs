@@ -343,6 +343,7 @@ impl SharedTrajectory {
             if day + 1 == seg_first {
                 // Cut exactly before this segment: the parent chain is
                 // the prefix, shared as-is.
+                // epilint: allow(panic-unwrap) — chain invariant: day >= chain_start implies a parent exists here
                 let parent = seg.parent.as_ref().expect("day >= start");
                 return Self {
                     head: Arc::clone(parent),
@@ -351,6 +352,7 @@ impl SharedTrajectory {
             if day >= seg_first {
                 break;
             }
+            // epilint: allow(panic-unwrap) — chain invariant: every day in [chain_start, end] lies in some segment
             seg = seg.parent.as_ref().expect("chain covers day");
         }
         // Mid-segment cut: share the parent chain, copy the kept rows.

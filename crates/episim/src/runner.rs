@@ -3,6 +3,7 @@
 
 use crate::checkpoint::SimCheckpoint;
 use crate::engine::{CompiledSpec, Stepper};
+use crate::error::SimError;
 use crate::output::DailySeries;
 use crate::spec::ModelSpec;
 use crate::state::SimState;
@@ -21,10 +22,12 @@ impl<S: Stepper> Simulation<S> {
     ///
     /// # Errors
     /// Returns the spec validation error, if any.
-    pub fn new(spec: ModelSpec, stepper: S, state: SimState) -> Result<Self, String> {
+    pub fn new(spec: ModelSpec, stepper: S, state: SimState) -> Result<Self, SimError> {
         let model = CompiledSpec::new(spec)?;
         if state.stage_counts.len() != model.spec.total_stages() {
-            return Err("initial state does not match model layout".into());
+            return Err(SimError::Spec(
+                "initial state does not match model layout".into(),
+            ));
         }
         // Row i of the series covers day `state.day + 1 + i`: the first
         // step advances the clock to day start+1 and records that day.
@@ -42,7 +45,7 @@ impl<S: Stepper> Simulation<S> {
     ///
     /// # Errors
     /// Propagates spec validation and checkpoint layout errors.
-    pub fn resume(spec: ModelSpec, stepper: S, ck: &SimCheckpoint) -> Result<Self, String> {
+    pub fn resume(spec: ModelSpec, stepper: S, ck: &SimCheckpoint) -> Result<Self, SimError> {
         let state = ck.restore(&spec)?;
         Self::new(spec, stepper, state)
     }
@@ -57,7 +60,7 @@ impl<S: Stepper> Simulation<S> {
         stepper: S,
         ck: &SimCheckpoint,
         seed: u64,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, SimError> {
         let state = ck.restore_with_seed(&spec, seed)?;
         Self::new(spec, stepper, state)
     }

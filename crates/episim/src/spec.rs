@@ -10,6 +10,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::SimError;
+
 /// Index of a compartment within a [`ModelSpec`].
 pub type CompartmentId = usize;
 
@@ -154,17 +156,21 @@ impl ModelSpec {
     /// models and by [`crate::Simulation::new`].
     ///
     /// # Errors
-    /// Returns a human-readable description of the first problem found:
+    /// Returns [`SimError::Spec`] describing the first problem found:
     /// out-of-range compartment ids, non-positive dwell times, branch
     /// probabilities that do not sum to 1, duplicate compartment names,
     /// duplicate progressions from one compartment, or a non-finite /
     /// negative transmission rate.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.validate_inner().map_err(SimError::Spec)
+    }
+
+    fn validate_inner(&self) -> Result<(), String> {
         let n = self.compartments.len();
         if n == 0 {
             return Err("model has no compartments".into());
         }
-        let mut names = std::collections::HashSet::new();
+        let mut names = std::collections::BTreeSet::new();
         for c in &self.compartments {
             if !names.insert(c.name.as_str()) {
                 return Err(format!("duplicate compartment name '{}'", c.name));
@@ -179,7 +185,7 @@ impl ModelSpec {
                 ));
             }
         }
-        let mut seen_from = std::collections::HashSet::new();
+        let mut seen_from = std::collections::BTreeSet::new();
         for p in &self.progressions {
             if p.from >= n {
                 return Err(format!("progression from unknown compartment {}", p.from));
@@ -365,14 +371,14 @@ mod tests {
     fn rejects_bad_branch_sum() {
         let mut s = tiny_spec();
         s.progressions[0].branches = vec![(2, 0.5), (0, 0.4)];
-        assert!(s.validate().unwrap_err().contains("sum to"));
+        assert!(s.validate().unwrap_err().to_string().contains("sum to"));
     }
 
     #[test]
     fn rejects_duplicate_names() {
         let mut s = tiny_spec();
         s.compartments[2].name = "S".into();
-        assert!(s.validate().unwrap_err().contains("duplicate"));
+        assert!(s.validate().unwrap_err().to_string().contains("duplicate"));
     }
 
     #[test]
@@ -383,7 +389,11 @@ mod tests {
             mean_dwell: 2.0,
             branches: vec![(0, 1.0)],
         });
-        assert!(s.validate().unwrap_err().contains("multiple progressions"));
+        assert!(s
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("multiple progressions"));
     }
 
     #[test]

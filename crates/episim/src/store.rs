@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use crate::checkpoint::SimCheckpoint;
+use crate::error::SimError;
 
 /// Key of a stored checkpoint: which run it belongs to and its day stamp.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -60,7 +61,7 @@ impl CheckpointStore {
     ///
     /// # Errors
     /// Returns an error if the stored bytes fail to decode (corruption).
-    pub fn get(&self, run: &str, day: u32) -> Result<Option<SimCheckpoint>, String> {
+    pub fn get(&self, run: &str, day: u32) -> Result<Option<SimCheckpoint>, SimError> {
         match self.entries.get(&CheckpointKey {
             run: run.to_string(),
             day,
@@ -79,7 +80,7 @@ impl CheckpointStore {
         &self,
         run: &str,
         day: u32,
-    ) -> Result<Option<(u32, SimCheckpoint)>, String> {
+    ) -> Result<Option<(u32, SimCheckpoint)>, SimError> {
         let lo = CheckpointKey {
             run: run.to_string(),
             day: 0,
@@ -144,12 +145,14 @@ impl CheckpointStore {
     /// Load every `*.ckpt` file from `dir` into a new store.
     ///
     /// # Errors
-    /// Returns IO errors and malformed-file-name errors as strings.
-    pub fn load_from_dir(dir: &Path) -> Result<Self, String> {
+    /// Returns [`SimError::Io`] for filesystem and file-name problems and
+    /// [`SimError::Checkpoint`] for undecodable contents.
+    pub fn load_from_dir(dir: &Path) -> Result<Self, SimError> {
         let mut store = Self::new();
-        let rd = std::fs::read_dir(dir).map_err(|e| format!("read_dir {dir:?}: {e}"))?;
+        let rd =
+            std::fs::read_dir(dir).map_err(|e| SimError::Io(format!("read_dir {dir:?}: {e}")))?;
         for entry in rd {
-            let entry = entry.map_err(|e| e.to_string())?;
+            let entry = entry.map_err(|e| SimError::Io(e.to_string()))?;
             let path = entry.path();
             if path.extension().and_then(|e| e.to_str()) != Some("ckpt") {
                 continue;
@@ -157,14 +160,15 @@ impl CheckpointStore {
             let stem = path
                 .file_stem()
                 .and_then(|s| s.to_str())
-                .ok_or_else(|| format!("bad file name {path:?}"))?;
+                .ok_or_else(|| SimError::Io(format!("bad file name {path:?}")))?;
             let (run, day) = stem
                 .rsplit_once('@')
-                .ok_or_else(|| format!("file name '{stem}' missing '@day'"))?;
+                .ok_or_else(|| SimError::Io(format!("file name '{stem}' missing '@day'")))?;
             let day: u32 = day
                 .parse()
-                .map_err(|e| format!("file '{stem}': bad day: {e}"))?;
-            let bytes = std::fs::read(&path).map_err(|e| format!("read {path:?}: {e}"))?;
+                .map_err(|e| SimError::Io(format!("file '{stem}': bad day: {e}")))?;
+            let bytes =
+                std::fs::read(&path).map_err(|e| SimError::Io(format!("read {path:?}: {e}")))?;
             // Validate eagerly so corruption surfaces at load, not use.
             SimCheckpoint::from_bytes(&bytes)?;
             store.entries.insert(

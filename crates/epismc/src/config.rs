@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::SmcError;
 use crate::observation::BiasMode;
 
 /// Configuration of one calibration run (shared by the single-window and
@@ -143,10 +144,20 @@ impl CalibrationConfigBuilder {
     /// Finalize.
     ///
     /// # Panics
-    /// Panics if the assembled configuration is invalid.
+    /// Panics if the assembled configuration is invalid; use
+    /// [`Self::try_build`] to handle that case without panicking.
     pub fn build(self) -> CalibrationConfig {
-        self.cfg.validate().expect("invalid CalibrationConfig");
-        self.cfg
+        // epilint: allow(panic-unwrap) — documented panicking convenience wrapper over try_build
+        self.try_build().expect("invalid CalibrationConfig")
+    }
+
+    /// Fallible finalizer: validates the assembled configuration.
+    ///
+    /// # Errors
+    /// Returns [`SmcError::Config`] if the configuration is invalid.
+    pub fn try_build(self) -> Result<CalibrationConfig, SmcError> {
+        self.cfg.validate().map_err(SmcError::Config)?;
+        Ok(self.cfg)
     }
 }
 

@@ -11,6 +11,7 @@
 use epistats::rng::derive_stream;
 use epistats::summary::quantile;
 
+use crate::error::SmcError;
 use crate::particle::ParticleEnsemble;
 use crate::resample::{Multinomial, Resampler};
 use crate::runner::ParallelRunner;
@@ -69,6 +70,7 @@ impl Forecast {
             .series
             .iter()
             .find(|(n, _)| n == name)
+            // epilint: allow(panic-unwrap) — documented panicking accessor; use ensemble() to probe
             .unwrap_or_else(|| panic!("forecast: unknown series '{name}'"));
         let days: Vec<u32> = (0..cols.len() as u32).map(|d| self.start_day + d).collect();
         let lo: Vec<f64> = cols.iter().map(|e| quantile(e, q_lo)).collect();
@@ -87,6 +89,7 @@ impl Forecast {
             .series
             .iter()
             .find(|(n, _)| n == name)
+            // epilint: allow(panic-unwrap) — documented panicking accessor; use ensemble() to probe
             .unwrap_or_else(|| panic!("forecast: unknown series '{name}'"));
         assert_eq!(cols.len(), truth.len(), "mean_crps: length mismatch");
         epistats::score::mean_crps(cols, truth, None)
@@ -103,6 +106,7 @@ impl Forecast {
             .series
             .iter()
             .find(|(n, _)| n == name)
+            // epilint: allow(panic-unwrap) — documented panicking accessor; use ensemble() to probe
             .unwrap_or_else(|| panic!("forecast: unknown series '{name}'"));
         assert_eq!(cols.len(), truth.len(), "pits: length mismatch");
         cols.iter()
@@ -155,7 +159,7 @@ impl<'a, S: TrajectorySimulator> Forecaster<'a, S> {
         n_members: usize,
         seed: u64,
         series_names: &[&str],
-    ) -> Result<Forecast, String> {
+    ) -> Result<Forecast, SmcError> {
         self.forecast_with(ensemble, days, n_members, seed, series_names, |t| {
             t.to_vec()
         })
@@ -175,15 +179,17 @@ impl<'a, S: TrajectorySimulator> Forecaster<'a, S> {
         seed: u64,
         series_names: &[&str],
         transform: F,
-    ) -> Result<Forecast, String>
+    ) -> Result<Forecast, SmcError>
     where
         F: Fn(&[f64]) -> Vec<f64> + Send + Sync,
     {
         if ensemble.is_empty() {
-            return Err("forecast: empty ensemble".into());
+            return Err(SmcError::Degenerate("forecast: empty ensemble".into()));
         }
         if days == 0 || n_members == 0 {
-            return Err("forecast: days and n_members must be positive".into());
+            return Err(SmcError::Config(
+                "forecast: days and n_members must be positive".into(),
+            ));
         }
         let horizon = ensemble.particles()[0].checkpoint.day;
         if ensemble
@@ -191,7 +197,9 @@ impl<'a, S: TrajectorySimulator> Forecaster<'a, S> {
             .iter()
             .any(|p| p.checkpoint.day != horizon)
         {
-            return Err("forecast: ensemble checkpoints at mixed horizons".into());
+            return Err(SmcError::Degenerate(
+                "forecast: ensemble checkpoints at mixed horizons".into(),
+            ));
         }
 
         // Draw members by weight (deterministic given seed).
@@ -199,7 +207,7 @@ impl<'a, S: TrajectorySimulator> Forecaster<'a, S> {
         let weights = ensemble.normalized_weights();
         let picks = Multinomial.resample(&weights, n_members, &mut rng);
 
-        let runs: Vec<Result<episim::output::DailySeries, String>> =
+        let runs: Vec<Result<episim::output::DailySeries, SmcError>> =
             self.runner.run_indexed(n_members, |m| {
                 let p = &ensemble.particles()[picks[m]];
                 let theta = transform(&p.theta);
@@ -215,9 +223,9 @@ impl<'a, S: TrajectorySimulator> Forecaster<'a, S> {
         for &name in series_names {
             let mut cols: Vec<Vec<f64>> = vec![Vec::with_capacity(n_members); days as usize];
             for run in &runs {
-                let vals = run
-                    .series(name)
-                    .ok_or_else(|| format!("forecast: simulator lacks series '{name}'"))?;
+                let vals = run.series(name).ok_or_else(|| {
+                    SmcError::Observation(format!("forecast: simulator lacks series '{name}'"))
+                })?;
                 for (d, &v) in vals.iter().enumerate() {
                     cols[d].push(v as f64);
                 }

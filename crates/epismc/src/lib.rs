@@ -36,6 +36,7 @@
 pub mod adaptive;
 pub mod config;
 pub mod diagnostics;
+pub mod error;
 pub mod forecast;
 pub mod likelihood;
 pub mod observation;
@@ -54,6 +55,7 @@ pub mod window;
 pub use adaptive::AdaptiveConfig;
 pub use config::CalibrationConfig;
 pub use diagnostics::{coverage, joint_density, JointDensity, PosteriorSummary, Ribbon};
+pub use error::SmcError;
 pub use forecast::{Forecast, Forecaster};
 pub use likelihood::{CompositeLikelihood, GaussianSqrtLikelihood, Likelihood};
 pub use observation::{BiasMode, BinomialBias, IdentityBias};

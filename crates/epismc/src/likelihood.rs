@@ -160,6 +160,7 @@ impl Likelihood for NegBinomialLikelihood {
             .zip(simulated)
             .map(|(&y, &mu)| {
                 debug_assert!(y >= 0.0 && mu >= 0.0);
+                // epilint: allow(lossy-cast) — rounded and clamped non-negative; exact at count scale
                 self.ln_pmf(y.round().max(0.0) as u64, mu)
             })
             .sum()

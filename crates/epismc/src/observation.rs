@@ -69,7 +69,9 @@ impl BiasModel for BinomialBias {
             BiasMode::Sampled => truth
                 .iter()
                 .map(|&eta| {
+                    // epilint: allow(float-eq) — integrality assertion: fract() == 0.0 is the check itself
                     debug_assert!(eta >= 0.0 && eta.fract() == 0.0);
+                    // epilint: allow(lossy-cast) — eta asserted integer-valued; exact at count scale
                     sample_binomial(rng, eta as u64, rho) as f64
                 })
                 .collect(),
@@ -146,6 +148,7 @@ impl DelayedBinomialBias {
         );
         let p = 1.0 / (1.0 + mean_days);
         let mut pmf: Vec<f64> = (0..=max_days)
+            // epilint: allow(lossy-cast) — delay index is a small day count, far below i32::MAX
             .map(|d| p * (1.0 - p).powi(d as i32))
             .collect();
         let total: f64 = pmf.iter().sum();
@@ -167,11 +170,14 @@ impl BiasModel for DelayedBinomialBias {
             // Thin first...
             let reported = match self.mode {
                 BiasMode::Sampled => {
+                    // epilint: allow(float-eq) — integrality assertion: fract() == 0.0 is the check itself
                     debug_assert!(eta >= 0.0 && eta.fract() == 0.0);
+                    // epilint: allow(lossy-cast) — eta asserted integer-valued; exact at count scale
                     sample_binomial(rng, eta as u64, rho) as f64
                 }
                 BiasMode::Mean => rho * eta,
             };
+            // epilint: allow(float-eq) — exact-zero skip: both modes produce literal 0.0 for no reports
             if reported == 0.0 {
                 continue;
             }

@@ -60,6 +60,7 @@ impl ParallelRunner {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
+            // epilint: allow(panic-unwrap) — pool construction fails only on OS thread exhaustion; documented panic
             .expect("failed to build rayon pool");
         POOL_BUILDS.fetch_add(1, Ordering::Relaxed);
         Self {

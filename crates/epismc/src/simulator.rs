@@ -14,6 +14,8 @@ use episim::output::DailySeries;
 use episim::runner::Simulation;
 use episim::seir::{SeirModel, SeirParams};
 
+use crate::error::SmcError;
+
 /// A stochastic simulator calibratable by the SIS framework.
 ///
 /// `theta` is the calibration parameter vector; what each coordinate
@@ -31,20 +33,20 @@ pub trait TrajectorySimulator: Send + Sync {
     /// parameters and seed.
     ///
     /// # Errors
-    /// Returns a message if the parameters are invalid for the model.
+    /// Returns [`SmcError`] if the parameters are invalid for the model.
     fn run_fresh(
         &self,
         theta: &[f64],
         seed: u64,
         end_day: u32,
-    ) -> Result<(DailySeries, SimCheckpoint), String>;
+    ) -> Result<(DailySeries, SimCheckpoint), SmcError>;
 
     /// Continue a checkpointed trajectory to `end_day` under new
     /// parameters with a fresh seed (the paper's branching restart).
     /// The returned series covers only the continued days.
     ///
     /// # Errors
-    /// Returns a message on invalid parameters or a checkpoint layout
+    /// Returns [`SmcError`] on invalid parameters or a checkpoint layout
     /// mismatch.
     fn run_from(
         &self,
@@ -52,7 +54,7 @@ pub trait TrajectorySimulator: Send + Sync {
         theta: &[f64],
         seed: u64,
         end_day: u32,
-    ) -> Result<(DailySeries, SimCheckpoint), String>;
+    ) -> Result<(DailySeries, SimCheckpoint), SmcError>;
 }
 
 /// Adapter driving the COVID-Chicago model with `theta[0]` as the
@@ -65,6 +67,9 @@ pub struct CovidSimulator {
     base: CovidParams,
     substeps: u32,
     calibrate_detection: bool,
+    /// Output-series names, captured at construction so the accessor
+    /// never has to rebuild (and thus re-validate) the model.
+    output_names: Vec<String>,
 }
 
 impl CovidSimulator {
@@ -73,12 +78,17 @@ impl CovidSimulator {
     ///
     /// # Errors
     /// Propagates parameter validation failures.
-    pub fn new(base: CovidParams) -> Result<Self, String> {
-        base.validate()?;
+    pub fn new(base: CovidParams) -> Result<Self, SmcError> {
+        base.validate().map_err(SmcError::Simulation)?;
+        let output_names = CovidModel::new(base.clone())
+            .map_err(SmcError::Simulation)?
+            .spec()
+            .output_names();
         Ok(Self {
             base,
             substeps: 1,
             calibrate_detection: false,
+            output_names,
         })
     }
 
@@ -104,13 +114,13 @@ impl CovidSimulator {
         &self.base
     }
 
-    fn model_with(&self, theta: &[f64]) -> Result<CovidModel, String> {
+    fn model_with(&self, theta: &[f64]) -> Result<CovidModel, SmcError> {
         if theta.len() != self.theta_dim() {
-            return Err(format!(
+            return Err(SmcError::Simulation(format!(
                 "CovidSimulator expects {} parameter(s), got {}",
                 self.theta_dim(),
                 theta.len()
-            ));
+            )));
         }
         let mut params = CovidParams {
             transmission_rate: theta[0],
@@ -119,14 +129,16 @@ impl CovidSimulator {
         if self.calibrate_detection {
             let m = theta[1];
             if !(m.is_finite() && m >= 0.0) {
-                return Err(format!("detection multiplier {m} invalid"));
+                return Err(SmcError::Simulation(format!(
+                    "detection multiplier {m} invalid"
+                )));
             }
             params.detect_asymp = (self.base.detect_asymp * m).min(1.0);
             params.detect_presymp = (self.base.detect_presymp * m).min(1.0);
             params.detect_mild = (self.base.detect_mild * m).min(1.0);
             params.detect_severe = (self.base.detect_severe * m).min(1.0);
         }
-        CovidModel::new(params)
+        CovidModel::new(params).map_err(SmcError::Simulation)
     }
 }
 
@@ -140,10 +152,7 @@ impl TrajectorySimulator for CovidSimulator {
     }
 
     fn output_names(&self) -> Vec<String> {
-        CovidModel::new(self.base.clone())
-            .expect("validated at construction")
-            .spec()
-            .output_names()
+        self.output_names.clone()
     }
 
     fn run_fresh(
@@ -151,7 +160,7 @@ impl TrajectorySimulator for CovidSimulator {
         theta: &[f64],
         seed: u64,
         end_day: u32,
-    ) -> Result<(DailySeries, SimCheckpoint), String> {
+    ) -> Result<(DailySeries, SimCheckpoint), SmcError> {
         let model = self.model_with(theta)?;
         let mut sim = Simulation::new(
             model.spec(),
@@ -169,7 +178,7 @@ impl TrajectorySimulator for CovidSimulator {
         theta: &[f64],
         seed: u64,
         end_day: u32,
-    ) -> Result<(DailySeries, SimCheckpoint), String> {
+    ) -> Result<(DailySeries, SimCheckpoint), SmcError> {
         let model = self.model_with(theta)?;
         let mut sim = Simulation::resume_with_seed(
             model.spec(),
@@ -188,6 +197,9 @@ impl TrajectorySimulator for CovidSimulator {
 #[derive(Clone, Debug)]
 pub struct SeirSimulator {
     base: SeirParams,
+    /// Output-series names, captured at construction so the accessor
+    /// never has to rebuild (and thus re-validate) the model.
+    output_names: Vec<String>,
 }
 
 impl SeirSimulator {
@@ -195,22 +207,27 @@ impl SeirSimulator {
     ///
     /// # Errors
     /// Propagates parameter validation failures.
-    pub fn new(base: SeirParams) -> Result<Self, String> {
-        base.validate()?;
-        Ok(Self { base })
+    pub fn new(base: SeirParams) -> Result<Self, SmcError> {
+        base.validate().map_err(SmcError::Simulation)?;
+        let output_names = SeirModel::new(base.clone())
+            .map_err(SmcError::Simulation)?
+            .spec()
+            .output_names();
+        Ok(Self { base, output_names })
     }
 
-    fn model_with(&self, theta: &[f64]) -> Result<SeirModel, String> {
+    fn model_with(&self, theta: &[f64]) -> Result<SeirModel, SmcError> {
         if theta.len() != 1 {
-            return Err(format!(
+            return Err(SmcError::Simulation(format!(
                 "SeirSimulator expects 1 parameter, got {}",
                 theta.len()
-            ));
+            )));
         }
         SeirModel::new(SeirParams {
             transmission_rate: theta[0],
             ..self.base.clone()
         })
+        .map_err(SmcError::Simulation)
     }
 }
 
@@ -220,10 +237,7 @@ impl TrajectorySimulator for SeirSimulator {
     }
 
     fn output_names(&self) -> Vec<String> {
-        SeirModel::new(self.base.clone())
-            .expect("validated at construction")
-            .spec()
-            .output_names()
+        self.output_names.clone()
     }
 
     fn run_fresh(
@@ -231,7 +245,7 @@ impl TrajectorySimulator for SeirSimulator {
         theta: &[f64],
         seed: u64,
         end_day: u32,
-    ) -> Result<(DailySeries, SimCheckpoint), String> {
+    ) -> Result<(DailySeries, SimCheckpoint), SmcError> {
         let model = self.model_with(theta)?;
         let mut sim = Simulation::new(
             model.spec(),
@@ -249,7 +263,7 @@ impl TrajectorySimulator for SeirSimulator {
         theta: &[f64],
         seed: u64,
         end_day: u32,
-    ) -> Result<(DailySeries, SimCheckpoint), String> {
+    ) -> Result<(DailySeries, SimCheckpoint), SmcError> {
         let model = self.model_with(theta)?;
         let mut sim = Simulation::resume_with_seed(
             model.spec(),

@@ -22,6 +22,7 @@ use epistats::rng::{derive_stream, Xoshiro256PlusPlus};
 use epistats::summary::ess;
 
 use crate::config::CalibrationConfig;
+use crate::error::SmcError;
 use crate::likelihood::{CompositeLikelihood, GaussianSqrtLikelihood, Likelihood};
 use crate::observation::{BiasMode, BiasModel, BinomialBias, IdentityBias};
 use crate::particle::{Particle, ParticleEnsemble};
@@ -225,7 +226,7 @@ impl TrajectoryTelemetry {
 /// Measure the posterior ensemble's trajectory footprint by
 /// deduplicating segments on their allocation identity.
 fn measure_telemetry(posterior: &ParticleEnsemble, pool_builds: usize) -> TrajectoryTelemetry {
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     let mut t = TrajectoryTelemetry {
         pool_builds,
         ..Default::default()
@@ -273,33 +274,34 @@ pub struct WindowResult {
 /// of all data sources over the window days.
 ///
 /// # Errors
-/// Returns an error if the trajectory or the observed data do not cover
-/// the window, or the trajectory lacks a referenced series.
+/// Returns [`SmcError::Observation`] if the trajectory or the observed
+/// data do not cover the window, or the trajectory lacks a referenced
+/// series.
 pub fn score_window(
     trajectory: &SharedTrajectory,
     rho: f64,
     bias_seed: u64,
     observed: &ObservedData,
     window: TimeWindow,
-) -> Result<f64, String> {
+) -> Result<f64, SmcError> {
     let mut comp = CompositeLikelihood::new();
     for (si, src) in observed.sources.iter().enumerate() {
         let sim_w = trajectory
             .window(&src.series, window.start, window.end)
             .ok_or_else(|| {
-                format!(
+                SmcError::Observation(format!(
                     "trajectory does not cover series '{}' on days [{}, {}]",
                     src.series, window.start, window.end
-                )
+                ))
             })?;
         let obs_w = src
             .observed
             .window(window.start, window.end)
             .ok_or_else(|| {
-                format!(
+                SmcError::Observation(format!(
                     "observed series '{}' does not cover days [{}, {}]",
                     src.series, window.start, window.end
-                )
+                ))
             })?;
         let sim_f: Vec<f64> = sim_w.iter().map(|&v| v as f64).collect();
         let mut bias_rng =
@@ -381,10 +383,20 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
     /// Create a driver over a simulator with the given configuration.
     ///
     /// # Panics
-    /// Panics if the configuration is invalid.
+    /// Panics if the configuration is invalid; use [`Self::try_new`] to
+    /// handle that case without panicking.
     pub fn new(simulator: &'a S, config: CalibrationConfig) -> Self {
-        config.validate().expect("invalid CalibrationConfig");
-        Self { simulator, config }
+        // epilint: allow(panic-unwrap) — documented panicking convenience wrapper over try_new
+        Self::try_new(simulator, config).expect("invalid CalibrationConfig")
+    }
+
+    /// Fallible constructor: validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`SmcError::Config`] if the configuration is invalid.
+    pub fn try_new(simulator: &'a S, config: CalibrationConfig) -> Result<Self, SmcError> {
+        config.validate().map_err(SmcError::Config)?;
+        Ok(Self { simulator, config })
     }
 
     /// The configuration in use.
@@ -401,14 +413,15 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
         priors: &Priors,
         observed: &ObservedData,
         window: TimeWindow,
-    ) -> Result<WindowResult, String> {
+    ) -> Result<WindowResult, SmcError> {
         if priors.theta.len() != self.simulator.theta_dim() {
-            return Err(format!(
+            return Err(SmcError::Config(format!(
                 "prior dimension {} != simulator theta dimension {}",
                 priors.theta.len(),
                 self.simulator.theta_dim()
-            ));
+            )));
         }
+        // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
         let started = std::time::Instant::now();
         let cfg = &self.config;
         let mut rng = Xoshiro256PlusPlus::new(cfg.seed);
@@ -429,7 +442,7 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
             .collect();
 
         let runner = ParallelRunner::from_option(cfg.threads);
-        let results: Vec<Result<Particle, String>> =
+        let results: Vec<Result<Particle, SmcError>> =
             runner.run_grid(cfg.n_params, cfg.n_replicates, |i, r| {
                 let (theta, rho) = &tuples[i];
                 let (trajectory, checkpoint) =
@@ -488,6 +501,7 @@ impl CalibrationResult {
     /// Panics if there are no windows (cannot happen for results produced
     /// by [`SequentialCalibrator::run`]).
     pub fn final_posterior(&self) -> &ParticleEnsemble {
+        // epilint: allow(panic-unwrap) — documented invariant: run() always emits >= 1 window
         &self.windows.last().expect("at least one window").posterior
     }
 
@@ -528,21 +542,37 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
     /// (skewed high) for rho.
     ///
     /// # Panics
-    /// Panics if the configuration is invalid.
+    /// Panics if the configuration is invalid; use [`Self::try_new`] to
+    /// handle that case without panicking.
     pub fn new(
         simulator: &'a S,
         config: CalibrationConfig,
         jitter_theta: Vec<JitterKernel>,
         jitter_rho: JitterKernel,
     ) -> Self {
-        config.validate().expect("invalid CalibrationConfig");
-        Self {
+        let built = Self::try_new(simulator, config, jitter_theta, jitter_rho);
+        // epilint: allow(panic-unwrap) — documented panicking convenience wrapper over try_new
+        built.expect("invalid CalibrationConfig")
+    }
+
+    /// Fallible constructor: validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`SmcError::Config`] if the configuration is invalid.
+    pub fn try_new(
+        simulator: &'a S,
+        config: CalibrationConfig,
+        jitter_theta: Vec<JitterKernel>,
+        jitter_rho: JitterKernel,
+    ) -> Result<Self, SmcError> {
+        config.validate().map_err(SmcError::Config)?;
+        Ok(Self {
             simulator,
             config,
             jitter_theta,
             jitter_rho,
             adaptive: None,
-        }
+        })
     }
 
     /// Enable adaptive ESS-triggered refinement: when a window's
@@ -550,10 +580,28 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
     /// jitter kernel's reach), re-propose around the current weighted
     /// candidates with shrinking kernels and re-simulate, up to the
     /// configured iteration budget. See [`crate::adaptive`].
-    pub fn with_adaptive(mut self, adaptive: crate::adaptive::AdaptiveConfig) -> Self {
-        adaptive.validate().expect("invalid AdaptiveConfig");
+    ///
+    /// # Panics
+    /// Panics if the adaptive configuration is invalid; use
+    /// [`Self::try_with_adaptive`] to handle that case without panicking.
+    pub fn with_adaptive(self, adaptive: crate::adaptive::AdaptiveConfig) -> Self {
+        let built = self.try_with_adaptive(adaptive);
+        // epilint: allow(panic-unwrap) — documented panicking convenience wrapper over the fallible path
+        built.expect("invalid AdaptiveConfig")
+    }
+
+    /// Fallible variant of [`Self::with_adaptive`].
+    ///
+    /// # Errors
+    /// Returns [`SmcError::Config`] if the adaptive configuration is
+    /// invalid.
+    pub fn try_with_adaptive(
+        mut self,
+        adaptive: crate::adaptive::AdaptiveConfig,
+    ) -> Result<Self, SmcError> {
+        adaptive.validate().map_err(SmcError::Config)?;
         self.adaptive = Some(adaptive);
-        self
+        Ok(self)
     }
 
     /// Run the full windowed calibration.
@@ -566,20 +614,20 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
         priors: &Priors,
         observed: &ObservedData,
         plan: &WindowPlan,
-    ) -> Result<CalibrationResult, String> {
+    ) -> Result<CalibrationResult, SmcError> {
         if self.jitter_theta.len() != self.simulator.theta_dim() {
-            return Err(format!(
+            return Err(SmcError::Config(format!(
                 "jitter dimension {} != simulator theta dimension {}",
                 self.jitter_theta.len(),
                 self.simulator.theta_dim()
-            ));
+            )));
         }
         if priors.theta.len() != self.simulator.theta_dim() {
-            return Err(format!(
+            return Err(SmcError::Config(format!(
                 "prior dimension {} != simulator theta dimension {}",
                 priors.theta.len(),
                 self.simulator.theta_dim()
-            ));
+            )));
         }
         // One runner — and therefore at most one dedicated pool — for the
         // whole calibration run, hoisted out of the per-window (and
@@ -651,7 +699,8 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
         ancestors: Option<&ParticleEnsemble>,
         mut proposals: Vec<Proposal>,
         mut rng: Xoshiro256PlusPlus,
-    ) -> Result<WindowResult, String> {
+    ) -> Result<WindowResult, SmcError> {
+        // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
         let started = std::time::Instant::now();
         let cfg = &self.config;
         let mut iteration = 0usize;
@@ -729,7 +778,7 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
         window: TimeWindow,
         window_index: usize,
         iteration: usize,
-    ) -> Result<Vec<Particle>, String> {
+    ) -> Result<Vec<Particle>, SmcError> {
         let cfg = &self.config;
         let rep_seeds: Vec<u64> = (0..cfg.n_replicates)
             .map(|r| {
@@ -744,7 +793,7 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                 )
             })
             .collect();
-        let results: Vec<Result<Particle, String>> =
+        let results: Vec<Result<Particle, SmcError>> =
             runner.run_grid(proposals.len(), cfg.n_replicates, |i, r| {
                 let prop = &proposals[i];
                 let (trajectory, checkpoint, origin) = match ancestors {
@@ -840,7 +889,10 @@ mod tests {
         let traj = SharedTrajectory::empty(vec!["infections".into()], 1);
         let obs = ObservedData::cases_only(vec![1.0; 5]);
         let err = score_window(&traj, 0.5, 1, &obs, TimeWindow::new(1, 3)).unwrap_err();
-        assert!(err.contains("trajectory does not cover"), "{err}");
+        assert!(
+            err.to_string().contains("trajectory does not cover"),
+            "{err}"
+        );
     }
 
     #[test]

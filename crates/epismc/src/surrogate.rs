@@ -107,7 +107,7 @@ impl SurrogateScreen {
                 (i, m + optimism * sd)
             })
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN scores"));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         let keep =
             ((proposals.len() as f64 * keep_fraction).ceil() as usize).clamp(1, proposals.len());
         scored.truncate(keep);

@@ -18,6 +18,7 @@ use epistats::rng::{derive_stream, Xoshiro256PlusPlus};
 use epistats::summary::ess;
 
 use crate::config::CalibrationConfig;
+use crate::error::SmcError;
 use crate::particle::ParticleEnsemble;
 use crate::rejuvenate::{rejuvenate_with, RejuvenationConfig, RejuvenationStats};
 use crate::resample::{Multinomial, Resampler};
@@ -52,7 +53,7 @@ impl TemperedConfig {
             }
             prev = phi;
         }
-        if (self.ladder.last().unwrap() - 1.0).abs() > 1e-12 {
+        if (prev - 1.0).abs() > 1e-12 {
             return Err("tempered: ladder must end at 1.0".into());
         }
         self.rejuvenation.validate()
@@ -94,16 +95,17 @@ pub fn tempered_single_window<S: TrajectorySimulator>(
     priors: &Priors,
     observed: &ObservedData,
     window: TimeWindow,
-) -> Result<TemperedResult, String> {
-    tempered.validate()?;
-    config.validate()?;
+) -> Result<TemperedResult, SmcError> {
+    tempered.validate().map_err(SmcError::Config)?;
 
     // Rung 0: prior ensemble, simulated once; log_weight holds the FULL
     // log likelihood of each candidate.
     let mut pilot_cfg = config.clone();
     pilot_cfg.keep_prior_ensemble = true;
-    let first = SingleWindowIs::new(simulator, pilot_cfg).run(priors, observed, window)?;
-    let mut ensemble = first.prior_ensemble.expect("kept by construction");
+    let first = SingleWindowIs::try_new(simulator, pilot_cfg)?.run(priors, observed, window)?;
+    let mut ensemble = first
+        .prior_ensemble
+        .ok_or_else(|| SmcError::Degenerate("pilot run returned no prior ensemble".into()))?;
 
     let mut rng = Xoshiro256PlusPlus::from_stream(config.seed, &[0x7E4D_u64]);
     let mut rung_ess = Vec::with_capacity(tempered.ladder.len());
@@ -144,7 +146,8 @@ pub fn tempered_single_window<S: TrajectorySimulator>(
             &move_cfg,
             derive_stream(config.seed, &[0x7E4E, k as u64]),
             &runner,
-        )?;
+        )
+        .map_err(SmcError::Simulation)?;
         rung_moves.push(stats);
 
         // Refresh each particle's stored full log likelihood (moves may

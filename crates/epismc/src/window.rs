@@ -123,6 +123,7 @@ impl WindowPlan {
 
     /// Last scored day of the final window.
     pub fn horizon(&self) -> u32 {
+        // epilint: allow(panic-unwrap) — constructor invariant: plans are non-empty
         self.windows.last().expect("non-empty").end
     }
 }

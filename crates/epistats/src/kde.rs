@@ -130,7 +130,7 @@ impl DensityGrid {
         };
         let cell = dx * dy;
         let mut dens: Vec<f64> = self.z.clone();
-        dens.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        dens.sort_by(|a, b| b.total_cmp(a));
         let total: f64 = dens.iter().map(|&d| d * cell).sum();
         let mut acc = 0.0;
         for &d in &dens {

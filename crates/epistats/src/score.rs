@@ -38,11 +38,7 @@ pub fn crps(ensemble: &[f64], observation: f64, weights: Option<&[f64]>) -> f64 
     // sum_{i,j} w_i w_j |x_i - x_j| = 2 * sum_k x_(k) w_(k) (W_(k) - ...),
     // computed with cumulative weights over the sorted sample.
     let mut idx: Vec<usize> = (0..ensemble.len()).collect();
-    idx.sort_by(|&a, &b| {
-        ensemble[a]
-            .partial_cmp(&ensemble[b])
-            .expect("NaN in ensemble")
-    });
+    idx.sort_by(|&a, &b| ensemble[a].total_cmp(&ensemble[b]));
     let mut cum_w = 0.0;
     let mut cum_wx = 0.0;
     let mut pair = 0.0;

@@ -101,7 +101,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile: empty input");
     assert!((0.0..=1.0).contains(&q), "quantile: q = {q}");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in input"));
+    sorted.sort_by(f64::total_cmp);
     quantile_sorted(&sorted, q)
 }
 
@@ -131,7 +131,7 @@ pub fn weighted_quantile(xs: &[f64], ws: &[f64], q: f64) -> f64 {
     assert!(total > 0.0, "weighted_quantile: weights sum to {total}");
 
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in input"));
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
 
     // Midpoint convention: the i-th sorted point sits at cumulative
     // position (cum_before + w_i / 2) / total, which reduces to type-7-like

@@ -18,14 +18,15 @@ struct CovidAgeSimulator {
 }
 
 impl CovidAgeSimulator {
-    fn model(&self, theta: &[f64]) -> Result<CovidAgeModel, String> {
+    fn model(&self, theta: &[f64]) -> Result<CovidAgeModel, SmcError> {
         if theta.len() != 1 {
-            return Err("expects one parameter".into());
+            return Err(SmcError::Simulation("expects one parameter".into()));
         }
         CovidAgeModel::new(CovidAgeParams {
             transmission_rate: theta[0],
             ..self.base.clone()
         })
+        .map_err(SmcError::Simulation)
     }
 }
 
@@ -46,7 +47,7 @@ impl TrajectorySimulator for CovidAgeSimulator {
         theta: &[f64],
         seed: u64,
         end_day: u32,
-    ) -> Result<(DailySeries, SimCheckpoint), String> {
+    ) -> Result<(DailySeries, SimCheckpoint), SmcError> {
         let m = self.model(theta)?;
         let mut sim = Simulation::new(
             m.spec(),
@@ -64,7 +65,7 @@ impl TrajectorySimulator for CovidAgeSimulator {
         theta: &[f64],
         seed: u64,
         end_day: u32,
-    ) -> Result<(DailySeries, SimCheckpoint), String> {
+    ) -> Result<(DailySeries, SimCheckpoint), SmcError> {
         let m = self.model(theta)?;
         let mut sim = Simulation::resume_with_seed(
             m.spec(),

@@ -57,15 +57,19 @@ impl SirsSimulator {
         }
     }
 
-    fn build(&self, theta: &[f64], seed: u64) -> Result<Simulation<BinomialChainStepper>, String> {
+    fn build(
+        &self,
+        theta: &[f64],
+        seed: u64,
+    ) -> Result<Simulation<BinomialChainStepper>, SmcError> {
         if theta.len() != 1 {
-            return Err("SIRS expects one parameter".into());
+            return Err(SmcError::Simulation("SIRS expects one parameter".into()));
         }
         let spec = self.spec(theta[0]);
         let mut st = epismc::sim::state::SimState::empty(&spec, seed);
         st.seed_compartment(&spec, 0, self.population - self.initial_infected);
         st.seed_compartment(&spec, 1, self.initial_infected);
-        Simulation::new(spec, BinomialChainStepper::daily(), st)
+        Ok(Simulation::new(spec, BinomialChainStepper::daily(), st)?)
     }
 }
 
@@ -83,7 +87,7 @@ impl TrajectorySimulator for SirsSimulator {
         theta: &[f64],
         seed: u64,
         end_day: u32,
-    ) -> Result<(DailySeries, SimCheckpoint), String> {
+    ) -> Result<(DailySeries, SimCheckpoint), SmcError> {
         let mut sim = self.build(theta, seed)?;
         sim.run_until(end_day);
         let ck = sim.checkpoint();
@@ -96,9 +100,9 @@ impl TrajectorySimulator for SirsSimulator {
         theta: &[f64],
         seed: u64,
         end_day: u32,
-    ) -> Result<(DailySeries, SimCheckpoint), String> {
+    ) -> Result<(DailySeries, SimCheckpoint), SmcError> {
         if theta.len() != 1 {
-            return Err("SIRS expects one parameter".into());
+            return Err(SmcError::Simulation("SIRS expects one parameter".into()));
         }
         let mut sim = Simulation::resume_with_seed(
             self.spec(theta[0]),

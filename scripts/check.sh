@@ -12,6 +12,9 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo run -p epilint"
+cargo run -p epilint --quiet
+
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 

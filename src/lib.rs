@@ -63,11 +63,15 @@ pub use epistats as stats;
 /// Commonly used items across the workspace, re-exported for examples and
 /// downstream users.
 pub mod prelude {
-    pub use crate::data::{generate_ground_truth, GroundTruth, PiecewiseConstant, Scenario};
+    pub use crate::data::{
+        generate_ground_truth, try_generate_ground_truth, DataError, GroundTruth,
+        PiecewiseConstant, Scenario,
+    };
     pub use crate::sim::{
         checkpoint::SimCheckpoint,
         covid::{CovidModel, CovidParams},
         engine::{BinomialChainStepper, GillespieStepper, Stepper, TauLeapStepper},
+        error::SimError,
         output::{DailySeries, SharedTrajectory},
         seir::{SeirModel, SeirParams},
         Simulation,
@@ -76,6 +80,7 @@ pub mod prelude {
         adaptive::AdaptiveConfig,
         config::CalibrationConfig,
         diagnostics::{coverage, joint_density, PosteriorSummary, Ribbon},
+        error::SmcError,
         forecast::{Forecast, Forecaster},
         likelihood::{
             CompositeLikelihood, GaussianSqrtLikelihood, Likelihood, NegBinomialLikelihood,

@@ -130,7 +130,7 @@ fn prior_dimension_mismatch_is_an_error() {
     let err = SingleWindowIs::new(&simulator, config(5))
         .run(&priors, &observed, TimeWindow::new(20, 33))
         .unwrap_err();
-    assert!(err.contains("dimension"), "{err}");
+    assert!(err.to_string().contains("dimension"), "{err}");
 }
 
 #[test]
@@ -140,5 +140,5 @@ fn window_beyond_observations_is_an_error() {
     let err = SingleWindowIs::new(&simulator, config(6))
         .run(&Priors::paper(), &observed, TimeWindow::new(85, 120))
         .unwrap_err();
-    assert!(err.contains("does not cover"), "{err}");
+    assert!(err.to_string().contains("does not cover"), "{err}");
 }

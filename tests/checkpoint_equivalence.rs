@@ -136,5 +136,5 @@ fn layout_mismatch_is_rejected_end_to_end() {
     })
     .unwrap();
     let err = other.run_from(&ck, &[0.3], 1, 40).unwrap_err();
-    assert!(err.contains("layout"), "{err}");
+    assert!(err.to_string().contains("layout"), "{err}");
 }

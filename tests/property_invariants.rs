@@ -172,6 +172,104 @@ proptest! {
     }
 
     #[test]
+    fn resampled_ensemble_weights_normalize(
+        lw in proptest::collection::vec(-500.0f64..50.0, 2..120),
+        n_out in 1usize..300,
+    ) {
+        // A weighted candidate ensemble must normalize to unit mass, and
+        // the resampled posterior must be exactly uniform — the paper's
+        // weight/resample contract for every window.
+        let spec = epismc::sim::spec::ModelSpec {
+            name: "w".into(),
+            compartments: vec![
+                epismc::sim::spec::Compartment::simple("S"),
+                epismc::sim::spec::Compartment::new("I", 1, 1.0),
+            ],
+            progressions: vec![epismc::sim::spec::Progression {
+                from: 1,
+                mean_dwell: 1.0,
+                branches: vec![(0, 1.0)],
+            }],
+            infections: vec![epismc::sim::spec::Infection::simple(0, 1)],
+            transmission_rate: 0.1,
+            flows: vec![epismc::sim::spec::FlowSpec {
+                name: "x".into(),
+                edges: vec![],
+            }],
+            censuses: vec![],
+        };
+        let particles: Vec<Particle> = lw
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Particle {
+                theta: vec![0.1 + i as f64 * 1e-3],
+                rho: 0.5,
+                seed: i as u64,
+                log_weight: w,
+                trajectory: SharedTrajectory::root(DailySeries::new(vec!["x".into()], 1)),
+                checkpoint: SimCheckpoint::capture(
+                    &spec,
+                    &epismc::sim::state::SimState::empty(&spec, 1),
+                ),
+                origin: None,
+            })
+            .collect();
+        let ensemble = ParticleEnsemble::from_vec(particles);
+        let weights = ensemble.normalized_weights();
+        let total: f64 = weights.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "candidate weights sum {}", total);
+
+        let mut rng = Xoshiro256PlusPlus::new(11);
+        let picks = Multinomial.resample(&weights, n_out, &mut rng);
+        let mut posterior = ParticleEnsemble::from_vec(
+            picks.iter().map(|&i| ensemble.particles()[i].clone()).collect(),
+        );
+        posterior.set_uniform_weights();
+        let post_w = posterior.normalized_weights();
+        let post_total: f64 = post_w.iter().sum();
+        prop_assert!(
+            (post_total - 1.0).abs() < 1e-9,
+            "posterior weights sum {}",
+            post_total
+        );
+        let uniform = 1.0 / n_out as f64;
+        prop_assert!(post_w.iter().all(|&w| (w - uniform).abs() < 1e-12));
+    }
+
+    #[test]
+    fn seir_mass_conserved_every_step(
+        theta in 0.05f64..0.9,
+        seed in 0u64..1_000_000,
+        days in 1u32..40,
+    ) {
+        // Compartment mass conservation checked after EVERY step, not
+        // just at the horizon: the chain-binomial update moves people
+        // between compartments but never creates or destroys them.
+        let params = SeirParams {
+            population: 8_000,
+            initial_exposed: 40,
+            transmission_rate: theta,
+            ..SeirParams::default()
+        };
+        let model = SeirModel::new(params).unwrap();
+        let mut sim = Simulation::new(
+            model.spec(),
+            BinomialChainStepper::daily(),
+            model.initial_state(seed),
+        )
+        .unwrap();
+        for day in 1..=days {
+            sim.run_until(day);
+            prop_assert_eq!(
+                sim.state().total_population(),
+                8_000,
+                "mass leaked by day {}",
+                day
+            );
+        }
+    }
+
+    #[test]
     fn multinomial_split_partitions_any_total(
         total in 0u64..10_000,
         p1 in 0.01f64..0.98,
