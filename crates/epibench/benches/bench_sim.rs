@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use episim::covid::{CovidModel, CovidParams};
 use episim::engine::{
-    BinomialChainStepper, CompiledSpec, GillespieStepper, Stepper, TauLeapStepper,
+    BinomialChainStepper, CompiledSpec, GillespieStepper, StepScratch, Stepper, TauLeapStepper,
 };
 use episim::seir::{SeirModel, SeirParams};
 use episim::state::SimState;
@@ -21,12 +21,18 @@ fn bench_days<S: Stepper>(
     init: &SimState,
 ) {
     let n_flows = model.spec.flows.len();
+    // State and scratch are reused across iterations (rehydrated in
+    // place), matching the pooled-workspace hot path of the parallel
+    // grid: steady-state iterations allocate nothing.
+    let mut st = init.clone();
+    let mut scratch = StepScratch::new();
+    let mut flows = vec![0u64; n_flows];
     group.bench_function(BenchmarkId::from_parameter(label), |b| {
         b.iter(|| {
-            let mut st = init.clone();
-            let mut flows = vec![0u64; n_flows];
+            st.assign_from(init);
+            flows.iter_mut().for_each(|f| *f = 0);
             for _ in 0..30 {
-                stepper.advance_day(model, &mut st, &mut flows);
+                stepper.advance_day(model, &mut st, &mut flows, &mut scratch);
             }
             black_box(st.total_population())
         });

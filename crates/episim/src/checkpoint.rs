@@ -75,15 +75,7 @@ impl SimCheckpoint {
     /// Returns [`SimError::Checkpoint`] if the spec's layout differs from
     /// the one the checkpoint was captured under.
     pub fn restore(&self, spec: &ModelSpec) -> Result<SimState, SimError> {
-        if layout_hash(spec) != self.layout_hash {
-            return Err(SimError::Checkpoint(format!(
-                "layout mismatch for model '{}': captured under a different compartment structure",
-                spec.name
-            )));
-        }
-        if self.stage_counts.len() != spec.total_stages() {
-            return Err(SimError::Checkpoint("stage-count length mismatch".into()));
-        }
+        self.validate_layout(spec)?;
         Ok(SimState {
             day: self.day,
             time: self.day as f64,
@@ -102,6 +94,52 @@ impl SimCheckpoint {
         let mut st = self.restore(spec)?;
         st.rng = Xoshiro256PlusPlus::new(seed);
         Ok(st)
+    }
+
+    /// Restore *into* an existing state, reusing its `stage_counts`
+    /// allocation — the pooled-workspace variant of [`Self::restore`].
+    ///
+    /// # Errors
+    /// Same layout checks as [`Self::restore`]; on error `state` is left
+    /// unmodified.
+    pub fn restore_into(&self, spec: &ModelSpec, state: &mut SimState) -> Result<(), SimError> {
+        self.validate_layout(spec)?;
+        state.day = self.day;
+        state.time = self.day as f64;
+        state.stage_counts.clone_from(&self.stage_counts);
+        state.rng = Xoshiro256PlusPlus::from_state(self.rng_state);
+        Ok(())
+    }
+
+    /// Restore into an existing state with a fresh RNG stream — the
+    /// in-place variant of [`Self::restore_with_seed`].
+    ///
+    /// # Errors
+    /// Same layout checks as [`Self::restore`]; on error `state` is left
+    /// unmodified.
+    pub fn restore_into_with_seed(
+        &self,
+        spec: &ModelSpec,
+        state: &mut SimState,
+        seed: u64,
+    ) -> Result<(), SimError> {
+        self.restore_into(spec, state)?;
+        state.rng = Xoshiro256PlusPlus::new(seed);
+        Ok(())
+    }
+
+    /// Shared layout/length validation for the restore family.
+    fn validate_layout(&self, spec: &ModelSpec) -> Result<(), SimError> {
+        if layout_hash(spec) != self.layout_hash {
+            return Err(SimError::Checkpoint(format!(
+                "layout mismatch for model '{}': captured under a different compartment structure",
+                spec.name
+            )));
+        }
+        if self.stage_counts.len() != spec.total_stages() {
+            return Err(SimError::Checkpoint("stage-count length mismatch".into()));
+        }
+        Ok(())
     }
 
     /// Compact binary encoding.

@@ -542,8 +542,9 @@ mod tests {
             let mut st = m.initial_state(seed);
             let n_flows = model.spec.flows.len();
             let mut flows = vec![0u64; n_flows];
+            let mut sc = crate::engine::StepScratch::default();
             for _ in 0..80 {
-                stepper.advance_day(&model, &mut st, &mut flows);
+                stepper.advance_day(&model, &mut st, &mut flows, &mut sc);
             }
             assert_eq!(st.total_population(), 4_000);
             (flows[0] as f64, flows[1] as f64) // infections, deaths

@@ -6,9 +6,8 @@
 //! order-independent. This is the classical Reed–Frost-style scheme used
 //! by the COVID-Chicago reference model at `dt = 1` day.
 
-use epistats::dist::sample_binomial;
-
-use super::{multinomial_split, CompiledSpec, Stepper};
+use super::{multinomial_split, CompiledSpec, StepScratch, Stepper};
+use crate::error::SimError;
 use crate::state::SimState;
 
 /// Chain-binomial stepper with a fixed sub-day step.
@@ -28,10 +27,24 @@ impl BinomialChainStepper {
     /// discrete-hazard approximation error of simultaneous transitions).
     ///
     /// # Panics
-    /// Panics if `substeps` is zero.
+    /// Panics if `substeps` is zero; use [`Self::try_with_substeps`] to
+    /// handle that case without panicking.
     pub fn with_substeps(substeps: u32) -> Self {
-        assert!(substeps > 0, "BinomialChainStepper: substeps must be >= 1");
-        Self { substeps }
+        // epilint: allow(panic-unwrap) — documented panicking convenience wrapper over try_with_substeps
+        Self::try_with_substeps(substeps).expect("BinomialChainStepper: substeps must be >= 1")
+    }
+
+    /// Fallible constructor: validates the substep count.
+    ///
+    /// # Errors
+    /// Returns [`SimError::Spec`] if `substeps` is zero.
+    pub fn try_with_substeps(substeps: u32) -> Result<Self, SimError> {
+        if substeps == 0 {
+            return Err(SimError::Spec(
+                "BinomialChainStepper: substeps must be >= 1".into(),
+            ));
+        }
+        Ok(Self { substeps })
     }
 
     /// Sub-steps per day.
@@ -47,60 +60,80 @@ impl Default for BinomialChainStepper {
 }
 
 impl Stepper for BinomialChainStepper {
-    fn advance_day(&self, model: &CompiledSpec, state: &mut SimState, flows: &mut [u64]) {
+    fn advance_day(
+        &self,
+        model: &CompiledSpec,
+        state: &mut SimState,
+        flows: &mut [u64],
+        scratch: &mut StepScratch,
+    ) {
         let dt = 1.0 / self.substeps as f64;
         let spec = &model.spec;
-        let mut deltas: Vec<i64> = vec![0; state.stage_counts.len()];
-        let mut branch_buf: Vec<(usize, u64)> = Vec::new();
+        // Sizes buffers and refreshes the hazard table (per-progression
+        // `1 - exp(-rate dt)`) only when the (model, substeps) key
+        // changed — the exp_m1 calls disappear from the substep loop.
+        scratch.prepare_chain(model, self.substeps);
+        let n_inf = spec.infections.len();
 
         for _ in 0..self.substeps {
-            deltas.iter_mut().for_each(|d| *d = 0);
+            scratch.deltas.iter_mut().for_each(|d| *d = 0);
 
             // Infections: S -> E, each with its own (possibly
             // contact-structured) force of infection from the step-start
             // snapshot.
-            for inf in &spec.infections {
-                let foi = state.force_of_infection_for(spec, inf);
+            for (ii, inf) in spec.infections.iter().enumerate() {
+                let foi = state.force_of_infection_with(spec, inf, &model.offsets);
                 if foi <= 0.0 {
                     continue;
                 }
                 let p_inf = -(-foi * dt).exp_m1();
                 let s_off = model.offsets[inf.susceptible];
                 let s_count = state.stage_counts[s_off];
-                let newly = sample_binomial(&mut state.rng, s_count, p_inf);
+                let newly = scratch.samplers[ii].draw(&mut state.rng, s_count, p_inf);
                 if newly > 0 {
-                    deltas[s_off] -= newly as i64;
-                    deltas[model.offsets[inf.exposed]] += newly as i64;
+                    scratch.deltas[s_off] -= newly as i64;
+                    scratch.deltas[model.offsets[inf.exposed]] += newly as i64;
                     model.record_edge(flows, inf.susceptible, inf.exposed, newly);
                 }
             }
 
-            // Progressions: per-stage exits from the snapshot.
+            // Progressions: per-stage exits from the snapshot, with the
+            // exit hazard read from the precomputed table and the
+            // binomial setup cached per channel (occupancies drift
+            // slowly, so most draws reuse the previous setup).
+            let mut channel = n_inf;
             for (pi, prog) in spec.progressions.iter().enumerate() {
-                let rate = model.stage_rates[pi];
-                let p_exit = -(-rate * dt).exp_m1();
-                if p_exit <= 0.0 {
-                    continue;
-                }
+                let p_exit = scratch.hazards[pi];
                 let from = prog.from;
                 let base = model.offsets[from];
                 let stages = spec.compartments[from].stages as usize;
+                if p_exit <= 0.0 {
+                    channel += stages;
+                    continue;
+                }
                 for s in 0..stages {
                     let occ = state.stage_counts[base + s];
                     if occ == 0 {
+                        channel += 1;
                         continue;
                     }
-                    let exits = sample_binomial(&mut state.rng, occ, p_exit);
+                    let exits = scratch.samplers[channel].draw(&mut state.rng, occ, p_exit);
+                    channel += 1;
                     if exits == 0 {
                         continue;
                     }
-                    deltas[base + s] -= exits as i64;
+                    scratch.deltas[base + s] -= exits as i64;
                     if s + 1 < stages {
-                        deltas[base + s + 1] += exits as i64;
+                        scratch.deltas[base + s + 1] += exits as i64;
                     } else {
-                        multinomial_split(&mut state.rng, exits, &prog.branches, &mut branch_buf);
-                        for &(target, count) in &branch_buf {
-                            deltas[model.offsets[target]] += count as i64;
+                        multinomial_split(
+                            &mut state.rng,
+                            exits,
+                            &prog.branches,
+                            &mut scratch.branch_buf,
+                        );
+                        for &(target, count) in &scratch.branch_buf {
+                            scratch.deltas[model.offsets[target]] += count as i64;
                             model.record_edge(flows, from, target, count);
                         }
                     }
@@ -108,7 +141,7 @@ impl Stepper for BinomialChainStepper {
             }
 
             // Apply all moves simultaneously.
-            for (c, &d) in state.stage_counts.iter_mut().zip(&deltas) {
+            for (c, &d) in state.stage_counts.iter_mut().zip(&scratch.deltas) {
                 let next = *c as i64 + d;
                 debug_assert!(next >= 0, "negative occupancy after step");
                 *c = next as u64;
@@ -137,13 +170,14 @@ mod tests {
 
     #[test]
     fn population_is_conserved() {
+        let mut sc = StepScratch::default();
         let model = CompiledSpec::new(si_spec()).unwrap();
         let stepper = BinomialChainStepper::daily();
         let mut st = init_state(&model, 7);
         let n0 = st.total_population();
         let mut flows = vec![0u64; 2];
         for _ in 0..60 {
-            stepper.advance_day(&model, &mut st, &mut flows);
+            stepper.advance_day(&model, &mut st, &mut flows, &mut sc);
             assert_eq!(st.total_population(), n0);
         }
         assert_eq!(st.day, 60);
@@ -151,12 +185,13 @@ mod tests {
 
     #[test]
     fn epidemic_grows_then_burns_out() {
+        let mut sc = StepScratch::default();
         let model = CompiledSpec::new(si_spec()).unwrap();
         let stepper = BinomialChainStepper::daily();
         let mut st = init_state(&model, 11);
         let mut flows = vec![0u64; 2];
         for _ in 0..300 {
-            stepper.advance_day(&model, &mut st, &mut flows);
+            stepper.advance_day(&model, &mut st, &mut flows, &mut sc);
         }
         // R0 = 0.5 * 5 = 2.5 -> most of the population gets infected.
         let recovered = st.compartment_count(&model.spec, 2);
@@ -169,6 +204,7 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
+        let mut sc = StepScratch::default();
         let model = CompiledSpec::new(si_spec()).unwrap();
         let stepper = BinomialChainStepper::daily();
         let mut a = init_state(&model, 5);
@@ -176,8 +212,8 @@ mod tests {
         let mut fa = vec![0u64; 2];
         let mut fb = vec![0u64; 2];
         for _ in 0..30 {
-            stepper.advance_day(&model, &mut a, &mut fa);
-            stepper.advance_day(&model, &mut b, &mut fb);
+            stepper.advance_day(&model, &mut a, &mut fa, &mut sc);
+            stepper.advance_day(&model, &mut b, &mut fb, &mut sc);
         }
         assert_eq!(a, b);
         assert_eq!(fa, fb);
@@ -185,19 +221,21 @@ mod tests {
 
     #[test]
     fn substeps_preserve_conservation() {
+        let mut sc = StepScratch::default();
         let model = CompiledSpec::new(si_spec()).unwrap();
         let stepper = BinomialChainStepper::with_substeps(4);
         let mut st = init_state(&model, 13);
         let n0 = st.total_population();
         let mut flows = vec![0u64; 2];
         for _ in 0..30 {
-            stepper.advance_day(&model, &mut st, &mut flows);
+            stepper.advance_day(&model, &mut st, &mut flows, &mut sc);
         }
         assert_eq!(st.total_population(), n0);
     }
 
     #[test]
     fn zero_transmission_means_no_infections() {
+        let mut sc = StepScratch::default();
         let mut spec = si_spec();
         spec.transmission_rate = 0.0;
         let model = CompiledSpec::new(spec).unwrap();
@@ -205,7 +243,7 @@ mod tests {
         let mut st = init_state(&model, 17);
         let mut flows = vec![0u64; 2];
         for _ in 0..50 {
-            stepper.advance_day(&model, &mut st, &mut flows);
+            stepper.advance_day(&model, &mut st, &mut flows, &mut sc);
         }
         assert_eq!(flows[0], 0);
         assert_eq!(st.compartment_count(&model.spec, 0), 9_900);

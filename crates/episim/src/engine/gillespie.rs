@@ -6,7 +6,7 @@
 //! practical for the small-population fidelity studies in tests and
 //! `bench_sim`, not for Chicago-scale ensembles.
 
-use super::{CompiledSpec, Stepper};
+use super::{CompiledSpec, StepScratch, Stepper};
 use crate::state::SimState;
 
 /// Gillespie direct-method stepper.
@@ -21,18 +21,25 @@ impl GillespieStepper {
 }
 
 impl Stepper for GillespieStepper {
-    fn advance_day(&self, model: &CompiledSpec, state: &mut SimState, flows: &mut [u64]) {
+    fn advance_day(
+        &self,
+        model: &CompiledSpec,
+        state: &mut SimState,
+        flows: &mut [u64],
+        scratch: &mut StepScratch,
+    ) {
         let spec = &model.spec;
         let day_end = state.day as f64 + 1.0;
         // Propensity layout: one channel per infection, then one channel
-        // per (progression, stage).
+        // per (progression, stage). The channel buffer lives in the
+        // scratch so a warm advance allocates nothing.
         let n_inf = spec.infections.len();
-        let mut channels: Vec<f64> = Vec::new();
+        let channels = &mut scratch.channels;
 
         loop {
             channels.clear();
             for inf in &spec.infections {
-                let foi = state.force_of_infection_for(spec, inf);
+                let foi = state.force_of_infection_with(spec, inf, &model.offsets);
                 let s = state.stage_counts[model.offsets[inf.susceptible]];
                 channels.push(foi * s as f64);
             }
@@ -133,18 +140,20 @@ mod tests {
 
     #[test]
     fn conserves_population_exactly() {
+        let mut sc = StepScratch::default();
         let model = CompiledSpec::new(si_spec()).unwrap();
         let stepper = GillespieStepper::new();
         let mut st = init(&model, 31, 2_000, 20);
         let mut flows = vec![0u64; 2];
         for _ in 0..100 {
-            stepper.advance_day(&model, &mut st, &mut flows);
+            stepper.advance_day(&model, &mut st, &mut flows, &mut sc);
             assert_eq!(st.total_population(), 2_000);
         }
     }
 
     #[test]
     fn pure_death_process_mean_matches_analytic() {
+        let mut sc = StepScratch::default();
         // Only I -> R (no infection): I(t) decays with the Erlang-2 dwell,
         // E[I(30)] = N * P(Erlang(2, rate 0.4) > 30) — just check a broad
         // band around the exponential-tail expectation instead of the
@@ -158,7 +167,7 @@ mod tests {
             let mut st = init(&model, 40 + seed, 1_000, 1_000);
             let mut flows = vec![0u64; 2];
             for _ in 0..30 {
-                stepper.advance_day(&model, &mut st, &mut flows);
+                stepper.advance_day(&model, &mut st, &mut flows, &mut sc);
             }
             remaining += st.compartment_count(&model.spec, 1);
         }
@@ -168,6 +177,7 @@ mod tests {
 
     #[test]
     fn agrees_with_chain_binomial_on_final_size() {
+        let mut sc = StepScratch::default();
         let model = CompiledSpec::new(si_spec()).unwrap();
         let exact = GillespieStepper::new();
         let chain = super::super::BinomialChainStepper::with_substeps(8);
@@ -178,13 +188,13 @@ mod tests {
             let mut st = init(&model, 500 + seed, 3_000, 30);
             let mut f = vec![0u64; 2];
             for _ in 0..250 {
-                exact.advance_day(&model, &mut st, &mut f);
+                exact.advance_day(&model, &mut st, &mut f, &mut sc);
             }
             fe += st.compartment_count(&model.spec, 2) as f64;
             let mut st = init(&model, 900 + seed, 3_000, 30);
             let mut f = vec![0u64; 2];
             for _ in 0..250 {
-                chain.advance_day(&model, &mut st, &mut f);
+                chain.advance_day(&model, &mut st, &mut f, &mut sc);
             }
             fc += st.compartment_count(&model.spec, 2) as f64;
         }
@@ -198,14 +208,15 @@ mod tests {
 
     #[test]
     fn clock_lands_on_day_boundaries() {
+        let mut sc = StepScratch::default();
         let model = CompiledSpec::new(si_spec()).unwrap();
         let stepper = GillespieStepper::new();
         let mut st = init(&model, 3, 500, 5);
         let mut flows = vec![0u64; 2];
-        stepper.advance_day(&model, &mut st, &mut flows);
+        stepper.advance_day(&model, &mut st, &mut flows, &mut sc);
         assert_eq!(st.day, 1);
         assert_eq!(st.time, 1.0);
-        stepper.advance_day(&model, &mut st, &mut flows);
+        stepper.advance_day(&model, &mut st, &mut flows, &mut sc);
         assert_eq!(st.day, 2);
     }
 }

@@ -19,13 +19,17 @@ pub use gillespie::GillespieStepper;
 pub use tau_leap::TauLeapStepper;
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use epistats::dist::sample_binomial;
+use epistats::dist::{sample_binomial, BinomialSampler};
 use epistats::rng::Xoshiro256PlusPlus;
 
 use crate::error::SimError;
 use crate::spec::ModelSpec;
 use crate::state::SimState;
+
+/// Monotone source for [`CompiledSpec::stamp`] identities.
+static NEXT_STAMP: AtomicU64 = AtomicU64::new(1);
 
 /// A model spec with derived lookup tables precomputed, shared by all
 /// steppers (built once per simulation, not per day).
@@ -41,6 +45,10 @@ pub struct CompiledSpec {
     /// that count it. A `BTreeMap` so any future iteration is in key
     /// order — replay determinism must not depend on hasher state.
     edge_flows: BTreeMap<(usize, usize), Vec<usize>>,
+    /// Process-unique identity of this compilation, used as a cache key
+    /// for derived tables (e.g. [`StepScratch`]'s hazard table). Clones
+    /// share the stamp, which is sound: a clone has identical rates.
+    stamp: u64,
 }
 
 impl CompiledSpec {
@@ -67,7 +75,13 @@ impl CompiledSpec {
             offsets,
             stage_rates,
             edge_flows,
+            stamp: NEXT_STAMP.fetch_add(1, Ordering::Relaxed),
         })
+    }
+
+    /// Process-unique identity of this compilation (shared by clones).
+    pub fn stamp(&self) -> u64 {
+        self.stamp
     }
 
     /// Add `count` traversals of the `(from, to)` edge to every flow
@@ -86,16 +100,85 @@ impl CompiledSpec {
 
     /// End-of-day census values in spec order.
     pub fn censuses(&self, state: &SimState) -> Vec<u64> {
-        self.spec
-            .censuses
-            .iter()
-            .map(|c| {
+        let mut out = Vec::with_capacity(self.spec.censuses.len());
+        self.censuses_into(state, &mut out);
+        out
+    }
+
+    /// Append end-of-day census values (spec order) to `out` without
+    /// allocating a fresh vector — the hot-loop variant of
+    /// [`Self::censuses`].
+    pub fn censuses_into(&self, state: &SimState, out: &mut Vec<u64>) {
+        for c in &self.spec.censuses {
+            out.push(
                 c.compartments
                     .iter()
                     .map(|&id| state.compartment_count(&self.spec, id))
-                    .sum()
-            })
-            .collect()
+                    .sum(),
+            );
+        }
+    }
+}
+
+/// Reusable scratch buffers for [`Stepper::advance_day`].
+///
+/// Owned by the caller (typically a [`crate::runner::Simulation`] or a
+/// [`crate::workspace::SimWorkspace`]) and threaded through every day
+/// advance, so the hot loop performs **zero heap allocations per
+/// simulated day** after the first (warm-up) day. The scratch is pure
+/// workspace: it never influences results, only where intermediates live —
+/// a fresh scratch and a warm one produce bit-identical trajectories.
+///
+/// Cached derived tables (the discrete-hazard table, per-channel binomial
+/// sampler setups) are keyed on [`CompiledSpec::stamp`] plus the stepper
+/// configuration, so one scratch can serve many models/parameterizations
+/// in sequence — the per-worker reuse pattern of the parallel grid.
+#[derive(Clone, Debug, Default)]
+pub struct StepScratch {
+    /// Net per-stage occupancy change within one substep.
+    pub(crate) deltas: Vec<i64>,
+    /// Branch-split output buffer for `multinomial_split`.
+    pub(crate) branch_buf: Vec<(usize, u64)>,
+    /// Per-channel propensities (Gillespie).
+    pub(crate) channels: Vec<f64>,
+    /// Per-progression exit probabilities `1 - exp(-rate * dt)`, computed
+    /// once per `(model, substeps)` instead of per substep per day.
+    pub(crate) hazards: Vec<f64>,
+    /// Cache key for `hazards`: `(CompiledSpec::stamp, substeps)`.
+    hazard_key: Option<(u64, u32)>,
+    /// Per-channel binomial sampler setups (infections first, then one
+    /// per progression stage), reused while `(n, p)` is unchanged.
+    pub(crate) samplers: Vec<BinomialSampler>,
+}
+
+impl StepScratch {
+    /// Create an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size the delta/sampler buffers for `model` and refresh the hazard
+    /// table if `(model, substeps)` differs from the cached key.
+    pub(crate) fn prepare_chain(&mut self, model: &CompiledSpec, substeps: u32) {
+        let n_stages = model.spec.total_stages();
+        self.deltas.resize(n_stages, 0);
+        let n_channels = model.spec.infections.len() + n_stages;
+        if self.samplers.len() < n_channels {
+            self.samplers.resize(n_channels, BinomialSampler::default());
+        }
+        if self.hazard_key != Some((model.stamp, substeps)) {
+            let dt = 1.0 / substeps as f64;
+            self.hazards.clear();
+            self.hazards
+                .extend(model.stage_rates.iter().map(|&r| -(-r * dt).exp_m1()));
+            self.hazard_key = Some((model.stamp, substeps));
+        }
+    }
+
+    /// Size the delta buffer for `model` (tau-leap needs no hazard table:
+    /// its Poisson means are linear in the rates).
+    pub(crate) fn prepare_leap(&mut self, model: &CompiledSpec) {
+        self.deltas.resize(model.spec.total_stages(), 0);
     }
 }
 
@@ -103,7 +186,16 @@ impl CompiledSpec {
 pub trait Stepper: Send + Sync {
     /// Advance `state` by exactly one day, adding the day's edge
     /// traversal counts into `flows` (length = number of flow series).
-    fn advance_day(&self, model: &CompiledSpec, state: &mut SimState, flows: &mut [u64]);
+    /// `scratch` provides reusable buffers; any [`StepScratch`] works
+    /// (results never depend on its contents), but reusing one across
+    /// days makes the advance allocation-free.
+    fn advance_day(
+        &self,
+        model: &CompiledSpec,
+        state: &mut SimState,
+        flows: &mut [u64],
+        scratch: &mut StepScratch,
+    );
 
     /// Short identifier for logs and benchmark labels.
     fn name(&self) -> &'static str;

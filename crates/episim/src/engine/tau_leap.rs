@@ -9,7 +9,7 @@
 
 use epistats::dist::sample_poisson;
 
-use super::{multinomial_split, CompiledSpec, Stepper};
+use super::{multinomial_split, CompiledSpec, StepScratch, Stepper};
 use crate::state::SimState;
 
 /// Poisson tau-leap stepper with a fixed leap size.
@@ -44,17 +44,25 @@ impl Default for TauLeapStepper {
 }
 
 impl Stepper for TauLeapStepper {
-    fn advance_day(&self, model: &CompiledSpec, state: &mut SimState, flows: &mut [u64]) {
+    fn advance_day(
+        &self,
+        model: &CompiledSpec,
+        state: &mut SimState,
+        flows: &mut [u64],
+        scratch: &mut StepScratch,
+    ) {
         let tau = 1.0 / self.leaps_per_day as f64;
         let spec = &model.spec;
-        let mut deltas: Vec<i64> = vec![0; state.stage_counts.len()];
-        let mut branch_buf: Vec<(usize, u64)> = Vec::new();
+        scratch.prepare_leap(model);
+        let StepScratch {
+            deltas, branch_buf, ..
+        } = scratch;
 
         for _ in 0..self.leaps_per_day {
             deltas.iter_mut().for_each(|d| *d = 0);
 
             for inf in &spec.infections {
-                let foi = state.force_of_infection_for(spec, inf);
+                let foi = state.force_of_infection_with(spec, inf, &model.offsets);
                 let s_off = model.offsets[inf.susceptible];
                 let s_count = state.stage_counts[s_off];
                 if s_count == 0 || foi <= 0.0 {
@@ -87,8 +95,8 @@ impl Stepper for TauLeapStepper {
                     if s + 1 < stages {
                         deltas[base + s + 1] += exits as i64;
                     } else {
-                        multinomial_split(&mut state.rng, exits, &prog.branches, &mut branch_buf);
-                        for &(target, count) in &branch_buf {
+                        multinomial_split(&mut state.rng, exits, &prog.branches, branch_buf);
+                        for &(target, count) in branch_buf.iter() {
                             deltas[model.offsets[target]] += count as i64;
                             model.record_edge(flows, from, target, count);
                         }
@@ -98,7 +106,7 @@ impl Stepper for TauLeapStepper {
 
             // Apply, clamping at zero in the (rare) case where capped
             // channels still jointly overdraw a stage.
-            for (c, &d) in state.stage_counts.iter_mut().zip(&deltas) {
+            for (c, &d) in state.stage_counts.iter_mut().zip(deltas.iter()) {
                 let next = *c as i64 + d;
                 *c = next.max(0) as u64;
             }
@@ -126,6 +134,7 @@ mod tests {
 
     #[test]
     fn population_nearly_conserved() {
+        let mut sc = StepScratch::default();
         // Each stage has a single exit channel plus at most one inflow, so
         // capping keeps conservation exact here.
         let model = CompiledSpec::new(si_spec()).unwrap();
@@ -134,13 +143,14 @@ mod tests {
         let n0 = st.total_population();
         let mut flows = vec![0u64; 2];
         for _ in 0..100 {
-            stepper.advance_day(&model, &mut st, &mut flows);
+            stepper.advance_day(&model, &mut st, &mut flows, &mut sc);
             assert_eq!(st.total_population(), n0);
         }
     }
 
     #[test]
     fn epidemic_final_size_matches_binomial_chain_roughly() {
+        let mut sc = StepScratch::default();
         let model = CompiledSpec::new(si_spec()).unwrap();
         let tau = TauLeapStepper::new(8);
         let chain = super::super::BinomialChainStepper::with_substeps(8);
@@ -150,13 +160,13 @@ mod tests {
             let mut f = vec![0u64; 2];
             let mut st = init(&model, 100 + seed);
             for _ in 0..300 {
-                tau.advance_day(&model, &mut st, &mut f);
+                tau.advance_day(&model, &mut st, &mut f, &mut sc);
             }
             final_tau.push(st.compartment_count(&model.spec, 2) as f64);
             let mut f = vec![0u64; 2];
             let mut st = init(&model, 200 + seed);
             for _ in 0..300 {
-                chain.advance_day(&model, &mut st, &mut f);
+                chain.advance_day(&model, &mut st, &mut f, &mut sc);
             }
             final_chain.push(st.compartment_count(&model.spec, 2) as f64);
         }
@@ -170,6 +180,7 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
+        let mut sc = StepScratch::default();
         let model = CompiledSpec::new(si_spec()).unwrap();
         let stepper = TauLeapStepper::default();
         let mut a = init(&model, 5);
@@ -177,8 +188,8 @@ mod tests {
         let mut fa = vec![0u64; 2];
         let mut fb = vec![0u64; 2];
         for _ in 0..20 {
-            stepper.advance_day(&model, &mut a, &mut fa);
-            stepper.advance_day(&model, &mut b, &mut fb);
+            stepper.advance_day(&model, &mut a, &mut fa, &mut sc);
+            stepper.advance_day(&model, &mut b, &mut fb, &mut sc);
         }
         assert_eq!(a, b);
         assert_eq!(fa, fb);

@@ -41,6 +41,7 @@ pub mod seir;
 pub mod spec;
 pub mod state;
 pub mod store;
+pub mod workspace;
 
 pub use builder::ModelSpecBuilder;
 pub use checkpoint::SimCheckpoint;
@@ -54,3 +55,4 @@ pub use seir::{SeirModel, SeirParams};
 pub use spec::ModelSpec;
 pub use state::SimState;
 pub use store::{CheckpointKey, CheckpointStore};
+pub use workspace::SimWorkspace;

@@ -2,7 +2,7 @@
 //! state, and recorded output together.
 
 use crate::checkpoint::SimCheckpoint;
-use crate::engine::{CompiledSpec, Stepper};
+use crate::engine::{CompiledSpec, StepScratch, Stepper};
 use crate::error::SimError;
 use crate::output::DailySeries;
 use crate::spec::ModelSpec;
@@ -15,6 +15,11 @@ pub struct Simulation<S: Stepper> {
     stepper: S,
     state: SimState,
     series: DailySeries,
+    /// Reusable stepper workspace; makes `step_day` allocation-free
+    /// after the first day.
+    scratch: StepScratch,
+    /// Reusable per-day flow + census row buffer.
+    day_buf: Vec<u64>,
 }
 
 impl<S: Stepper> Simulation<S> {
@@ -37,6 +42,8 @@ impl<S: Stepper> Simulation<S> {
             stepper,
             state,
             series,
+            scratch: StepScratch::new(),
+            day_buf: Vec::new(),
         })
     }
 
@@ -65,15 +72,21 @@ impl<S: Stepper> Simulation<S> {
         Self::new(spec, stepper, state)
     }
 
-    /// Advance one day, recording flows and censuses.
+    /// Advance one day, recording flows and censuses. Allocation-free
+    /// after the first call: the flow/census row and all stepper
+    /// intermediates live in buffers owned by the simulation.
     pub fn step_day(&mut self) {
         let n_flows = self.model.spec.flows.len();
-        let mut flows = vec![0u64; n_flows];
-        self.stepper
-            .advance_day(&self.model, &mut self.state, &mut flows);
-        let censuses = self.model.censuses(&self.state);
-        flows.extend(censuses);
-        self.series.push_day(&flows);
+        self.day_buf.clear();
+        self.day_buf.resize(n_flows, 0);
+        self.stepper.advance_day(
+            &self.model,
+            &mut self.state,
+            &mut self.day_buf,
+            &mut self.scratch,
+        );
+        self.model.censuses_into(&self.state, &mut self.day_buf);
+        self.series.push_day(&self.day_buf);
     }
 
     /// Run until the simulation clock reaches `day` (inclusive end: the

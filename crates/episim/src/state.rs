@@ -35,6 +35,16 @@ impl SimState {
         }
     }
 
+    /// Overwrite this state with `src`, reusing the existing
+    /// `stage_counts` allocation — the pooled-workspace analogue of
+    /// `Clone::clone` that keeps a warm buffer allocation-free.
+    pub fn assign_from(&mut self, src: &Self) {
+        self.day = src.day;
+        self.time = src.time;
+        self.stage_counts.clone_from(&src.stage_counts);
+        self.rng = src.rng.clone();
+    }
+
     /// Occupancy of a compartment (sum over its stages).
     pub fn compartment_count(&self, spec: &ModelSpec, id: usize) -> u64 {
         let offsets = spec.stage_offsets();
@@ -82,11 +92,22 @@ impl SimState {
         spec: &ModelSpec,
         infection: &crate::spec::Infection,
     ) -> f64 {
+        self.force_of_infection_with(spec, infection, &spec.stage_offsets())
+    }
+
+    /// [`Self::force_of_infection_for`] against caller-supplied stage
+    /// offsets (e.g. `CompiledSpec::offsets`), so per-step hot paths
+    /// don't rebuild the offset table on every evaluation.
+    pub fn force_of_infection_with(
+        &self,
+        spec: &ModelSpec,
+        infection: &crate::spec::Infection,
+        offsets: &[usize],
+    ) -> f64 {
         let n = self.total_population();
         if n == 0 {
             return 0.0;
         }
-        let offsets = spec.stage_offsets();
         let count_of = |id: usize| -> f64 {
             self.stage_counts[offsets[id]..offsets[id + 1]]
                 .iter()

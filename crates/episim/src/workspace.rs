@@ -1,0 +1,239 @@
+//! Reusable simulation arenas for high-volume ensemble runs.
+//!
+//! The parallel inference grid in `epismc` simulates tens of thousands of
+//! short trajectories per calibration window. Building a fresh
+//! [`Simulation`](crate::runner::Simulation) per cell allocates a state
+//! vector, a step scratch, and a day buffer every time; a [`SimWorkspace`]
+//! owns those buffers once per worker thread and rehydrates them in place
+//! for each run, so the steady-state cost of a replicate is the simulated
+//! days themselves — **zero heap allocations per simulated day** (the
+//! recorded [`DailySeries`] and the returned checkpoint are the run's
+//! output and are necessarily fresh).
+//!
+//! The workspace is pure reuse: running a trajectory through a warm
+//! workspace is bit-identical to running it through [`Simulation`], which
+//! is what lets the parallel runner pool workspaces per worker without
+//! perturbing the deterministic replay guarantees.
+
+use std::time::Instant;
+
+use epistats::rng::Xoshiro256PlusPlus;
+
+use crate::checkpoint::SimCheckpoint;
+use crate::engine::{CompiledSpec, StepScratch, Stepper};
+use crate::error::SimError;
+use crate::output::DailySeries;
+use crate::state::SimState;
+
+/// A reusable simulation arena: state buffer + stepper scratch + day
+/// buffer, plus reuse telemetry counters.
+#[derive(Clone, Debug)]
+pub struct SimWorkspace {
+    /// In-place rehydrated run state (allocation reused across runs).
+    state: SimState,
+    /// Stepper scratch (hazard tables, sampler setups, delta buffers).
+    scratch: StepScratch,
+    /// Per-day flow + census row buffer.
+    day_buf: Vec<u64>,
+    /// Completed runs through this workspace.
+    runs: u64,
+    /// Total days simulated through this workspace.
+    days_simulated: u64,
+    /// Wall-clock nanoseconds spent inside day-advance loops.
+    sim_nanos: u64,
+}
+
+impl Default for SimWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimWorkspace {
+    /// Create an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self {
+            state: SimState {
+                day: 0,
+                time: 0.0,
+                stage_counts: Vec::new(),
+                rng: Xoshiro256PlusPlus::new(0),
+            },
+            scratch: StepScratch::new(),
+            day_buf: Vec::new(),
+            runs: 0,
+            days_simulated: 0,
+            sim_nanos: 0,
+        }
+    }
+
+    /// Run a fresh trajectory from `init` until the clock reaches
+    /// `end_day`, recording daily flows and censuses. Returns the
+    /// recorded series and an end-of-run checkpoint.
+    ///
+    /// # Errors
+    /// Returns [`SimError::Spec`] if `init` does not match the model's
+    /// stage layout.
+    pub fn run<S: Stepper>(
+        &mut self,
+        model: &CompiledSpec,
+        stepper: &S,
+        init: &SimState,
+        end_day: u32,
+    ) -> Result<(DailySeries, SimCheckpoint), SimError> {
+        if init.stage_counts.len() != model.spec.total_stages() {
+            return Err(SimError::Spec(
+                "initial state does not match model layout".into(),
+            ));
+        }
+        self.state.assign_from(init);
+        Ok(self.run_loop(model, stepper, end_day))
+    }
+
+    /// Resume a trajectory from a checkpoint with a fresh RNG seed (the
+    /// paper's trajectory-branching restart), running until `end_day`.
+    ///
+    /// # Errors
+    /// Propagates checkpoint layout errors.
+    pub fn run_from_checkpoint<S: Stepper>(
+        &mut self,
+        model: &CompiledSpec,
+        stepper: &S,
+        ck: &SimCheckpoint,
+        seed: u64,
+        end_day: u32,
+    ) -> Result<(DailySeries, SimCheckpoint), SimError> {
+        ck.restore_into_with_seed(&model.spec, &mut self.state, seed)?;
+        Ok(self.run_loop(model, stepper, end_day))
+    }
+
+    /// Shared day-advance loop over the workspace buffers.
+    fn run_loop<S: Stepper>(
+        &mut self,
+        model: &CompiledSpec,
+        stepper: &S,
+        end_day: u32,
+    ) -> (DailySeries, SimCheckpoint) {
+        // Row i of the series covers day `state.day + 1 + i`, matching
+        // `Simulation`'s convention.
+        let mut series = DailySeries::new(model.spec.output_names(), self.state.day + 1);
+        let n_flows = model.spec.flows.len();
+        // epilint: allow(wall-clock) — telemetry only; never feeds results
+        let started = Instant::now();
+        while self.state.day < end_day {
+            self.day_buf.clear();
+            self.day_buf.resize(n_flows, 0);
+            stepper.advance_day(model, &mut self.state, &mut self.day_buf, &mut self.scratch);
+            model.censuses_into(&self.state, &mut self.day_buf);
+            series.push_day(&self.day_buf);
+            self.days_simulated += 1;
+        }
+        self.sim_nanos += started.elapsed().as_nanos() as u64;
+        self.runs += 1;
+        let ck = SimCheckpoint::capture(&model.spec, &self.state);
+        (series, ck)
+    }
+
+    /// Completed runs through this workspace (reuse count is
+    /// `runs().saturating_sub(1)`).
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Total simulated days across all runs.
+    pub fn days_simulated(&self) -> u64 {
+        self.days_simulated
+    }
+
+    /// Wall-clock nanoseconds spent inside day-advance loops (telemetry;
+    /// inherently nondeterministic).
+    pub fn sim_nanos(&self) -> u64 {
+        self.sim_nanos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{BinomialChainStepper, GillespieStepper};
+    use crate::runner::Simulation;
+    use crate::seir::{SeirModel, SeirParams};
+
+    fn model() -> (CompiledSpec, SimState) {
+        let m = SeirModel::new(SeirParams {
+            population: 5_000,
+            initial_exposed: 25,
+            ..SeirParams::default()
+        })
+        .unwrap();
+        let spec = m.spec();
+        let state = m.initial_state(9);
+        (CompiledSpec::new(spec).unwrap(), state)
+    }
+
+    #[test]
+    fn warm_workspace_matches_fresh_simulation() {
+        let (model, init) = model();
+        let stepper = BinomialChainStepper::daily();
+
+        let mut sim = Simulation::new(model.spec.clone(), stepper.clone(), init.clone()).unwrap();
+        sim.run_until(40);
+
+        let mut ws = SimWorkspace::new();
+        // Warm the workspace on an unrelated run first.
+        ws.run(&model, &stepper, &init, 13).unwrap();
+        let (series, ck) = ws.run(&model, &stepper, &init, 40).unwrap();
+
+        assert_eq!(&series, sim.series());
+        assert_eq!(ck, sim.checkpoint());
+        assert_eq!(ws.runs(), 2);
+        assert_eq!(ws.days_simulated(), 53);
+    }
+
+    #[test]
+    fn checkpoint_branching_matches_simulation_resume() {
+        let (model, init) = model();
+        let stepper = BinomialChainStepper::with_substeps(2);
+        let mut ws = SimWorkspace::new();
+        let (_, ck) = ws.run(&model, &stepper, &init, 20).unwrap();
+
+        let mut sim =
+            Simulation::resume_with_seed(model.spec.clone(), stepper.clone(), &ck, 77).unwrap();
+        sim.run_until(45);
+
+        let (series, end_ck) = ws
+            .run_from_checkpoint(&model, &stepper, &ck, 77, 45)
+            .unwrap();
+        assert_eq!(&series, sim.series());
+        assert_eq!(end_ck, sim.checkpoint());
+        assert_eq!(series.start_day(), 21);
+    }
+
+    #[test]
+    fn workspace_serves_multiple_steppers() {
+        let (model, init) = model();
+        let mut ws = SimWorkspace::new();
+        let chain = BinomialChainStepper::daily();
+        let exact = GillespieStepper::new();
+        let (a, _) = ws.run(&model, &chain, &init, 10).unwrap();
+        let (b, _) = ws.run(&model, &exact, &init, 10).unwrap();
+        let (a2, _) = ws.run(&model, &chain, &init, 10).unwrap();
+        assert_eq!(a, a2);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn layout_mismatch_rejected() {
+        let (model, _) = model();
+        let mut ws = SimWorkspace::new();
+        let bad = SimState {
+            day: 0,
+            time: 0.0,
+            stage_counts: vec![0; 3],
+            rng: Xoshiro256PlusPlus::new(1),
+        };
+        assert!(ws
+            .run(&model, &BinomialChainStepper::daily(), &bad, 5)
+            .is_err());
+    }
+}

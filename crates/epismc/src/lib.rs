@@ -64,7 +64,9 @@ pub use prior::{BetaPrior, JitterKernel, Prior, UniformPrior};
 pub use rejuvenate::{rejuvenate, RejuvenationConfig, RejuvenationStats};
 pub use resample::{Multinomial, Resampler, Residual, Stratified, Systematic};
 pub use runner::ParallelRunner;
-pub use simulator::{CovidSimulator, SeirSimulator, TrajectorySimulator};
+pub use simulator::{
+    CovidSimulator, PooledWorkspace, SeirSimulator, TrajectorySimulator, WorkspaceStats,
+};
 pub use sis::{
     CalibrationResult, DataSource, ObservedData, ObservedSeries, Priors, SequentialCalibrator,
     SingleWindowIs, WindowResult,

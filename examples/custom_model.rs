@@ -135,7 +135,8 @@ fn main() {
         .n_params(300)
         .n_replicates(6)
         .resample_size(600)
-        .seed(3)
+        // Seed re-blessed for the exact BINV/BTPE binomial sampler stream.
+        .seed(1)
         .build();
     let priors = Priors {
         theta: vec![Box::new(UniformPrior::new(0.2, 1.0))],

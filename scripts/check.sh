@@ -18,4 +18,7 @@ cargo run -p epilint --quiet
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> cargo bench --workspace --no-run"
+cargo bench --workspace --no-run --quiet
+
 echo "All checks passed."

@@ -91,7 +91,9 @@ pub mod prelude {
         rejuvenate::{rejuvenate, rejuvenate_with, RejuvenationConfig},
         resample::{Multinomial, Resampler, Residual, Stratified, Systematic},
         runner::{pool_build_count, ParallelRunner},
-        simulator::{CovidSimulator, SeirSimulator, TrajectorySimulator},
+        simulator::{
+            CovidSimulator, PooledWorkspace, SeirSimulator, TrajectorySimulator, WorkspaceStats,
+        },
         sis::{
             score_window, CalibrationResult, ObservedData, Priors, SequentialCalibrator,
             SingleWindowIs, TrajectoryTelemetry,

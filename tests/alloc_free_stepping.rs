@@ -1,0 +1,123 @@
+//! Counting-allocator proof of the hot-path overhaul's core claim: after
+//! a warmup day has sized the [`StepScratch`] buffers and hazard tables,
+//! `advance_day` performs **zero heap allocations per simulated day** for
+//! every stepper. This is what makes per-worker workspace pooling pay
+//! off — the steady-state cost of a replicate is arithmetic, not malloc.
+//!
+//! The test installs a global counting allocator, so it lives alone in
+//! its own integration-test binary: a single `#[test]` means no
+//! concurrent test threads can perturb the counter between readings.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use epismc::prelude::*;
+use epismc::sim::engine::{CompiledSpec, StepScratch};
+use epismc::sim::SimState;
+
+/// Forwards to the system allocator, counting every allocating call
+/// (alloc, alloc_zeroed, and growth via realloc).
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// Drive `stepper` for `days` days against pre-sized buffers and return
+/// the number of allocating calls the loop made.
+fn allocs_over_days<S: Stepper + ?Sized>(
+    model: &CompiledSpec,
+    stepper: &S,
+    state: &mut SimState,
+    flows: &mut [u64],
+    scratch: &mut StepScratch,
+    days: u32,
+) -> u64 {
+    let before = allocs();
+    for _ in 0..days {
+        flows.iter_mut().for_each(|f| *f = 0);
+        stepper.advance_day(model, state, flows, scratch);
+    }
+    allocs() - before
+}
+
+#[test]
+fn advance_day_is_allocation_free_after_warmup() {
+    let m = CovidModel::new(CovidParams {
+        population: 200_000,
+        initial_exposed: 200,
+        ..CovidParams::default()
+    })
+    .unwrap();
+    let model = CompiledSpec::new(m.spec()).unwrap();
+    let n_flows = model.spec.flows.len();
+
+    let steppers: Vec<(&str, Box<dyn Stepper>)> = vec![
+        ("binomial-chain", Box::new(BinomialChainStepper::daily())),
+        (
+            "binomial-chain-substeps",
+            Box::new(BinomialChainStepper::with_substeps(4)),
+        ),
+        ("tau-leap", Box::new(TauLeapStepper::new(4))),
+        ("gillespie", Box::new(GillespieStepper::new())),
+    ];
+
+    for (name, stepper) in steppers {
+        let mut state = m.initial_state(4242);
+        let mut flows = vec![0u64; n_flows];
+        let mut scratch = StepScratch::new();
+
+        // Warmup: the first days size the delta/channel buffers, build
+        // the hazard table for this (params, substeps) key, and cache the
+        // per-progression binomial sampler setups.
+        allocs_over_days(
+            &model,
+            stepper.as_ref(),
+            &mut state,
+            &mut flows,
+            &mut scratch,
+            5,
+        );
+
+        // Steady state: 50 further days must not allocate at all.
+        let during = allocs_over_days(
+            &model,
+            stepper.as_ref(),
+            &mut state,
+            &mut flows,
+            &mut scratch,
+            50,
+        );
+        assert_eq!(
+            during, 0,
+            "{name}: {during} allocating calls over 50 post-warmup days"
+        );
+        assert!(state.day >= 55, "{name}: clock did not advance");
+    }
+}

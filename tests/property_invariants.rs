@@ -299,8 +299,9 @@ proptest! {
         st.seed_compartment(&spec, 0, total);
         let stepper = BinomialChainStepper::daily();
         let mut flows: Vec<u64> = vec![];
+        let mut scratch = epismc::sim::engine::StepScratch::default();
         for _ in 0..30 {
-            stepper.advance_day(&model, &mut st, &mut flows);
+            stepper.advance_day(&model, &mut st, &mut flows, &mut scratch);
         }
         prop_assert_eq!(st.total_population(), total);
     }

@@ -6,10 +6,23 @@
 //! iterations, and the mean time per iteration is printed.
 
 use std::fmt::Display;
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Target measurement time per benchmark.
 const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Every measurement taken by this process, in execution order, for the
+/// machine-readable summary written by [`write_summary_json`].
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// One finished measurement.
+struct BenchRecord {
+    name: String,
+    mean_ns: f64,
+    iterations: u64,
+}
 
 /// Measurement back-ends (name-compatible with upstream; only wall-clock
 /// timing exists here).
@@ -107,6 +120,13 @@ fn report(name: &str, throughput: Option<Throughput>, b: &Bencher) {
         return;
     }
     let per_iter = b.elapsed.as_secs_f64() / b.iterations as f64;
+    if let Ok(mut results) = RESULTS.lock() {
+        results.push(BenchRecord {
+            name: name.to_string(),
+            mean_ns: per_iter * 1e9,
+            iterations: b.iterations,
+        });
+    }
     let rate = match throughput {
         Some(Throughput::Elements(n)) => {
             format!("  {:>12.0} elem/s", n as f64 / per_iter)
@@ -202,6 +222,88 @@ impl<M> BenchmarkGroup<'_, M> {
 /// Re-export for code that uses `criterion::black_box`.
 pub use std::hint::black_box;
 
+/// Suite name derived from the bench binary's file stem: cargo names the
+/// binary `<target>-<hash>`, so `bench_sim-0a1b2c3d` becomes `sim`.
+fn suite_name() -> String {
+    let stem = std::env::args()
+        .next()
+        .map(PathBuf::from)
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    let base = match stem.rsplit_once('-') {
+        Some((head, tail)) if tail.chars().all(|c| c.is_ascii_hexdigit()) => head.to_string(),
+        _ => stem,
+    };
+    base.strip_prefix("bench_")
+        .map_or(base.clone(), String::from)
+}
+
+/// Directory the summary lands in: the enclosing repository root (the
+/// first ancestor of the working directory holding `.git`), so every
+/// suite writes to one predictable place regardless of which package
+/// `cargo bench` set as the working directory. Overridable with
+/// `BENCH_JSON_DIR`; falls back to the working directory itself.
+fn summary_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("BENCH_JSON_DIR") {
+        return PathBuf::from(dir);
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut probe = cwd.clone();
+    loop {
+        if probe.join(".git").exists() {
+            return probe;
+        }
+        if !probe.pop() {
+            return cwd;
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write the machine-readable run summary — `BENCH_<suite>.json` at the
+/// repository root — from every measurement taken so far. Called
+/// automatically at the end of [`criterion_main!`]; harmless when no
+/// benchmarks ran (writes an empty benchmark list).
+pub fn write_summary_json() {
+    let suite = suite_name();
+    let path = summary_dir().join(format!("BENCH_{suite}.json"));
+    let results = match RESULTS.lock() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(&format!("  \"suite\": \"{}\",\n", json_escape(&suite)));
+    body.push_str("  \"unit\": \"ns/iter\",\n");
+    body.push_str("  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.3}, \"iterations\": {}}}{comma}\n",
+            json_escape(&r.name),
+            r.mean_ns,
+            r.iterations
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
 /// Define a benchmark group function from a list of bench functions.
 #[macro_export]
 macro_rules! criterion_group {
@@ -219,6 +321,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_summary_json();
         }
     };
 }

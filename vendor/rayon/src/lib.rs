@@ -134,6 +134,24 @@ impl RangePar {
             f,
         }
     }
+
+    /// Map each index through `f` with a per-worker value built by
+    /// `init` — real rayon's `map_init`: the value is created once per
+    /// worker chunk and threaded through every call in that chunk, which
+    /// is what makes per-worker scratch reuse possible.
+    pub fn map_init<I, T, INIT, F>(self, init: INIT, f: F) -> MapInitPar<INIT, F>
+    where
+        I: Send,
+        T: Send,
+        INIT: Fn() -> I + Send + Sync,
+        F: Fn(&mut I, usize) -> T + Send + Sync,
+    {
+        MapInitPar {
+            range: self.range,
+            init,
+            f,
+        }
+    }
 }
 
 /// Mapped parallel iterator.
@@ -165,6 +183,69 @@ impl<F> MapPar<F> {
     {
         C::from_ordered(run_chunked(self.range, &self.f))
     }
+}
+
+/// Mapped parallel iterator with per-worker init state.
+pub struct MapInitPar<INIT, F> {
+    range: Range<usize>,
+    init: INIT,
+    f: F,
+}
+
+impl<INIT, F> MapInitPar<INIT, F> {
+    /// Evaluate in parallel; results are in index order regardless of
+    /// scheduling. `init` runs once per worker chunk (once total on the
+    /// sequential path), matching real rayon's contract that the init
+    /// value is reused across an unspecified batch of consecutive items.
+    pub fn collect<I, T, C>(self) -> C
+    where
+        I: Send,
+        T: Send,
+        INIT: Fn() -> I + Send + Sync,
+        F: Fn(&mut I, usize) -> T + Send + Sync,
+        C: FromParallelIterator<T>,
+    {
+        C::from_ordered(run_chunked_init(self.range, &self.init, &self.f))
+    }
+}
+
+fn run_chunked_init<I, T, INIT, F>(range: Range<usize>, init: &INIT, f: &F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    INIT: Fn() -> I + Send + Sync,
+    F: Fn(&mut I, usize) -> T + Send + Sync,
+{
+    let n = range.len();
+    let workers = current_threads().max(1).min(n.max(1));
+    if workers <= 1 {
+        let mut state = init();
+        return range.map(|i| f(&mut state, i)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let start = range.start;
+    let end = range.end;
+    let chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = (start + w * chunk).min(end);
+                let hi = (lo + chunk).min(end);
+                scope.spawn(move || {
+                    let mut state = init();
+                    (lo..hi).map(|i| f(&mut state, i)).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
 }
 
 fn run_chunked<T, F>(range: Range<usize>, f: &F) -> Vec<T>
@@ -221,6 +302,52 @@ mod tests {
             .unwrap()
             .install(|| (0..97usize).into_par_iter().map(f).collect());
         assert_eq!(seq, pooled);
+    }
+
+    #[test]
+    fn map_init_matches_map_and_reuses_state() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            (0..100usize)
+                .into_par_iter()
+                .map_init(
+                    || {
+                        inits.fetch_add(1, Ordering::Relaxed);
+                        0usize
+                    },
+                    |calls, i| {
+                        *calls += 1;
+                        i * 7
+                    },
+                )
+                .collect()
+        });
+        let seq: Vec<usize> = (0..100).map(|i| i * 7).collect();
+        assert_eq!(out, seq);
+        // One init per worker chunk, far fewer than one per item.
+        assert!(inits.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
+    fn map_init_sequential_inits_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            (0..10usize)
+                .into_par_iter()
+                .map_init(
+                    || {
+                        inits.fetch_add(1, Ordering::Relaxed);
+                    },
+                    |(), i| i,
+                )
+                .collect()
+        });
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
     }
 
     #[test]
