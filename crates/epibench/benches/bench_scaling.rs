@@ -1,0 +1,78 @@
+//! Strong-scaling sweep over the window grid scheduler: one SIS window
+//! at fixed work, varying the worker count and the scheduling chunk size
+//! over the flattened `(parameter, replicate)` cell grid. Results are
+//! bit-identical across the whole sweep (see
+//! `tests/determinism_parallel.rs`); only wall-clock should move.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epidata::{generate_ground_truth, Scenario};
+use epismc_core::config::CalibrationConfig;
+use epismc_core::simulator::CovidSimulator;
+use epismc_core::sis::{ObservedData, Priors, SingleWindowIs};
+use epismc_core::window::TimeWindow;
+use std::hint::black_box;
+
+fn config(threads: Option<usize>, chunk_cells: Option<usize>) -> CalibrationConfig {
+    let mut b = CalibrationConfig::builder()
+        .n_params(64)
+        .n_replicates(4)
+        .resample_size(128)
+        .seed(11);
+    if let Some(t) = threads {
+        b = b.threads(t);
+    }
+    if let Some(cc) = chunk_cells {
+        b = b.chunk_cells(cc);
+    }
+    b.build()
+}
+
+/// Thread sweep at adaptive chunking: the strong-scaling curve. On a
+/// single-core runner the parallel points measure scheduling overhead.
+fn bench_thread_sweep(c: &mut Criterion) {
+    let scenario = Scenario::paper_tiny();
+    let truth = generate_ground_truth(&scenario, scenario.truth_seed);
+    let simulator = CovidSimulator::new(scenario.base_params.clone()).unwrap();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let window = TimeWindow::new(20, 33);
+    let priors = Priors::paper();
+
+    let mut group = c.benchmark_group("scaling_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(BenchmarkId::new("window", threads), |b| {
+            let driver = SingleWindowIs::new(&simulator, config(Some(threads), None));
+            b.iter(|| black_box(driver.run(&priors, &observed, window).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+/// Chunk-size sweep at the default worker count: claim-overhead (chunk 1)
+/// through load-imbalance (one chunk per worker) extremes around the
+/// adaptive default.
+fn bench_chunk_sweep(c: &mut Criterion) {
+    let scenario = Scenario::paper_tiny();
+    let truth = generate_ground_truth(&scenario, scenario.truth_seed);
+    let simulator = CovidSimulator::new(scenario.base_params.clone()).unwrap();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let window = TimeWindow::new(20, 33);
+    let priors = Priors::paper();
+
+    let mut group = c.benchmark_group("scaling_chunks");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("cells", "adaptive"), |b| {
+        let driver = SingleWindowIs::new(&simulator, config(None, None));
+        b.iter(|| black_box(driver.run(&priors, &observed, window).unwrap()));
+    });
+    for chunk in [1usize, 8, 64] {
+        group.bench_function(BenchmarkId::new("cells", chunk), |b| {
+            let driver = SingleWindowIs::new(&simulator, config(None, Some(chunk)));
+            b.iter(|| black_box(driver.run(&priors, &observed, window).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_sweep, bench_chunk_sweep);
+criterion_main!(benches);

@@ -18,6 +18,7 @@
 //! | `wall-clock` | `thread_rng` / `from_entropy` / `SystemTime` / `Instant::now` / `rand::random` in core crates | RNG streams and clocks must flow from checkpointable state (the paper's restart-with-new-parameters design) |
 //! | `float-eq` | bare `==` / `!=` against float literals in likelihood/observation code | exact float equality is almost always a masked tolerance bug |
 //! | `lossy-cast` | `as <int>` casts on float-bearing lines in likelihood/observation code | silent truncation of count variables skews likelihoods |
+//! | `checkpoint-clone` | `SimCheckpoint` deep clones / byte round-trips (`SimCheckpoint::clone`, `checkpoint.clone()`, `.to_bytes(`, `SimCheckpoint::from_bytes`) outside the interning module | inference code must alias checkpoints through `ckpool`'s `Arc` pool; a deep copy on the resample/jitter path silently reintroduces the per-particle memory blowup |
 //!
 //! ## Waivers
 //!
@@ -55,16 +56,20 @@ pub enum Rule {
     FloatEq,
     /// R4b: no lossy integer casts on float-bearing likelihood lines.
     LossyCast,
+    /// R5: no checkpoint deep clones or byte round-trips outside the
+    /// interning module (`checkpoint-exempt` paths).
+    CheckpointClone,
 }
 
 impl Rule {
     /// All rules, in diagnostic order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::PanicUnwrap,
         Rule::HashIter,
         Rule::WallClock,
         Rule::FloatEq,
         Rule::LossyCast,
+        Rule::CheckpointClone,
     ];
 
     /// The rule's configuration/waiver name.
@@ -75,6 +80,7 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::FloatEq => "float-eq",
             Rule::LossyCast => "lossy-cast",
+            Rule::CheckpointClone => "checkpoint-clone",
         }
     }
 
@@ -123,6 +129,9 @@ pub struct CrateConfig {
     /// When non-empty, `float-eq`/`lossy-cast` apply only to files whose
     /// path ends with one of these suffixes.
     pub float_paths: Vec<String>,
+    /// Files (path suffixes) exempt from `checkpoint-clone` — the
+    /// interning module that owns the sanctioned deep-copy escape hatch.
+    pub checkpoint_exempt: Vec<String>,
 }
 
 impl CrateConfig {
@@ -132,6 +141,11 @@ impl CrateConfig {
         }
         if matches!(rule, Rule::FloatEq | Rule::LossyCast) && !self.float_paths.is_empty() {
             return self.float_paths.iter().any(|p| rel_path.ends_with(p));
+        }
+        if rule == Rule::CheckpointClone
+            && self.checkpoint_exempt.iter().any(|p| rel_path.ends_with(p))
+        {
+            return false;
         }
         true
     }
@@ -189,6 +203,9 @@ impl Config {
                 }
                 "float-paths" => {
                     block.float_paths = values.into_iter().map(String::from).collect();
+                }
+                "checkpoint-exempt" => {
+                    block.checkpoint_exempt = values.into_iter().map(String::from).collect();
                 }
                 other => return Err(format!("line {}: unknown key '{other}'", idx + 1)),
             }
@@ -335,6 +352,12 @@ fn needles(rule: Rule) -> &'static [&'static str] {
             "SystemTime",
             "Instant::now",
             "rand::random",
+        ],
+        Rule::CheckpointClone => &[
+            "SimCheckpoint::clone",
+            "checkpoint.clone()",
+            ".to_bytes(",
+            "SimCheckpoint::from_bytes",
         ],
         // FloatEq / LossyCast use structural scans, not plain needles.
         Rule::FloatEq | Rule::LossyCast => &[],
@@ -578,7 +601,12 @@ pub fn lint_source(config: &CrateConfig, rel_path: &str, source: &str) -> Vec<Vi
             });
         }
 
-        for rule in [Rule::PanicUnwrap, Rule::HashIter, Rule::WallClock] {
+        for rule in [
+            Rule::PanicUnwrap,
+            Rule::HashIter,
+            Rule::WallClock,
+            Rule::CheckpointClone,
+        ] {
             if !config.rule_applies(rule, rel_path) || waived(rule) {
                 continue;
             }
@@ -687,7 +715,7 @@ mod tests {
         CrateConfig {
             name: "x".into(),
             rules: Rule::ALL.to_vec(),
-            float_paths: Vec::new(),
+            ..CrateConfig::default()
         }
     }
 
@@ -774,11 +802,51 @@ mod tests {
     }
 
     #[test]
+    fn detects_checkpoint_deep_clones() {
+        for line in [
+            "let c = p.checkpoint.clone();",
+            "let c = SimCheckpoint::clone(&ck);",
+            "let raw = ck.to_bytes();",
+            "let ck = SimCheckpoint::from_bytes(&raw)?;",
+        ] {
+            let v = lint_source(&cfg_all(), "f.rs", line);
+            assert_eq!(v.len(), 1, "{line}");
+            assert_eq!(v[0].rule, Rule::CheckpointClone, "{line}");
+        }
+        // Arc bumps and other clones are fine.
+        for line in [
+            "let c = Arc::clone(&p.checkpoint);",
+            "let t = p.trajectory.clone();",
+            "let my_checkpoint.clone();",
+        ] {
+            assert!(lint_source(&cfg_all(), "f.rs", line).is_empty(), "{line}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_rule_respects_exempt_paths() {
+        let cfg = CrateConfig {
+            name: "x".into(),
+            rules: vec![Rule::CheckpointClone],
+            checkpoint_exempt: vec!["ckpool.rs".into()],
+            ..CrateConfig::default()
+        };
+        let line = "let c = SimCheckpoint::clone(&ck);";
+        assert!(lint_source(&cfg, "crates/x/src/ckpool.rs", line).is_empty());
+        assert_eq!(lint_source(&cfg, "crates/x/src/sis.rs", line).len(), 1);
+        // The standard waiver escape works too.
+        let waived =
+            "// epilint: allow(checkpoint-clone) — sanctioned\nlet c = SimCheckpoint::clone(&ck);";
+        assert!(lint_source(&cfg, "crates/x/src/sis.rs", waived).is_empty());
+    }
+
+    #[test]
     fn float_rules_respect_path_scoping() {
         let cfg = CrateConfig {
             name: "x".into(),
             rules: vec![Rule::FloatEq],
             float_paths: vec!["likelihood.rs".into()],
+            ..CrateConfig::default()
         };
         assert_eq!(
             lint_source(&cfg, "crates/x/src/likelihood.rs", "x == 1.0;").len(),
@@ -854,12 +922,16 @@ mod tests {
     #[test]
     fn config_parses_blocks() {
         let cfg = Config::parse(
-            "# comment\n[crate.episim]\nrules = panic-unwrap, hash-iter\n\n[crate.epismc]\nrules = wall-clock\nfloat-paths = likelihood.rs, observation.rs\n",
+            "# comment\n[crate.episim]\nrules = panic-unwrap, hash-iter\n\n[crate.epismc]\nrules = wall-clock, checkpoint-clone\nfloat-paths = likelihood.rs, observation.rs\ncheckpoint-exempt = ckpool.rs\n",
         )
         .unwrap();
         assert_eq!(cfg.crates.len(), 2);
         assert_eq!(cfg.crates[0].rules, vec![Rule::PanicUnwrap, Rule::HashIter]);
         assert_eq!(cfg.crates[1].float_paths.len(), 2);
+        assert_eq!(
+            cfg.crates[1].checkpoint_exempt,
+            vec!["ckpool.rs".to_string()]
+        );
         assert!(Config::parse("rules = panic-unwrap\n").is_err());
         assert!(Config::parse("[crate.x]\nrules = bogus\n").is_err());
     }

@@ -15,7 +15,7 @@ fn all_rules(name: &str) -> Vec<Violation> {
     let cfg = CrateConfig {
         name: "fixture".into(),
         rules: Rule::ALL.to_vec(),
-        float_paths: Vec::new(),
+        ..CrateConfig::default()
     };
     lint_source(&cfg, name, &fixture(name))
 }
@@ -76,6 +76,33 @@ fn r4_fixture_exact_diagnostics() {
 }
 
 #[test]
+fn r5_fixture_exact_diagnostics() {
+    let got = render(&all_rules("r5_checkpoint.rs"));
+    let want = vec![
+        "r5_checkpoint.rs:4: [checkpoint-clone] `checkpoint.clone`",
+        "r5_checkpoint.rs:5: [checkpoint-clone] `SimCheckpoint::clone`",
+        "r5_checkpoint.rs:6: [checkpoint-clone] `to_bytes`",
+        "r5_checkpoint.rs:7: [checkpoint-clone] `SimCheckpoint::from_bytes`",
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn r5_exempt_path_is_skipped() {
+    let cfg = CrateConfig {
+        name: "fixture".into(),
+        rules: Rule::ALL.to_vec(),
+        checkpoint_exempt: vec!["r5_checkpoint.rs".into()],
+        ..CrateConfig::default()
+    };
+    let got = lint_source(&cfg, "r5_checkpoint.rs", &fixture("r5_checkpoint.rs"));
+    assert!(
+        got.iter().all(|v| v.rule != Rule::CheckpointClone),
+        "{got:?}"
+    );
+}
+
+#[test]
 fn waiver_fixture_behavior() {
     let got = render(&all_rules("waivers.rs"));
     // Same-line and line-above waivers suppress; the named-rule waiver
@@ -103,7 +130,7 @@ fn disabled_rules_do_not_fire() {
     let cfg = CrateConfig {
         name: "fixture".into(),
         rules: vec![Rule::WallClock],
-        float_paths: Vec::new(),
+        ..CrateConfig::default()
     };
     let got = lint_source(&cfg, "r1_panics.rs", &fixture("r1_panics.rs"));
     assert!(got.is_empty(), "{got:?}");

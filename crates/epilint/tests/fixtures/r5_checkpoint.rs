@@ -1,0 +1,15 @@
+//! R5 fixture: checkpoint deep clones and byte round-trips.
+
+fn bad(p: &Particle, ck: &SimCheckpoint) {
+    let a = p.checkpoint.clone();
+    let b = SimCheckpoint::clone(ck);
+    let raw = ck.to_bytes();
+    let c = SimCheckpoint::from_bytes(&raw);
+}
+
+fn fine(p: &Particle) {
+    let a = Arc::clone(&p.checkpoint);
+    let t = p.trajectory.clone();
+    // epilint: allow(checkpoint-clone) — sanctioned escape hatch
+    let b = SimCheckpoint::clone(&a);
+}

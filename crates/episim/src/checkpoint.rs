@@ -15,10 +15,23 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use epistats::rng::Xoshiro256PlusPlus;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::SimError;
 use crate::spec::ModelSpec;
 use crate::state::SimState;
+
+/// Process-wide count of [`SimCheckpoint`] deep clones.
+static DEEP_CLONES: AtomicU64 = AtomicU64::new(0);
+
+/// Total `SimCheckpoint::clone` calls since process start. Each clone
+/// duplicates the full `stage_counts` buffer; inference code is expected
+/// to share checkpoints behind `Arc` instead, so a calibration's
+/// resample/jitter path should leave this counter untouched — the
+/// counting test in `epismc` asserts exactly that.
+pub fn deep_clone_count() -> u64 {
+    DEEP_CLONES.load(Ordering::Relaxed)
+}
 
 /// Magic bytes heading the binary encoding.
 const MAGIC: u32 = 0x4550_4953; // "EPIS"
@@ -26,7 +39,7 @@ const MAGIC: u32 = 0x4550_4953; // "EPIS"
 const VERSION: u16 = 1;
 
 /// A serialized simulation state, restorable onto a compatible model.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimCheckpoint {
     /// Fingerprint of the model layout this state belongs to (compartment
     /// names and stage structure). Restoring onto a model with a
@@ -38,6 +51,22 @@ pub struct SimCheckpoint {
     pub stage_counts: Vec<u64>,
     /// RNG state at capture time.
     pub rng_state: [u64; 4],
+}
+
+impl Clone for SimCheckpoint {
+    /// Deep copy, counted by [`deep_clone_count`]. Hot paths should
+    /// share checkpoints behind `Arc` (one heap buffer for any number of
+    /// resampled siblings) and reserve `clone` for code that genuinely
+    /// needs an independent mutable copy.
+    fn clone(&self) -> Self {
+        DEEP_CLONES.fetch_add(1, Ordering::Relaxed);
+        Self {
+            layout_hash: self.layout_hash,
+            day: self.day,
+            stage_counts: self.stage_counts.clone(),
+            rng_state: self.rng_state,
+        }
+    }
 }
 
 /// FNV-1a hash of the model layout (names, stage counts) — parameter
@@ -303,6 +332,18 @@ mod tests {
         assert_eq!(a.stage_counts, b.stage_counts);
         assert_eq!(a.day, b.day);
         assert_ne!(a.rng, b.rng);
+    }
+
+    #[test]
+    fn clone_advances_deep_clone_counter() {
+        let sp = spec();
+        let ck = SimCheckpoint::capture(&sp, &state(&sp));
+        // Other tests in this binary may clone concurrently, so assert a
+        // lower bound on the delta rather than an exact value.
+        let before = deep_clone_count();
+        let copy = ck.clone();
+        assert_eq!(copy, ck);
+        assert!(deep_clone_count() > before);
     }
 
     #[test]

@@ -398,14 +398,21 @@ impl CovidModel {
 
     /// Initial state: everyone susceptible except `initial_exposed` in E.
     pub fn initial_state(&self, seed: u64) -> SimState {
-        let spec = self.spec();
-        let mut st = SimState::empty(&spec, seed);
+        self.initial_state_in(&self.spec(), seed)
+    }
+
+    /// [`Self::initial_state`] against an already-built spec for this
+    /// model (e.g. out of a cached [`crate::engine::CompiledSpec`]),
+    /// skipping the per-call spec rebuild — the hot-path variant used by
+    /// the calibration grid.
+    pub fn initial_state_in(&self, spec: &ModelSpec, seed: u64) -> SimState {
+        let mut st = SimState::empty(spec, seed);
         st.seed_compartment(
-            &spec,
+            spec,
             C::S.id(),
             self.params.population - self.params.initial_exposed,
         );
-        st.seed_compartment(&spec, C::E.id(), self.params.initial_exposed);
+        st.seed_compartment(spec, C::E.id(), self.params.initial_exposed);
         st
     }
 

@@ -41,10 +41,17 @@ pub struct CompiledSpec {
     pub offsets: Vec<usize>,
     /// Per-progression per-stage exit rate.
     pub stage_rates: Vec<f64>,
-    /// Map from a `(from, to)` compartment edge to the flow-series indices
-    /// that count it. A `BTreeMap` so any future iteration is in key
-    /// order — replay determinism must not depend on hasher state.
-    edge_flows: BTreeMap<(usize, usize), Vec<usize>>,
+    /// Dense `from * n_compartments + to` lookup for [`Self::record_edge`]:
+    /// `u32::MAX` for an unwatched edge, else an index into
+    /// `edge_watchers`. The stepper records an edge on every event, so
+    /// this replaces a map walk per event with one array load. Built by
+    /// iterating a `BTreeMap` in key order — replay determinism must not
+    /// depend on hasher state.
+    edge_index: Vec<u32>,
+    /// Flow-series indices of each watched edge (see `edge_index`).
+    edge_watchers: Vec<Vec<usize>>,
+    /// Compartment count, the stride of `edge_index`.
+    n_compartments: usize,
     /// Process-unique identity of this compilation, used as a cache key
     /// for derived tables (e.g. [`StepScratch`]'s hazard table). Clones
     /// share the stamp, which is sound: a clone has identical rates.
@@ -70,11 +77,20 @@ impl CompiledSpec {
                 edge_flows.entry(edge).or_default().push(fi);
             }
         }
+        let n_compartments = spec.compartments.len();
+        let mut edge_index = vec![u32::MAX; n_compartments * n_compartments];
+        let mut edge_watchers = Vec::with_capacity(edge_flows.len());
+        for ((from, to), watchers) in edge_flows {
+            edge_index[from * n_compartments + to] = edge_watchers.len() as u32;
+            edge_watchers.push(watchers);
+        }
         Ok(Self {
             spec,
             offsets,
             stage_rates,
-            edge_flows,
+            edge_index,
+            edge_watchers,
+            n_compartments,
             stamp: NEXT_STAMP.fetch_add(1, Ordering::Relaxed),
         })
     }
@@ -91,8 +107,9 @@ impl CompiledSpec {
         if count == 0 {
             return;
         }
-        if let Some(idxs) = self.edge_flows.get(&(from, to)) {
-            for &i in idxs {
+        let slot = self.edge_index[from * self.n_compartments + to];
+        if slot != u32::MAX {
+            for &i in &self.edge_watchers[slot as usize] {
                 flows[i] += count;
             }
         }
@@ -107,13 +124,19 @@ impl CompiledSpec {
 
     /// Append end-of-day census values (spec order) to `out` without
     /// allocating a fresh vector — the hot-loop variant of
-    /// [`Self::censuses`].
+    /// [`Self::censuses`]. Uses the precompiled stage offsets, so unlike
+    /// [`SimState::compartment_count`] it never rebuilds the offset
+    /// table.
     pub fn censuses_into(&self, state: &SimState, out: &mut Vec<u64>) {
         for c in &self.spec.censuses {
             out.push(
                 c.compartments
                     .iter()
-                    .map(|&id| state.compartment_count(&self.spec, id))
+                    .map(|&id| {
+                        state.stage_counts[self.offsets[id]..self.offsets[id + 1]]
+                            .iter()
+                            .sum::<u64>()
+                    })
                     .sum(),
             );
         }

@@ -21,7 +21,13 @@ impl DailySeries {
     /// Create an empty series set with the given column names, starting
     /// at `start_day`.
     pub fn new(names: Vec<String>, start_day: u32) -> Self {
-        let columns = vec![Vec::new(); names.len()];
+        Self::with_day_capacity(names, start_day, 0)
+    }
+
+    /// [`Self::new`] with each column preallocated for `days` rows, so a
+    /// run of known length never regrows its columns.
+    pub fn with_day_capacity(names: Vec<String>, start_day: u32, days: usize) -> Self {
+        let columns = vec![Vec::with_capacity(days); names.len()];
         Self {
             names,
             columns,
@@ -286,6 +292,53 @@ impl SharedTrajectory {
             out.extend_from_slice(&seg.series.columns[col][lo - s_lo..=hi - s_lo]);
         }
         Some(out)
+    }
+
+    /// Fill `out` with the sub-range of a column covering absolute days
+    /// `[day_lo, day_hi]` inclusive — the scratch-buffer variant of
+    /// [`Self::window`] for hot scoring loops. `out` is cleared first;
+    /// returns `false` (leaving `out` empty) when the range is not fully
+    /// recorded or the column is unknown.
+    pub fn window_into(&self, name: &str, day_lo: u32, day_hi: u32, out: &mut Vec<u64>) -> bool {
+        out.clear();
+        if day_lo < self.head.chain_start || day_hi < day_lo {
+            return false;
+        }
+        let end = self.head.chain_start as usize + self.head.chain_len;
+        if day_hi as usize >= end {
+            return false;
+        }
+        let Some(col) = self.names().iter().position(|n| n == name) else {
+            return false;
+        };
+        // Segments in a chain cover disjoint contiguous day ranges, so
+        // each clip maps to a fixed offset in the output — fill in place,
+        // walking head-ward without materializing the chain.
+        let n = (day_hi - day_lo + 1) as usize;
+        out.resize(n, 0);
+        let mut filled = 0usize;
+        let mut cur = Some(&self.head);
+        while let Some(seg) = cur {
+            if !seg.series.is_empty() {
+                let s_lo = seg.series.start_day() as usize;
+                let s_hi = s_lo + seg.series.len() - 1;
+                let lo = (day_lo as usize).max(s_lo);
+                let hi = (day_hi as usize).min(s_hi);
+                if lo <= hi {
+                    let base = day_lo as usize;
+                    out[lo - base..=hi - base]
+                        .copy_from_slice(&seg.series.columns[col][lo - s_lo..=hi - s_lo]);
+                    filled += hi - lo + 1;
+                }
+            }
+            cur = seg.parent.as_ref();
+        }
+        if filled == n {
+            true
+        } else {
+            out.clear();
+            false
+        }
     }
 
     /// Copy the whole chain into one contiguous owned [`DailySeries`].
@@ -556,6 +609,26 @@ mod tests {
         // Out-of-coverage windows.
         assert!(t.window("a", 0, 7).is_none());
         assert!(t.window("a", 5, 4).is_none());
+    }
+
+    #[test]
+    fn window_into_matches_window() {
+        let t = chained();
+        let mut buf = Vec::new();
+        for (lo, hi) in [(0, 6), (2, 5), (3, 4), (0, 0), (6, 6), (1, 6)] {
+            assert!(t.window_into("a", lo, hi, &mut buf), "range {lo}..={hi}");
+            assert_eq!(buf, t.window("a", lo, hi).unwrap(), "range {lo}..={hi}");
+        }
+        // Failure cases clear the buffer and return false.
+        assert!(!t.window_into("a", 0, 7, &mut buf));
+        assert!(buf.is_empty());
+        assert!(!t.window_into("a", 5, 4, &mut buf));
+        assert!(!t.window_into("zzz", 0, 1, &mut buf));
+        // Scratch reuse: a larger earlier fill must not leak into a
+        // smaller later one.
+        assert!(t.window_into("b", 0, 6, &mut buf));
+        assert!(t.window_into("b", 3, 4, &mut buf));
+        assert_eq!(buf, vec![40, 50]);
     }
 
     #[test]

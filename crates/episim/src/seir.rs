@@ -132,14 +132,20 @@ impl SeirModel {
     /// Initial state: `population - initial_exposed` susceptible,
     /// `initial_exposed` in E.
     pub fn initial_state(&self, seed: u64) -> SimState {
-        let spec = self.spec();
-        let mut st = SimState::empty(&spec, seed);
+        self.initial_state_in(&self.spec(), seed)
+    }
+
+    /// [`Self::initial_state`] against an already-built spec for this
+    /// model (e.g. out of a cached [`crate::engine::CompiledSpec`]),
+    /// skipping the per-call spec rebuild.
+    pub fn initial_state_in(&self, spec: &ModelSpec, seed: u64) -> SimState {
+        let mut st = SimState::empty(spec, seed);
         st.seed_compartment(
-            &spec,
+            spec,
             0,
             self.params.population - self.params.initial_exposed,
         );
-        st.seed_compartment(&spec, 1, self.params.initial_exposed);
+        st.seed_compartment(spec, 1, self.params.initial_exposed);
         st
     }
 }

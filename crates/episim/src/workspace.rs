@@ -15,6 +15,7 @@
 //! is what lets the parallel runner pool workspaces per worker without
 //! perturbing the deterministic replay guarantees.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use epistats::rng::Xoshiro256PlusPlus;
@@ -35,6 +36,13 @@ pub struct SimWorkspace {
     scratch: StepScratch,
     /// Per-day flow + census row buffer.
     day_buf: Vec<u64>,
+    /// Single-slot compiled-model cache: `(salt, key, compiled)`. See
+    /// [`Self::compiled_for`].
+    compiled_cache: Option<(u64, Box<[u64]>, Arc<CompiledSpec>)>,
+    /// Cache-miss count for [`Self::compiled_for`] (compilations done).
+    compiled_builds: u64,
+    /// Cache-hit count for [`Self::compiled_for`].
+    compiled_reuses: u64,
     /// Completed runs through this workspace.
     runs: u64,
     /// Total days simulated through this workspace.
@@ -61,10 +69,52 @@ impl SimWorkspace {
             },
             scratch: StepScratch::new(),
             day_buf: Vec::new(),
+            compiled_cache: None,
+            compiled_builds: 0,
+            compiled_reuses: 0,
             runs: 0,
             days_simulated: 0,
             sim_nanos: 0,
         }
+    }
+
+    /// Return the compiled model cached under `(salt, key)`, building
+    /// (and caching) it with `build` on a miss.
+    ///
+    /// The inference grid walks cells in `(parameter, replicate)` order,
+    /// so consecutive runs through one worker's workspace usually share a
+    /// parameter vector. Compiling a fresh [`CompiledSpec`] per cell not
+    /// only repeats the spec build/validation, it also mints a fresh
+    /// [`CompiledSpec::stamp`] each time, which invalidates the scratch's
+    /// stamp-keyed hazard table on every run. This single-slot cache keeps
+    /// one compilation alive per `(salt, key)` so replicate runs reuse
+    /// both the compilation and the derived tables.
+    ///
+    /// `salt` must identify the builder (so two simulators sharing a
+    /// workspace can never alias) and `key` the exact parameterization
+    /// (e.g. raw `f64::to_bits` of each calibration coordinate — exact
+    /// equality, no float tolerance). The cache is pure memoization:
+    /// `build` must be deterministic in `(salt, key)`, and results are
+    /// bit-identical whether the slot hits or misses.
+    ///
+    /// # Errors
+    /// Propagates `build` failures; the slot is left unchanged on error.
+    pub fn compiled_for<E>(
+        &mut self,
+        salt: u64,
+        key: &[u64],
+        build: impl FnOnce() -> Result<CompiledSpec, E>,
+    ) -> Result<Arc<CompiledSpec>, E> {
+        if let Some((s, k, compiled)) = &self.compiled_cache {
+            if *s == salt && k.as_ref() == key {
+                self.compiled_reuses += 1;
+                return Ok(Arc::clone(compiled));
+            }
+        }
+        let compiled = Arc::new(build()?);
+        self.compiled_builds += 1;
+        self.compiled_cache = Some((salt, key.into(), Arc::clone(&compiled)));
+        Ok(compiled)
     }
 
     /// Run a fresh trajectory from `init` until the clock reaches
@@ -116,7 +166,11 @@ impl SimWorkspace {
     ) -> (DailySeries, SimCheckpoint) {
         // Row i of the series covers day `state.day + 1 + i`, matching
         // `Simulation`'s convention.
-        let mut series = DailySeries::new(model.spec.output_names(), self.state.day + 1);
+        let mut series = DailySeries::with_day_capacity(
+            model.spec.output_names(),
+            self.state.day + 1,
+            end_day.saturating_sub(self.state.day) as usize,
+        );
         let n_flows = model.spec.flows.len();
         // epilint: allow(wall-clock) — telemetry only; never feeds results
         let started = Instant::now();
@@ -149,6 +203,16 @@ impl SimWorkspace {
     /// inherently nondeterministic).
     pub fn sim_nanos(&self) -> u64 {
         self.sim_nanos
+    }
+
+    /// Compilations performed by [`Self::compiled_for`] (cache misses).
+    pub fn compiled_builds(&self) -> u64 {
+        self.compiled_builds
+    }
+
+    /// Cache hits served by [`Self::compiled_for`].
+    pub fn compiled_reuses(&self) -> u64 {
+        self.compiled_reuses
     }
 }
 
@@ -220,6 +284,31 @@ mod tests {
         let (a2, _) = ws.run(&model, &chain, &init, 10).unwrap();
         assert_eq!(a, a2);
         assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn compiled_cache_hits_on_matching_key_only() {
+        let mut ws = SimWorkspace::new();
+        let build = || CompiledSpec::new(SeirModel::new(SeirParams::default()).unwrap().spec());
+        let a = ws.compiled_for(1, &[10, 20], build).unwrap();
+        let b = ws.compiled_for(1, &[10, 20], build).unwrap();
+        // Hit: the exact same compilation (and thus the same stamp).
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((ws.compiled_builds(), ws.compiled_reuses()), (1, 1));
+        // Different key or salt: rebuilds (single-slot, last one wins).
+        let c = ws.compiled_for(1, &[10, 21], build).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        let d = ws.compiled_for(2, &[10, 21], build).unwrap();
+        assert!(!Arc::ptr_eq(&c, &d));
+        assert_eq!((ws.compiled_builds(), ws.compiled_reuses()), (3, 1));
+        // Build errors propagate and leave the slot usable.
+        assert!(ws
+            .compiled_for(2, &[99], || Err::<CompiledSpec, SimError>(SimError::Spec(
+                "no".into()
+            )))
+            .is_err());
+        let e = ws.compiled_for(2, &[10, 21], build).unwrap();
+        assert!(Arc::ptr_eq(&d, &e));
     }
 
     #[test]

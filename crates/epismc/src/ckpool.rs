@@ -1,0 +1,126 @@
+//! Shared checkpoint interning — the zero-copy checkpoint pool.
+//!
+//! A `SimCheckpoint` owns its full `stage_counts` buffer, so an owned
+//! checkpoint per particle deep-copies that buffer for every resampled
+//! duplicate and every jittered proposal continued from the same
+//! ancestor. Mirroring `SharedTrajectory`'s structural sharing, inference
+//! code holds checkpoints behind [`Arc`] instead: resampling and proposal
+//! fan-out are `Arc` bumps, and restoring onto a pooled `SimState` is
+//! copy-on-write via `SimCheckpoint::restore_into` — the checkpoint is
+//! never mutated, the pooled state's buffers are overwritten in place, so
+//! no serialization round-trip or deep clone happens between windows.
+//!
+//! This module is the **only** place in `epismc` allowed to deep-copy or
+//! serialize a checkpoint (enforced by the `checkpoint-clone` epilint
+//! rule); everything else goes through [`SharedCheckpoint`].
+
+use episim::checkpoint::SimCheckpoint;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A structurally shared, immutable simulator checkpoint. Cloning is an
+/// `Arc` reference-count bump; the underlying state buffer is allocated
+/// once, when the checkpoint is captured.
+pub type SharedCheckpoint = Arc<SimCheckpoint>;
+
+/// Intern a freshly captured checkpoint for sharing. Each capture enters
+/// the pool exactly once; every resampled or continued particle that
+/// descends from it then aliases this allocation.
+pub fn share(ck: SimCheckpoint) -> SharedCheckpoint {
+    Arc::new(ck)
+}
+
+/// An independent mutable deep copy of a shared checkpoint — the one
+/// sanctioned escape hatch for code that genuinely needs to edit a
+/// checkpoint (nothing on the calibration hot path does). Counted by
+/// `episim::checkpoint::deep_clone_count`.
+pub fn fork(ck: &SharedCheckpoint) -> SimCheckpoint {
+    // epilint: allow(checkpoint-clone) — the interning module's explicit deep-copy escape hatch
+    SimCheckpoint::clone(ck)
+}
+
+/// Sharing statistics over a set of checkpoint references: how many
+/// distinct allocations back them and how many references point at them.
+/// Deterministic (identity is the shared allocation, independent of
+/// scheduling), so it is safe for golden telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointSharing {
+    /// Distinct checkpoint allocations.
+    pub unique: usize,
+    /// Total references observed (≥ `unique`).
+    pub refs: usize,
+}
+
+/// Measure sharing over an iterator of checkpoint references (e.g. every
+/// particle's `checkpoint` and `origin`).
+pub fn sharing<'a, I>(refs: I) -> CheckpointSharing
+where
+    I: IntoIterator<Item = &'a SharedCheckpoint>,
+{
+    let mut ids: BTreeSet<usize> = BTreeSet::new();
+    let mut total = 0usize;
+    for ck in refs {
+        ids.insert(Arc::as_ptr(ck) as usize);
+        total += 1;
+    }
+    CheckpointSharing {
+        unique: ids.len(),
+        refs: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use episim::spec::{Compartment, FlowSpec, Infection, ModelSpec, Progression};
+    use episim::state::SimState;
+
+    fn checkpoint(seed: u64) -> SimCheckpoint {
+        let spec = ModelSpec {
+            name: "ckpool".into(),
+            compartments: vec![Compartment::simple("S"), Compartment::new("I", 1, 1.0)],
+            progressions: vec![Progression {
+                from: 1,
+                mean_dwell: 1.0,
+                branches: vec![(0, 1.0)],
+            }],
+            infections: vec![Infection::simple(0, 1)],
+            transmission_rate: 0.2,
+            flows: vec![FlowSpec {
+                name: "x".into(),
+                edges: vec![],
+            }],
+            censuses: vec![],
+        };
+        SimCheckpoint::capture(&spec, &SimState::empty(&spec, seed))
+    }
+
+    #[test]
+    fn sharing_counts_distinct_allocations() {
+        let a = share(checkpoint(1));
+        let b = share(checkpoint(2));
+        let dup = Arc::clone(&a);
+        let s = sharing([&a, &b, &dup, &a]);
+        assert_eq!(s.unique, 2);
+        assert_eq!(s.refs, 4);
+        assert_eq!(sharing(std::iter::empty()), CheckpointSharing::default());
+    }
+
+    #[test]
+    fn arc_clone_is_not_a_deep_clone() {
+        let a = share(checkpoint(3));
+        let before = episim::checkpoint::deep_clone_count();
+        let _dup = Arc::clone(&a);
+        let _dup2 = a.clone();
+        assert_eq!(episim::checkpoint::deep_clone_count(), before);
+    }
+
+    #[test]
+    fn fork_deep_copies() {
+        let a = share(checkpoint(4));
+        let before = episim::checkpoint::deep_clone_count();
+        let copy = fork(&a);
+        assert!(episim::checkpoint::deep_clone_count() > before);
+        assert_eq!(&copy, &*a);
+    }
+}

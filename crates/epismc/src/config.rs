@@ -31,6 +31,12 @@ pub struct CalibrationConfig {
     pub bias_mode: BiasMode,
     /// Rayon thread count (`None` = rayon's default pool).
     pub threads: Option<usize>,
+    /// Scheduling chunk size over the flattened `(parameter, replicate)`
+    /// cell grid (`None` = adaptive: grid size / (workers × 8), clamped).
+    /// Results are bit-identical for every value; this only tunes
+    /// load-balancing granularity vs. claim overhead.
+    #[serde(default)]
+    pub chunk_cells: Option<usize>,
     /// Keep the full prior ensemble in the window result (needed for the
     /// Fig 3 prior-trajectory cloud; memory-heavy at scale).
     pub keep_prior_ensemble: bool,
@@ -50,6 +56,7 @@ impl Default for CalibrationConfig {
             sigma: 1.0,
             bias_mode: BiasMode::Sampled,
             threads: None,
+            chunk_cells: None,
             keep_prior_ensemble: false,
         }
     }
@@ -81,6 +88,9 @@ impl CalibrationConfig {
         }
         if self.threads == Some(0) {
             return Err("threads must be >= 1 when set".into());
+        }
+        if self.chunk_cells == Some(0) {
+            return Err("chunk_cells must be >= 1 when set".into());
         }
         Ok(())
     }
@@ -135,6 +145,12 @@ impl CalibrationConfigBuilder {
         self
     }
 
+    /// Pin the grid scheduling chunk size (cells per work unit).
+    pub fn chunk_cells(mut self, v: usize) -> Self {
+        self.cfg.chunk_cells = Some(v);
+        self
+    }
+
     /// Keep the prior ensemble in window results.
     pub fn keep_prior_ensemble(mut self, v: bool) -> Self {
         self.cfg.keep_prior_ensemble = v;
@@ -185,6 +201,17 @@ mod tests {
     #[should_panic]
     fn builder_rejects_zero_params() {
         CalibrationConfig::builder().n_params(0).build();
+    }
+
+    #[test]
+    fn validate_rejects_zero_chunk_cells() {
+        let cfg = CalibrationConfig {
+            chunk_cells: Some(0),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let ok = CalibrationConfig::builder().chunk_cells(7).build();
+        assert_eq!(ok.chunk_cells, Some(7));
     }
 
     #[test]

@@ -292,12 +292,12 @@ mod tests {
             traj.push_day(&[level]);
         }
         Particle {
-            theta: vec![level as f64 / 100.0],
+            theta: vec![level as f64 / 100.0].into(),
             rho,
             seed: level,
             log_weight: log_w,
             trajectory: traj.into(),
-            checkpoint: SimCheckpoint::capture(&spec, &SimState::empty(&spec, 1)),
+            checkpoint: SimCheckpoint::capture(&spec, &SimState::empty(&spec, 1)).into(),
             origin: None,
         }
     }

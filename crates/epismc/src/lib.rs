@@ -16,6 +16,9 @@
 //!   parameters), with ready adapters for the COVID and SEIR models.
 //! * [`particle`] — weighted trajectories `(theta, s, rho, history,
 //!   checkpoint)` and ensembles thereof.
+//! * [`ckpool`] — `Arc`-interned checkpoint sharing: resampled duplicates
+//!   and continued proposals alias one allocation, restores are
+//!   copy-on-write onto pooled states.
 //! * [`prior`] — priors and the window-to-window [`prior::JitterKernel`]
 //!   (symmetric for `theta`, asymmetric for `rho`, per Section V-B).
 //! * [`observation`] — bias models: [`observation::BinomialBias`]
@@ -34,6 +37,7 @@
 //!   data for the paper's figures.
 
 pub mod adaptive;
+pub mod ckpool;
 pub mod config;
 pub mod diagnostics;
 pub mod error;
@@ -53,6 +57,7 @@ pub mod validate;
 pub mod window;
 
 pub use adaptive::AdaptiveConfig;
+pub use ckpool::SharedCheckpoint;
 pub use config::CalibrationConfig;
 pub use diagnostics::{coverage, joint_density, JointDensity, PosteriorSummary, Ribbon};
 pub use error::SmcError;

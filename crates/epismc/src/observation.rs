@@ -28,6 +28,23 @@ pub trait BiasModel: Send + Sync {
     /// the particle seed), so sampled thinning is reproducible.
     fn observe(&self, truth: &[f64], rho: f64, rng: &mut Xoshiro256PlusPlus) -> Vec<f64>;
 
+    /// Transform into a caller-provided buffer, reusing its allocation.
+    /// Clears `out` first; produces exactly the series [`observe`] would.
+    /// The default delegates to [`observe`]; hot-path models override it
+    /// to avoid the intermediate allocation.
+    ///
+    /// [`observe`]: BiasModel::observe
+    fn observe_into(
+        &self,
+        truth: &[f64],
+        rho: f64,
+        rng: &mut Xoshiro256PlusPlus,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend(self.observe(truth, rho, rng));
+    }
+
     /// Whether the model actually uses the `rho` parameter (drives what
     /// the posterior can learn about `rho`).
     fn uses_rho(&self) -> bool;
@@ -61,21 +78,32 @@ impl BinomialBias {
 
 impl BiasModel for BinomialBias {
     fn observe(&self, truth: &[f64], rho: f64, rng: &mut Xoshiro256PlusPlus) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.observe_into(truth, rho, rng, &mut out);
+        out
+    }
+
+    fn observe_into(
+        &self,
+        truth: &[f64],
+        rho: f64,
+        rng: &mut Xoshiro256PlusPlus,
+        out: &mut Vec<f64>,
+    ) {
         assert!(
             (0.0..=1.0).contains(&rho),
             "BinomialBias: rho = {rho} outside [0, 1]"
         );
+        out.clear();
+        out.reserve(truth.len());
         match self.mode {
-            BiasMode::Sampled => truth
-                .iter()
-                .map(|&eta| {
-                    // epilint: allow(float-eq) — integrality assertion: fract() == 0.0 is the check itself
-                    debug_assert!(eta >= 0.0 && eta.fract() == 0.0);
-                    // epilint: allow(lossy-cast) — eta asserted integer-valued; exact at count scale
-                    sample_binomial(rng, eta as u64, rho) as f64
-                })
-                .collect(),
-            BiasMode::Mean => truth.iter().map(|&eta| rho * eta).collect(),
+            BiasMode::Sampled => out.extend(truth.iter().map(|&eta| {
+                // epilint: allow(float-eq) — integrality assertion: fract() == 0.0 is the check itself
+                debug_assert!(eta >= 0.0 && eta.fract() == 0.0);
+                // epilint: allow(lossy-cast) — eta asserted integer-valued; exact at count scale
+                sample_binomial(rng, eta as u64, rho) as f64
+            })),
+            BiasMode::Mean => out.extend(truth.iter().map(|&eta| rho * eta)),
         }
     }
 
@@ -235,6 +263,17 @@ impl BiasModel for IdentityBias {
         truth.to_vec()
     }
 
+    fn observe_into(
+        &self,
+        truth: &[f64],
+        _rho: f64,
+        _rng: &mut Xoshiro256PlusPlus,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend_from_slice(truth);
+    }
+
     fn uses_rho(&self) -> bool {
         false
     }
@@ -377,5 +416,22 @@ mod tests {
     #[should_panic]
     fn delayed_bias_rejects_unnormalized_pmf() {
         DelayedBinomialBias::new(BiasMode::Mean, vec![0.5, 0.2]);
+    }
+
+    #[test]
+    fn observe_into_matches_observe_and_reuses_buffer() {
+        let truth = vec![57.0, 123.0, 9.0, 0.0];
+        let models: Vec<Box<dyn BiasModel>> = vec![
+            Box::new(BinomialBias::sampled()),
+            Box::new(BinomialBias::mean()),
+            Box::new(DelayedBinomialBias::new(BiasMode::Sampled, vec![0.6, 0.4])),
+            Box::new(IdentityBias),
+        ];
+        let mut out = vec![999.0; 17]; // stale contents must be cleared
+        for bias in &models {
+            let a = bias.observe(&truth, 0.7, &mut Xoshiro256PlusPlus::new(11));
+            bias.observe_into(&truth, 0.7, &mut Xoshiro256PlusPlus::new(11), &mut out);
+            assert_eq!(a, out, "mismatch for {}", bias.name());
+        }
     }
 }

@@ -5,17 +5,20 @@
 //! (Section IV) treats the random seed as an input coordinate, so a
 //! particle is one specific epidemic history, not just a parameter value.
 
-use episim::checkpoint::SimCheckpoint;
+use crate::ckpool::SharedCheckpoint;
 use episim::output::SharedTrajectory;
 use epistats::logweight::normalize_log_weights;
 use epistats::summary::{ess, weighted_mean, weighted_quantile, weighted_variance};
+use std::sync::Arc;
 
 /// One weighted simulated trajectory.
 #[derive(Clone, Debug)]
 pub struct Particle {
     /// Simulator parameters (dimension `d`; `theta[0]` is the
-    /// transmission rate for the built-in models).
-    pub theta: Vec<f64>,
+    /// transmission rate for the built-in models). Shared: the
+    /// `n_replicates` particles of one proposal hold the same `Arc`, so
+    /// cloning a particle never copies the parameter vector.
+    pub theta: Arc<[f64]>,
     /// Reporting probability of the binomial bias model.
     pub rho: f64,
     /// The random seed that generated this trajectory (an input
@@ -29,13 +32,16 @@ pub struct Particle {
     /// appending a window are both `O(window)`, not `O(history)`.
     pub trajectory: SharedTrajectory,
     /// Full simulator state at the last window boundary (enables
-    /// parameter-overriding continuation).
-    pub checkpoint: SimCheckpoint,
+    /// parameter-overriding continuation). Shared like the trajectory:
+    /// resampled duplicates alias one checkpoint, and restores are
+    /// copy-on-write (`restore_into` onto a pooled state) — see
+    /// [`crate::ckpool`].
+    pub checkpoint: SharedCheckpoint,
     /// Simulator state at the *start* of the last scored window (`None`
     /// when the window was simulated fresh from day 0). Needed by
     /// resample-move rejuvenation, which re-simulates the window under
     /// perturbed parameters.
-    pub origin: Option<SimCheckpoint>,
+    pub origin: Option<SharedCheckpoint>,
 }
 
 /// A collection of particles with weight-aware summaries.
@@ -202,6 +208,7 @@ impl ParticleEnsemble {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use episim::checkpoint::SimCheckpoint;
     use episim::spec::{Compartment, FlowSpec, Infection, ModelSpec, Progression};
     use episim::state::SimState;
 
@@ -224,12 +231,12 @@ mod tests {
         };
         let st = SimState::empty(&spec, seed);
         Particle {
-            theta: vec![theta],
+            theta: Arc::from(vec![theta]),
             rho,
             seed,
             log_weight: log_w,
             trajectory: SharedTrajectory::empty(vec!["x".into()], 0),
-            checkpoint: SimCheckpoint::capture(&spec, &st),
+            checkpoint: Arc::new(SimCheckpoint::capture(&spec, &st)),
             origin: None,
         }
     }

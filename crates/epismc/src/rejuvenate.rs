@@ -221,10 +221,10 @@ pub fn rejuvenate_with<S: TrajectorySimulator>(
                 let accept = proposed_ll >= current_ll
                     || rng.next_f64() < (config.temper * (proposed_ll - current_ll)).exp();
                 if accept {
-                    p.theta = theta_new;
+                    p.theta = theta_new.into();
                     p.rho = rho_new;
                     p.trajectory = trajectory_new;
-                    p.checkpoint = checkpoint_new;
+                    p.checkpoint = crate::ckpool::share(checkpoint_new);
                     current_ll = proposed_ll;
                     accepted_here += 1;
                 }

@@ -13,7 +13,7 @@
 //!    comparisons are not confounded by Monte Carlo noise.
 
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Process-wide count of dedicated pools built so far.
@@ -39,6 +39,8 @@ pub fn pool_build_count() -> usize {
 pub struct ParallelRunner {
     threads: Option<usize>,
     pool: Option<Arc<rayon::ThreadPool>>,
+    chunk_cells: Option<usize>,
+    build_charge: Arc<AtomicBool>,
 }
 
 impl ParallelRunner {
@@ -47,6 +49,8 @@ impl ParallelRunner {
         Self {
             threads: None,
             pool: None,
+            chunk_cells: None,
+            build_charge: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -66,6 +70,8 @@ impl ParallelRunner {
         Self {
             threads: Some(threads),
             pool: Some(Arc::new(pool)),
+            chunk_cells: None,
+            build_charge: Arc::new(AtomicBool::new(true)),
         }
     }
 
@@ -79,9 +85,47 @@ impl ParallelRunner {
         }
     }
 
+    /// Pin the scheduling chunk size for grid runs (`None` = adaptive).
+    /// Cells are claimed from the shared cursor in blocks of this many;
+    /// results are unaffected, only scheduling granularity changes.
+    #[must_use]
+    pub fn with_chunk_cells(mut self, chunk_cells: Option<usize>) -> Self {
+        self.chunk_cells = chunk_cells.map(|c| c.max(1));
+        self
+    }
+
     /// Configured thread count (`None` = rayon default).
     pub fn threads(&self) -> Option<usize> {
         self.threads
+    }
+
+    /// Consume this runner's one-time pool-build charge: returns `1` the
+    /// first time it is called on a runner (or any of its clones) that
+    /// built a dedicated pool, `0` afterwards and for default-pool
+    /// runners. Lets telemetry attribute the build to the first batch
+    /// that uses the pool instead of re-charging every window.
+    pub fn take_build_charge(&self) -> usize {
+        usize::from(self.build_charge.swap(false, Ordering::Relaxed))
+    }
+
+    /// Effective worker count for grid runs.
+    fn workers(&self) -> usize {
+        self.threads.unwrap_or_else(rayon::current_num_threads)
+    }
+
+    /// Scheduling chunk size (in cells) a grid of `total` cells runs
+    /// with: the explicit [`Self::with_chunk_cells`] override, else the
+    /// adaptive policy (several chunks per worker, clamped so the atomic
+    /// claim amortizes).
+    pub fn chunk_size(&self, total: usize) -> usize {
+        self.chunk_cells
+            .unwrap_or_else(|| rayon::adaptive_chunk(total, self.workers()))
+    }
+
+    /// Number of scheduling chunks a grid of `total` cells splits into
+    /// (telemetry: `grid_chunks`).
+    pub fn chunk_count(&self, total: usize) -> usize {
+        total.div_ceil(self.chunk_size(total).max(1))
     }
 
     /// Evaluate `f(i, r)` for every cell of the `n_params x n_replicates`
@@ -117,13 +161,15 @@ impl ParallelRunner {
     /// Like [`Self::run_grid`], but with a per-worker workspace built by
     /// `make_ws` and threaded through every cell that worker executes.
     ///
-    /// Work is chunked by **parameter row** (one task = all
-    /// `n_replicates` cells of a row), which cuts scheduling overhead and
-    /// lets a worker's workspace stay warm across the replicates of a
-    /// row and across consecutive rows of its chunk. The result layout is
-    /// the same row-major order as `run_grid`, and because the workspace
-    /// is pure scratch the results are bit-identical for any thread
-    /// count.
+    /// Work is scheduled over the **flattened cell grid**: workers claim
+    /// fixed-size blocks of `(param, replicate)` cells from a shared
+    /// cursor (chunk size from [`Self::chunk_size`]), so a straggler cell
+    /// delays only its own chunk instead of a statically assigned slice
+    /// of rows. Each cell writes into its row-major slot
+    /// (`result[i * n_replicates + r]`) of a preallocated slab, so the
+    /// result layout matches `run_grid` and — because the workspace is
+    /// pure scratch and each cell's result depends only on `(i, r)` —
+    /// results are bit-identical for any thread count or chunk size.
     pub fn run_grid_pooled<W, T, MK, F>(
         &self,
         n_params: usize,
@@ -137,18 +183,16 @@ impl ParallelRunner {
         MK: Fn() -> W + Send + Sync,
         F: Fn(&mut W, usize, usize) -> T + Send + Sync,
     {
+        let total = n_params * n_replicates;
+        let chunk = self.chunk_size(total);
         let work = || -> Vec<T> {
-            let rows: Vec<Vec<T>> = (0..n_params)
+            (0..total)
                 .into_par_iter()
-                .map_init(&make_ws, |ws, i| {
-                    (0..n_replicates).map(|r| f(ws, i, r)).collect()
+                .with_min_len(chunk)
+                .map_init(&make_ws, |ws, idx| {
+                    f(ws, idx / n_replicates, idx % n_replicates)
                 })
-                .collect();
-            let mut out = Vec::with_capacity(n_params * n_replicates);
-            for row in rows {
-                out.extend(row);
-            }
-            out
+                .collect()
         };
         match &self.pool {
             None => work(),
@@ -276,6 +320,52 @@ mod tests {
         assert_eq!(out[7], 2 * 3 + 1);
         let n = built.load(Ordering::Relaxed);
         assert!(n <= 2, "expected at most one workspace per worker, got {n}");
+    }
+
+    #[test]
+    fn pooled_grid_identical_across_chunk_sizes() {
+        let f = |i: usize, r: usize| {
+            let mut rng = epistats::rng::Xoshiro256PlusPlus::from_stream(13, &[i as u64, r as u64]);
+            rng.next()
+        };
+        let baseline = ParallelRunner::with_threads(1).run_grid(6, 5, f);
+        for threads in [1usize, 2, 4] {
+            for chunk in [Some(1usize), Some(7), Some(5), None] {
+                let got = ParallelRunner::with_threads(threads)
+                    .with_chunk_cells(chunk)
+                    .run_grid_pooled(6, 5, || (), |(), i, r| f(i, r));
+                assert_eq!(baseline, got, "threads = {threads}, chunk = {chunk:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_charge_taken_once() {
+        let runner = ParallelRunner::with_threads(2);
+        assert_eq!(runner.take_build_charge(), 1);
+        assert_eq!(runner.take_build_charge(), 0);
+        // Clones share the charge: a calibration that clones its runner
+        // still reports the build exactly once.
+        let charged = ParallelRunner::with_threads(2);
+        let clone = charged.clone();
+        assert_eq!(clone.take_build_charge(), 1);
+        assert_eq!(charged.take_build_charge(), 0);
+        // Default-pool runners never carry a charge.
+        assert_eq!(ParallelRunner::new().take_build_charge(), 0);
+    }
+
+    #[test]
+    fn chunk_helpers_respect_override() {
+        let runner = ParallelRunner::with_threads(2).with_chunk_cells(Some(7));
+        assert_eq!(runner.chunk_size(100), 7);
+        assert_eq!(runner.chunk_count(100), 15);
+        // Zero-size override is clamped to 1 cell per chunk.
+        let clamped = ParallelRunner::with_threads(2).with_chunk_cells(Some(0));
+        assert_eq!(clamped.chunk_size(10), 1);
+        // Adaptive policy always yields at least one cell per chunk.
+        let adaptive = ParallelRunner::with_threads(2);
+        assert!(adaptive.chunk_size(3) >= 1);
+        assert!(adaptive.chunk_count(0) == 0 || adaptive.chunk_count(0) == 1);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub struct WorkspaceStats {
     runs: AtomicU64,
     days_simulated: AtomicU64,
     sim_nanos: AtomicU64,
+    score_nanos: AtomicU64,
 }
 
 impl WorkspaceStats {
@@ -64,6 +65,13 @@ impl WorkspaceStats {
     pub fn sim_nanos(&self) -> u64 {
         self.sim_nanos.load(Ordering::Relaxed)
     }
+
+    /// Wall-clock nanoseconds spent scoring trajectories against
+    /// observed data (summed across workers, so it can exceed elapsed
+    /// time).
+    pub fn score_nanos(&self) -> u64 {
+        self.score_nanos.load(Ordering::Relaxed)
+    }
 }
 
 /// A per-worker [`SimWorkspace`] that flushes its telemetry counters into
@@ -72,6 +80,7 @@ impl WorkspaceStats {
 #[derive(Debug)]
 pub struct PooledWorkspace {
     ws: SimWorkspace,
+    score: crate::sis::ScoreScratch,
     stats: Arc<WorkspaceStats>,
 }
 
@@ -81,6 +90,7 @@ impl PooledWorkspace {
         stats.built.fetch_add(1, Ordering::Relaxed);
         Self {
             ws: SimWorkspace::new(),
+            score: crate::sis::ScoreScratch::new(),
             stats,
         }
     }
@@ -88,6 +98,19 @@ impl PooledWorkspace {
     /// The wrapped simulation workspace.
     pub fn sim(&mut self) -> &mut SimWorkspace {
         &mut self.ws
+    }
+
+    /// Simultaneous access to the simulation workspace and the scoring
+    /// scratch — one grid cell simulates and scores with the same pooled
+    /// worker state.
+    pub fn parts(&mut self) -> (&mut SimWorkspace, &mut crate::sis::ScoreScratch) {
+        (&mut self.ws, &mut self.score)
+    }
+
+    /// Record wall-clock nanoseconds spent scoring (flushed eagerly —
+    /// scoring time is measured per cell, not per workspace lifetime).
+    pub fn add_score_nanos(&self, nanos: u64) {
+        self.stats.score_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 }
 
@@ -180,6 +203,27 @@ pub trait TrajectorySimulator: Send + Sync {
     }
 }
 
+/// Source for [`SimWorkspace::compiled_for`] salts: one per simulator
+/// instance, so simulators sharing a workspace can never alias each
+/// other's cached compilations. Clones share the salt, which is sound:
+/// a clone builds an identical spec for any given theta key.
+static NEXT_CACHE_SALT: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_cache_salt() -> u64 {
+    NEXT_CACHE_SALT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Raw-bit cache key for a theta vector (exact equality, no tolerance).
+/// `N` must be at least the simulator's `theta_dim`, checked upstream by
+/// `model_with`'s dimension validation.
+fn theta_key<const N: usize>(theta: &[f64]) -> [u64; N] {
+    let mut key = [0u64; N];
+    for (k, t) in key.iter_mut().zip(theta) {
+        *k = t.to_bits();
+    }
+    key
+}
+
 /// Adapter driving the COVID-Chicago model with `theta[0]` as the
 /// transmission rate; optionally `theta[1]` as a multiplier on all four
 /// detection probabilities (clamped to `[0, 1]`), making the calibration
@@ -193,6 +237,9 @@ pub struct CovidSimulator {
     /// Output-series names, captured at construction so the accessor
     /// never has to rebuild (and thus re-validate) the model.
     output_names: Vec<String>,
+    /// Identity under which this simulator caches compilations in
+    /// per-worker workspaces.
+    cache_salt: u64,
 }
 
 impl CovidSimulator {
@@ -212,6 +259,7 @@ impl CovidSimulator {
             substeps: 1,
             calibrate_detection: false,
             output_names,
+            cache_salt: fresh_cache_salt(),
         })
     }
 
@@ -229,6 +277,9 @@ impl CovidSimulator {
     /// (the parameter space becomes two-dimensional).
     pub fn with_calibrated_detection(mut self) -> Self {
         self.calibrate_detection = true;
+        // The theta -> spec mapping changed; never reuse compilations
+        // cached under the old identity.
+        self.cache_salt = fresh_cache_salt();
         self
     }
 
@@ -322,9 +373,13 @@ impl TrajectorySimulator for CovidSimulator {
         end_day: u32,
     ) -> Result<(DailySeries, SimCheckpoint), SmcError> {
         let model = self.model_with(theta)?;
-        let compiled = CompiledSpec::new(model.spec())?;
+        let key = theta_key::<2>(theta);
+        let compiled = ws.compiled_for(self.cache_salt, &key[..theta.len()], || {
+            CompiledSpec::new(model.spec())
+        })?;
         let stepper = BinomialChainStepper::with_substeps(self.substeps);
-        Ok(ws.run(&compiled, &stepper, &model.initial_state(seed), end_day)?)
+        let init = model.initial_state_in(&compiled.spec, seed);
+        Ok(ws.run(&compiled, &stepper, &init, end_day)?)
     }
 
     fn run_from_in(
@@ -336,7 +391,10 @@ impl TrajectorySimulator for CovidSimulator {
         end_day: u32,
     ) -> Result<(DailySeries, SimCheckpoint), SmcError> {
         let model = self.model_with(theta)?;
-        let compiled = CompiledSpec::new(model.spec())?;
+        let key = theta_key::<2>(theta);
+        let compiled = ws.compiled_for(self.cache_salt, &key[..theta.len()], || {
+            CompiledSpec::new(model.spec())
+        })?;
         let stepper = BinomialChainStepper::with_substeps(self.substeps);
         Ok(ws.run_from_checkpoint(&compiled, &stepper, checkpoint, seed, end_day)?)
     }
@@ -350,6 +408,9 @@ pub struct SeirSimulator {
     /// Output-series names, captured at construction so the accessor
     /// never has to rebuild (and thus re-validate) the model.
     output_names: Vec<String>,
+    /// Identity under which this simulator caches compilations in
+    /// per-worker workspaces.
+    cache_salt: u64,
 }
 
 impl SeirSimulator {
@@ -363,7 +424,11 @@ impl SeirSimulator {
             .map_err(SmcError::Simulation)?
             .spec()
             .output_names();
-        Ok(Self { base, output_names })
+        Ok(Self {
+            base,
+            output_names,
+            cache_salt: fresh_cache_salt(),
+        })
     }
 
     fn model_with(&self, theta: &[f64]) -> Result<SeirModel, SmcError> {
@@ -434,9 +499,12 @@ impl TrajectorySimulator for SeirSimulator {
         end_day: u32,
     ) -> Result<(DailySeries, SimCheckpoint), SmcError> {
         let model = self.model_with(theta)?;
-        let compiled = CompiledSpec::new(model.spec())?;
+        let key = theta_key::<1>(theta);
+        let compiled =
+            ws.compiled_for(self.cache_salt, &key, || CompiledSpec::new(model.spec()))?;
         let stepper = BinomialChainStepper::daily();
-        Ok(ws.run(&compiled, &stepper, &model.initial_state(seed), end_day)?)
+        let init = model.initial_state_in(&compiled.spec, seed);
+        Ok(ws.run(&compiled, &stepper, &init, end_day)?)
     }
 
     fn run_from_in(
@@ -448,7 +516,9 @@ impl TrajectorySimulator for SeirSimulator {
         end_day: u32,
     ) -> Result<(DailySeries, SimCheckpoint), SmcError> {
         let model = self.model_with(theta)?;
-        let compiled = CompiledSpec::new(model.spec())?;
+        let key = theta_key::<1>(theta);
+        let compiled =
+            ws.compiled_for(self.cache_salt, &key, || CompiledSpec::new(model.spec()))?;
         let stepper = BinomialChainStepper::daily();
         Ok(ws.run_from_checkpoint(&compiled, &stepper, checkpoint, seed, end_day)?)
     }

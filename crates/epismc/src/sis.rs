@@ -21,6 +21,7 @@ use epistats::logweight::log_mean_exp;
 use epistats::rng::{derive_stream, Xoshiro256PlusPlus};
 use epistats::summary::ess;
 
+use crate::ckpool;
 use crate::config::CalibrationConfig;
 use crate::error::SmcError;
 use crate::likelihood::{CompositeLikelihood, GaussianSqrtLikelihood, Likelihood};
@@ -218,12 +219,41 @@ pub struct TrajectoryTelemetry {
     /// Simulation runs that reused an already-built workspace instead of
     /// allocating a fresh one.
     pub workspace_reuses: u64,
+    /// Distinct `SimCheckpoint` allocations backing the posterior
+    /// ensemble's `checkpoint`/`origin` references. Deterministic:
+    /// sharing structure depends only on resampling ancestry, never on
+    /// scheduling.
+    pub unique_checkpoints: usize,
+    /// Total checkpoint references across the posterior ensemble
+    /// (`checkpoint` plus `origin`); `checkpoint_refs -
+    /// unique_checkpoints` references alias a shared allocation instead
+    /// of deep-copying it.
+    pub checkpoint_refs: usize,
+    /// Wall-clock nanoseconds spent scoring trajectories against the
+    /// observed window, summed across workers (fused into the grid pass,
+    /// so this can exceed elapsed time — diagnostics only).
+    pub score_nanos: u64,
+    /// Wall-clock nanoseconds spent generating resampling indices and
+    /// assembling the posterior ensemble (diagnostics only).
+    pub resample_nanos: u64,
+    /// Scheduling chunks the window's simulation grids were split into
+    /// (summed over adaptive iterations). Depends on worker count and
+    /// chunk policy — diagnostics only, must never feed deterministic
+    /// fingerprints.
+    pub grid_chunks: u64,
 }
 
 impl TrajectoryTelemetry {
     /// Segment references satisfied by sharing instead of copying.
     pub fn reused_segments(&self) -> usize {
         self.segment_refs - self.unique_segments
+    }
+
+    /// Checkpoint references satisfied by `Arc` sharing instead of deep
+    /// copies — under interned checkpoints this is every reference beyond
+    /// the first per allocation.
+    pub fn shared_checkpoints(&self) -> usize {
+        self.checkpoint_refs - self.unique_checkpoints
     }
 
     /// `flat_bytes / shared_bytes` — how many times over the ensemble's
@@ -238,26 +268,53 @@ impl TrajectoryTelemetry {
     }
 }
 
-/// Measure the posterior ensemble's trajectory footprint by
-/// deduplicating segments on their allocation identity, folding in the
-/// window's workspace-pool counters.
+/// Per-window scheduling/accounting context threaded into
+/// [`finalize_window`] — the counters that are not derivable from the
+/// candidate ensemble itself.
+#[derive(Clone, Copy, Debug, Default)]
+struct WindowAccounting {
+    /// Importance-sampling iterations spent (1 unless adaptive).
+    iterations: usize,
+    /// Dedicated pools charged to this window (see
+    /// [`crate::runner::ParallelRunner::take_build_charge`]).
+    pool_builds: usize,
+    /// Scheduling chunks across the window's simulation grids.
+    grid_chunks: u64,
+}
+
+/// Measure the posterior ensemble's trajectory and checkpoint footprint
+/// by deduplicating on allocation identity, folding in the window's
+/// workspace-pool counters and phase timings.
+///
+/// Per-particle footprints are computed in parallel (each walks only its
+/// own chain) and merged serially in index order — a deterministic
+/// reduction: the merged sets do not depend on scheduling.
 fn measure_telemetry(
     posterior: &ParticleEnsemble,
-    pool_builds: usize,
+    runner: &ParallelRunner,
+    acct: WindowAccounting,
+    resample_nanos: u64,
     ws_stats: &WorkspaceStats,
 ) -> TrajectoryTelemetry {
+    let parts = runner.run_indexed(posterior.len(), |i| {
+        let p = &posterior.particles()[i];
+        (p.trajectory.flat_bytes(), p.trajectory.segment_footprint())
+    });
     let mut seen = std::collections::BTreeSet::new();
     let mut t = TrajectoryTelemetry {
-        pool_builds,
+        pool_builds: acct.pool_builds,
+        grid_chunks: acct.grid_chunks,
         days_simulated: ws_stats.days_simulated(),
         sim_nanos: ws_stats.sim_nanos(),
+        score_nanos: ws_stats.score_nanos(),
+        resample_nanos,
         workspaces_built: ws_stats.built(),
         workspace_reuses: ws_stats.reuses(),
         ..Default::default()
     };
-    for p in posterior.particles() {
-        t.flat_bytes += p.trajectory.flat_bytes();
-        for (id, bytes) in p.trajectory.segment_footprint() {
+    for (flat_bytes, footprint) in parts {
+        t.flat_bytes += flat_bytes;
+        for (id, bytes) in footprint {
             t.segment_refs += 1;
             if seen.insert(id) {
                 t.unique_segments += 1;
@@ -265,6 +322,14 @@ fn measure_telemetry(
             }
         }
     }
+    let sharing = ckpool::sharing(
+        posterior
+            .particles()
+            .iter()
+            .flat_map(|p| std::iter::once(&p.checkpoint).chain(p.origin.as_ref())),
+    );
+    t.unique_checkpoints = sharing.unique;
+    t.checkpoint_refs = sharing.refs;
     t
 }
 
@@ -294,6 +359,29 @@ pub struct WindowResult {
     pub telemetry: TrajectoryTelemetry,
 }
 
+/// Reusable buffers for window scoring: the simulated window (integer
+/// counts), its float conversion, and the bias-transformed observation —
+/// the three per-source allocations [`score_window`] used to make on
+/// every call. One scratch lives in each worker's
+/// [`crate::simulator::PooledWorkspace`], so scoring fused into the grid
+/// pass allocates nothing per cell after warm-up.
+#[derive(Debug, Default)]
+pub struct ScoreScratch {
+    /// Simulated window counts (`SharedTrajectory::window_into` target).
+    sim_u: Vec<u64>,
+    /// Simulated window counts as `f64`.
+    sim_f: Vec<f64>,
+    /// Bias-transformed simulated observations.
+    sim_obs: Vec<f64>,
+}
+
+impl ScoreScratch {
+    /// Fresh (empty) scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Compute a particle's log weight for a window: the joint log likelihood
 /// of all data sources over the window days.
 ///
@@ -308,16 +396,38 @@ pub fn score_window(
     observed: &ObservedData,
     window: TimeWindow,
 ) -> Result<f64, SmcError> {
+    score_window_with(
+        trajectory,
+        rho,
+        bias_seed,
+        observed,
+        window,
+        &mut ScoreScratch::new(),
+    )
+}
+
+/// [`score_window`] with caller-provided scratch buffers — the
+/// allocation-free variant the grid pass uses. Results are bit-identical
+/// to [`score_window`] for any scratch state.
+///
+/// # Errors
+/// Same coverage errors as [`score_window`].
+pub fn score_window_with(
+    trajectory: &SharedTrajectory,
+    rho: f64,
+    bias_seed: u64,
+    observed: &ObservedData,
+    window: TimeWindow,
+    scratch: &mut ScoreScratch,
+) -> Result<f64, SmcError> {
     let mut comp = CompositeLikelihood::new();
     for (si, src) in observed.sources.iter().enumerate() {
-        let sim_w = trajectory
-            .window(&src.series, window.start, window.end)
-            .ok_or_else(|| {
-                SmcError::Observation(format!(
-                    "trajectory does not cover series '{}' on days [{}, {}]",
-                    src.series, window.start, window.end
-                ))
-            })?;
+        if !trajectory.window_into(&src.series, window.start, window.end, &mut scratch.sim_u) {
+            return Err(SmcError::Observation(format!(
+                "trajectory does not cover series '{}' on days [{}, {}]",
+                src.series, window.start, window.end
+            )));
+        }
         let obs_w = src
             .observed
             .window(window.start, window.end)
@@ -327,26 +437,39 @@ pub fn score_window(
                     src.series, window.start, window.end
                 ))
             })?;
-        let sim_f: Vec<f64> = sim_w.iter().map(|&v| v as f64).collect();
+        scratch.sim_f.clear();
+        scratch
+            .sim_f
+            .extend(scratch.sim_u.iter().map(|&v| v as f64));
         let mut bias_rng =
             Xoshiro256PlusPlus::from_stream(bias_seed, &[TAG_BIAS, window.start as u64, si as u64]);
-        let sim_obs = src.bias.observe(&sim_f, rho, &mut bias_rng);
-        comp.add(src.likelihood.log_likelihood(obs_w, &sim_obs));
+        src.bias
+            .observe_into(&scratch.sim_f, rho, &mut bias_rng, &mut scratch.sim_obs);
+        comp.add(src.likelihood.log_likelihood(obs_w, &scratch.sim_obs));
     }
     Ok(comp.total())
 }
 
 /// Weight, resample, and package a candidate ensemble into a
 /// [`WindowResult`].
+///
+/// Weight normalization, ESS, and resampling-index generation stay
+/// serial by design: normalization's float summation order is part of
+/// the deterministic contract (a parallel tree reduction would change
+/// results bit-wise), and index generation consumes a single sequential
+/// RNG stream at O(1) alias work per draw — `resample_nanos` in the
+/// telemetry keeps the cost visible. Posterior duplicate
+/// materialization, now pure `Arc` bumps under shared
+/// trajectories/checkpoints/thetas, runs on the grid runner.
 #[allow(clippy::too_many_arguments)]
 fn finalize_window(
     window: TimeWindow,
     candidates: Vec<Particle>,
     config: &CalibrationConfig,
     rng: &mut Xoshiro256PlusPlus,
+    runner: &ParallelRunner,
     started: std::time::Instant,
-    iterations: usize,
-    pool_builds: usize,
+    acct: WindowAccounting,
     ws_stats: &WorkspaceStats,
 ) -> WindowResult {
     let ensemble = ParticleEnsemble::from_vec(candidates);
@@ -355,6 +478,8 @@ fn finalize_window(
     let log_w: Vec<f64> = ensemble.particles().iter().map(|p| p.log_weight).collect();
     let log_marginal = log_mean_exp(&log_w);
 
+    // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
+    let resample_started = std::time::Instant::now();
     let idx = Multinomial.resample(&weights, config.resample_size, rng);
     let mut unique = idx.clone();
     unique.sort_unstable();
@@ -362,12 +487,11 @@ fn finalize_window(
     let unique_ancestors = unique.len();
 
     let mut posterior = ParticleEnsemble::from_vec(
-        idx.iter()
-            .map(|&i| ensemble.particles()[i].clone())
-            .collect(),
+        runner.run_indexed(idx.len(), |j| ensemble.particles()[idx[j]].clone()),
     );
     posterior.set_uniform_weights();
-    let telemetry = measure_telemetry(&posterior, pool_builds, ws_stats);
+    let resample_nanos = resample_started.elapsed().as_nanos() as u64;
+    let telemetry = measure_telemetry(&posterior, runner, acct, resample_nanos, ws_stats);
 
     WindowResult {
         window,
@@ -380,7 +504,7 @@ fn finalize_window(
         ess: window_ess,
         log_marginal,
         unique_ancestors,
-        iterations,
+        iterations: acct.iterations,
         wall_time: started.elapsed(),
         telemetry,
     }
@@ -392,8 +516,10 @@ fn finalize_window(
 pub(crate) struct Proposal {
     /// Index into the ancestor ensemble (ignored for fresh runs).
     pub ancestor: usize,
-    /// Proposed simulator parameters.
-    pub theta: Vec<f64>,
+    /// Proposed simulator parameters, shared across the proposal's
+    /// `n_replicates` particles (one allocation per proposal, `Arc`
+    /// bumps per particle).
+    pub theta: Arc<[f64]>,
     /// Proposed reporting probability.
     pub rho: f64,
 }
@@ -403,6 +529,7 @@ pub(crate) struct Proposal {
 pub struct SingleWindowIs<'a, S: TrajectorySimulator> {
     simulator: &'a S,
     config: CalibrationConfig,
+    runner: ParallelRunner,
 }
 
 impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
@@ -416,13 +543,22 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
         Self::try_new(simulator, config).expect("invalid CalibrationConfig")
     }
 
-    /// Fallible constructor: validates the configuration.
+    /// Fallible constructor: validates the configuration and pre-builds
+    /// the runner (and its dedicated pool, if any) once for the driver's
+    /// lifetime — repeated [`Self::run`] calls reuse it, and only the
+    /// first charges the build to its window's telemetry.
     ///
     /// # Errors
     /// Returns [`SmcError::Config`] if the configuration is invalid.
     pub fn try_new(simulator: &'a S, config: CalibrationConfig) -> Result<Self, SmcError> {
         config.validate().map_err(SmcError::Config)?;
-        Ok(Self { simulator, config })
+        let runner =
+            ParallelRunner::from_option(config.threads).with_chunk_cells(config.chunk_cells);
+        Ok(Self {
+            simulator,
+            config,
+            runner,
+        })
     }
 
     /// The configuration in use.
@@ -452,10 +588,11 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
         let cfg = &self.config;
         let mut rng = Xoshiro256PlusPlus::new(cfg.seed);
 
-        // Draw parameter tuples from the prior.
-        let tuples: Vec<(Vec<f64>, f64)> = (0..cfg.n_params)
+        // Draw parameter tuples from the prior. Each theta is shared
+        // across the tuple's replicates — particles take Arc bumps.
+        let tuples: Vec<(Arc<[f64]>, f64)> = (0..cfg.n_params)
             .map(|_| {
-                let theta: Vec<f64> = priors.theta.iter().map(|p| p.sample(&mut rng)).collect();
+                let theta: Arc<[f64]> = priors.theta.iter().map(|p| p.sample(&mut rng)).collect();
                 let rho = priors.rho.sample(&mut rng);
                 (theta, rho)
             })
@@ -467,7 +604,7 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
             .map(|r| derive_stream(cfg.seed, &[TAG_SIM_SEED, r as u64]))
             .collect();
 
-        let runner = ParallelRunner::from_option(cfg.threads);
+        let runner = &self.runner;
         let ws_stats = Arc::new(WorkspaceStats::default());
         let results: Vec<Result<Particle, SmcError>> = runner.run_grid_pooled(
             cfg.n_params,
@@ -475,36 +612,38 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
             || PooledWorkspace::new(Arc::clone(&ws_stats)),
             |ws, i, r| {
                 let (theta, rho) = &tuples[i];
+                let (sim, scratch) = ws.parts();
                 let (trajectory, checkpoint) =
                     self.simulator
-                        .run_fresh_in(ws.sim(), theta, rep_seeds[r], window.end)?;
+                        .run_fresh_in(sim, theta, rep_seeds[r], window.end)?;
                 let trajectory = SharedTrajectory::root(trajectory);
                 let bias_seed = derive_stream(cfg.seed, &[TAG_BIAS, i as u64, r as u64]);
-                let log_weight = score_window(&trajectory, *rho, bias_seed, observed, window)?;
+                // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
+                let score_started = std::time::Instant::now();
+                let log_weight =
+                    score_window_with(&trajectory, *rho, bias_seed, observed, window, scratch)?;
+                ws.add_score_nanos(score_started.elapsed().as_nanos() as u64);
                 Ok(Particle {
-                    theta: theta.clone(),
+                    theta: Arc::clone(theta),
                     rho: *rho,
                     seed: rep_seeds[r],
                     log_weight,
                     trajectory,
-                    checkpoint,
+                    checkpoint: ckpool::share(checkpoint),
                     origin: None,
                 })
             },
         );
         let candidates: Vec<Particle> = results.into_iter().collect::<Result<_, _>>()?;
-        // This driver built its own runner, so a dedicated pool (if any)
-        // is charged to this window.
-        let pool_builds = usize::from(runner.threads().is_some());
+        // The driver's pre-built pool is charged to the first window that
+        // uses it — later runs on the same driver report 0.
+        let acct = WindowAccounting {
+            iterations: 1,
+            pool_builds: runner.take_build_charge(),
+            grid_chunks: runner.chunk_count(cfg.n_params * cfg.n_replicates) as u64,
+        };
         Ok(finalize_window(
-            window,
-            candidates,
-            cfg,
-            &mut rng,
-            started,
-            1,
-            pool_builds,
-            &ws_stats,
+            window, candidates, cfg, &mut rng, runner, started, acct, &ws_stats,
         ))
     }
 }
@@ -665,7 +804,8 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
         // One runner — and therefore at most one dedicated pool — for the
         // whole calibration run, hoisted out of the per-window (and
         // per-adaptive-iteration) batch loop.
-        let runner = ParallelRunner::from_option(self.config.threads);
+        let runner = ParallelRunner::from_option(self.config.threads)
+            .with_chunk_cells(self.config.chunk_cells);
         let mut windows: Vec<WindowResult> = Vec::with_capacity(plan.len());
 
         for (widx, &window) in plan.windows().iter().enumerate() {
@@ -697,7 +837,7 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                                 .iter()
                                 .zip(&self.jitter_theta)
                                 .map(|(&t, k)| k.sample(t, &mut rng))
-                                .collect(),
+                                .collect::<Arc<[f64]>>(),
                             rho: self.jitter_rho.sample(anc.rho, &mut rng),
                         }
                     })
@@ -740,7 +880,9 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
         // re-proposals accumulate into the same telemetry.
         let ws_stats = Arc::new(WorkspaceStats::default());
         let mut iteration = 0usize;
+        let mut grid_chunks = 0u64;
         loop {
+            grid_chunks += runner.chunk_count(proposals.len() * cfg.n_replicates) as u64;
             let candidates = self.simulate_batch(
                 runner,
                 &proposals,
@@ -752,11 +894,18 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                 &ws_stats,
             )?;
             iteration += 1;
+            // The calibration-level pool build is never re-charged to a
+            // window: `run` pre-builds the runner, so windows report 0.
+            let acct = WindowAccounting {
+                iterations: iteration,
+                pool_builds: 0,
+                grid_chunks,
+            };
 
             let adaptive = match &self.adaptive {
                 None => {
                     return Ok(finalize_window(
-                        window, candidates, cfg, &mut rng, started, iteration, 0, &ws_stats,
+                        window, candidates, cfg, &mut rng, runner, started, acct, &ws_stats,
                     ))
                 }
                 Some(a) => a,
@@ -768,7 +917,7 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                 || current_ess >= adaptive.target_ess_fraction * candidates.len() as f64
             {
                 return Ok(finalize_window(
-                    window, candidates, cfg, &mut rng, started, iteration, 0, &ws_stats,
+                    window, candidates, cfg, &mut rng, runner, started, acct, &ws_stats,
                 ));
             }
 
@@ -837,31 +986,33 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
             || PooledWorkspace::new(Arc::clone(ws_stats)),
             |ws, i, r| {
                 let prop = &proposals[i];
+                let (sim, scratch) = ws.parts();
                 let (trajectory, checkpoint, origin) = match ancestors {
                     None => {
                         let (t, ck) = self.simulator.run_fresh_in(
-                            ws.sim(),
+                            sim,
                             &prop.theta,
                             rep_seeds[r],
                             window.end,
                         )?;
-                        (SharedTrajectory::root(t), ck, None)
+                        (SharedTrajectory::root(t), ckpool::share(ck), None)
                     }
                     Some(anc_set) => {
                         let anc = &anc_set.particles()[prop.ancestor];
                         let (tail, ck) = self.simulator.run_from_in(
-                            ws.sim(),
+                            sim,
                             &anc.checkpoint,
                             &prop.theta,
                             rep_seeds[r],
                             window.end,
                         )?;
                         // O(window), not O(history): the ancestor's past
-                        // is shared structurally, never copied.
+                        // — trajectory *and* origin checkpoint — is
+                        // shared structurally, never copied.
                         (
                             anc.trajectory.append(tail),
-                            ck,
-                            Some(anc.checkpoint.clone()),
+                            ckpool::share(ck),
+                            Some(Arc::clone(&anc.checkpoint)),
                         )
                     }
                 };
@@ -876,9 +1027,13 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                     ],
                 );
                 // Incremental likelihood: only this window's data.
-                let log_weight = score_window(&trajectory, prop.rho, bias_seed, observed, window)?;
+                // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
+                let score_started = std::time::Instant::now();
+                let log_weight =
+                    score_window_with(&trajectory, prop.rho, bias_seed, observed, window, scratch)?;
+                ws.add_score_nanos(score_started.elapsed().as_nanos() as u64);
                 Ok(Particle {
-                    theta: prop.theta.clone(),
+                    theta: Arc::clone(&prop.theta),
                     rho: prop.rho,
                     seed: rep_seeds[r],
                     log_weight,

@@ -54,7 +54,7 @@ impl SurrogateScreen {
         }
         let floor = finite_min - 10.0;
         for p in ensemble.particles() {
-            let mut feat = p.theta.clone();
+            let mut feat = p.theta.to_vec();
             feat.push(p.rho);
             x.push(feat);
             y.push(if p.log_weight.is_finite() {
@@ -148,12 +148,12 @@ mod tests {
             censuses: vec![],
         };
         Particle {
-            theta: vec![theta],
+            theta: vec![theta].into(),
             rho,
             seed: 1,
             log_weight: log_w,
             trajectory: DailySeries::new(vec!["x".into()], 1).into(),
-            checkpoint: SimCheckpoint::capture(&spec, &SimState::empty(&spec, 1)),
+            checkpoint: SimCheckpoint::capture(&spec, &SimState::empty(&spec, 1)).into(),
             origin: None,
         }
     }

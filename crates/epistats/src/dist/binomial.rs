@@ -142,10 +142,17 @@ struct BtpeSetup {
     /// `r / q` and `(n + 1) * r / q` for the explicit pmf-ratio product.
     s: f64,
     a: f64,
+    /// Retained success probability `r = min(p, 1-p)`.
+    r: f64,
     /// `ln pmf(m)` — the exact acceptance test compares against
-    /// `ln pmf(y) - ln pmf(m)`.
+    /// `ln pmf(y) - ln pmf(m)`. Computed lazily (`NAN` = not yet),
+    /// together with `ln_r`/`ln_q`: the squeeze tests accept or reject
+    /// most draws without ever reaching the exact test, and the
+    /// `ln_choose` and `ln` calls are the most expensive part of setup,
+    /// which re-runs every time a channel's occupancy drifts.
     ln_f_m: f64,
-    /// `ln r` and `ln q`, for evaluating `ln pmf(y)` without recomputing.
+    /// `ln r` and `ln q`, for evaluating `ln pmf(y)`; filled alongside
+    /// `ln_f_m`.
     ln_r: f64,
     ln_q: f64,
 }
@@ -201,15 +208,18 @@ impl BinomialSampler {
         self.sample(rng)
     }
 
-    /// Draw one variate from the cached `(n, p)`.
-    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> u64 {
-        let k = match &self.method {
+    /// Draw one variate from the cached `(n, p)`. `&mut` only for the
+    /// BTPE setup's lazy `ln pmf(m)` memo; the sampled value depends
+    /// solely on the cached `(n, p)` and the RNG stream.
+    pub fn sample(&mut self, rng: &mut Xoshiro256PlusPlus) -> u64 {
+        let n = self.n;
+        let k = match &mut self.method {
             Method::Degenerate => 0,
-            Method::Binv { s, a, r0 } => self.sample_binv(rng, *s, *a, *r0),
+            Method::Binv { s, a, r0 } => Self::sample_binv(rng, n, *s, *a, *r0),
             Method::Btpe(setup) => setup.sample(rng),
         };
         if self.flipped {
-            self.n - k
+            n - k
         } else {
             k
         }
@@ -217,7 +227,7 @@ impl BinomialSampler {
 
     /// Inversion (BINV): walk the pmf from `k = 0` subtracting mass from a
     /// single uniform. Expected O(n r) iterations.
-    fn sample_binv(&self, rng: &mut Xoshiro256PlusPlus, s: f64, a: f64, r0: f64) -> u64 {
+    fn sample_binv(rng: &mut Xoshiro256PlusPlus, n: u64, s: f64, a: f64, r0: f64) -> u64 {
         loop {
             let mut u = rng.next_f64();
             let mut mass = r0;
@@ -228,7 +238,7 @@ impl BinomialSampler {
                 }
                 u -= mass;
                 k += 1;
-                if k > self.n {
+                if k > n {
                     // Floating-point leakage past the last mass point (u
                     // very close to 1); retry with a fresh uniform.
                     break;
@@ -265,10 +275,6 @@ impl BtpeSetup {
         let p2 = p1 * (1.0 + 2.0 * c);
         let p3 = p2 + c / lambda_l;
         let p4 = p3 + c / lambda_r;
-        let ln_r = r.ln();
-        let ln_q = q.ln();
-        let mf = m as f64;
-        let ln_f_m = ln_choose(n, m) + mf * ln_r + (nf - mf) * ln_q;
         Self {
             n,
             nf,
@@ -286,15 +292,18 @@ impl BtpeSetup {
             p4,
             s: r / q,
             a: (n as f64 + 1.0) * (r / q),
-            ln_f_m,
-            ln_r,
-            ln_q,
+            r,
+            ln_f_m: f64::NAN,
+            ln_r: f64::NAN,
+            ln_q: f64::NAN,
         }
     }
 
     /// One BTPE draw. Each attempt consumes exactly two uniforms; the
     /// expected number of attempts is bounded (< 1.5) uniformly in `n`.
-    fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> u64 {
+    /// `&mut` only to memoize `ln_f_m` on first use — the draw itself
+    /// depends solely on `(n, r)` and the RNG stream.
+    fn sample(&mut self, rng: &mut Xoshiro256PlusPlus) -> u64 {
         let nf = self.nf;
         loop {
             let u = rng.next_f64() * self.p4;
@@ -377,6 +386,12 @@ impl BtpeSetup {
             }
 
             // Final exact test: compare against the true log-pmf ratio.
+            if self.ln_f_m.is_nan() {
+                self.ln_r = self.r.ln();
+                self.ln_q = (1.0 - self.r).ln();
+                let mf = self.m as f64;
+                self.ln_f_m = ln_choose(self.n, self.m) + mf * self.ln_r + (nf - mf) * self.ln_q;
+            }
             let ln_f_y = ln_choose(self.n, y) + yf * self.ln_r + (nf - yf) * self.ln_q;
             if alv <= ln_f_y - self.ln_f_m {
                 return y;

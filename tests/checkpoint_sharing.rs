@@ -1,0 +1,73 @@
+//! Counting proof of the zero-copy checkpoint pool: a full sequential
+//! calibration — prior draw, scoring, resampling, jitter, and
+//! checkpoint-continuation into a second and third window — performs
+//! **zero** `SimCheckpoint` deep clones. Resampled duplicates and
+//! continued proposals alias `Arc`-interned checkpoints; restores are
+//! copy-on-write onto pooled simulator states.
+//!
+//! The deep-clone counter (`episim::checkpoint::deep_clone_count`) is a
+//! process-wide atomic, so this test lives alone in its own
+//! integration-test binary: no concurrent test can legitimately clone a
+//! checkpoint between the two readings.
+
+use epismc::prelude::*;
+
+#[test]
+fn calibration_performs_zero_checkpoint_deep_clones() {
+    let scenario = Scenario::paper_tiny();
+    let truth = generate_ground_truth(&scenario, scenario.truth_seed);
+    let simulator = CovidSimulator::new(scenario.base_params).unwrap();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let plan = WindowPlan::new(vec![
+        TimeWindow::new(20, 33),
+        TimeWindow::new(34, 47),
+        TimeWindow::new(48, 61),
+    ]);
+    let cfg = CalibrationConfig::builder()
+        .n_params(80)
+        .n_replicates(4)
+        .resample_size(160)
+        .seed(3)
+        .build();
+
+    let before = epismc::sim::checkpoint::deep_clone_count();
+    let result = SequentialCalibrator::new(
+        &simulator,
+        cfg,
+        vec![JitterKernel::symmetric(0.08, 0.05, 0.8)],
+        JitterKernel::asymmetric(0.05, 0.08, 0.05, 1.0),
+    )
+    .run(&Priors::paper(), &observed, &plan)
+    .unwrap();
+    let during = epismc::sim::checkpoint::deep_clone_count() - before;
+
+    assert_eq!(
+        during, 0,
+        "{during} SimCheckpoint deep clones on the calibration path"
+    );
+
+    // The sharing telemetry must show actual aliasing: the resampled
+    // posterior holds more checkpoint references than distinct
+    // allocations (duplicates share), and counts are populated.
+    for (i, w) in result.windows.iter().enumerate() {
+        let t = &w.telemetry;
+        assert!(
+            t.checkpoint_refs > 0 && t.unique_checkpoints > 0,
+            "window {i}: empty checkpoint telemetry"
+        );
+        assert!(
+            t.unique_checkpoints <= t.checkpoint_refs,
+            "window {i}: unique {} > refs {}",
+            t.unique_checkpoints,
+            t.checkpoint_refs
+        );
+    }
+    // Resampling 160 from 80 proposals guarantees duplicates somewhere.
+    let last = &result.windows.last().unwrap().telemetry;
+    assert!(
+        last.unique_checkpoints < last.checkpoint_refs,
+        "no checkpoint sharing observed: unique {} refs {}",
+        last.unique_checkpoints,
+        last.checkpoint_refs
+    );
+}

@@ -107,6 +107,68 @@ fn sequential_run_is_deterministic_across_thread_counts() {
 }
 
 #[test]
+fn scheduling_matrix_is_bit_identical() {
+    // The tentpole guarantee: the flattened (parameter, replicate) cell
+    // grid produces bit-identical calibrations for EVERY combination of
+    // worker count and scheduling chunk size — including the
+    // checkpoint-continuation path (window 2 restores window 1's shared
+    // checkpoints). The baseline is fully serial with adaptive chunking;
+    // every other cell of the matrix must reproduce it exactly.
+    let (truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let plan = WindowPlan::new(vec![TimeWindow::new(20, 33), TimeWindow::new(34, 47)]);
+    let run = |threads: Option<usize>, chunk_cells: Option<usize>| {
+        let mut cfg = CalibrationConfig::builder()
+            .n_params(60)
+            .n_replicates(4)
+            .resample_size(120)
+            .seed(11)
+            .build();
+        cfg.threads = threads;
+        cfg.chunk_cells = chunk_cells;
+        SequentialCalibrator::new(
+            &simulator,
+            cfg,
+            vec![JitterKernel::symmetric(0.08, 0.05, 0.8)],
+            JitterKernel::asymmetric(0.05, 0.08, 0.05, 1.0),
+        )
+        .run(&Priors::paper(), &observed, &plan)
+        .unwrap()
+    };
+    let baseline = run(Some(1), None);
+    let baseline_fp = posterior_fingerprint(baseline.final_posterior());
+    let baseline_lm: Vec<u64> = baseline
+        .windows
+        .iter()
+        .map(|w| w.log_marginal.to_bits())
+        .collect();
+    // Chunk sizes: single cell, a prime that straddles row boundaries,
+    // and one full parameter row (= n_replicates cells).
+    for threads in [Some(1), Some(2), Some(4), None] {
+        for chunk_cells in [Some(1), Some(7), Some(4), None] {
+            if (threads, chunk_cells) == (Some(1), None) {
+                continue;
+            }
+            let got = run(threads, chunk_cells);
+            assert_eq!(
+                posterior_fingerprint(got.final_posterior()),
+                baseline_fp,
+                "posterior diverged at threads={threads:?} chunk_cells={chunk_cells:?}"
+            );
+            let lm: Vec<u64> = got
+                .windows
+                .iter()
+                .map(|w| w.log_marginal.to_bits())
+                .collect();
+            assert_eq!(
+                lm, baseline_lm,
+                "log marginals diverged at threads={threads:?} chunk_cells={chunk_cells:?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn same_seed_same_event_ordering_in_raw_engine() {
     // Regression for the engine's per-edge flow bookkeeping: it is keyed
     // by a BTreeMap so that the order in which edge events are drained

@@ -202,7 +202,7 @@ proptest! {
             .iter()
             .enumerate()
             .map(|(i, &w)| Particle {
-                theta: vec![0.1 + i as f64 * 1e-3],
+                theta: vec![0.1 + i as f64 * 1e-3].into(),
                 rho: 0.5,
                 seed: i as u64,
                 log_weight: w,
@@ -210,7 +210,8 @@ proptest! {
                 checkpoint: SimCheckpoint::capture(
                     &spec,
                     &epismc::sim::state::SimState::empty(&spec, 1),
-                ),
+                )
+                .into(),
                 origin: None,
             })
             .collect();

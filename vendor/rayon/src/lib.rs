@@ -2,28 +2,62 @@
 //! workspace uses: `(0..n).into_par_iter().map(f).collect::<Vec<_>>()`
 //! and a dedicated `ThreadPool` with `install`.
 //!
-//! Execution is chunked across `std::thread::scope` workers; results are
-//! concatenated in index order, so collection order is deterministic and
-//! independent of scheduling — the same guarantee real rayon's indexed
-//! collect provides. A pool of one thread runs strictly sequentially on
-//! the calling thread.
+//! Scheduling is *dynamic*: workers claim fixed-size chunks of the index
+//! range from a shared atomic cursor (the work-stealing analogue for an
+//! indexed range), so a slow item delays only its own chunk instead of a
+//! statically assigned 1/N slice of the grid. Each result is written
+//! directly into its index's slot of a preallocated output slab, so
+//! collection order is index order by construction — bit-identical for
+//! any worker count or chunk size, the same guarantee real rayon's
+//! indexed collect provides. A pool of one thread runs strictly
+//! sequentially on the calling thread.
+//!
+//! The default worker count honors `RAYON_NUM_THREADS` (read once per
+//! process), matching real rayon's global-pool convention.
 
 use std::cell::Cell;
 use std::fmt;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 thread_local! {
     static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    *DEFAULT_THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
 }
 
 fn current_threads() -> usize {
     POOL_THREADS
         .with(|c| c.get())
         .unwrap_or_else(default_threads)
+}
+
+/// Worker count governing parallel iterators on this thread: the
+/// installed pool's count inside [`ThreadPool::install`], otherwise the
+/// process default (`RAYON_NUM_THREADS` or the core count).
+pub fn current_num_threads() -> usize {
+    current_threads()
+}
+
+/// Default chunk size for `n` items over `workers` workers: small enough
+/// that stragglers rebalance (several chunks per worker), large enough
+/// that the atomic claim is amortized across many items.
+pub fn adaptive_chunk(n: usize, workers: usize) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    (n / (workers.max(1) * 8)).clamp(1, 1024)
 }
 
 /// Error building a thread pool (never produced by this stand-in).
@@ -113,16 +147,29 @@ impl IntoParallelIterator for Range<usize> {
     type Iter = RangePar;
 
     fn into_par_iter(self) -> RangePar {
-        RangePar { range: self }
+        RangePar {
+            range: self,
+            min_len: None,
+        }
     }
 }
 
 /// Parallel iterator over an index range.
 pub struct RangePar {
     range: Range<usize>,
+    min_len: Option<usize>,
 }
 
 impl RangePar {
+    /// Pin the scheduling chunk size (real rayon's `with_min_len`):
+    /// workers claim `len`-item chunks from the shared cursor instead of
+    /// the adaptive default. Results are unaffected — only scheduling
+    /// granularity changes.
+    pub fn with_min_len(mut self, len: usize) -> Self {
+        self.min_len = Some(len.max(1));
+        self
+    }
+
     /// Map each index through `f`.
     pub fn map<T, F>(self, f: F) -> MapPar<F>
     where
@@ -131,13 +178,14 @@ impl RangePar {
     {
         MapPar {
             range: self.range,
+            min_len: self.min_len,
             f,
         }
     }
 
     /// Map each index through `f` with a per-worker value built by
     /// `init` — real rayon's `map_init`: the value is created once per
-    /// worker chunk and threaded through every call in that chunk, which
+    /// worker and threaded through every chunk that worker claims, which
     /// is what makes per-worker scratch reuse possible.
     pub fn map_init<I, T, INIT, F>(self, init: INIT, f: F) -> MapInitPar<INIT, F>
     where
@@ -148,6 +196,7 @@ impl RangePar {
     {
         MapInitPar {
             range: self.range,
+            min_len: self.min_len,
             init,
             f,
         }
@@ -157,6 +206,7 @@ impl RangePar {
 /// Mapped parallel iterator.
 pub struct MapPar<F> {
     range: Range<usize>,
+    min_len: Option<usize>,
     f: F,
 }
 
@@ -181,20 +231,22 @@ impl<F> MapPar<F> {
         F: Fn(usize) -> T + Send + Sync,
         C: FromParallelIterator<T>,
     {
-        C::from_ordered(run_chunked(self.range, &self.f))
+        let f = self.f;
+        C::from_ordered(run_dynamic(self.range, self.min_len, &|| (), &|(), i| f(i)))
     }
 }
 
 /// Mapped parallel iterator with per-worker init state.
 pub struct MapInitPar<INIT, F> {
     range: Range<usize>,
+    min_len: Option<usize>,
     init: INIT,
     f: F,
 }
 
 impl<INIT, F> MapInitPar<INIT, F> {
     /// Evaluate in parallel; results are in index order regardless of
-    /// scheduling. `init` runs once per worker chunk (once total on the
+    /// scheduling. `init` runs once per worker (once total on the
     /// sequential path), matching real rayon's contract that the init
     /// value is reused across an unspecified batch of consecutive items.
     pub fn collect<I, T, C>(self) -> C
@@ -205,11 +257,43 @@ impl<INIT, F> MapInitPar<INIT, F> {
         F: Fn(&mut I, usize) -> T + Send + Sync,
         C: FromParallelIterator<T>,
     {
-        C::from_ordered(run_chunked_init(self.range, &self.init, &self.f))
+        C::from_ordered(run_dynamic(self.range, self.min_len, &self.init, &self.f))
     }
 }
 
-fn run_chunked_init<I, T, INIT, F>(range: Range<usize>, init: &INIT, f: &F) -> Vec<T>
+/// Raw pointer into the output slab, shareable across scoped workers.
+/// Soundness: every index in `0..n` is claimed by exactly one worker
+/// (the atomic cursor hands out disjoint chunks), so no slot is written
+/// twice and no two workers alias a slot.
+struct SlabPtr<T>(*mut T);
+
+unsafe impl<T: Send> Send for SlabPtr<T> {}
+unsafe impl<T: Send> Sync for SlabPtr<T> {}
+
+impl<T> SlabPtr<T> {
+    /// Write `value` into slot `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds of the allocation and written at most once.
+    unsafe fn write(&self, i: usize, value: T) {
+        self.0.add(i).write(value);
+    }
+}
+
+/// Dynamic-chunk execution: workers claim `chunk`-sized index blocks from
+/// a shared cursor and write each result into its slot of a preallocated
+/// slab. Output order is index order by construction.
+///
+/// Panic safety: if a worker panics, `std::thread::scope` joins the rest
+/// and propagates the panic before `set_len`, so the slab is dropped with
+/// length zero — already-written elements leak (no drops run) but no
+/// uninitialized memory is ever read.
+fn run_dynamic<I, T, INIT, F>(
+    range: Range<usize>,
+    min_len: Option<usize>,
+    init: &INIT,
+    f: &F,
+) -> Vec<T>
 where
     I: Send,
     T: Send,
@@ -222,62 +306,36 @@ where
         let mut state = init();
         return range.map(|i| f(&mut state, i)).collect();
     }
-    let chunk = n.div_ceil(workers);
+    let chunk = min_len.unwrap_or_else(|| adaptive_chunk(n, workers)).max(1);
     let start = range.start;
-    let end = range.end;
-    let chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let lo = (start + w * chunk).min(end);
-                let hi = (lo + chunk).min(end);
-                scope.spawn(move || {
-                    let mut state = init();
-                    (lo..hi).map(|i| f(&mut state, i)).collect::<Vec<T>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    let slab = SlabPtr(out.as_mut_ptr());
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let slab = &slab;
+            let cursor = &cursor;
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if lo >= n {
+                        break;
+                    }
+                    let hi = (lo + chunk).min(n);
+                    for i in lo..hi {
+                        let value = f(&mut state, start + i);
+                        // SAFETY: `i < n` and the cursor hands each index
+                        // to exactly one worker.
+                        unsafe { slab.write(i, value) };
+                    }
+                }
+            });
+        }
     });
-    let mut out = Vec::with_capacity(n);
-    for c in chunks {
-        out.extend(c);
-    }
-    out
-}
-
-fn run_chunked<T, F>(range: Range<usize>, f: &F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Send + Sync,
-{
-    let n = range.len();
-    let workers = current_threads().max(1).min(n.max(1));
-    if workers <= 1 {
-        return range.map(f).collect();
-    }
-    let chunk = n.div_ceil(workers);
-    let start = range.start;
-    let end = range.end;
-    let chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let lo = (start + w * chunk).min(end);
-                let hi = (lo + chunk).min(end);
-                scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    let mut out = Vec::with_capacity(n);
-    for c in chunks {
-        out.extend(c);
-    }
+    // SAFETY: the scope joined every worker without panicking, so all n
+    // slots were initialized exactly once.
+    unsafe { out.set_len(n) };
     out
 }
 
@@ -305,6 +363,33 @@ mod tests {
     }
 
     #[test]
+    fn ordered_collection_across_chunk_sizes() {
+        let f = |i: usize| i.wrapping_mul(0x9E37_79B9) ^ (i << 7);
+        let seq: Vec<usize> = (0..257).map(f).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        for chunk in [1usize, 3, 7, 64, 300] {
+            let par: Vec<usize> = pool.install(|| {
+                (0..257usize)
+                    .into_par_iter()
+                    .with_min_len(chunk)
+                    .map(f)
+                    .collect()
+            });
+            assert_eq!(seq, par, "chunk = {chunk}");
+        }
+    }
+
+    #[test]
+    fn nonzero_range_start_preserved() {
+        let par: Vec<usize> = ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap()
+            .install(|| (10..30usize).into_par_iter().map(|i| i * 2).collect());
+        assert_eq!(par, (10..30).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn map_init_matches_map_and_reuses_state() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let inits = AtomicUsize::new(0);
@@ -326,7 +411,7 @@ mod tests {
         });
         let seq: Vec<usize> = (0..100).map(|i| i * 7).collect();
         assert_eq!(out, seq);
-        // One init per worker chunk, far fewer than one per item.
+        // One init per worker, far fewer than one per item.
         assert!(inits.load(Ordering::Relaxed) <= 4);
     }
 
@@ -351,9 +436,62 @@ mod tests {
     }
 
     #[test]
+    fn map_init_chunked_keeps_state_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // With chunk = 1 every item is claimed individually; state must
+        // still be one-per-worker, not one-per-chunk.
+        let inits = AtomicUsize::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            (0..50usize)
+                .into_par_iter()
+                .with_min_len(1)
+                .map_init(
+                    || {
+                        inits.fetch_add(1, Ordering::Relaxed);
+                        0usize
+                    },
+                    |_, i| i + 1,
+                )
+                .collect()
+        });
+        assert_eq!(out, (1..=50).collect::<Vec<_>>());
+        assert!(inits.load(Ordering::Relaxed) <= 3);
+    }
+
+    #[test]
     fn install_restores_previous_pool() {
         let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
         pool.install(|| assert_eq!(current_threads(), 2));
         assert!(POOL_THREADS.with(|c| c.get()).is_none());
+    }
+
+    #[test]
+    fn adaptive_chunk_bounds() {
+        assert_eq!(adaptive_chunk(0, 4), 1);
+        assert_eq!(adaptive_chunk(7, 4), 1);
+        assert_eq!(adaptive_chunk(256, 4), 8);
+        assert_eq!(adaptive_chunk(1 << 20, 1), 1024);
+    }
+
+    #[test]
+    fn drops_run_exactly_once_per_result() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted(usize);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<Counted> =
+            pool.install(|| (0..123usize).into_par_iter().map(Counted).collect());
+        assert_eq!(out.len(), 123);
+        for (i, c) in out.iter().enumerate() {
+            assert_eq!(c.0, i);
+        }
+        drop(out);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 123);
     }
 }
