@@ -19,6 +19,7 @@
 //! | `float-eq` | bare `==` / `!=` against float literals in likelihood/observation code | exact float equality is almost always a masked tolerance bug |
 //! | `lossy-cast` | `as <int>` casts on float-bearing lines in likelihood/observation code | silent truncation of count variables skews likelihoods |
 //! | `checkpoint-clone` | `SimCheckpoint` deep clones / byte round-trips (`SimCheckpoint::clone`, `checkpoint.clone()`, `.to_bytes(`, `SimCheckpoint::from_bytes`) outside the interning module | inference code must alias checkpoints through `ckpool`'s `Arc` pool; a deep copy on the resample/jitter path silently reintroduces the per-particle memory blowup |
+//! | `fs-write` | `std::fs` write operations (`File::create`, `OpenOptions`, `fs::write`, `fs::rename`, `fs::remove_*`, `fs::create_dir*`, `fs::copy`) outside `fs-exempt` paths | durability writes must stay in the audited persist module, where every record is checksummed and committed atomically; a stray write elsewhere bypasses the crash-recovery contract |
 //!
 //! ## Waivers
 //!
@@ -59,17 +60,21 @@ pub enum Rule {
     /// R5: no checkpoint deep clones or byte round-trips outside the
     /// interning module (`checkpoint-exempt` paths).
     CheckpointClone,
+    /// R6: no filesystem writes outside the durability module
+    /// (`fs-exempt` paths).
+    FsWrite,
 }
 
 impl Rule {
     /// All rules, in diagnostic order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::PanicUnwrap,
         Rule::HashIter,
         Rule::WallClock,
         Rule::FloatEq,
         Rule::LossyCast,
         Rule::CheckpointClone,
+        Rule::FsWrite,
     ];
 
     /// The rule's configuration/waiver name.
@@ -81,6 +86,7 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::LossyCast => "lossy-cast",
             Rule::CheckpointClone => "checkpoint-clone",
+            Rule::FsWrite => "fs-write",
         }
     }
 
@@ -132,6 +138,10 @@ pub struct CrateConfig {
     /// Files (path suffixes) exempt from `checkpoint-clone` — the
     /// interning module that owns the sanctioned deep-copy escape hatch.
     pub checkpoint_exempt: Vec<String>,
+    /// Path fragments exempt from `fs-write` — the durability module
+    /// that owns all on-disk record writes. Matched by substring so a
+    /// directory (`persist/`) exempts every file under it.
+    pub fs_exempt: Vec<String>,
 }
 
 impl CrateConfig {
@@ -145,6 +155,9 @@ impl CrateConfig {
         if rule == Rule::CheckpointClone
             && self.checkpoint_exempt.iter().any(|p| rel_path.ends_with(p))
         {
+            return false;
+        }
+        if rule == Rule::FsWrite && self.fs_exempt.iter().any(|p| rel_path.contains(p.as_str())) {
             return false;
         }
         true
@@ -206,6 +219,9 @@ impl Config {
                 }
                 "checkpoint-exempt" => {
                     block.checkpoint_exempt = values.into_iter().map(String::from).collect();
+                }
+                "fs-exempt" => {
+                    block.fs_exempt = values.into_iter().map(String::from).collect();
                 }
                 other => return Err(format!("line {}: unknown key '{other}'", idx + 1)),
             }
@@ -358,6 +374,18 @@ fn needles(rule: Rule) -> &'static [&'static str] {
             "checkpoint.clone()",
             ".to_bytes(",
             "SimCheckpoint::from_bytes",
+        ],
+        Rule::FsWrite => &[
+            "File::create",
+            "OpenOptions",
+            "fs::write",
+            "fs::rename",
+            "fs::remove_file",
+            "fs::remove_dir",
+            "fs::remove_dir_all",
+            "fs::create_dir",
+            "fs::create_dir_all",
+            "fs::copy",
         ],
         // FloatEq / LossyCast use structural scans, not plain needles.
         Rule::FloatEq | Rule::LossyCast => &[],
@@ -606,6 +634,7 @@ pub fn lint_source(config: &CrateConfig, rel_path: &str, source: &str) -> Vec<Vi
             Rule::HashIter,
             Rule::WallClock,
             Rule::CheckpointClone,
+            Rule::FsWrite,
         ] {
             if !config.rule_applies(rule, rel_path) || waived(rule) {
                 continue;
@@ -824,6 +853,48 @@ mod tests {
     }
 
     #[test]
+    fn detects_fs_writes() {
+        for line in [
+            "let f = File::create(path)?;",
+            "let f = OpenOptions::new().append(true).open(p)?;",
+            "fs::write(&tmp, bytes)?;",
+            "std::fs::rename(&tmp, &dst)?;",
+            "fs::remove_file(&stale)?;",
+            "fs::remove_dir_all(&root)?;",
+            "fs::create_dir_all(&root)?;",
+            "fs::copy(&a, &b)?;",
+        ] {
+            let v = lint_source(&cfg_all(), "f.rs", line);
+            assert_eq!(v.len(), 1, "{line}: {v:?}");
+            assert_eq!(v[0].rule, Rule::FsWrite, "{line}");
+        }
+        // Reads are not writes.
+        for line in [
+            "let data = fs::read(&path)?;",
+            "let text = fs::read_to_string(&path)?;",
+            "for e in fs::read_dir(&dir)? {}",
+        ] {
+            assert!(lint_source(&cfg_all(), "f.rs", line).is_empty(), "{line}");
+        }
+    }
+
+    #[test]
+    fn fs_write_rule_respects_exempt_paths() {
+        let cfg = CrateConfig {
+            name: "x".into(),
+            rules: vec![Rule::FsWrite],
+            fs_exempt: vec!["persist/".into()],
+            ..CrateConfig::default()
+        };
+        let line = "fs::rename(&tmp, &dst)?;";
+        assert!(lint_source(&cfg, "crates/x/src/persist/dir.rs", line).is_empty());
+        assert_eq!(lint_source(&cfg, "crates/x/src/sis.rs", line).len(), 1);
+        // The standard waiver escape works too.
+        let waived = "// epilint: allow(fs-write) — sanctioned\nfs::rename(&tmp, &dst)?;";
+        assert!(lint_source(&cfg, "crates/x/src/sis.rs", waived).is_empty());
+    }
+
+    #[test]
     fn checkpoint_rule_respects_exempt_paths() {
         let cfg = CrateConfig {
             name: "x".into(),
@@ -922,7 +993,7 @@ mod tests {
     #[test]
     fn config_parses_blocks() {
         let cfg = Config::parse(
-            "# comment\n[crate.episim]\nrules = panic-unwrap, hash-iter\n\n[crate.epismc]\nrules = wall-clock, checkpoint-clone\nfloat-paths = likelihood.rs, observation.rs\ncheckpoint-exempt = ckpool.rs\n",
+            "# comment\n[crate.episim]\nrules = panic-unwrap, hash-iter\n\n[crate.epismc]\nrules = wall-clock, checkpoint-clone, fs-write\nfloat-paths = likelihood.rs, observation.rs\ncheckpoint-exempt = ckpool.rs\nfs-exempt = persist/\n",
         )
         .unwrap();
         assert_eq!(cfg.crates.len(), 2);
@@ -932,6 +1003,7 @@ mod tests {
             cfg.crates[1].checkpoint_exempt,
             vec!["ckpool.rs".to_string()]
         );
+        assert_eq!(cfg.crates[1].fs_exempt, vec!["persist/".to_string()]);
         assert!(Config::parse("rules = panic-unwrap\n").is_err());
         assert!(Config::parse("[crate.x]\nrules = bogus\n").is_err());
     }

@@ -103,6 +103,41 @@ fn r5_exempt_path_is_skipped() {
 }
 
 #[test]
+fn r6_fixture_exact_diagnostics() {
+    let got = render(&all_rules("r6_fswrite.rs"));
+    // Write APIs all fire; read-only APIs and the waived write do not.
+    // `fs::create_dir` vs `fs::create_dir_all` (and the `remove_dir`
+    // pair) are distinguished by the identifier-boundary check.
+    let want = vec![
+        "r6_fswrite.rs:4: [fs-write] `File::create`",
+        "r6_fswrite.rs:5: [fs-write] `OpenOptions`",
+        "r6_fswrite.rs:6: [fs-write] `fs::write`",
+        "r6_fswrite.rs:7: [fs-write] `fs::rename`",
+        "r6_fswrite.rs:8: [fs-write] `fs::remove_file`",
+        "r6_fswrite.rs:9: [fs-write] `fs::remove_dir`",
+        "r6_fswrite.rs:10: [fs-write] `fs::remove_dir_all`",
+        "r6_fswrite.rs:11: [fs-write] `fs::create_dir`",
+        "r6_fswrite.rs:12: [fs-write] `fs::create_dir_all`",
+        "r6_fswrite.rs:13: [fs-write] `fs::copy`",
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn r6_exempt_path_is_skipped() {
+    let cfg = CrateConfig {
+        name: "fixture".into(),
+        rules: Rule::ALL.to_vec(),
+        fs_exempt: vec!["persist/".into()],
+        ..CrateConfig::default()
+    };
+    // A directory entry exempts every file under it, matched on the
+    // relative path the caller hands in.
+    let got = lint_source(&cfg, "src/persist/r6_fswrite.rs", &fixture("r6_fswrite.rs"));
+    assert!(got.iter().all(|v| v.rule != Rule::FsWrite), "{got:?}");
+}
+
+#[test]
 fn waiver_fixture_behavior() {
     let got = render(&all_rules("waivers.rs"));
     // Same-line and line-above waivers suppress; the named-rule waiver

@@ -1,0 +1,22 @@
+//! R6 fixture: filesystem writes outside the durability module.
+
+fn bad(path: &Path, tmp: &Path) {
+    let f = std::fs::File::create(path);
+    let o = OpenOptions::new().append(true).open(path);
+    fs::write(tmp, b"bytes");
+    fs::rename(tmp, path);
+    fs::remove_file(tmp);
+    fs::remove_dir(path);
+    fs::remove_dir_all(path);
+    fs::create_dir(path);
+    fs::create_dir_all(path);
+    fs::copy(tmp, path);
+}
+
+fn fine(path: &Path) {
+    let text = fs::read_to_string(path);
+    let bytes = fs::read(path);
+    let entries = fs::read_dir(path);
+    // epilint: allow(fs-write) — sanctioned escape hatch
+    fs::write(path, b"waived");
+}

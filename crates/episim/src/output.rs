@@ -70,6 +70,41 @@ impl DailySeries {
         self.start_day
     }
 
+    /// Column `k` in [`Self::names`] order.
+    pub fn column(&self, k: usize) -> Option<&[u64]> {
+        self.columns.get(k).map(Vec::as_slice)
+    }
+
+    /// Assemble a series from complete columns — the inverse of reading
+    /// every [`Self::column`] (used by the durability layer to rebuild
+    /// trajectory segments from their serialized form).
+    ///
+    /// # Errors
+    /// Returns a description if the column count does not match the name
+    /// count or the columns have unequal lengths.
+    pub fn from_columns(
+        names: Vec<String>,
+        start_day: u32,
+        columns: Vec<Vec<u64>>,
+    ) -> Result<Self, String> {
+        if names.len() != columns.len() {
+            return Err(format!(
+                "from_columns: {} names but {} columns",
+                names.len(),
+                columns.len()
+            ));
+        }
+        let len = columns.first().map_or(0, Vec::len);
+        if columns.iter().any(|c| c.len() != len) {
+            return Err("from_columns: columns have unequal lengths".into());
+        }
+        Ok(Self {
+            names,
+            columns,
+            start_day,
+        })
+    }
+
     /// A column by name.
     pub fn series(&self, name: &str) -> Option<&[u64]> {
         self.names
@@ -430,6 +465,18 @@ impl SharedTrajectory {
         self.chain().len()
     }
 
+    /// The chain's segments root-first as `(id, series)` pairs. The id is
+    /// the segment's allocation address — identical to the ids reported by
+    /// [`Self::segment_footprint`] — so two particles that share a segment
+    /// report the same id, and cross-ensemble sharing can be reconstructed
+    /// by id equality (each id's parent is the preceding id in its chain).
+    pub fn segments(&self) -> Vec<(usize, &DailySeries)> {
+        self.chain()
+            .into_iter()
+            .map(|seg| (std::ptr::from_ref(seg) as usize, &seg.series))
+            .collect()
+    }
+
     /// `(segment id, heap bytes of recorded values)` per segment, root
     /// first. The id is the segment's allocation address: two particles
     /// that share a segment report the same id, so deduplicating by id
@@ -711,6 +758,47 @@ mod tests {
         let back: SharedTrajectory = serde_json::from_str(&json).unwrap();
         assert_eq!(back, chained());
         assert_eq!(back.segment_count(), 1);
+    }
+
+    #[test]
+    fn column_access_and_from_columns_round_trip() {
+        let s = sample();
+        assert_eq!(s.column(0).unwrap(), &[1, 2, 3]);
+        assert_eq!(s.column(1).unwrap(), &[10, 20, 30]);
+        assert!(s.column(2).is_none());
+        let rebuilt = DailySeries::from_columns(
+            s.names().to_vec(),
+            s.start_day(),
+            (0..2).map(|k| s.column(k).unwrap().to_vec()).collect(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, s);
+        // Structural errors are reported, not panicked.
+        assert!(DailySeries::from_columns(vec!["a".into()], 0, vec![]).is_err());
+        assert!(
+            DailySeries::from_columns(vec!["a".into(), "b".into()], 0, vec![vec![1], vec![]])
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn segments_expose_the_chain_with_footprint_ids() {
+        let t = chained();
+        let segs = t.segments();
+        assert_eq!(segs.len(), 3);
+        // Root-first order with the same ids as segment_footprint.
+        let ids: Vec<usize> = segs.iter().map(|&(id, _)| id).collect();
+        let fp_ids: Vec<usize> = t.segment_footprint().iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, fp_ids);
+        assert_eq!(segs[0].1.series("a").unwrap(), &[1, 2, 3]);
+        assert_eq!(segs[1].1.start_day(), 3);
+        assert_eq!(segs[2].1.series("b").unwrap(), &[60, 70]);
+        // Shared prefixes report shared ids across particles.
+        let base = SharedTrajectory::root(segment(0, &[(1, 10)]));
+        let c1 = base.append(segment(1, &[(2, 20)]));
+        let c2 = base.append(segment(1, &[(9, 90)]));
+        assert_eq!(c1.segments()[0].0, c2.segments()[0].0);
+        assert_ne!(c1.segments()[1].0, c2.segments()[1].0);
     }
 
     #[test]

@@ -39,6 +39,27 @@ pub fn fork(ck: &SharedCheckpoint) -> SimCheckpoint {
     SimCheckpoint::clone(ck)
 }
 
+/// Serialize a shared checkpoint to its compact binary form — the
+/// durability layer's sanctioned byte path. Interned checkpoints are
+/// encoded once per allocation by the persist format (deduplicated by
+/// [`Arc::as_ptr`]), so this never runs per resampled duplicate.
+pub fn encode(ck: &SharedCheckpoint) -> Vec<u8> {
+    // epilint: allow(checkpoint-clone) — the interning module's sanctioned serialization path
+    ck.to_bytes().to_vec()
+}
+
+/// Decode a checkpoint from [`encode`]'s binary form. The caller interns
+/// the result with [`share`] so all restored references alias one
+/// allocation.
+///
+/// # Errors
+/// Returns [`episim::error::SimError::Checkpoint`] on truncated or
+/// malformed bytes.
+pub fn decode(data: &[u8]) -> Result<SimCheckpoint, episim::error::SimError> {
+    // epilint: allow(checkpoint-clone) — the interning module's sanctioned deserialization path
+    SimCheckpoint::from_bytes(data)
+}
+
 /// Sharing statistics over a set of checkpoint references: how many
 /// distinct allocations back them and how many references point at them.
 /// Deterministic (identity is the shared allocation, independent of
@@ -113,6 +134,16 @@ mod tests {
         let _dup = Arc::clone(&a);
         let _dup2 = a.clone();
         assert_eq!(episim::checkpoint::deep_clone_count(), before);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_exactly() {
+        let a = share(checkpoint(5));
+        let bytes = encode(&a);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(&back, &*a);
+        assert!(decode(&bytes[..bytes.len() - 3]).is_err());
+        assert!(decode(&[]).is_err());
     }
 
     #[test]

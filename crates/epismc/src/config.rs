@@ -96,6 +96,63 @@ impl CalibrationConfig {
     }
 }
 
+/// Opt-in durability policy for a calibration run: when and how the
+/// sequential calibrator snapshots its complete state to a
+/// [`crate::persist::RunStore`].
+///
+/// A snapshot is written after every `every_windows`-th completed window
+/// (and always after the final window, so a finished durable run can be
+/// reopened). Writes are atomic under the directory store
+/// (tmp-file + rename), and `retain` bounds how many records are kept.
+/// Persistence never changes calibration results: a persisted run, a
+/// plain run, and a killed-then-resumed run are bit-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointPolicy {
+    /// Snapshot cadence: persist after windows `every_windows - 1`,
+    /// `2 * every_windows - 1`, … (1 = after every window).
+    pub every_windows: usize,
+    /// Keep only the newest `retain` records, deleting older ones after
+    /// each write (`None` = unbounded retention).
+    pub retain: Option<usize>,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        Self {
+            every_windows: 1,
+            retain: None,
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// Persist after every window, keeping every record.
+    pub fn every_window() -> Self {
+        Self::default()
+    }
+
+    /// Validate the policy.
+    ///
+    /// # Errors
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.every_windows == 0 {
+            return Err("every_windows must be >= 1".into());
+        }
+        if self.retain == Some(0) {
+            return Err("retain must be >= 1 when set".into());
+        }
+        Ok(())
+    }
+
+    /// Whether window `widx` (0-based) of a `plan_len`-window plan is
+    /// persisted under this policy. The final window always is, so a
+    /// completed durable run leaves its end state on disk.
+    pub fn persists(&self, widx: usize, plan_len: usize) -> bool {
+        (widx + 1).is_multiple_of(self.every_windows) || widx + 1 == plan_len
+    }
+}
+
 /// Fluent builder for [`CalibrationConfig`].
 #[derive(Clone, Debug)]
 pub struct CalibrationConfigBuilder {

@@ -19,6 +19,14 @@ pub enum SmcError {
     Simulation(String),
     /// A numerical invariant broke (degenerate weights, empty ladder, …).
     Degenerate(String),
+    /// The run store failed (IO error, missing snapshot, config mismatch).
+    Persist(String),
+    /// A run-store record failed its checksum or structural validation —
+    /// never decoded into a wrong ensemble.
+    Corrupt(String),
+    /// A run-store record was written by an unknown (usually newer)
+    /// format version and is rejected rather than misread.
+    UnsupportedFormat(String),
 }
 
 impl fmt::Display for SmcError {
@@ -28,6 +36,9 @@ impl fmt::Display for SmcError {
             SmcError::Observation(msg) => write!(f, "observation error: {msg}"),
             SmcError::Simulation(msg) => write!(f, "simulation error: {msg}"),
             SmcError::Degenerate(msg) => write!(f, "degenerate state: {msg}"),
+            SmcError::Persist(msg) => write!(f, "run store error: {msg}"),
+            SmcError::Corrupt(msg) => write!(f, "corrupt run record: {msg}"),
+            SmcError::UnsupportedFormat(msg) => write!(f, "unsupported run record format: {msg}"),
         }
     }
 }
@@ -62,6 +73,22 @@ mod tests {
     fn sim_error_lifts_into_simulation_variant() {
         let e: SmcError = SimError::Spec("bad".into()).into();
         assert_eq!(e, SmcError::Simulation("invalid model spec: bad".into()));
+    }
+
+    #[test]
+    fn persist_variants_render_their_category() {
+        assert_eq!(
+            SmcError::Persist("disk full".into()).to_string(),
+            "run store error: disk full"
+        );
+        assert_eq!(
+            SmcError::Corrupt("crc mismatch".into()).to_string(),
+            "corrupt run record: crc mismatch"
+        );
+        assert_eq!(
+            SmcError::UnsupportedFormat("version 9".into()).to_string(),
+            "unsupported run record format: version 9"
+        );
     }
 
     #[test]

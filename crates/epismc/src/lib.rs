@@ -33,6 +33,9 @@
 //! * [`sis`] — Algorithm 1 ([`sis::SingleWindowIs`]) and the windowed
 //!   outer loop ([`sis::SequentialCalibrator`]) with checkpoint
 //!   propagation and incremental-likelihood weighting.
+//! * [`persist`] — the durable run store: versioned, checksummed
+//!   per-window snapshots behind [`persist::RunStore`], crash recovery
+//!   (`resume_from`), and deterministic fault injection for tests.
 //! * [`diagnostics`] — weighted ribbons, posterior summaries, KDE contour
 //!   data for the paper's figures.
 
@@ -45,6 +48,7 @@ pub mod forecast;
 pub mod likelihood;
 pub mod observation;
 pub mod particle;
+pub mod persist;
 pub mod prior;
 pub mod rejuvenate;
 pub mod resample;
@@ -58,13 +62,16 @@ pub mod window;
 
 pub use adaptive::AdaptiveConfig;
 pub use ckpool::SharedCheckpoint;
-pub use config::CalibrationConfig;
+pub use config::{CalibrationConfig, CheckpointPolicy};
 pub use diagnostics::{coverage, joint_density, JointDensity, PosteriorSummary, Ribbon};
 pub use error::SmcError;
 pub use forecast::{Forecast, Forecaster};
 pub use likelihood::{CompositeLikelihood, GaussianSqrtLikelihood, Likelihood};
 pub use observation::{BiasMode, BinomialBias, IdentityBias};
 pub use particle::{Particle, ParticleEnsemble};
+pub use persist::{
+    DirStore, Fault, FaultPlan, FaultStore, MemStore, ResumeReport, RunSnapshot, RunStore,
+};
 pub use prior::{BetaPrior, JitterKernel, Prior, UniformPrior};
 pub use rejuvenate::{rejuvenate, RejuvenationConfig, RejuvenationStats};
 pub use resample::{Multinomial, Resampler, Residual, Stratified, Systematic};

@@ -1,0 +1,170 @@
+//! Directory-backed run store: one file per record, atomic writes.
+//!
+//! Records are written to `window-<k>.epsnap.tmp` and renamed into place,
+//! so a crash mid-write leaves either the old record or a stale `.tmp`
+//! file — never a half-written `.epsnap`. Stale temporaries are swept on
+//! [`DirStore::open`], which is also what makes a torn rename harmless:
+//! the next open removes the orphan and recovery falls back to the
+//! previous good record.
+//!
+//! This is the only module in `epismc` allowed to write through
+//! `std::fs` (enforced by the `fs-write` epilint rule), keeping the
+//! durability surface auditable in one place.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::error::SmcError;
+
+use super::RunStore;
+
+/// Record filename extension.
+const EXT: &str = ".epsnap";
+
+/// Temporary-file suffix appended to the record name during a write.
+const TMP_SUFFIX: &str = ".tmp";
+
+fn persist_err(action: &str, path: &Path, e: &std::io::Error) -> SmcError {
+    SmcError::Persist(format!("{action} {}: {e}", path.display()))
+}
+
+/// A [`RunStore`] over one directory.
+#[derive(Debug)]
+pub struct DirStore {
+    root: PathBuf,
+}
+
+impl DirStore {
+    /// Open (creating if needed) a store rooted at `root`, sweeping any
+    /// stale `.tmp` files left by a previous crash mid-write.
+    ///
+    /// # Errors
+    /// [`SmcError::Persist`] if the directory cannot be created or read.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, SmcError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| persist_err("create run store dir", &root, &e))?;
+        let store = Self { root };
+        store.sweep_stale_tmp()?;
+        Ok(store)
+    }
+
+    /// The directory backing this store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn record_path(&self, window: u32) -> PathBuf {
+        self.root.join(format!("window-{window:05}{EXT}"))
+    }
+
+    fn sweep_stale_tmp(&self) -> Result<(), SmcError> {
+        for entry in self.entries()? {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(TMP_SUFFIX) {
+                let path = entry.path();
+                fs::remove_file(&path).map_err(|e| persist_err("sweep stale tmp", &path, &e))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn entries(&self) -> Result<Vec<fs::DirEntry>, SmcError> {
+        let rd = fs::read_dir(&self.root)
+            .map_err(|e| persist_err("read run store dir", &self.root, &e))?;
+        let mut out = Vec::new();
+        for entry in rd {
+            out.push(entry.map_err(|e| persist_err("read run store dir", &self.root, &e))?);
+        }
+        Ok(out)
+    }
+}
+
+impl RunStore for DirStore {
+    fn put(&self, window: u32, record: &[u8]) -> Result<(), SmcError> {
+        let final_path = self.record_path(window);
+        let tmp_path = PathBuf::from(format!("{}{TMP_SUFFIX}", final_path.display()));
+        fs::write(&tmp_path, record).map_err(|e| persist_err("write record", &tmp_path, &e))?;
+        fs::rename(&tmp_path, &final_path)
+            .map_err(|e| persist_err("commit record", &final_path, &e))
+    }
+
+    fn get(&self, window: u32) -> Result<Option<Vec<u8>>, SmcError> {
+        let path = self.record_path(window);
+        match fs::read(&path) {
+            Ok(data) => Ok(Some(data)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(persist_err("read record", &path, &e)),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<u32>, SmcError> {
+        let mut windows = Vec::new();
+        for entry in self.entries()? {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(stem) = name.strip_suffix(EXT) else {
+                continue; // foreign files (including .tmp) are not records
+            };
+            let Some(num) = stem.strip_prefix("window-") else {
+                continue;
+            };
+            if let Ok(w) = num.parse::<u32>() {
+                windows.push(w);
+            }
+        }
+        windows.sort_unstable();
+        windows.dedup();
+        Ok(windows)
+    }
+
+    fn delete(&self, window: u32) -> Result<(), SmcError> {
+        let path = self.record_path(window);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(persist_err("delete record", &path, &e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("epismc-dirstore-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn round_trip_on_disk() {
+        let root = tmp_root("rt");
+        let store = DirStore::open(&root).unwrap();
+        store.put(7, b"seven").unwrap();
+        store.put(1, b"one").unwrap();
+        assert_eq!(store.list().unwrap(), vec![1, 7]);
+        assert_eq!(store.get(7).unwrap().as_deref(), Some(&b"seven"[..]));
+        assert_eq!(store.get(2).unwrap(), None);
+        store.delete(7).unwrap();
+        store.delete(7).unwrap();
+        assert_eq!(store.list().unwrap(), vec![1]);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_and_ignores_foreign_files() {
+        let root = tmp_root("sweep");
+        fs::create_dir_all(&root).unwrap();
+        fs::write(root.join("window-00003.epsnap.tmp"), b"torn").unwrap();
+        fs::write(root.join("notes.txt"), b"not a record").unwrap();
+        fs::write(root.join("window-00002.epsnap"), b"good").unwrap();
+        let store = DirStore::open(&root).unwrap();
+        assert!(!root.join("window-00003.epsnap.tmp").exists());
+        assert!(root.join("notes.txt").exists());
+        assert_eq!(store.list().unwrap(), vec![2]);
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,84 @@
+//! In-memory run store — the test and ephemeral-run backend.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::error::SmcError;
+
+use super::RunStore;
+
+/// A [`RunStore`] over an in-process `BTreeMap`. Records live exactly as
+/// long as the store; writes are atomic by construction (the map swap
+/// happens under one lock).
+#[derive(Debug, Default)]
+pub struct MemStore {
+    records: Mutex<BTreeMap<u32, Vec<u8>>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Poison-safe lock: a panic in another thread mid-access cannot
+    /// brick the store (the map itself is always in a consistent state
+    /// because every mutation is a single insert/remove).
+    fn records(&self) -> std::sync::MutexGuard<'_, BTreeMap<u32, Vec<u8>>> {
+        match self.records.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records().len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records().is_empty()
+    }
+}
+
+impl RunStore for MemStore {
+    fn put(&self, window: u32, record: &[u8]) -> Result<(), SmcError> {
+        self.records().insert(window, record.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, window: u32) -> Result<Option<Vec<u8>>, SmcError> {
+        Ok(self.records().get(&window).cloned())
+    }
+
+    fn list(&self) -> Result<Vec<u32>, SmcError> {
+        Ok(self.records().keys().copied().collect())
+    }
+
+    fn delete(&self, window: u32) -> Result<(), SmcError> {
+        self.records().remove(&window);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_list_delete_round_trip() {
+        let store = MemStore::new();
+        assert!(store.is_empty());
+        store.put(2, b"two").unwrap();
+        store.put(0, b"zero").unwrap();
+        store.put(2, b"two v2").unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.list().unwrap(), vec![0, 2]);
+        assert_eq!(store.get(2).unwrap().as_deref(), Some(&b"two v2"[..]));
+        assert_eq!(store.get(9).unwrap(), None);
+        store.delete(2).unwrap();
+        store.delete(2).unwrap(); // absent deletes are fine
+        assert_eq!(store.list().unwrap(), vec![0]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Durable run store and crash recovery for sequential calibration.
+//!
+//! The paper's checkpointing machinery (Section III) serializes full
+//! simulator state so a run can restart mid-campaign; this module extends
+//! that durability to the *calibration* level. After each window the
+//! sequential calibrator can snapshot its complete state — the posterior
+//! particle ensemble (thetas, log weights, structurally shared
+//! trajectories and `SimCheckpoint`s), the window scalars, and the
+//! telemetry — into one versioned, checksummed record (see [`format`])
+//! keyed by window index in a [`RunStore`].
+//!
+//! Because every window derives its RNG stream independently from the
+//! master seed (`from_stream(seed, [TAG_WINDOW, widx])`), the posterior
+//! ensemble is the *only* state carried across windows: restoring it
+//! bit-exactly makes a killed-and-resumed run bit-identical to the
+//! uninterrupted one, at any thread count. That guarantee is enforced by
+//! `tests/durability_resume.rs`; the recovery paths are exercised by the
+//! deterministic fault-injection harness in [`fault`].
+//!
+//! Store implementations:
+//! * [`DirStore`] — one file per record, atomic tmp-file + rename writes.
+//! * [`MemStore`] — in-memory `BTreeMap`, for tests and ephemeral runs.
+//! * [`FaultStore`] — deterministic fault injection wrapping any store.
+
+pub mod dir;
+pub mod fault;
+pub mod format;
+pub mod memory;
+
+pub use dir::DirStore;
+pub use fault::{Fault, FaultPlan, FaultStore};
+pub use memory::MemStore;
+
+use crate::config::CalibrationConfig;
+use crate::error::SmcError;
+use crate::particle::ParticleEnsemble;
+use crate::prior::JitterKernel;
+use crate::sis::TrajectoryTelemetry;
+use crate::window::TimeWindow;
+
+/// Keyed record storage for calibration snapshots. Implementations use
+/// interior mutability so a store can be shared behind `&dyn RunStore`;
+/// writes must be atomic (a torn write must surface as a missing or
+/// checksum-failing record, never as a half-new half-old one the decoder
+/// accepts).
+pub trait RunStore: Send + Sync {
+    /// Write (or replace) the record for `window`.
+    ///
+    /// # Errors
+    /// [`SmcError::Persist`] on storage failure.
+    fn put(&self, window: u32, record: &[u8]) -> Result<(), SmcError>;
+
+    /// Read the record for `window` (`None` when absent).
+    ///
+    /// # Errors
+    /// [`SmcError::Persist`] on storage failure.
+    fn get(&self, window: u32) -> Result<Option<Vec<u8>>, SmcError>;
+
+    /// Window indices with stored records, ascending.
+    ///
+    /// # Errors
+    /// [`SmcError::Persist`] on storage failure.
+    fn list(&self) -> Result<Vec<u32>, SmcError>;
+
+    /// Delete the record for `window` (absent records are not an error).
+    ///
+    /// # Errors
+    /// [`SmcError::Persist`] on storage failure.
+    fn delete(&self, window: u32) -> Result<(), SmcError>;
+}
+
+/// Complete calibration state after one window — everything needed to
+/// rebuild the window's result and continue the run bit-identically.
+#[derive(Clone, Debug)]
+pub struct RunSnapshot {
+    /// Master seed of the run (resume validates it matches).
+    pub seed: u64,
+    /// Configuration fingerprint ([`run_fingerprint`]); resume refuses a
+    /// snapshot from a differently configured run.
+    pub fingerprint: u64,
+    /// 0-based index of the completed window within the plan.
+    pub window_index: u32,
+    /// The scored window.
+    pub window: TimeWindow,
+    /// Effective sample size before resampling.
+    pub ess: f64,
+    /// Log marginal likelihood estimate of the window.
+    pub log_marginal: f64,
+    /// Distinct candidates surviving the resampling step.
+    pub unique_ancestors: u64,
+    /// Importance-sampling iterations spent.
+    pub iterations: u64,
+    /// Wall-clock nanoseconds of the window (diagnostics only).
+    pub wall_nanos: u64,
+    /// The window's telemetry (`persist_nanos` zeroed: it is measured
+    /// around this very write, so the persisted copy cannot contain it —
+    /// and snapshots stay byte-reproducible for golden tests).
+    pub telemetry: TrajectoryTelemetry,
+    /// The resampled posterior ensemble, sharing structure intact.
+    pub posterior: ParticleEnsemble,
+}
+
+/// How a resumed calibration rejoined its run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResumeReport {
+    /// 0-based index of the window restored from the store.
+    pub resumed_window: u32,
+    /// Records that had to be skipped during recovery because they were
+    /// missing or failed validation (corruption tolerated, counted).
+    pub recoveries: usize,
+}
+
+/// Encode and write one snapshot, keyed by its window index.
+///
+/// # Errors
+/// [`SmcError::Persist`] on storage failure.
+pub fn save(store: &dyn RunStore, snap: &RunSnapshot) -> Result<(), SmcError> {
+    store.put(snap.window_index, &format::encode_record(snap))
+}
+
+/// Read and decode the snapshot for one window (`None` when absent).
+///
+/// # Errors
+/// Storage failures ([`SmcError::Persist`]) and decode failures
+/// ([`SmcError::Corrupt`] / [`SmcError::UnsupportedFormat`]).
+pub fn load(store: &dyn RunStore, window: u32) -> Result<Option<RunSnapshot>, SmcError> {
+    match store.get(window)? {
+        None => Ok(None),
+        Some(raw) => format::decode_record(&raw).map(Some),
+    }
+}
+
+/// Scan the store newest-first and return the latest snapshot that
+/// decodes cleanly, together with the number of records skipped along the
+/// way (missing, corrupt, or unsupported — each counted as one recovery).
+/// Returns `(None, skipped)` when no record is usable.
+///
+/// # Errors
+/// Only storage-level failures propagate; undecodable records are
+/// *skipped*, not fatal — that is the recovery path.
+pub fn recover_latest(store: &dyn RunStore) -> Result<(Option<RunSnapshot>, usize), SmcError> {
+    let mut windows = store.list()?;
+    windows.sort_unstable();
+    let mut skipped = 0usize;
+    for &w in windows.iter().rev() {
+        let raw = match store.get(w)? {
+            Some(raw) => raw,
+            None => {
+                skipped += 1;
+                continue;
+            }
+        };
+        match format::decode_record(&raw) {
+            Ok(snap) => return Ok((Some(snap), skipped)),
+            Err(SmcError::Corrupt(_)) | Err(SmcError::UnsupportedFormat(_)) => {
+                skipped += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((None, skipped))
+}
+
+/// Delete all but the newest `retain` records.
+///
+/// # Errors
+/// [`SmcError::Persist`] on storage failure.
+pub fn apply_retention(store: &dyn RunStore, retain: usize) -> Result<(), SmcError> {
+    let mut windows = store.list()?;
+    windows.sort_unstable();
+    let excess = windows.len().saturating_sub(retain);
+    for &w in windows.iter().take(excess) {
+        store.delete(w)?;
+    }
+    Ok(())
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: u64, word: u64) -> u64 {
+    let mut h = hash;
+    for b in word.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Deterministic fingerprint of the configuration knobs that shape
+/// calibration *results*: a snapshot written under one fingerprint can
+/// only resume a run with the same one. Scheduling knobs (`threads`,
+/// `chunk_cells`) and `keep_prior_ensemble` are deliberately excluded —
+/// results are bit-identical across them, so resuming on a different
+/// machine shape is legal.
+pub fn run_fingerprint(
+    config: &CalibrationConfig,
+    jitter_theta: &[JitterKernel],
+    jitter_rho: &JitterKernel,
+) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv1a(h, config.n_params as u64);
+    h = fnv1a(h, config.n_replicates as u64);
+    h = fnv1a(h, config.resample_size as u64);
+    h = fnv1a(h, config.seed);
+    h = fnv1a(h, config.sigma.to_bits());
+    h = fnv1a(h, jitter_theta.len() as u64);
+    for k in jitter_theta.iter().chain(std::iter::once(jitter_rho)) {
+        h = fnv1a(h, k.down.to_bits());
+        h = fnv1a(h, k.up.to_bits());
+        h = fnv1a(h, k.lo.to_bits());
+        h = fnv1a(h, k.hi.to_bits());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(down: f64, up: f64) -> JitterKernel {
+        JitterKernel {
+            down,
+            up,
+            lo: 0.0,
+            hi: 1.0,
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_shaping_knobs_only() {
+        let cfg = CalibrationConfig::default();
+        let jt = vec![kernel(0.01, 0.01)];
+        let jr = kernel(0.02, 0.05);
+        let base = run_fingerprint(&cfg, &jt, &jr);
+        assert_eq!(base, run_fingerprint(&cfg, &jt, &jr));
+
+        let mut threads = cfg.clone();
+        threads.threads = Some(4);
+        threads.chunk_cells = Some(7);
+        threads.keep_prior_ensemble = true;
+        assert_eq!(base, run_fingerprint(&threads, &jt, &jr));
+
+        let mut seeded = cfg.clone();
+        seeded.seed ^= 1;
+        assert_ne!(base, run_fingerprint(&seeded, &jt, &jr));
+
+        let wider = vec![kernel(0.02, 0.01)];
+        assert_ne!(base, run_fingerprint(&cfg, &wider, &jr));
+    }
+
+    #[test]
+    fn retention_keeps_newest_records() {
+        let store = MemStore::new();
+        for w in 0..5u32 {
+            store.put(w, &[w as u8]).unwrap();
+        }
+        apply_retention(&store, 2).unwrap();
+        assert_eq!(store.list().unwrap(), vec![3, 4]);
+        // Retaining more than exists is a no-op.
+        apply_retention(&store, 10).unwrap();
+        assert_eq!(store.list().unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn recover_latest_skips_undecodable_records() {
+        let store = MemStore::new();
+        store.put(3, b"garbage that is not a record").unwrap();
+        let (snap, skipped) = recover_latest(&store).unwrap();
+        assert!(snap.is_none());
+        assert_eq!(skipped, 1);
+        let empty = MemStore::new();
+        let (snap, skipped) = recover_latest(&empty).unwrap();
+        assert!(snap.is_none());
+        assert_eq!(skipped, 0);
+    }
+}

@@ -22,11 +22,12 @@ use epistats::rng::{derive_stream, Xoshiro256PlusPlus};
 use epistats::summary::ess;
 
 use crate::ckpool;
-use crate::config::CalibrationConfig;
+use crate::config::{CalibrationConfig, CheckpointPolicy};
 use crate::error::SmcError;
 use crate::likelihood::{CompositeLikelihood, GaussianSqrtLikelihood, Likelihood};
 use crate::observation::{BiasMode, BiasModel, BinomialBias, IdentityBias};
 use crate::particle::{Particle, ParticleEnsemble};
+use crate::persist::{self, ResumeReport, RunSnapshot, RunStore};
 use crate::prior::{JitterKernel, Prior};
 use crate::resample::{Multinomial, Resampler};
 use crate::runner::ParallelRunner;
@@ -241,6 +242,15 @@ pub struct TrajectoryTelemetry {
     /// chunk policy — diagnostics only, must never feed deterministic
     /// fingerprints.
     pub grid_chunks: u64,
+    /// Wall-clock nanoseconds spent encoding and writing this window's
+    /// durability snapshot (0 when the window was not persisted;
+    /// inherently nondeterministic — diagnostics only, zeroed inside the
+    /// persisted record itself so snapshots stay byte-reproducible).
+    pub persist_nanos: u64,
+    /// Durability records written for this window (0 or 1 under the
+    /// current policies). Deterministic for a given
+    /// [`crate::config::CheckpointPolicy`].
+    pub records_written: u64,
 }
 
 impl TrajectoryTelemetry {
@@ -662,8 +672,13 @@ pub struct SequentialCalibrator<'a, S: TrajectorySimulator> {
 /// Result of a sequential calibration: one [`WindowResult`] per window.
 #[derive(Debug)]
 pub struct CalibrationResult {
-    /// Per-window outcomes, in plan order.
+    /// Per-window outcomes, in plan order. For a resumed run this covers
+    /// the restored window and everything after it (earlier windows live
+    /// only in the original run / the store).
     pub windows: Vec<WindowResult>,
+    /// How the run rejoined a durable store, when it was resumed via
+    /// [`SequentialCalibrator::resume_from`] (`None` for fresh runs).
+    pub resume: Option<ResumeReport>,
 }
 
 impl CalibrationResult {
@@ -787,6 +802,123 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
         observed: &ObservedData,
         plan: &WindowPlan,
     ) -> Result<CalibrationResult, SmcError> {
+        self.run_windows(priors, observed, plan, None, None, 0)
+    }
+
+    /// [`Self::run`] with durability: after each window the policy
+    /// selects, the complete calibration state is snapshotted into
+    /// `store` (see [`crate::persist`]). Persistence never changes
+    /// results — the returned [`CalibrationResult`] is bit-identical to
+    /// a plain [`Self::run`] on every deterministic field.
+    ///
+    /// # Errors
+    /// Everything [`Self::run`] returns, plus [`SmcError::Persist`] when
+    /// a snapshot write fails (the error surfaces immediately; completed
+    /// snapshots stay behind for [`Self::resume_from`]).
+    pub fn run_persisted(
+        &self,
+        priors: &Priors,
+        observed: &ObservedData,
+        plan: &WindowPlan,
+        store: &dyn RunStore,
+        policy: &CheckpointPolicy,
+    ) -> Result<CalibrationResult, SmcError> {
+        policy.validate().map_err(SmcError::Config)?;
+        self.run_windows(priors, observed, plan, Some((store, policy)), None, 0)
+    }
+
+    /// Resume a killed [`Self::run_persisted`] campaign from its store:
+    /// recover the newest decodable snapshot (skipping corrupt or
+    /// unsupported records, counted in [`ResumeReport::recoveries`]),
+    /// rebuild its window result, and continue the remaining windows —
+    /// persisting along the way under the same policy.
+    ///
+    /// Every window's RNG stream derives independently from the master
+    /// seed, so the restored posterior ensemble is the only cross-window
+    /// state; windows computed after the resume are **bit-identical** to
+    /// the uninterrupted run's, at any thread count.
+    ///
+    /// # Errors
+    /// [`SmcError::Persist`] when no usable snapshot exists or the
+    /// snapshot belongs to a differently configured run (seed /
+    /// fingerprint / plan mismatch), plus everything [`Self::run`]
+    /// returns.
+    pub fn resume_from(
+        &self,
+        priors: &Priors,
+        observed: &ObservedData,
+        plan: &WindowPlan,
+        store: &dyn RunStore,
+        policy: &CheckpointPolicy,
+    ) -> Result<CalibrationResult, SmcError> {
+        policy.validate().map_err(SmcError::Config)?;
+        let (snap, recoveries) = persist::recover_latest(store)?;
+        let Some(snap) = snap else {
+            return Err(SmcError::Persist(
+                "no usable snapshot in the run store; nothing to resume".into(),
+            ));
+        };
+        if snap.seed != self.config.seed {
+            return Err(SmcError::Persist(format!(
+                "snapshot was written with seed {}, this run uses seed {}",
+                snap.seed, self.config.seed
+            )));
+        }
+        let fingerprint = self.fingerprint();
+        if snap.fingerprint != fingerprint {
+            return Err(SmcError::Persist(format!(
+                "snapshot fingerprint {:#018x} does not match this calibration's {fingerprint:#018x}",
+                snap.fingerprint
+            )));
+        }
+        let widx = snap.window_index as usize;
+        let matches_plan = plan.windows().get(widx).is_some_and(|&w| w == snap.window);
+        if !matches_plan {
+            return Err(SmcError::Persist(format!(
+                "snapshot window {} (days [{}, {}]) is not window {} of this plan",
+                snap.window_index, snap.window.start, snap.window.end, snap.window_index
+            )));
+        }
+        let restored = WindowResult {
+            window: snap.window,
+            posterior: snap.posterior,
+            prior_ensemble: None,
+            ess: snap.ess,
+            log_marginal: snap.log_marginal,
+            unique_ancestors: snap.unique_ancestors as usize,
+            iterations: snap.iterations as usize,
+            wall_time: Duration::from_nanos(snap.wall_nanos),
+            telemetry: snap.telemetry,
+        };
+        self.run_windows(
+            priors,
+            observed,
+            plan,
+            Some((store, policy)),
+            Some((widx, restored)),
+            recoveries,
+        )
+    }
+
+    /// The configuration fingerprint stamped into every snapshot this
+    /// calibrator writes (see [`persist::run_fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        persist::run_fingerprint(&self.config, &self.jitter_theta, &self.jitter_rho)
+    }
+
+    /// The shared windowed loop behind [`Self::run`],
+    /// [`Self::run_persisted`], and [`Self::resume_from`]: optionally
+    /// seeded with a restored window, optionally snapshotting after each
+    /// window the policy selects.
+    fn run_windows(
+        &self,
+        priors: &Priors,
+        observed: &ObservedData,
+        plan: &WindowPlan,
+        persist_to: Option<(&dyn RunStore, &CheckpointPolicy)>,
+        restored: Option<(usize, WindowResult)>,
+        recoveries: usize,
+    ) -> Result<CalibrationResult, SmcError> {
         if self.jitter_theta.len() != self.simulator.theta_dim() {
             return Err(SmcError::Config(format!(
                 "jitter dimension {} != simulator theta dimension {}",
@@ -806,55 +938,104 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
         // per-adaptive-iteration) batch loop.
         let runner = ParallelRunner::from_option(self.config.threads)
             .with_chunk_cells(self.config.chunk_cells);
+        let fingerprint = self.fingerprint();
         let mut windows: Vec<WindowResult> = Vec::with_capacity(plan.len());
+        let resume = restored.as_ref().map(|(widx, _)| ResumeReport {
+            resumed_window: *widx as u32,
+            recoveries,
+        });
+        let first = match restored {
+            Some((widx, result)) => {
+                windows.push(result);
+                widx + 1
+            }
+            None => 0,
+        };
 
-        for (widx, &window) in plan.windows().iter().enumerate() {
-            let result = if widx == 0 {
-                // Window 1: Algorithm 1 from the prior (with optional
-                // adaptive refinement over fresh runs).
-                let mut rng = Xoshiro256PlusPlus::from_stream(self.config.seed, &[TAG_WINDOW, 0]);
-                let proposals: Vec<Proposal> = (0..self.config.n_params)
-                    .map(|_| Proposal {
-                        ancestor: 0,
-                        theta: priors.theta.iter().map(|p| p.sample(&mut rng)).collect(),
-                        rho: priors.rho.sample(&mut rng),
-                    })
-                    .collect();
-                self.adaptive_window(&runner, observed, window, 0, None, proposals, rng)?
-            } else {
-                let ancestors = &windows[widx - 1].posterior;
-                let mut rng =
-                    Xoshiro256PlusPlus::from_stream(self.config.seed, &[TAG_WINDOW, widx as u64]);
-                let n_anc = ancestors.len() as u64;
-                let proposals: Vec<Proposal> = (0..self.config.n_params)
-                    .map(|_| {
-                        let a = rng.next_bounded(n_anc) as usize;
-                        let anc = &ancestors.particles()[a];
-                        Proposal {
-                            ancestor: a,
-                            theta: anc
-                                .theta
-                                .iter()
-                                .zip(&self.jitter_theta)
-                                .map(|(&t, k)| k.sample(t, &mut rng))
-                                .collect::<Arc<[f64]>>(),
-                            rho: self.jitter_rho.sample(anc.rho, &mut rng),
-                        }
-                    })
-                    .collect();
-                self.adaptive_window(
-                    &runner,
-                    observed,
-                    window,
-                    widx,
-                    Some(ancestors),
-                    proposals,
-                    rng,
-                )?
+        for widx in first..plan.len() {
+            let window = plan.windows()[widx];
+            let result = match windows.last() {
+                None => {
+                    // Window 1: Algorithm 1 from the prior (with optional
+                    // adaptive refinement over fresh runs).
+                    let mut rng =
+                        Xoshiro256PlusPlus::from_stream(self.config.seed, &[TAG_WINDOW, 0]);
+                    let proposals: Vec<Proposal> = (0..self.config.n_params)
+                        .map(|_| Proposal {
+                            ancestor: 0,
+                            theta: priors.theta.iter().map(|p| p.sample(&mut rng)).collect(),
+                            rho: priors.rho.sample(&mut rng),
+                        })
+                        .collect();
+                    self.adaptive_window(&runner, observed, window, 0, None, proposals, rng)?
+                }
+                Some(prev) => {
+                    let ancestors = &prev.posterior;
+                    let mut rng = Xoshiro256PlusPlus::from_stream(
+                        self.config.seed,
+                        &[TAG_WINDOW, widx as u64],
+                    );
+                    let n_anc = ancestors.len() as u64;
+                    let proposals: Vec<Proposal> = (0..self.config.n_params)
+                        .map(|_| {
+                            let a = rng.next_bounded(n_anc) as usize;
+                            let anc = &ancestors.particles()[a];
+                            Proposal {
+                                ancestor: a,
+                                theta: anc
+                                    .theta
+                                    .iter()
+                                    .zip(&self.jitter_theta)
+                                    .map(|(&t, k)| k.sample(t, &mut rng))
+                                    .collect::<Arc<[f64]>>(),
+                                rho: self.jitter_rho.sample(anc.rho, &mut rng),
+                            }
+                        })
+                        .collect();
+                    self.adaptive_window(
+                        &runner,
+                        observed,
+                        window,
+                        widx,
+                        Some(ancestors),
+                        proposals,
+                        rng,
+                    )?
+                }
             };
+            let mut result = result;
+            if let Some((store, policy)) = persist_to {
+                if policy.persists(widx, plan.len()) {
+                    // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
+                    let persist_started = std::time::Instant::now();
+                    result.telemetry.records_written = 1;
+                    // The snapshot carries the telemetry with
+                    // `persist_nanos` still 0: the write cost is being
+                    // measured around this very call, and zeroing it
+                    // keeps records byte-reproducible across runs.
+                    let snap = RunSnapshot {
+                        seed: self.config.seed,
+                        fingerprint,
+                        window_index: widx as u32,
+                        window: result.window,
+                        ess: result.ess,
+                        log_marginal: result.log_marginal,
+                        unique_ancestors: result.unique_ancestors as u64,
+                        iterations: result.iterations as u64,
+                        wall_nanos: result.wall_time.as_nanos() as u64,
+                        telemetry: result.telemetry,
+                        posterior: result.posterior.clone(),
+                    };
+                    persist::save(store, &snap)?;
+                    if let Some(retain) = policy.retain {
+                        persist::apply_retention(store, retain)?;
+                    }
+                    result.telemetry.persist_nanos = persist_started.elapsed().as_nanos() as u64;
+                }
+            }
             windows.push(result);
         }
-        Ok(CalibrationResult { windows })
+        Ok(CalibrationResult { windows, resume })
     }
 
     /// Simulate/weight one window, re-proposing with shrinking kernels

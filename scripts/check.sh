@@ -18,6 +18,13 @@ cargo run -p epilint --quiet
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# The durability harness runs as part of the workspace suite above; this
+# explicit pass re-runs it under a constrained thread pool so the
+# kill/resume bit-identity matrix also covers the multi-worker path
+# locally (CI's fault-injection job sweeps 1/2/4 threads).
+echo "==> RAYON_NUM_THREADS=2 cargo test --test durability_resume --test fault_injection --test persist_format -q"
+RAYON_NUM_THREADS=2 cargo test --test durability_resume --test fault_injection --test persist_format -q
+
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run --quiet
 

@@ -78,7 +78,7 @@ pub mod prelude {
     };
     pub use crate::smc::{
         adaptive::AdaptiveConfig,
-        config::CalibrationConfig,
+        config::{CalibrationConfig, CheckpointPolicy},
         diagnostics::{coverage, joint_density, PosteriorSummary, Ribbon},
         error::SmcError,
         forecast::{Forecast, Forecaster},
@@ -87,6 +87,10 @@ pub mod prelude {
         },
         observation::{BiasMode, BinomialBias, DelayedBinomialBias, IdentityBias},
         particle::{Particle, ParticleEnsemble},
+        persist::{
+            run_fingerprint, DirStore, Fault, FaultPlan, FaultStore, MemStore, ResumeReport,
+            RunSnapshot, RunStore,
+        },
         prior::{BetaPrior, JitterKernel, Prior, UniformPrior},
         rejuvenate::{rejuvenate, rejuvenate_with, RejuvenationConfig},
         resample::{Multinomial, Resampler, Residual, Stratified, Systematic},

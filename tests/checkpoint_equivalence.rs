@@ -127,6 +127,81 @@ fn branched_trajectories_share_history_and_diverge_after() {
 }
 
 #[test]
+fn restore_into_with_seed_matches_resume_across_steppers_and_models() {
+    // The in-place restore (`restore_into_with_seed`, the worker-arena
+    // path used by pooled workspaces and the durability layer) must be
+    // indistinguishable from the allocate-fresh `resume_with_seed` path —
+    // for every stepper and for both the scalar and age-stratified models.
+    use epismc::sim::covid_age::{CovidAgeModel, CovidAgeParams};
+    use epismc::sim::spec::ModelSpec;
+    use epismc::sim::state::SimState;
+
+    fn check<S: Stepper + Clone>(spec: ModelSpec, stepper: S, init: SimState, label: &str) {
+        let mut first = Simulation::new(spec.clone(), stepper.clone(), init).unwrap();
+        first.run_until(30);
+        let ck = first.checkpoint();
+
+        let mut resumed =
+            Simulation::resume_with_seed(spec.clone(), stepper.clone(), &ck, 777).unwrap();
+        resumed.run_until(60);
+
+        // Restore over a state that already holds unrelated garbage (a
+        // different seed's empty arena).
+        let mut state = SimState::empty(&spec, 1);
+        ck.restore_into_with_seed(&spec, &mut state, 777).unwrap();
+        let mut rebuilt = Simulation::new(spec, stepper, state).unwrap();
+        rebuilt.run_until(60);
+
+        assert_eq!(rebuilt.state(), resumed.state(), "{label}: state diverged");
+        assert_eq!(
+            rebuilt.series(),
+            resumed.series(),
+            "{label}: series diverged"
+        );
+    }
+
+    let covid = CovidModel::new(Scenario::paper_tiny().base_params).unwrap();
+    let age = CovidAgeModel::new(CovidAgeParams::three_groups(20_000, 40)).unwrap();
+
+    check(
+        covid.spec(),
+        BinomialChainStepper::daily(),
+        covid.initial_state(5),
+        "covid/binomial-chain",
+    );
+    check(
+        covid.spec(),
+        GillespieStepper::new(),
+        covid.initial_state(5),
+        "covid/gillespie",
+    );
+    check(
+        covid.spec(),
+        TauLeapStepper::new(4),
+        covid.initial_state(5),
+        "covid/tau-leap",
+    );
+    check(
+        age.spec(),
+        BinomialChainStepper::daily(),
+        age.initial_state(5),
+        "covid-age/binomial-chain",
+    );
+    check(
+        age.spec(),
+        GillespieStepper::new(),
+        age.initial_state(5),
+        "covid-age/gillespie",
+    );
+    check(
+        age.spec(),
+        TauLeapStepper::new(4),
+        age.initial_state(5),
+        "covid-age/tau-leap",
+    );
+}
+
+#[test]
 fn layout_mismatch_is_rejected_end_to_end() {
     let sim = simulator();
     let (_, ck) = sim.run_fresh(&[0.3], 1, 20).unwrap();

@@ -1,0 +1,260 @@
+//! Deterministic fault-injection harness: every failure mode (failed
+//! write, truncated record, flipped byte, torn rename) injected at every
+//! persisted window must leave the campaign recoverable — resume lands on
+//! the last good snapshot, or fails with a typed error when nothing
+//! usable survives. Zero panics, ever.
+
+use epismc::prelude::*;
+
+fn setup() -> (GroundTruth, CovidSimulator) {
+    let scenario = Scenario::paper_tiny();
+    let truth = generate_ground_truth(&scenario, scenario.truth_seed);
+    let simulator = CovidSimulator::new(scenario.base_params).unwrap();
+    (truth, simulator)
+}
+
+fn plan() -> WindowPlan {
+    WindowPlan::new(vec![TimeWindow::new(20, 33), TimeWindow::new(34, 47)])
+}
+
+fn calibrator(simulator: &CovidSimulator) -> SequentialCalibrator<'_, CovidSimulator> {
+    SequentialCalibrator::new(
+        simulator,
+        CalibrationConfig::builder()
+            .n_params(48)
+            .n_replicates(3)
+            .resample_size(96)
+            .seed(515)
+            .build(),
+        vec![JitterKernel::symmetric(0.08, 0.05, 0.8)],
+        JitterKernel::asymmetric(0.05, 0.08, 0.05, 1.0),
+    )
+}
+
+fn posterior_bits(e: &ParticleEnsemble) -> Vec<(u64, u64, u64, u64)> {
+    e.particles()
+        .iter()
+        .map(|p| {
+            (
+                p.theta[0].to_bits(),
+                p.rho.to_bits(),
+                p.seed,
+                p.log_weight.to_bits(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn every_fault_kind_at_every_window_recovers_or_fails_typed() {
+    let (truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let plan = plan();
+    let policy = CheckpointPolicy::every_window();
+    let cal = calibrator(&simulator);
+
+    let baseline_store = MemStore::new();
+    let baseline = cal
+        .run_persisted(&Priors::paper(), &observed, &plan, &baseline_store, &policy)
+        .unwrap();
+
+    // Offset 25 sits in the payload; truncating at 30 cuts mid-payload.
+    // Both leave a record on disk that only the decoder can reject.
+    let matrix = [
+        Fault::FailWrite,
+        Fault::Truncate { keep: 30 },
+        Fault::FlipByte {
+            offset: 25,
+            mask: 0x40,
+        },
+        Fault::TornRename,
+    ];
+    for fault in matrix {
+        // A damaged-but-present record costs one recovery skip; a fault
+        // that leaves nothing behind costs none.
+        let expect_recoveries = match fault {
+            Fault::Truncate { .. } | Fault::FlipByte { .. } => 1,
+            Fault::FailWrite | Fault::TornRename => 0,
+        };
+        for write in 0..plan.len() {
+            let ctx = format!("fault={fault:?} write={write}");
+            let store = MemStore::new();
+            let faulty = FaultStore::new(&store, FaultPlan::fail_write_at(write, fault));
+            let err = cal
+                .run_persisted(&Priors::paper(), &observed, &plan, &faulty, &policy)
+                .unwrap_err();
+            assert!(
+                matches!(err, SmcError::Persist(_)) && err.to_string().contains("injected fault"),
+                "{ctx}: {err}"
+            );
+
+            let resumed = cal.resume_from(&Priors::paper(), &observed, &plan, &store, &policy);
+            if write == 0 {
+                // Nothing usable was ever persisted: typed error, no panic.
+                let err = resumed.unwrap_err();
+                assert!(
+                    matches!(err, SmcError::Persist(_))
+                        && err.to_string().contains("nothing to resume"),
+                    "{ctx}: {err}"
+                );
+                continue;
+            }
+            // Recovery lands on the last good snapshot (window write-1)
+            // and recomputes the tail bit-identically to the baseline.
+            let resumed = resumed.unwrap_or_else(|e| panic!("{ctx}: resume failed: {e}"));
+            assert_eq!(
+                resumed.resume,
+                Some(ResumeReport {
+                    resumed_window: (write - 1) as u32,
+                    recoveries: expect_recoveries,
+                }),
+                "{ctx}"
+            );
+            for (got, want) in resumed.windows.iter().zip(&baseline.windows[write - 1..]) {
+                assert_eq!(
+                    posterior_bits(&got.posterior),
+                    posterior_bits(&want.posterior),
+                    "{ctx}: posterior diverged at window {:?}",
+                    got.window
+                );
+                assert_eq!(
+                    got.log_marginal.to_bits(),
+                    want.log_marginal.to_bits(),
+                    "{ctx}: log_marginal"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupt_snapshot_falls_back_to_the_previous_good_one() {
+    // Damage only the NEWEST record: recovery must skip it and resume
+    // from the window before — the "last good snapshot" guarantee.
+    let (truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let plan = plan();
+    let policy = CheckpointPolicy::every_window();
+    let cal = calibrator(&simulator);
+
+    let store = MemStore::new();
+    let baseline = cal
+        .run_persisted(&Priors::paper(), &observed, &plan, &store, &policy)
+        .unwrap();
+
+    let newest = plan.len() as u32 - 1;
+    let mut raw = store.get(newest).unwrap().unwrap();
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0xFF;
+    store.put(newest, &raw).unwrap();
+
+    let resumed = cal
+        .resume_from(&Priors::paper(), &observed, &plan, &store, &policy)
+        .unwrap();
+    assert_eq!(
+        resumed.resume,
+        Some(ResumeReport {
+            resumed_window: newest - 1,
+            recoveries: 1,
+        })
+    );
+    for (got, want) in resumed
+        .windows
+        .iter()
+        .zip(&baseline.windows[newest as usize - 1..])
+    {
+        assert_eq!(
+            posterior_bits(&got.posterior),
+            posterior_bits(&want.posterior)
+        );
+    }
+}
+
+#[test]
+fn dir_store_survives_stale_tmp_files_and_garbage_records() {
+    // On-disk end to end: a run into a DirStore whose directory holds a
+    // stale temp file (simulated torn rename from a previous crash) and a
+    // garbage .epsnap record still persists, recovers, and resumes.
+    let root = std::env::temp_dir().join(format!(
+        "epismc-fault-injection-{}-dirstore",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    std::fs::write(root.join("window-00007.epsnap.tmp"), b"torn").unwrap();
+    std::fs::write(root.join("window-00099.epsnap"), b"not a record").unwrap();
+    std::fs::write(root.join("notes.txt"), b"unrelated").unwrap();
+
+    let (truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let plan = plan();
+    let policy = CheckpointPolicy::every_window();
+    let cal = calibrator(&simulator);
+
+    let store = DirStore::open(&root).unwrap();
+    // The sweep removed the stale temp file; the garbage record remains
+    // listed until recovery skips over it.
+    assert!(!root.join("window-00007.epsnap.tmp").exists());
+    assert_eq!(store.list().unwrap(), vec![99]);
+
+    let baseline = cal
+        .run_persisted(&Priors::paper(), &observed, &plan, &store, &policy)
+        .unwrap();
+    assert_eq!(store.list().unwrap(), vec![0, 1, 99]);
+
+    // Recovery skips the undecodable 99, resumes from the real window 1.
+    let resumed = cal
+        .resume_from(&Priors::paper(), &observed, &plan, &store, &policy)
+        .unwrap();
+    assert_eq!(
+        resumed.resume,
+        Some(ResumeReport {
+            resumed_window: 1,
+            recoveries: 1,
+        })
+    );
+    assert_eq!(
+        posterior_bits(&resumed.windows[0].posterior),
+        posterior_bits(&baseline.windows[1].posterior)
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn version_bumped_record_is_skipped_with_typed_error_available() {
+    // A record from a future format version must be rejected as
+    // UnsupportedFormat when loaded directly, and silently skipped (one
+    // recovery) by resume — never misread.
+    use epismc::smc::persist::{self, format};
+
+    let (truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let plan = plan();
+    let policy = CheckpointPolicy::every_window();
+    let cal = calibrator(&simulator);
+
+    let store = MemStore::new();
+    cal.run_persisted(&Priors::paper(), &observed, &plan, &store, &policy)
+        .unwrap();
+
+    let newest = plan.len() as u32 - 1;
+    let mut raw = store.get(newest).unwrap().unwrap();
+    let bumped = (format::FORMAT_VERSION + 1).to_le_bytes();
+    raw[4..6].copy_from_slice(&bumped);
+    store.put(newest, &raw).unwrap();
+
+    let err = persist::load(&store, newest).unwrap_err();
+    assert!(matches!(err, SmcError::UnsupportedFormat(_)), "{err}");
+
+    let resumed = cal
+        .resume_from(&Priors::paper(), &observed, &plan, &store, &policy)
+        .unwrap();
+    assert_eq!(
+        resumed.resume,
+        Some(ResumeReport {
+            resumed_window: newest - 1,
+            recoveries: 1,
+        })
+    );
+}
