@@ -1,0 +1,72 @@
+//! Strong-scaling gate bench: one SIS window at the paper's full grid
+//! *shape* — 25,000 parameter tuples x 20 replicates = 500,000 cells —
+//! on a scaled-down SEIR model, swept over worker counts 1 → max.
+//!
+//! Fixed work, varying threads: the classic strong-scaling experiment.
+//! Results are bit-identical across the sweep (pinned by
+//! `tests/determinism_parallel.rs`), so only wall-clock moves. The
+//! emitted `BENCH_strong_scaling.json` is consumed by
+//! `check_scaling` (see `crates/epibench/src/bin/check_scaling.rs`),
+//! which computes parallel efficiency
+//! `eff(t) = mean(1) / (t * mean(t))` and fails CI below the floor.
+//!
+//! Thread points: 1, 2, 4 always; 8 when the host exposes >= 8 cores
+//! (recorded for trend data, not gated).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use episim::seir::SeirParams;
+use epismc_core::config::CalibrationConfig;
+use epismc_core::observation::BiasMode;
+use epismc_core::prior::{BetaPrior, UniformPrior};
+use epismc_core::simulator::{SeirSimulator, TrajectorySimulator};
+use epismc_core::sis::{ObservedData, Priors, SingleWindowIs};
+use epismc_core::window::TimeWindow;
+use std::hint::black_box;
+
+const N_PARAMS: usize = 25_000;
+const N_REPS: usize = 20;
+
+fn config(threads: usize) -> CalibrationConfig {
+    CalibrationConfig::builder()
+        .n_params(N_PARAMS)
+        .n_replicates(N_REPS)
+        .resample_size(2_000)
+        .seed(99)
+        .threads(threads)
+        .build()
+}
+
+fn bench_strong_scaling(c: &mut Criterion) {
+    let simulator = SeirSimulator::new(SeirParams {
+        population: 200,
+        initial_exposed: 4,
+        ..SeirParams::default()
+    })
+    .unwrap();
+    let window = TimeWindow::new(3, 8);
+    let (truth, _) = simulator.run_fresh(&[0.5], 31, window.end).unwrap();
+    let observed =
+        ObservedData::cases_only_with(truth.series_f64("infections").unwrap(), BiasMode::Mean, 1.0);
+    let priors = Priors {
+        theta: vec![Box::new(UniformPrior::new(0.1, 0.9))],
+        rho: Box::new(BetaPrior::new(100.0, 1.0)),
+    };
+
+    let mut threads = vec![1usize, 2, 4];
+    if std::thread::available_parallelism().map_or(0, |n| n.get()) >= 8 {
+        threads.push(8);
+    }
+
+    let mut group = c.benchmark_group("strong_scaling");
+    group.sample_size(10);
+    for t in threads {
+        group.bench_function(BenchmarkId::new("window", t), |b| {
+            let driver = SingleWindowIs::new(&simulator, config(t));
+            b.iter(|| black_box(driver.run(&priors, &observed, window).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strong_scaling);
+criterion_main!(benches);

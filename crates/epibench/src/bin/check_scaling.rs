@@ -1,0 +1,128 @@
+//! CI gate over the strong-scaling bench: parses
+//! `BENCH_strong_scaling.json` (emitted by
+//! `cargo bench -p epibench --bench bench_strong_scaling`), computes
+//! parallel efficiency `eff(t) = mean(1) / (t * mean(t))`, and fails
+//! when the 4-thread point drops below the floor.
+//!
+//! Usage: `check_scaling [path-to-json]` (default:
+//! `BENCH_strong_scaling.json` in the current directory).
+//!
+//! Environment:
+//! - `SCALING_FLOOR`: efficiency floor at the gated thread count
+//!   (default `0.70`).
+//!
+//! The gate is hardware-aware: on hosts with fewer than 4 cores a
+//! 4-thread efficiency number measures oversubscription, not scaling,
+//! so the gate reports and exits 0. Thread points beyond 4 (the
+//! 8-thread sweep on larger runners) are recorded for trend data but
+//! never gated.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Gated thread count: paper-scale CI runners all expose >= 4 cores.
+const GATE_THREADS: usize = 4;
+
+#[derive(serde::Deserialize)]
+struct Summary {
+    suite: String,
+    benchmarks: Vec<Bench>,
+}
+
+#[derive(serde::Deserialize)]
+struct Bench {
+    name: String,
+    mean_ns: f64,
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("check_scaling: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_strong_scaling.json".into());
+    let floor: f64 = match std::env::var("SCALING_FLOOR") {
+        Ok(v) => match v.trim().parse() {
+            Ok(f) => f,
+            Err(_) => return fail(&format!("SCALING_FLOOR {v:?} is not a number")),
+        },
+        Err(_) => 0.70,
+    };
+
+    let raw = match std::fs::read_to_string(&path) {
+        Ok(raw) => raw,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let summary: Summary = match serde_json::from_str(&raw) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot parse {path}: {e}")),
+    };
+    if summary.suite != "strong_scaling" {
+        return fail(&format!(
+            "{path} holds suite {:?}, expected \"strong_scaling\"",
+            summary.suite
+        ));
+    }
+
+    // Collect "strong_scaling/window/<t>" points.
+    let mut means: BTreeMap<usize, f64> = BTreeMap::new();
+    for b in &summary.benchmarks {
+        if let Some(t) = b.name.strip_prefix("strong_scaling/window/") {
+            if let Ok(t) = t.parse::<usize>() {
+                means.insert(t, b.mean_ns);
+            }
+        }
+    }
+    let Some(&serial) = means.get(&1) else {
+        return fail(&format!("{path} has no 1-thread baseline point"));
+    };
+    if !(serial.is_finite() && serial > 0.0) {
+        return fail(&format!("1-thread mean {serial} is not a positive time"));
+    }
+
+    println!("strong scaling ({path}):");
+    println!("  threads      mean        speedup   efficiency");
+    let mut gate_eff: Option<f64> = None;
+    for (&t, &mean) in &means {
+        let speedup = serial / mean;
+        let eff = speedup / t as f64;
+        println!(
+            "  {t:>7}  {:>10.1} ms  {speedup:>7.2}x  {:>9.1}%",
+            mean / 1e6,
+            eff * 100.0
+        );
+        if t == GATE_THREADS {
+            gate_eff = Some(eff);
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < GATE_THREADS {
+        println!(
+            "gate skipped: host has {cores} core(s) < {GATE_THREADS}; a {GATE_THREADS}-thread \
+             point here measures oversubscription, not scaling"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let Some(eff) = gate_eff else {
+        return fail(&format!(
+            "{path} has no {GATE_THREADS}-thread point to gate"
+        ));
+    };
+    if eff < floor {
+        return fail(&format!(
+            "parallel efficiency {:.1}% at {GATE_THREADS} threads is below the {:.0}% floor",
+            eff * 100.0,
+            floor * 100.0
+        ));
+    }
+    println!(
+        "gate passed: {:.1}% efficiency at {GATE_THREADS} threads (floor {:.0}%)",
+        eff * 100.0,
+        floor * 100.0
+    );
+    ExitCode::SUCCESS
+}

@@ -41,7 +41,16 @@ pub const MAGIC: u32 = 0x4E53_5045;
 
 /// Current record format version. Bump on any layout change; decoders
 /// reject every version they do not know.
-pub const FORMAT_VERSION: u16 = 1;
+///
+/// Version history:
+/// - 1: initial layout, 16 telemetry words.
+/// - 2: appended `stream_setup_nanos` and `serial_nanos` telemetry words
+///   (decoders migrate v1 records by defaulting both to 0).
+pub const FORMAT_VERSION: u16 = 2;
+
+/// Oldest record version this build can still decode (typed migration:
+/// missing v2 telemetry words default to 0).
+pub const MIN_SUPPORTED_VERSION: u16 = 1;
 
 /// Fixed header length: magic + version + window index + payload length.
 pub const HEADER_LEN: usize = 4 + 2 + 4 + 8;
@@ -122,7 +131,7 @@ fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
 /// The telemetry counters in record order. Adding a field to
 /// [`TrajectoryTelemetry`] means appending here *and* in
 /// [`read_telemetry`] and bumping [`FORMAT_VERSION`].
-fn telemetry_words(t: &TrajectoryTelemetry) -> [u64; 16] {
+fn telemetry_words(t: &TrajectoryTelemetry) -> [u64; 18] {
     [
         t.shared_bytes as u64,
         t.flat_bytes as u64,
@@ -140,6 +149,10 @@ fn telemetry_words(t: &TrajectoryTelemetry) -> [u64; 16] {
         t.grid_chunks,
         t.persist_nanos,
         t.records_written,
+        // v2 additions — must stay at the tail so v1 readers' prefix is
+        // untouched and v1 records migrate by defaulting them to 0.
+        t.stream_setup_nanos,
+        t.serial_nanos,
     ]
 }
 
@@ -364,8 +377,8 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn read_telemetry(r: &mut Reader<'_>) -> Result<TrajectoryTelemetry, SmcError> {
-    Ok(TrajectoryTelemetry {
+fn read_telemetry(r: &mut Reader<'_>, version: u16) -> Result<TrajectoryTelemetry, SmcError> {
+    let mut t = TrajectoryTelemetry {
         shared_bytes: r.u64("telemetry")? as usize,
         flat_bytes: r.u64("telemetry")? as usize,
         unique_segments: r.u64("telemetry")? as usize,
@@ -382,7 +395,17 @@ fn read_telemetry(r: &mut Reader<'_>) -> Result<TrajectoryTelemetry, SmcError> {
         grid_chunks: r.u64("telemetry")?,
         persist_nanos: r.u64("telemetry")?,
         records_written: r.u64("telemetry")?,
-    })
+        stream_setup_nanos: 0,
+        serial_nanos: 0,
+    };
+    // v2 appended two words; v1 records migrate with both defaulted to 0
+    // (they are nondeterministic diagnostics, so 0 is a faithful "not
+    // recorded" value).
+    if version >= 2 {
+        t.stream_setup_nanos = r.u64("telemetry")?;
+        t.serial_nanos = r.u64("telemetry")?;
+    }
+    Ok(t)
 }
 
 fn read_ensemble(r: &mut Reader<'_>) -> Result<ParticleEnsemble, SmcError> {
@@ -537,9 +560,10 @@ pub fn decode_record(data: &[u8]) -> Result<RunSnapshot, SmcError> {
         )));
     }
     let version = header.u16("version")?;
-    if version != FORMAT_VERSION {
+    if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(SmcError::UnsupportedFormat(format!(
-            "record format version {version} (this build reads version {FORMAT_VERSION})"
+            "record format version {version} (this build reads versions \
+             {MIN_SUPPORTED_VERSION}..={FORMAT_VERSION})"
         )));
     }
     let header_window = header.u32("window index")?;
@@ -590,7 +614,7 @@ pub fn decode_record(data: &[u8]) -> Result<RunSnapshot, SmcError> {
     let unique_ancestors = r.u64("unique ancestors")?;
     let iterations = r.u64("iterations")?;
     let wall_nanos = r.u64("wall nanos")?;
-    let telemetry = read_telemetry(&mut r)?;
+    let telemetry = read_telemetry(&mut r, version)?;
     let posterior = read_ensemble(&mut r)?;
     if r.remaining() != 0 {
         return Err(corrupt(format!(

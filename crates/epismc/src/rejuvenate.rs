@@ -17,7 +17,7 @@
 //! already makes.
 
 use epistats::dist::Normal;
-use epistats::rng::{derive_stream, Xoshiro256PlusPlus};
+use epistats::rng::StreamKey;
 
 use crate::particle::ParticleEnsemble;
 use crate::runner::ParallelRunner;
@@ -171,13 +171,18 @@ pub fn rejuvenate_with<S: TrajectorySimulator>(
         return Ok(RejuvenationStats::default());
     }
 
-    // Work on owned copies in parallel, then write back.
+    // Work on owned copies in parallel, then write back. Each worker
+    // derives its particle's streams in O(1) from counter-mode keys
+    // hoisted out of the closure (bit-identical to the old chained
+    // derivation).
+    let move_key = StreamKey::new(master_seed).absorb(0x4E10_u64);
+    let bias_key = StreamKey::new(master_seed).absorb(0x4E11_u64);
     let particles: Vec<_> = ensemble.particles().to_vec();
     let moved: Vec<Result<(crate::particle::Particle, usize), String>> =
         runner.run_indexed(particles.len(), |i| {
             let mut p = particles[i].clone();
-            let mut rng = Xoshiro256PlusPlus::from_stream(master_seed, &[0x4E10_u64, i as u64]);
-            let bias_seed = derive_stream(master_seed, &[0x4E11_u64, i as u64]);
+            let mut rng = move_key.rng(i as u64);
+            let bias_seed = bias_key.derive(i as u64);
             // Current likelihood under a fixed bias draw (shared between
             // current and proposed states so the comparison is exact in
             // the parameters).

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use epistats::logweight::log_mean_exp;
-use epistats::rng::{derive_stream, Xoshiro256PlusPlus};
+use epistats::rng::{StreamKey, Xoshiro256PlusPlus};
 use epistats::summary::ess;
 
 use crate::ckpool;
@@ -251,6 +251,17 @@ pub struct TrajectoryTelemetry {
     /// current policies). Deterministic for a given
     /// [`crate::config::CheckpointPolicy`].
     pub records_written: u64,
+    /// Wall-clock nanoseconds spent in serial per-window stream/proposal
+    /// setup (prior/jitter sampling and stream-key construction) before
+    /// the parallel grid launches (inherently nondeterministic —
+    /// diagnostics only).
+    pub stream_setup_nanos: u64,
+    /// Wall-clock nanoseconds of the window spent *outside* the parallel
+    /// simulation grid — the window's serial fraction (setup, weight
+    /// normalization, resampling, telemetry). This is what Amdahl's law
+    /// bounds strong scaling by; inherently nondeterministic —
+    /// diagnostics only.
+    pub serial_nanos: u64,
 }
 
 impl TrajectoryTelemetry {
@@ -290,6 +301,12 @@ struct WindowAccounting {
     pool_builds: usize,
     /// Scheduling chunks across the window's simulation grids.
     grid_chunks: u64,
+    /// Serial stream/proposal setup span (see
+    /// [`TrajectoryTelemetry::stream_setup_nanos`]).
+    stream_setup_nanos: u64,
+    /// Wall-clock spent inside parallel grid passes; subtracted from the
+    /// window wall to yield [`TrajectoryTelemetry::serial_nanos`].
+    grid_nanos: u64,
 }
 
 /// Measure the posterior ensemble's trajectory and checkpoint footprint
@@ -314,6 +331,7 @@ fn measure_telemetry(
     let mut t = TrajectoryTelemetry {
         pool_builds: acct.pool_builds,
         grid_chunks: acct.grid_chunks,
+        stream_setup_nanos: acct.stream_setup_nanos,
         days_simulated: ws_stats.days_simulated(),
         sim_nanos: ws_stats.sim_nanos(),
         score_nanos: ws_stats.score_nanos(),
@@ -501,7 +519,10 @@ fn finalize_window(
     );
     posterior.set_uniform_weights();
     let resample_nanos = resample_started.elapsed().as_nanos() as u64;
-    let telemetry = measure_telemetry(&posterior, runner, acct, resample_nanos, ws_stats);
+    let mut telemetry = measure_telemetry(&posterior, runner, acct, resample_nanos, ws_stats);
+    // Everything the window spent outside its parallel grid passes —
+    // the serial fraction strong scaling is bounded by.
+    telemetry.serial_nanos = (started.elapsed().as_nanos() as u64).saturating_sub(acct.grid_nanos);
 
     WindowResult {
         window,
@@ -608,14 +629,20 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
             })
             .collect();
 
-        // Common random numbers: replicate r shares its seed across all
-        // parameter tuples (Section V-B).
-        let rep_seeds: Vec<u64> = (0..cfg.n_replicates)
-            .map(|r| derive_stream(cfg.seed, &[TAG_SIM_SEED, r as u64]))
-            .collect();
+        // Counter-mode stream keys: each worker derives its cell's seeds
+        // in O(1) from a shared absorbed prefix — nothing per-cell is
+        // precomputed serially. Common random numbers hold by layout:
+        // the simulation counter is the replicate index alone, so
+        // replicate r shares its seed across all parameter tuples
+        // (Section V-B).
+        let sim_key = StreamKey::new(cfg.seed).absorb(TAG_SIM_SEED);
+        let bias_key = StreamKey::new(cfg.seed).absorb(TAG_BIAS);
+        let stream_setup_nanos = started.elapsed().as_nanos() as u64;
 
         let runner = &self.runner;
         let ws_stats = Arc::new(WorkspaceStats::default());
+        // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
+        let grid_started = std::time::Instant::now();
         let results: Vec<Result<Particle, SmcError>> = runner.run_grid_pooled(
             cfg.n_params,
             cfg.n_replicates,
@@ -623,11 +650,12 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
             |ws, i, r| {
                 let (theta, rho) = &tuples[i];
                 let (sim, scratch) = ws.parts();
-                let (trajectory, checkpoint) =
-                    self.simulator
-                        .run_fresh_in(sim, theta, rep_seeds[r], window.end)?;
+                let sim_seed = sim_key.derive(r as u64);
+                let (trajectory, checkpoint) = self
+                    .simulator
+                    .run_fresh_in(sim, theta, sim_seed, window.end)?;
                 let trajectory = SharedTrajectory::root(trajectory);
-                let bias_seed = derive_stream(cfg.seed, &[TAG_BIAS, i as u64, r as u64]);
+                let bias_seed = bias_key.derive2(i as u64, r as u64);
                 // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
                 let score_started = std::time::Instant::now();
                 let log_weight =
@@ -636,7 +664,7 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
                 Ok(Particle {
                     theta: Arc::clone(theta),
                     rho: *rho,
-                    seed: rep_seeds[r],
+                    seed: sim_seed,
                     log_weight,
                     trajectory,
                     checkpoint: ckpool::share(checkpoint),
@@ -644,6 +672,7 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
                 })
             },
         );
+        let grid_nanos = grid_started.elapsed().as_nanos() as u64;
         let candidates: Vec<Particle> = results.into_iter().collect::<Result<_, _>>()?;
         // The driver's pre-built pool is charged to the first window that
         // uses it — later runs on the same driver report 0.
@@ -651,6 +680,8 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
             iterations: 1,
             pool_builds: runner.take_build_charge(),
             grid_chunks: runner.chunk_count(cfg.n_params * cfg.n_replicates) as u64,
+            stream_setup_nanos,
+            grid_nanos,
         };
         Ok(finalize_window(
             window, candidates, cfg, &mut rng, runner, started, acct, &ws_stats,
@@ -954,6 +985,8 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
 
         for widx in first..plan.len() {
             let window = plan.windows()[widx];
+            // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
+            let setup_started = std::time::Instant::now();
             let result = match windows.last() {
                 None => {
                     // Window 1: Algorithm 1 from the prior (with optional
@@ -967,7 +1000,17 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                             rho: priors.rho.sample(&mut rng),
                         })
                         .collect();
-                    self.adaptive_window(&runner, observed, window, 0, None, proposals, rng)?
+                    let setup_nanos = setup_started.elapsed().as_nanos() as u64;
+                    self.adaptive_window(
+                        &runner,
+                        observed,
+                        window,
+                        0,
+                        None,
+                        proposals,
+                        rng,
+                        setup_nanos,
+                    )?
                 }
                 Some(prev) => {
                     let ancestors = &prev.posterior;
@@ -992,6 +1035,7 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                             }
                         })
                         .collect();
+                    let setup_nanos = setup_started.elapsed().as_nanos() as u64;
                     self.adaptive_window(
                         &runner,
                         observed,
@@ -1000,6 +1044,7 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                         Some(ancestors),
                         proposals,
                         rng,
+                        setup_nanos,
                     )?
                 }
             };
@@ -1053,6 +1098,7 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
         ancestors: Option<&ParticleEnsemble>,
         mut proposals: Vec<Proposal>,
         mut rng: Xoshiro256PlusPlus,
+        mut stream_setup_nanos: u64,
     ) -> Result<WindowResult, SmcError> {
         // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
         let started = std::time::Instant::now();
@@ -1062,8 +1108,11 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
         let ws_stats = Arc::new(WorkspaceStats::default());
         let mut iteration = 0usize;
         let mut grid_chunks = 0u64;
+        let mut grid_nanos = 0u64;
         loop {
             grid_chunks += runner.chunk_count(proposals.len() * cfg.n_replicates) as u64;
+            // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
+            let grid_started = std::time::Instant::now();
             let candidates = self.simulate_batch(
                 runner,
                 &proposals,
@@ -1074,6 +1123,7 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                 iteration,
                 &ws_stats,
             )?;
+            grid_nanos += grid_started.elapsed().as_nanos() as u64;
             iteration += 1;
             // The calibration-level pool build is never re-charged to a
             // window: `run` pre-builds the runner, so windows report 0.
@@ -1081,6 +1131,8 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                 iterations: iteration,
                 pool_builds: 0,
                 grid_chunks,
+                stream_setup_nanos,
+                grid_nanos,
             };
 
             let adaptive = match &self.adaptive {
@@ -1104,6 +1156,8 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
 
             // Re-propose around the weighted candidates with shrunken
             // kernels, inheriting each chosen candidate's ancestor.
+            // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
+            let repropose_started = std::time::Instant::now();
             let decay = adaptive.jitter_decay.powi(iteration as i32);
             let shrink = |k: &JitterKernel| JitterKernel {
                 down: (k.down * decay).max(1e-6),
@@ -1130,6 +1184,7 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                     }
                 })
                 .collect();
+            stream_setup_nanos += repropose_started.elapsed().as_nanos() as u64;
         }
     }
 
@@ -1148,19 +1203,18 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
         ws_stats: &Arc<WorkspaceStats>,
     ) -> Result<Vec<Particle>, SmcError> {
         let cfg = &self.config;
-        let rep_seeds: Vec<u64> = (0..cfg.n_replicates)
-            .map(|r| {
-                derive_stream(
-                    cfg.seed,
-                    &[
-                        TAG_SIM_SEED,
-                        window_index as u64,
-                        iteration as u64,
-                        r as u64,
-                    ],
-                )
-            })
-            .collect();
+        // Counter-mode keys with the `(window, iteration)` prefix absorbed
+        // once; every worker derives its cell's seeds in O(1). The
+        // simulation counter is the replicate index alone, so common
+        // random numbers across proposals hold by construction.
+        let sim_key = StreamKey::new(cfg.seed)
+            .absorb(TAG_SIM_SEED)
+            .absorb(window_index as u64)
+            .absorb(iteration as u64);
+        let bias_key = StreamKey::new(cfg.seed)
+            .absorb(TAG_BIAS)
+            .absorb(window_index as u64)
+            .absorb(iteration as u64);
         let results: Vec<Result<Particle, SmcError>> = runner.run_grid_pooled(
             proposals.len(),
             cfg.n_replicates,
@@ -1168,14 +1222,12 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
             |ws, i, r| {
                 let prop = &proposals[i];
                 let (sim, scratch) = ws.parts();
+                let sim_seed = sim_key.derive(r as u64);
                 let (trajectory, checkpoint, origin) = match ancestors {
                     None => {
-                        let (t, ck) = self.simulator.run_fresh_in(
-                            sim,
-                            &prop.theta,
-                            rep_seeds[r],
-                            window.end,
-                        )?;
+                        let (t, ck) =
+                            self.simulator
+                                .run_fresh_in(sim, &prop.theta, sim_seed, window.end)?;
                         (SharedTrajectory::root(t), ckpool::share(ck), None)
                     }
                     Some(anc_set) => {
@@ -1184,7 +1236,7 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                             sim,
                             &anc.checkpoint,
                             &prop.theta,
-                            rep_seeds[r],
+                            sim_seed,
                             window.end,
                         )?;
                         // O(window), not O(history): the ancestor's past
@@ -1197,16 +1249,7 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                         )
                     }
                 };
-                let bias_seed = derive_stream(
-                    cfg.seed,
-                    &[
-                        TAG_BIAS,
-                        window_index as u64,
-                        iteration as u64,
-                        i as u64,
-                        r as u64,
-                    ],
-                );
+                let bias_seed = bias_key.derive2(i as u64, r as u64);
                 // Incremental likelihood: only this window's data.
                 // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
                 let score_started = std::time::Instant::now();
@@ -1216,7 +1259,7 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                 Ok(Particle {
                     theta: Arc::clone(&prop.theta),
                     rho: prop.rho,
-                    seed: rep_seeds[r],
+                    seed: sim_seed,
                     log_weight,
                     trajectory,
                     checkpoint,

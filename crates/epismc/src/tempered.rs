@@ -14,7 +14,7 @@
 //! one step.
 
 use epistats::logweight::normalize_log_weights;
-use epistats::rng::{derive_stream, Xoshiro256PlusPlus};
+use epistats::rng::{StreamKey, Xoshiro256PlusPlus};
 use epistats::summary::ess;
 
 use crate::config::CalibrationConfig;
@@ -112,6 +112,11 @@ pub fn tempered_single_window<S: TrajectorySimulator>(
     let mut rung_moves = Vec::with_capacity(tempered.ladder.len());
     // One pool for every rung's move step, not one per rung.
     let runner = ParallelRunner::from_option(config.threads);
+    // Counter-mode stream keys: per-rung move seeds and per-particle
+    // refresh bias seeds derive in O(1) from these shared prefixes
+    // (bit-identical to the chained derivation they replace).
+    let move_key = StreamKey::new(config.seed).absorb(0x7E4E);
+    let refresh_key = StreamKey::new(config.seed).absorb(0x7E4F);
 
     let mut phi_prev = 0.0;
     for (k, &phi) in tempered.ladder.iter().enumerate() {
@@ -144,17 +149,32 @@ pub fn tempered_single_window<S: TrajectorySimulator>(
             observed,
             window,
             &move_cfg,
-            derive_stream(config.seed, &[0x7E4E, k as u64]),
+            move_key.derive(k as u64),
             &runner,
         )
         .map_err(SmcError::Simulation)?;
         rung_moves.push(stats);
 
         // Refresh each particle's stored full log likelihood (moves may
-        // have changed parameters/trajectories).
-        for (i, p) in ensemble.particles_mut().iter_mut().enumerate() {
-            let bias_seed = derive_stream(config.seed, &[0x7E4F, k as u64, i as u64]);
-            p.log_weight = score_window(&p.trajectory, p.rho, bias_seed, observed, window)?;
+        // have changed parameters/trajectories). Scores are computed in
+        // parallel on the rung's runner and written back serially in
+        // index order — a deterministic reduction.
+        let rung_key = refresh_key.absorb(k as u64);
+        let refreshed: Vec<Result<f64, SmcError>> = {
+            let particles = ensemble.particles();
+            runner.run_indexed(particles.len(), |i| {
+                let p = &particles[i];
+                score_window(
+                    &p.trajectory,
+                    p.rho,
+                    rung_key.derive(i as u64),
+                    observed,
+                    window,
+                )
+            })
+        };
+        for (p, ll) in ensemble.particles_mut().iter_mut().zip(refreshed) {
+            p.log_weight = ll?;
         }
         phi_prev = phi;
     }

@@ -28,20 +28,99 @@ pub fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Domain-separation constant xored into the master seed before absorption.
+const STREAM_DOMAIN: u64 = 0xA076_1D64_78BD_642F;
+
+/// Multiplier decorrelating tag values before they touch the SplitMix64
+/// state (an odd constant, so distinct tags stay distinct).
+const STREAM_TAG_MUL: u64 = 0xE703_7ED1_A0B4_28DB;
+
 /// Derive a 64-bit stream seed from a master seed and a sequence of tags.
 ///
 /// The derivation is a chained SplitMix64 absorption: each tag perturbs the
 /// state before the next mix, so `derive_stream(m, &[a, b])` differs from
 /// `derive_stream(m, &[b, a])` and from `derive_stream(m, &[a])`, while
 /// remaining fully deterministic across threads, platforms and runs.
+///
+/// This is the reference formulation; [`StreamKey`] computes the identical
+/// value in counter mode — prefix absorbed once, final tag supplied as an
+/// O(1) per-cell counter — which is what the parallel grid uses.
 pub fn derive_stream(master: u64, tags: &[u64]) -> u64 {
-    let mut state = master ^ 0xA076_1D64_78BD_642F;
-    let mut out = splitmix64(&mut state);
+    let mut key = StreamKey::new(master);
     for &t in tags {
-        state ^= t.wrapping_mul(0xE703_7ED1_A0B4_28DB);
-        out = splitmix64(&mut state);
+        key = key.absorb(t);
     }
-    out
+    key.seed()
+}
+
+/// Counter-mode stream derivation: a reusable absorbed prefix over
+/// `(master_seed, tags...)` from which per-cell seeds are derived in O(1)
+/// by supplying the trailing tag(s) as counters.
+///
+/// `StreamKey::new(m).absorb(a).derive(b)` is **bit-identical** to
+/// [`derive_stream`]`(m, &[a, b])` — the key simply caches the chained
+/// SplitMix64 absorption state after the prefix, so a worker thread can
+/// derive any cell `(i, r)` of a window grid directly from the shared key
+/// without replaying the prefix chain or walking cells sequentially.
+///
+/// The struct is `Copy` (a single `u64` of absorbed state plus the running
+/// output word), so hoisting one key per window and handing copies to
+/// worker closures costs nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamKey {
+    /// SplitMix64 state after absorbing the master seed and every prefix
+    /// tag (each absorption advances the Weyl sequence once).
+    state: u64,
+    /// Output word of the most recent absorption — equals
+    /// `derive_stream(master, prefix)` for the tags absorbed so far.
+    out: u64,
+}
+
+impl StreamKey {
+    /// Start a key from a master seed (no tags absorbed yet).
+    #[inline]
+    pub fn new(master: u64) -> Self {
+        let mut state = master ^ STREAM_DOMAIN;
+        let out = splitmix64(&mut state);
+        Self { state, out }
+    }
+
+    /// Absorb one prefix tag, returning the extended key.
+    #[inline]
+    #[must_use]
+    pub fn absorb(mut self, tag: u64) -> Self {
+        self.state ^= tag.wrapping_mul(STREAM_TAG_MUL);
+        self.out = splitmix64(&mut self.state);
+        self
+    }
+
+    /// The stream seed for the prefix absorbed so far — identical to
+    /// `derive_stream(master, prefix)`.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.out
+    }
+
+    /// Derive the stream seed for `counter` appended to the absorbed
+    /// prefix, without mutating the key: O(1), no chain replay.
+    #[inline]
+    pub fn derive(&self, counter: u64) -> u64 {
+        let mut state = self.state ^ counter.wrapping_mul(STREAM_TAG_MUL);
+        splitmix64(&mut state)
+    }
+
+    /// Derive with two trailing counters (e.g. `(param_index, replicate)`),
+    /// equivalent to `self.absorb(a).derive(b)`.
+    #[inline]
+    pub fn derive2(&self, a: u64, b: u64) -> u64 {
+        self.absorb(a).derive(b)
+    }
+
+    /// Build a generator seeded on [`Self::derive`]`(counter)`.
+    #[inline]
+    pub fn rng(&self, counter: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::new(self.derive(counter))
+    }
 }
 
 /// xoshiro256++ generator with explicit serializable state.
@@ -320,6 +399,50 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_ne!(derive_stream(m, &[]), derive_stream(m + 1, &[]));
+    }
+
+    #[test]
+    fn stream_key_matches_derive_stream_exactly() {
+        // The counter-mode key must reproduce the chained absorption
+        // bit-for-bit at every prefix length — this is what keeps
+        // persisted snapshots and every seed-pinned golden stable.
+        for master in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF_CAFE_F00D] {
+            let key = StreamKey::new(master);
+            assert_eq!(key.seed(), derive_stream(master, &[]));
+            for a in [0u64, 1, 7, u64::MAX] {
+                assert_eq!(key.derive(a), derive_stream(master, &[a]));
+                let ka = key.absorb(a);
+                assert_eq!(ka.seed(), derive_stream(master, &[a]));
+                for b in [0u64, 3, 1 << 40] {
+                    assert_eq!(ka.derive(b), derive_stream(master, &[a, b]));
+                    assert_eq!(key.derive2(a, b), derive_stream(master, &[a, b]));
+                    for c in [2u64, 500_000] {
+                        assert_eq!(ka.absorb(b).derive(c), derive_stream(master, &[a, b, c]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_key_derive_is_pure() {
+        // derive() must not mutate the key: any cell can be derived any
+        // number of times, in any order, from a shared copy.
+        let key = StreamKey::new(99).absorb(0x5EED);
+        let first = key.derive(17);
+        let others: Vec<u64> = (0..8).map(|i| key.derive(i)).collect();
+        assert_eq!(key.derive(17), first);
+        assert_eq!(others, (0..8).map(|i| key.derive(i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stream_key_rng_matches_from_stream() {
+        let key = StreamKey::new(7).absorb(11);
+        let mut a = key.rng(3);
+        let mut b = Xoshiro256PlusPlus::from_stream(7, &[11, 3]);
+        for _ in 0..16 {
+            assert_eq!(a.next(), b.next());
+        }
     }
 
     #[test]

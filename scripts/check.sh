@@ -28,4 +28,15 @@ RAYON_NUM_THREADS=2 cargo test --test durability_resume --test fault_injection -
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run --quiet
 
+# Strong-scaling gate: only meaningful against a summary produced on
+# this machine. If one is present, assert the efficiency floor (the
+# gate itself skips on hosts with < 4 cores); regenerate + gate in one
+# step with scripts/check_scaling.sh.
+if [ -f BENCH_strong_scaling.json ]; then
+  echo "==> check_scaling BENCH_strong_scaling.json"
+  cargo run -q -p epibench --bin check_scaling -- BENCH_strong_scaling.json
+else
+  echo "==> strong-scaling gate skipped (no BENCH_strong_scaling.json; run scripts/check_scaling.sh)"
+fi
+
 echo "All checks passed."

@@ -169,6 +169,90 @@ fn scheduling_matrix_is_bit_identical() {
 }
 
 #[test]
+fn dir_store_resume_round_trip_is_bit_identical_across_shapes() {
+    // Counter-based streams make every window's RNG layout a pure
+    // function of `(master seed, window, param, replicate)` — so a run
+    // persisted under one scheduling shape, truncated on disk, and
+    // resumed under a *different* thread count / chunk size must land on
+    // the serial baseline bit for bit.
+    let (truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let plan = WindowPlan::new(vec![
+        TimeWindow::new(20, 33),
+        TimeWindow::new(34, 47),
+        TimeWindow::new(48, 61),
+    ]);
+    let policy = CheckpointPolicy::every_window();
+    let calibrate = |threads: Option<usize>, chunk_cells: Option<usize>| {
+        let mut cfg = CalibrationConfig::builder()
+            .n_params(48)
+            .n_replicates(3)
+            .resample_size(96)
+            .seed(17)
+            .build();
+        cfg.threads = threads;
+        cfg.chunk_cells = chunk_cells;
+        SequentialCalibrator::new(
+            &simulator,
+            cfg,
+            vec![JitterKernel::symmetric(0.08, 0.05, 0.8)],
+            JitterKernel::asymmetric(0.05, 0.08, 0.05, 1.0),
+        )
+    };
+    let baseline = calibrate(Some(1), None)
+        .run(&Priors::paper(), &observed, &plan)
+        .unwrap();
+    let baseline_fp = posterior_fingerprint(baseline.final_posterior());
+    let baseline_last_lm = baseline.windows.last().unwrap().log_marginal.to_bits();
+
+    // (write shape, resume shape): every resume crosses the shape it
+    // was persisted under.
+    let shapes = [
+        ((Some(2), Some(7)), (Some(4), None)),
+        ((Some(4), None), (None, Some(1))),
+        ((None, Some(4)), (Some(2), Some(1))),
+    ];
+    for (case, &((wt, wc), (rt, rc))) in shapes.iter().enumerate() {
+        let ctx = format!("case {case}: write=({wt:?},{wc:?}) resume=({rt:?},{rc:?})");
+        let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"))
+            .join(format!("determinism_dir_resume_{case}"));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        let store = DirStore::open(&dir).unwrap();
+        calibrate(wt, wc)
+            .run_persisted(&Priors::paper(), &observed, &plan, &store, &policy)
+            .unwrap();
+        // Crash simulation: the final window's record is lost; the
+        // durable prefix ends at window 1.
+        store.delete(plan.len() as u32 - 1).unwrap();
+        // Round-trip through a fresh handle (re-lists the directory).
+        let reopened = DirStore::open(&dir).unwrap();
+        let resumed = calibrate(rt, rc)
+            .resume_from(&Priors::paper(), &observed, &plan, &reopened, &policy)
+            .unwrap();
+        assert_eq!(
+            resumed.resume,
+            Some(ResumeReport {
+                resumed_window: plan.len() as u32 - 2,
+                recoveries: 0,
+            }),
+            "{ctx}"
+        );
+        assert_eq!(
+            posterior_fingerprint(resumed.final_posterior()),
+            baseline_fp,
+            "{ctx}: final posterior diverged"
+        );
+        assert_eq!(
+            resumed.windows.last().unwrap().log_marginal.to_bits(),
+            baseline_last_lm,
+            "{ctx}: recomputed window log marginal diverged"
+        );
+    }
+}
+
+#[test]
 fn same_seed_same_event_ordering_in_raw_engine() {
     // Regression for the engine's per-edge flow bookkeeping: it is keyed
     // by a BTreeMap so that the order in which edge events are drained

@@ -1,6 +1,8 @@
 //! Byte-format pinning for the durable run store: a golden fixture locks
-//! the v1 record encoding (any accidental change to the wire format fails
-//! here before it eats someone's checkpoints), a version-bump test proves
+//! the current (v2) record encoding (any accidental change to the wire
+//! format fails here before it eats someone's checkpoints), a retained v1
+//! fixture proves the typed migration path (older records decode with the
+//! appended telemetry words defaulted), a version-bump test proves
 //! records from a future format are rejected as [`SmcError::UnsupportedFormat`],
 //! and property tests drive arbitrary ensembles through
 //! encode → decode → encode bit-exactly while arbitrary single-byte
@@ -115,12 +117,18 @@ fn golden_snapshot() -> RunSnapshot {
             grid_chunks: 4,
             persist_nanos: 0,
             records_written: 1,
+            stream_setup_nanos: 314,
+            serial_nanos: 2_718,
         },
         posterior: ParticleEnsemble::from_vec(particles),
     }
 }
 
 fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_record_v2.bin")
+}
+
+fn golden_v1_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_record_v1.bin")
 }
 
@@ -136,7 +144,7 @@ fn golden_record_bytes_are_pinned() {
         )
     });
     if bytes != want {
-        let out = Path::new(env!("CARGO_TARGET_TMPDIR")).join("run_record_v1.actual.bin");
+        let out = Path::new(env!("CARGO_TARGET_TMPDIR")).join("run_record_v2.actual.bin");
         std::fs::write(&out, &bytes).unwrap();
         panic!(
             "serialized record diverged from the golden fixture (got {} bytes, want {}); \
@@ -184,6 +192,38 @@ fn golden_record_decodes_with_sharing_intact() {
 }
 
 #[test]
+fn v1_record_migrates_with_new_telemetry_defaulted() {
+    // The retained v1 fixture (written before `stream_setup_nanos` /
+    // `serial_nanos` existed) must still decode: everything it carried
+    // comes back bit-exactly, and the two appended v2 words default to 0.
+    let raw = std::fs::read(golden_v1_path()).unwrap();
+    assert_eq!(u16::from_le_bytes([raw[4], raw[5]]), 1, "fixture is v1");
+    let snap = format::decode_record(&raw).unwrap();
+    assert_eq!(snap.seed, 42);
+    assert_eq!(snap.fingerprint, 0x1234_5678_9abc_def0);
+    assert_eq!(snap.window, TimeWindow::new(34, 47));
+    let mut want = golden_snapshot().telemetry;
+    want.stream_setup_nanos = 0;
+    want.serial_nanos = 0;
+    assert_eq!(snap.telemetry, want);
+
+    // Sharing survives the migration too.
+    let p = snap.posterior.particles();
+    assert_eq!(p.len(), 3);
+    assert!(Arc::ptr_eq(&p[0].theta, &p[1].theta));
+    assert!(Arc::ptr_eq(&p[0].checkpoint, &p[1].checkpoint));
+
+    // Re-encoding a migrated snapshot upgrades it to the current version
+    // (two extra zero words, version 2) — a decode → encode → decode trip
+    // is lossless.
+    let upgraded = format::encode_record(&snap);
+    assert_ne!(upgraded, raw);
+    let again = format::decode_record(&upgraded).unwrap();
+    assert_eq!(again.telemetry, snap.telemetry);
+    assert_eq!(again.posterior.len(), snap.posterior.len());
+}
+
+#[test]
 fn future_format_version_is_rejected_as_unsupported() {
     let mut raw = std::fs::read(golden_path()).unwrap();
     // Bytes [4..6] are the little-endian format version, after the magic.
@@ -212,7 +252,7 @@ fn short_and_empty_records_are_corrupt_not_panics() {
 }
 
 #[test]
-#[ignore = "regenerates tests/golden/run_record_v1.bin; run only after an intentional format change (with a FORMAT_VERSION bump)"]
+#[ignore = "regenerates tests/golden/run_record_v2.bin; run only after an intentional format change (with a FORMAT_VERSION bump)"]
 fn regenerate_golden_fixture() {
     let path = golden_path();
     std::fs::create_dir_all(path.parent().unwrap()).unwrap();

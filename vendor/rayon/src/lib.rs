@@ -12,17 +12,29 @@
 //! indexed collect provides. A pool of one thread runs strictly
 //! sequentially on the calling thread.
 //!
+//! Dedicated pools with two or more workers are **persistent**: the OS
+//! threads are spawned once at [`ThreadPoolBuilder::build`] and every
+//! grid executed under [`ThreadPool::install`] is broadcast to them over
+//! a condvar, so the per-grid serial overhead is one mutex hand-off
+//! instead of `workers` thread spawns + joins. Parallel iterators run
+//! outside any installed pool fall back to scoped threads spawned per
+//! call.
+//!
 //! The default worker count honors `RAYON_NUM_THREADS` (read once per
 //! process), matching real rayon's global-pool convention.
 
-use std::cell::Cell;
+use std::any::Any;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
 thread_local! {
     static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    static POOL_HANDLE: RefCell<Option<Arc<PoolShared>>> = const { RefCell::new(None) };
 }
 
 static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
@@ -53,11 +65,18 @@ pub fn current_num_threads() -> usize {
 /// Default chunk size for `n` items over `workers` workers: small enough
 /// that stragglers rebalance (several chunks per worker), large enough
 /// that the atomic claim is amortized across many items.
+///
+/// The upper clamp matters at paper-scale grids: a 500k-cell window
+/// under the old `1024` cap split into ~490 chunks *regardless of the
+/// worker count*, so per-chunk bookkeeping (cursor claim, state
+/// re-entry) dominated cheap cells. `8192` keeps tens of chunks per
+/// worker at that scale — enough for stragglers to rebalance, two
+/// orders of magnitude fewer claims.
 pub fn adaptive_chunk(n: usize, workers: usize) -> usize {
     if n == 0 {
         return 1;
     }
-    (n / (workers.max(1) * 8)).clamp(1, 1024)
+    (n / (workers.max(1) * 8)).clamp(1, 8192)
 }
 
 /// Error building a thread pool (never produced by this stand-in).
@@ -77,6 +96,134 @@ impl fmt::Display for ThreadPoolBuildError {
 
 impl std::error::Error for ThreadPoolBuildError {}
 
+/// A type-erased borrow of a submitter's worker closure: a monomorphized
+/// trampoline plus the closure's address. Only dereferenced while the
+/// submitting call blocks inside [`PoolShared::broadcast`], which keeps
+/// the closure alive for the whole execution.
+#[derive(Clone, Copy)]
+struct Job {
+    run: unsafe fn(usize),
+    ctx: usize,
+}
+
+/// Monomorphized trampoline reconstituting the worker closure from its
+/// erased address.
+///
+/// # Safety
+/// `ctx` must be the address of a live `W` for the duration of the call.
+unsafe fn run_erased<W: Fn() + Sync>(ctx: usize) {
+    (*(ctx as *const W))();
+}
+
+/// Erase `body` into a [`Job`]. The caller must keep `body` alive until
+/// the job has fully drained (guaranteed by blocking in `broadcast`).
+fn make_job<W: Fn() + Sync>(body: &W) -> Job {
+    Job {
+        run: run_erased::<W>,
+        ctx: std::ptr::from_ref(body) as usize,
+    }
+}
+
+struct PoolState {
+    /// The job every worker runs for the current epoch; `Some` from
+    /// submission until the submitter observes completion.
+    job: Option<Job>,
+    /// Bumped once per broadcast; workers compare against their last
+    /// seen value so a job runs exactly once per worker.
+    epoch: u64,
+    /// Workers still executing the current job.
+    running: usize,
+    /// First panic payload observed this epoch (re-raised on the
+    /// submitting thread).
+    panic: Option<Box<dyn Any + Send>>,
+    shutdown: bool,
+}
+
+/// Shared state between a persistent pool's workers and submitters.
+struct PoolShared {
+    workers: usize,
+    state: Mutex<PoolState>,
+    /// Signals workers: a new epoch was published or shutdown requested.
+    work: Condvar,
+    /// Signals submitters: the current job drained (or the slot freed).
+    done: Condvar,
+}
+
+impl PoolShared {
+    fn new(workers: usize) -> Self {
+        Self {
+            workers,
+            state: Mutex::new(PoolState {
+                job: None,
+                epoch: 0,
+                running: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Run `job` on every pool worker and block until all finish.
+    /// Concurrent submitters queue on the `job` slot. Returns the first
+    /// panic payload, if any worker panicked.
+    fn broadcast(&self, job: Job) -> Option<Box<dyn Any + Send>> {
+        let mut st = self.state.lock().unwrap();
+        while st.job.is_some() {
+            st = self.done.wait(st).unwrap();
+        }
+        st.job = Some(job);
+        st.epoch = st.epoch.wrapping_add(1);
+        st.running = self.workers;
+        self.work.notify_all();
+        while st.running > 0 {
+            st = self.done.wait(st).unwrap();
+        }
+        st.job = None;
+        let panic = st.panic.take();
+        drop(st);
+        // Free the job slot for any queued submitter.
+        self.done.notify_all();
+        panic
+    }
+}
+
+/// Body of each persistent worker thread: sleep on the condvar, run one
+/// job per epoch, report completion, repeat until shutdown.
+fn worker_loop(shared: &PoolShared) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    // A new epoch is only published together with a job.
+                    break st.job.expect("pool epoch advanced without a job");
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        // Catch so a panicking grid cell poisons neither the worker nor
+        // the pool: the payload is re-raised on the submitting thread.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (job.run)(job.ctx) }));
+        let mut st = shared.state.lock().unwrap();
+        if let Err(payload) = result {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        st.running -= 1;
+        if st.running == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
 /// Builder for a dedicated pool.
 #[derive(Default)]
 pub struct ThreadPoolBuilder {
@@ -95,7 +242,10 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Build the pool.
+    /// Build the pool. For two or more workers the OS threads are
+    /// spawned here, once, and reused by every grid run under
+    /// [`ThreadPool::install`]; a one-thread pool stays threadless and
+    /// runs sequentially on the calling thread.
     ///
     /// # Errors
     /// Never fails in this stand-in.
@@ -105,29 +255,89 @@ impl ThreadPoolBuilder {
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { threads })
+        let (shared, handles) = if threads >= 2 {
+            let shared = Arc::new(PoolShared::new(threads));
+            let handles = (0..threads)
+                .map(|_| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || worker_loop(&shared))
+                })
+                .collect();
+            (Some(shared), handles)
+        } else {
+            (None, Vec::new())
+        };
+        Ok(ThreadPool {
+            threads,
+            shared,
+            handles,
+        })
     }
 }
 
-/// A pool with a fixed worker count.
-#[derive(Debug)]
+/// A pool with a fixed worker count. Pools of two or more threads own
+/// persistent worker threads (see [`ThreadPoolBuilder::build`]); dropping
+/// the pool shuts them down and joins them.
 pub struct ThreadPool {
     threads: usize,
+    shared: Option<Arc<PoolShared>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// Restores the calling thread's pool bindings even if the installed
+/// closure unwinds, so a panicking grid cannot leak a stale pool into
+/// later work on this thread.
+struct InstallGuard {
+    prev_threads: Option<usize>,
+    prev_handle: Option<Arc<PoolShared>>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        POOL_HANDLE.with(|c| *c.borrow_mut() = self.prev_handle.take());
+        POOL_THREADS.with(|c| c.set(self.prev_threads));
+    }
 }
 
 impl ThreadPool {
-    /// Run `f` with this pool's thread count governing any parallel
-    /// iterators it executes.
+    /// Run `f` with this pool governing any parallel iterators it
+    /// executes: they use the pool's thread count and, for persistent
+    /// pools, dispatch onto its resident workers.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        let prev = POOL_THREADS.with(|c| c.replace(Some(self.threads)));
+        let guard = InstallGuard {
+            prev_threads: POOL_THREADS.with(|c| c.replace(Some(self.threads))),
+            prev_handle: POOL_HANDLE.with(|c| c.replace(self.shared.clone())),
+        };
         let out = f();
-        POOL_THREADS.with(|c| c.set(prev));
+        drop(guard);
         out
     }
 
     /// Configured worker count.
     pub fn current_num_threads(&self) -> usize {
         self.threads
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            let mut st = shared.state.lock().unwrap();
+            st.shutdown = true;
+            drop(st);
+            shared.work.notify_all();
+            for handle in self.handles.drain(..) {
+                let _ = handle.join();
+            }
+        }
     }
 }
 
@@ -284,9 +494,16 @@ impl<T> SlabPtr<T> {
 /// a shared cursor and write each result into its slot of a preallocated
 /// slab. Output order is index order by construction.
 ///
-/// Panic safety: if a worker panics, `std::thread::scope` joins the rest
-/// and propagates the panic before `set_len`, so the slab is dropped with
-/// length zero — already-written elements leak (no drops run) but no
+/// When a persistent pool is installed on the calling thread the claim
+/// loop is broadcast to its resident workers (one condvar hand-off);
+/// otherwise scoped threads are spawned for this call. Pool workers
+/// beyond the grid's needs find the cursor exhausted and never build an
+/// `init` state — the state is created lazily on first claimed chunk.
+///
+/// Panic safety: a worker panic propagates on the calling thread before
+/// `set_len` (the scope join re-raises it; the pool path re-raises the
+/// payload captured by `broadcast`), so the slab is dropped with length
+/// zero — already-written elements leak (no drops run) but no
 /// uninitialized memory is ever read.
 fn run_dynamic<I, T, INIT, F>(
     range: Range<usize>,
@@ -311,30 +528,43 @@ where
     let mut out: Vec<T> = Vec::with_capacity(n);
     let slab = SlabPtr(out.as_mut_ptr());
     let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let slab = &slab;
-            let cursor = &cursor;
-            scope.spawn(move || {
-                let mut state = init();
-                loop {
-                    let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if lo >= n {
-                        break;
-                    }
-                    let hi = (lo + chunk).min(n);
-                    for i in lo..hi {
-                        let value = f(&mut state, start + i);
-                        // SAFETY: `i < n` and the cursor hands each index
-                        // to exactly one worker.
-                        unsafe { slab.write(i, value) };
-                    }
+    let worker = |state: &mut Option<I>| loop {
+        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if lo >= n {
+            break;
+        }
+        let state = state.get_or_insert_with(init);
+        let hi = (lo + chunk).min(n);
+        for i in lo..hi {
+            let value = f(state, start + i);
+            // SAFETY: `i < n` and the cursor hands each index to
+            // exactly one worker.
+            unsafe { slab.write(i, value) };
+        }
+    };
+    let pool = POOL_HANDLE.with(|c| c.borrow().clone());
+    match pool {
+        Some(shared) => {
+            // Broadcast the claim loop to the resident workers. The
+            // closure borrows the slab/cursor/f on this stack frame;
+            // `broadcast` blocks until every worker finished, keeping
+            // those borrows alive for the whole execution.
+            let body = || worker(&mut None);
+            if let Some(payload) = shared.broadcast(make_job(&body)) {
+                resume_unwind(payload);
+            }
+        }
+        None => {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let worker = &worker;
+                    scope.spawn(move || worker(&mut None));
                 }
             });
         }
-    });
-    // SAFETY: the scope joined every worker without panicking, so all n
-    // slots were initialized exactly once.
+    }
+    // SAFETY: every worker was joined without panicking, so all n slots
+    // were initialized exactly once.
     unsafe { out.set_len(n) };
     out
 }
@@ -471,7 +701,105 @@ mod tests {
         assert_eq!(adaptive_chunk(0, 4), 1);
         assert_eq!(adaptive_chunk(7, 4), 1);
         assert_eq!(adaptive_chunk(256, 4), 8);
-        assert_eq!(adaptive_chunk(1 << 20, 1), 1024);
+        assert_eq!(adaptive_chunk(1 << 20, 1), 8192);
+    }
+
+    #[test]
+    fn adaptive_chunk_keeps_chunks_per_worker_bounded() {
+        // Characterization of the paper-scale regime: the old 1024 cap
+        // saturated at 500k cells and left every worker with hundreds of
+        // tiny chunks. The policy must keep chunks-per-worker in a band
+        // wide enough for straggler rebalancing but narrow enough that
+        // the atomic claim stays amortized.
+        for &(n, w) in &[
+            (500_000usize, 1usize),
+            (500_000, 4),
+            (500_000, 8),
+            (1 << 20, 4),
+        ] {
+            let chunk = adaptive_chunk(n, w);
+            let chunks = n.div_ceil(chunk);
+            let per_worker = chunks as f64 / w as f64;
+            assert!(
+                per_worker >= 2.0,
+                "n={n} w={w}: {per_worker} chunks/worker is too coarse to rebalance"
+            );
+            assert!(
+                per_worker <= 128.0,
+                "n={n} w={w}: {per_worker} chunks/worker re-pays the claim overhead \
+                 the cap exists to amortize"
+            );
+        }
+        // The small-grid policy (several chunks per worker) is unchanged.
+        assert_eq!(adaptive_chunk(256, 4), 256 / (4 * 8));
+    }
+
+    #[test]
+    fn pool_workers_persist_across_calls() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        // Three separate grids must execute on the same resident worker
+        // threads — no per-call spawning.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let ids = Mutex::new(HashSet::new());
+        for round in 0..3usize {
+            let out: Vec<usize> = pool.install(|| {
+                (0..64usize)
+                    .into_par_iter()
+                    .with_min_len(1)
+                    .map(|i| {
+                        ids.lock().unwrap().insert(std::thread::current().id());
+                        i + round
+                    })
+                    .collect()
+            });
+            assert_eq!(out, (round..64 + round).collect::<Vec<_>>());
+        }
+        let distinct = ids.lock().unwrap().len();
+        assert!(
+            distinct <= 2,
+            "expected at most 2 persistent workers across all grids, saw {distinct} thread ids"
+        );
+    }
+
+    #[test]
+    fn pool_survives_worker_panic() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..64usize)
+                    .into_par_iter()
+                    .with_min_len(1)
+                    .map(|i| {
+                        assert!(i != 17, "injected failure");
+                        i
+                    })
+                    .collect::<usize, Vec<usize>>()
+            })
+        }));
+        assert!(result.is_err(), "cell panic must propagate to the caller");
+        // The install guard restored this thread's bindings despite the
+        // unwind, and the pool is immediately reusable.
+        assert!(POOL_THREADS.with(|c| c.get()).is_none());
+        assert!(POOL_HANDLE.with(|c| c.borrow().is_none()));
+        let out: Vec<usize> =
+            pool.install(|| (0..32usize).into_par_iter().map(|i| i * 2).collect());
+        assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_thread_pool_stays_threadless() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        assert!(pool.shared.is_none());
+        assert!(pool.handles.is_empty());
+        let caller = std::thread::current().id();
+        let out: Vec<_> = pool.install(|| {
+            (0..8usize)
+                .into_par_iter()
+                .map(|i| (i, std::thread::current().id()))
+                .collect()
+        });
+        assert!(out.iter().all(|&(_, id)| id == caller));
     }
 
     #[test]
