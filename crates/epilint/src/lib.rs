@@ -20,6 +20,8 @@
 //! | `lossy-cast` | `as <int>` casts on float-bearing lines in likelihood/observation code | silent truncation of count variables skews likelihoods |
 //! | `checkpoint-clone` | `SimCheckpoint` deep clones / byte round-trips (`SimCheckpoint::clone`, `checkpoint.clone()`, `.to_bytes(`, `SimCheckpoint::from_bytes`) outside the interning module | inference code must alias checkpoints through `ckpool`'s `Arc` pool; a deep copy on the resample/jitter path silently reintroduces the per-particle memory blowup |
 //! | `fs-write` | `std::fs` write operations (`File::create`, `OpenOptions`, `fs::write`, `fs::rename`, `fs::remove_*`, `fs::create_dir*`, `fs::copy`) outside `fs-exempt` paths | durability writes must stay in the audited persist module, where every record is checksummed and committed atomically; a stray write elsewhere bypasses the crash-recovery contract |
+//! | `unsafe-containment` | `unsafe` blocks/fns/impls outside the `unsafe-allow` module set, and any `unsafe` site (allowlisted or not, test code included) without an adjacent `// SAFETY: <reason>` comment or `# Safety` doc section | the worker pool's type-erased jobs and raw slab writes are the only sanctioned unsafe surface; every site must state the invariant it relies on so the model checker / Miri / TSan suites know what to cover |
+//! | `atomics-ordering` | in `atomics-paths` files: atomic load/store/RMW calls without an explicit `Ordering`, and any `Relaxed` ordering without an adjacent `// ORDER: <reason>` note | the pool's epoch-broadcast protocol gets its happens-before edges from the state mutex, not the atomics — each `Relaxed` must spell out why that is sufficient, or be strengthened |
 //!
 //! ## Waivers
 //!
@@ -63,11 +65,17 @@ pub enum Rule {
     /// R6: no filesystem writes outside the durability module
     /// (`fs-exempt` paths).
     FsWrite,
+    /// R7: `unsafe` is contained to the `unsafe-allow` module set and
+    /// every site carries an adjacent `// SAFETY:` justification.
+    UnsafeContainment,
+    /// R8: atomics in `atomics-paths` files state their `Ordering`
+    /// explicitly, with an `// ORDER:` note justifying any `Relaxed`.
+    AtomicsOrdering,
 }
 
 impl Rule {
     /// All rules, in diagnostic order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 9] = [
         Rule::PanicUnwrap,
         Rule::HashIter,
         Rule::WallClock,
@@ -75,6 +83,8 @@ impl Rule {
         Rule::LossyCast,
         Rule::CheckpointClone,
         Rule::FsWrite,
+        Rule::UnsafeContainment,
+        Rule::AtomicsOrdering,
     ];
 
     /// The rule's configuration/waiver name.
@@ -87,6 +97,8 @@ impl Rule {
             Rule::LossyCast => "lossy-cast",
             Rule::CheckpointClone => "checkpoint-clone",
             Rule::FsWrite => "fs-write",
+            Rule::UnsafeContainment => "unsafe-containment",
+            Rule::AtomicsOrdering => "atomics-ordering",
         }
     }
 
@@ -142,6 +154,19 @@ pub struct CrateConfig {
     /// that owns all on-disk record writes. Matched by substring so a
     /// directory (`persist/`) exempts every file under it.
     pub fs_exempt: Vec<String>,
+    /// Files (path suffixes) permitted to *contain* `unsafe` under
+    /// `unsafe-containment`. Sites in allowlisted files still need their
+    /// adjacent `// SAFETY:` justification.
+    pub unsafe_allow: Vec<String>,
+    /// When non-empty, `atomics-ordering` applies only to files whose
+    /// path ends with one of these suffixes (the pool module set).
+    pub atomics_paths: Vec<String>,
+    /// Workspace-block only: root-relative directories to scan (the
+    /// per-crate blocks always scan `crates/<name>/src`).
+    pub scan: Vec<String>,
+    /// Workspace-block only: path fragments excluded from the scan
+    /// (lint fixtures are test *data*, not code). Substring match.
+    pub scan_exclude: Vec<String>,
 }
 
 impl CrateConfig {
@@ -160,21 +185,33 @@ impl CrateConfig {
         if rule == Rule::FsWrite && self.fs_exempt.iter().any(|p| rel_path.contains(p.as_str())) {
             return false;
         }
+        if rule == Rule::AtomicsOrdering && !self.atomics_paths.is_empty() {
+            return self.atomics_paths.iter().any(|p| rel_path.ends_with(p));
+        }
         true
     }
 }
 
-/// The workspace lint configuration: one block per linted crate.
+/// The workspace lint configuration: one block per linted crate, plus an
+/// optional `[workspace]` block for rules that scan beyond `crates/*/src`
+/// (the concurrency rules R7/R8 cover vendored code, tests, and
+/// examples too).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Config {
     /// Per-crate blocks, in file order.
     pub crates: Vec<CrateConfig>,
+    /// The `[workspace]` block: rules applied over the `scan` roots.
+    pub workspace: Option<CrateConfig>,
 }
 
+/// Sentinel crate name marking the `[workspace]` block during parsing.
+const WORKSPACE_BLOCK: &str = "(workspace)";
+
 impl Config {
-    /// Parse the `epilint.toml` config format: `[crate.<name>]` headers
-    /// followed by `rules = a, b, c` and optional `float-paths = x, y`
-    /// lines. Blank lines and `#` comments are ignored.
+    /// Parse the `epilint.toml` config format: `[crate.<name>]` (or
+    /// `[workspace]`) headers followed by `rules = a, b, c` and optional
+    /// scoping lines (`float-paths`, `unsafe-allow`, `scan`, ...). Blank
+    /// lines and `#` comments are ignored.
     ///
     /// # Errors
     /// Returns a `line: message` string on malformed input.
@@ -183,6 +220,13 @@ impl Config {
         for (idx, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
+                continue;
+            }
+            if line == "[workspace]" {
+                crates.push(CrateConfig {
+                    name: WORKSPACE_BLOCK.to_string(),
+                    ..CrateConfig::default()
+                });
                 continue;
             }
             if let Some(rest) = line.strip_prefix("[crate.") {
@@ -223,10 +267,26 @@ impl Config {
                 "fs-exempt" => {
                     block.fs_exempt = values.into_iter().map(String::from).collect();
                 }
+                "unsafe-allow" => {
+                    block.unsafe_allow = values.into_iter().map(String::from).collect();
+                }
+                "atomics-paths" => {
+                    block.atomics_paths = values.into_iter().map(String::from).collect();
+                }
+                "scan" => {
+                    block.scan = values.into_iter().map(String::from).collect();
+                }
+                "scan-exclude" => {
+                    block.scan_exclude = values.into_iter().map(String::from).collect();
+                }
                 other => return Err(format!("line {}: unknown key '{other}'", idx + 1)),
             }
         }
-        Ok(Config { crates })
+        let workspace = crates
+            .iter()
+            .position(|c| c.name == WORKSPACE_BLOCK)
+            .map(|pos| crates.remove(pos));
+        Ok(Config { crates, workspace })
     }
 }
 
@@ -387,13 +447,65 @@ fn needles(rule: Rule) -> &'static [&'static str] {
             "fs::create_dir_all",
             "fs::copy",
         ],
-        // FloatEq / LossyCast use structural scans, not plain needles.
-        Rule::FloatEq | Rule::LossyCast => &[],
+        // FloatEq / LossyCast / UnsafeContainment / AtomicsOrdering use
+        // structural scans, not plain needles.
+        Rule::FloatEq | Rule::LossyCast | Rule::UnsafeContainment | Rule::AtomicsOrdering => &[],
     }
 }
 
+/// Atomic operation calls audited by `atomics-ordering`.
+const ATOMIC_OPS: [&str; 11] = [
+    ".load(",
+    ".store(",
+    ".swap(",
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_and(",
+    ".fetch_or(",
+    ".fetch_xor(",
+    ".fetch_update(",
+    ".compare_exchange(",
+    ".compare_exchange_weak(",
+];
+
+/// Explicit memory-ordering tokens accepted by the audit.
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
 fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
+}
+
+/// Whether `raw` carries `marker` followed by a non-empty reason.
+/// Markers not ending in `:` (the `# Safety` doc heading) are accepted
+/// bare — the doc section body below the heading is the reason.
+fn note_with_reason(raw: &str, marker: &str) -> bool {
+    match raw.find(marker) {
+        Some(pos) => !marker.ends_with(':') || !raw[pos + marker.len()..].trim().is_empty(),
+        None => false,
+    }
+}
+
+/// Whether line `idx` — or the contiguous comment/attribute block
+/// directly above it — carries one of `markers` with its reason. This is
+/// the adjacency rule for `// SAFETY:` and `// ORDER:` justifications:
+/// same line, or the comment block the site sits under.
+fn has_adjacent_note(lines: &[&str], idx: usize, markers: &[&str]) -> bool {
+    let hit = |raw: &str| markers.iter().any(|m| note_with_reason(raw, m));
+    if hit(lines[idx]) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if !(t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!")) {
+            break;
+        }
+        if hit(t) {
+            return true;
+        }
+    }
+    false
 }
 
 /// Find `needle` in `code` such that it is not embedded in a larger
@@ -563,6 +675,24 @@ fn parse_waiver(raw: &str) -> Result<Vec<Rule>, String> {
     Ok(rules)
 }
 
+/// Join the scrubbed lines of the call statement starting at `idx`:
+/// lines are appended while the statement's parentheses stay open, up to
+/// a small bound. This is how the atomics audit finds an `Ordering`
+/// argument that rustfmt pushed onto a continuation line.
+fn call_window(scrubbed: &[String], idx: usize) -> String {
+    let mut window = String::new();
+    let mut depth = 0i64;
+    for (j, line) in scrubbed.iter().enumerate().skip(idx).take(8) {
+        window.push_str(line);
+        window.push(' ');
+        depth += line.matches('(').count() as i64 - line.matches(')').count() as i64;
+        if j >= idx && depth <= 0 {
+            break;
+        }
+    }
+    window
+}
+
 /// Tracks `#[cfg(test)]`-gated items so their bodies are skipped.
 #[derive(Clone, Copy, Debug, Default)]
 struct TestSkip {
@@ -580,10 +710,13 @@ pub fn lint_source(config: &CrateConfig, rel_path: &str, source: &str) -> Vec<Vi
     let mut skip = TestSkip::default();
     let mut violations = Vec::new();
     let lines: Vec<&str> = source.lines().collect();
+    // Pre-scrubbed lines let the atomics audit look ahead across a
+    // multi-line call for its `Ordering` argument.
+    let scrubbed: Vec<String> = lines.iter().map(|l| scrubber.scrub_line(l)).collect();
     let mut scrubbed_prev_waivers: Vec<Rule> = Vec::new();
 
     for (idx, raw) in lines.iter().enumerate() {
-        let code = scrubber.scrub_line(raw);
+        let code = &scrubbed[idx];
 
         // Waivers are parsed from the raw line (they live in comments).
         let (own_waivers, waiver_error) = match parse_waiver(raw) {
@@ -616,6 +749,31 @@ pub fn lint_source(config: &CrateConfig, rel_path: &str, source: &str) -> Vec<Vi
                 was_inside || skip.pending
             }
         };
+        // R7 applies to test code too: `unsafe` in a test harness is
+        // still unsafe, and its justification discipline is the same.
+        if config.rule_applies(Rule::UnsafeContainment, rel_path)
+            && !waived(Rule::UnsafeContainment)
+            && find_token(code, "unsafe")
+        {
+            if !config.unsafe_allow.iter().any(|p| rel_path.ends_with(p)) {
+                violations.push(Violation {
+                    file: rel_path.to_string(),
+                    line: idx + 1,
+                    rule: Rule::UnsafeContainment,
+                    what: "`unsafe` outside the allowlisted module set".to_string(),
+                });
+            }
+            if !has_adjacent_note(&lines, idx, &["SAFETY:", "# Safety"]) {
+                violations.push(Violation {
+                    file: rel_path.to_string(),
+                    line: idx + 1,
+                    rule: Rule::UnsafeContainment,
+                    what:
+                        "undocumented `unsafe` site (missing adjacent `// SAFETY:` justification)"
+                            .to_string(),
+                });
+            }
+        }
         if in_test {
             scrubbed_prev_waivers = own_waivers;
             continue;
@@ -640,7 +798,7 @@ pub fn lint_source(config: &CrateConfig, rel_path: &str, source: &str) -> Vec<Vi
                 continue;
             }
             for needle in needles(rule) {
-                if find_token(&code, needle) {
+                if find_token(code, needle) {
                     violations.push(Violation {
                         file: rel_path.to_string(),
                         line: idx + 1,
@@ -651,7 +809,7 @@ pub fn lint_source(config: &CrateConfig, rel_path: &str, source: &str) -> Vec<Vi
             }
         }
         if config.rule_applies(Rule::FloatEq, rel_path) && !waived(Rule::FloatEq) {
-            if let Some(what) = float_eq_hit(&code) {
+            if let Some(what) = float_eq_hit(code) {
                 violations.push(Violation {
                     file: rel_path.to_string(),
                     line: idx + 1,
@@ -661,12 +819,36 @@ pub fn lint_source(config: &CrateConfig, rel_path: &str, source: &str) -> Vec<Vi
             }
         }
         if config.rule_applies(Rule::LossyCast, rel_path) && !waived(Rule::LossyCast) {
-            if let Some(what) = lossy_cast_hit(&code) {
+            if let Some(what) = lossy_cast_hit(code) {
                 violations.push(Violation {
                     file: rel_path.to_string(),
                     line: idx + 1,
                     rule: Rule::LossyCast,
                     what,
+                });
+            }
+        }
+        if config.rule_applies(Rule::AtomicsOrdering, rel_path) && !waived(Rule::AtomicsOrdering) {
+            if ATOMIC_OPS.iter().any(|n| find_token(code, n)) {
+                // The `Ordering` argument may sit on a continuation line
+                // of the same call; follow the open parenthesis.
+                let window = call_window(&scrubbed, idx);
+                if !ORDERINGS.iter().any(|o| find_token(&window, o)) {
+                    violations.push(Violation {
+                        file: rel_path.to_string(),
+                        line: idx + 1,
+                        rule: Rule::AtomicsOrdering,
+                        what: "atomic operation without an explicit `Ordering`".to_string(),
+                    });
+                }
+            }
+            if find_token(code, "Relaxed") && !has_adjacent_note(&lines, idx, &["ORDER:"]) {
+                violations.push(Violation {
+                    file: rel_path.to_string(),
+                    line: idx + 1,
+                    rule: Rule::AtomicsOrdering,
+                    what: "`Relaxed` ordering without an adjacent `// ORDER:` justification"
+                        .to_string(),
                 });
             }
         }
@@ -731,6 +913,30 @@ pub fn lint_workspace(root: &Path, config: &Config) -> Result<Vec<Violation>, St
             let source = std::fs::read_to_string(&file)
                 .map_err(|e| format!("read {}: {e}", file.display()))?;
             violations.extend(lint_source(crate_cfg, &rel, &source));
+        }
+    }
+    if let Some(ws) = &config.workspace {
+        for dir in &ws.scan {
+            let base = root.join(dir);
+            if !base.is_dir() {
+                return Err(format!(
+                    "workspace scan root '{dir}' is not a directory at {}",
+                    base.display()
+                ));
+            }
+            for file in rust_files(&base)? {
+                let rel = file
+                    .strip_prefix(root)
+                    .unwrap_or(&file)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                if ws.scan_exclude.iter().any(|x| rel.contains(x.as_str())) {
+                    continue;
+                }
+                let source = std::fs::read_to_string(&file)
+                    .map_err(|e| format!("read {}: {e}", file.display()))?;
+                violations.extend(lint_source(ws, &rel, &source));
+            }
         }
     }
     Ok(violations)
@@ -988,6 +1194,134 @@ mod tests {
             v[0].to_string(),
             "crates/x/src/f.rs:2: [panic-unwrap] `unwrap`"
         );
+    }
+
+    #[test]
+    fn unsafe_containment_flags_unlisted_and_undocumented() {
+        // Outside the allowlist: both the containment breach and the
+        // missing justification fire on the one site.
+        let v = lint_source(&cfg_all(), "crates/x/src/f.rs", "unsafe { ptr.write(v) }");
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == Rule::UnsafeContainment));
+        assert!(v[0].what.contains("allowlisted"));
+        assert!(v[1].what.contains("undocumented"));
+    }
+
+    #[test]
+    fn unsafe_containment_accepts_adjacent_safety_comment() {
+        let cfg = CrateConfig {
+            unsafe_allow: vec!["pool.rs".into()],
+            ..cfg_all()
+        };
+        // Same line.
+        let src = "unsafe { ptr.write(v) } // SAFETY: slot owned exclusively\n";
+        assert!(lint_source(&cfg, "pool.rs", src).is_empty());
+        // Comment block directly above, including multi-line blocks.
+        let src = "// SAFETY: the cursor hands each index to\n// exactly one worker.\nunsafe { ptr.write(v) }\n";
+        assert!(lint_source(&cfg, "pool.rs", src).is_empty());
+        // A `# Safety` doc section on an unsafe fn counts.
+        let src = "/// Does things.\n///\n/// # Safety\n/// `ctx` must be live.\nunsafe fn run(ctx: usize) {}\n";
+        assert!(lint_source(&cfg, "pool.rs", src).is_empty());
+        // A reasonless SAFETY marker does not.
+        let src = "// SAFETY:\nunsafe { ptr.write(v) }\n";
+        assert_eq!(lint_source(&cfg, "pool.rs", src).len(), 1);
+        // Non-adjacent justification does not reach across code lines.
+        let src = "// SAFETY: too far\nlet x = 1;\nunsafe { ptr.write(v) }\n";
+        assert_eq!(lint_source(&cfg, "pool.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_containment_applies_inside_test_code() {
+        // Unlike the panic/clock rules, R7 audits #[cfg(test)] items too.
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() {\n        unsafe { q.write(1) }\n    }\n}\n";
+        let v = lint_source(&cfg_all(), "crates/x/src/f.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == Rule::UnsafeContainment));
+        // The standard waiver still works there.
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        // epilint: allow(unsafe-containment) — harness fixture\n        unsafe { q.write(1) }\n    }\n}\n";
+        assert!(lint_source(&cfg_all(), "crates/x/src/f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_word_boundaries_and_scrubbing() {
+        // `unsafe` embedded in identifiers, strings, or comments is not
+        // an unsafe site.
+        for src in [
+            "let unsafe_allow = 3;",
+            "let s = \"unsafe\";",
+            "// unsafe is discussed here",
+        ] {
+            assert!(lint_source(&cfg_all(), "f.rs", src).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn atomics_ordering_requires_explicit_ordering() {
+        let v = lint_source(&cfg_all(), "pool.rs", "cursor.fetch_add(1);");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::AtomicsOrdering);
+        assert!(v[0].what.contains("explicit"));
+        // Explicit non-Relaxed orderings pass without a note.
+        for src in [
+            "cursor.fetch_add(1, Ordering::AcqRel);",
+            "flag.store(true, Ordering::Release);",
+            "let v = flag.load(Ordering::Acquire);",
+        ] {
+            assert!(lint_source(&cfg_all(), "pool.rs", src).is_empty(), "{src}");
+        }
+        // An ordering on the call's continuation line is found.
+        let src = "cursor.fetch_add(\n    1,\n    Ordering::SeqCst,\n);\n";
+        assert!(lint_source(&cfg_all(), "pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_needs_adjacent_order_note() {
+        let v = lint_source(
+            &cfg_all(),
+            "pool.rs",
+            "cursor.fetch_add(1, Ordering::Relaxed);",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].what.contains("ORDER"));
+        let src = "// ORDER: RMW atomicity alone partitions the range;\n// visibility is ordered by the join.\nlet lo = cursor.fetch_add(1, Ordering::Relaxed);\n";
+        assert!(lint_source(&cfg_all(), "pool.rs", src).is_empty());
+        // A reasonless ORDER note is not a justification.
+        let src = "// ORDER:\nlet lo = cursor.fetch_add(1, Ordering::Relaxed);\n";
+        assert_eq!(lint_source(&cfg_all(), "pool.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn atomics_ordering_respects_path_scoping_and_tests() {
+        let cfg = CrateConfig {
+            atomics_paths: vec!["src/lib.rs".into()],
+            ..cfg_all()
+        };
+        let src = "cursor.fetch_add(1, Ordering::Relaxed);";
+        assert_eq!(lint_source(&cfg, "vendor/rayon/src/lib.rs", src).len(), 1);
+        assert!(lint_source(&cfg, "crates/x/src/runner.rs", src).is_empty());
+        // Test-code atomics (telemetry counters in unit tests) are not
+        // part of the audited protocol surface.
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        c.fetch_add(1, Ordering::Relaxed);\n    }\n}\n";
+        assert!(lint_source(&cfg, "vendor/rayon/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn config_parses_workspace_block() {
+        let cfg = Config::parse(
+            "[workspace]\nrules = unsafe-containment, atomics-ordering\nscan = src, tests, vendor\nscan-exclude = tests/fixtures/\nunsafe-allow = vendor/rayon/src/lib.rs\natomics-paths = vendor/rayon/src/lib.rs\n\n[crate.episim]\nrules = panic-unwrap\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.crates.len(), 1);
+        let ws = cfg.workspace.expect("workspace block");
+        assert_eq!(
+            ws.rules,
+            vec![Rule::UnsafeContainment, Rule::AtomicsOrdering]
+        );
+        assert_eq!(ws.scan, vec!["src", "tests", "vendor"]);
+        assert_eq!(ws.scan_exclude, vec!["tests/fixtures/"]);
+        assert_eq!(ws.unsafe_allow, vec!["vendor/rayon/src/lib.rs"]);
+        assert_eq!(ws.atomics_paths, vec!["vendor/rayon/src/lib.rs"]);
     }
 
     #[test]

@@ -138,6 +138,77 @@ fn r6_exempt_path_is_skipped() {
 }
 
 #[test]
+fn r7_fixture_exact_diagnostics() {
+    // Outside any allowlist every unsafe line breaches containment, and
+    // the sites without an adjacent SAFETY justification are flagged a
+    // second time. The waived site (line 24) stays silent.
+    let got = render(&all_rules("r7_unsafe.rs"));
+    let want = vec![
+        "r7_unsafe.rs:3: [unsafe-containment] `unsafe` outside the allowlisted module set",
+        "r7_unsafe.rs:3: [unsafe-containment] undocumented `unsafe` site (missing adjacent `// SAFETY:` justification)",
+        "r7_unsafe.rs:4: [unsafe-containment] `unsafe` outside the allowlisted module set",
+        "r7_unsafe.rs:4: [unsafe-containment] undocumented `unsafe` site (missing adjacent `// SAFETY:` justification)",
+        "r7_unsafe.rs:11: [unsafe-containment] `unsafe` outside the allowlisted module set",
+        "r7_unsafe.rs:13: [unsafe-containment] `unsafe` outside the allowlisted module set",
+        "r7_unsafe.rs:17: [unsafe-containment] `unsafe` outside the allowlisted module set",
+        "r7_unsafe.rs:18: [unsafe-containment] `unsafe` outside the allowlisted module set",
+        "r7_unsafe.rs:18: [unsafe-containment] undocumented `unsafe` site (missing adjacent `// SAFETY:` justification)",
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn r7_allowlisted_module_still_needs_safety_comments() {
+    let cfg = CrateConfig {
+        name: "fixture".into(),
+        rules: Rule::ALL.to_vec(),
+        unsafe_allow: vec!["r7_unsafe.rs".into()],
+        ..CrateConfig::default()
+    };
+    let got: Vec<String> = lint_source(&cfg, "r7_unsafe.rs", &fixture("r7_unsafe.rs"))
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    // Containment is satisfied; only the undocumented sites remain.
+    let want = vec![
+        "r7_unsafe.rs:3: [unsafe-containment] undocumented `unsafe` site (missing adjacent `// SAFETY:` justification)",
+        "r7_unsafe.rs:4: [unsafe-containment] undocumented `unsafe` site (missing adjacent `// SAFETY:` justification)",
+        "r7_unsafe.rs:18: [unsafe-containment] undocumented `unsafe` site (missing adjacent `// SAFETY:` justification)",
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn r8_fixture_exact_diagnostics() {
+    // The explicit-ordering check follows a call's open parenthesis
+    // across rustfmt continuation lines (the compare_exchange at line
+    // 11 passes), and the Relaxed at line 10 is covered by its ORDER
+    // note while the one at line 7 is not.
+    let got = render(&all_rules("r8_atomics.rs"));
+    let want = vec![
+        "r8_atomics.rs:4: [atomics-ordering] atomic operation without an explicit `Ordering`",
+        "r8_atomics.rs:7: [atomics-ordering] `Relaxed` ordering without an adjacent `// ORDER:` justification",
+        "r8_atomics.rs:17: [atomics-ordering] atomic operation without an explicit `Ordering`",
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn r8_respects_atomics_path_scoping() {
+    let cfg = CrateConfig {
+        name: "fixture".into(),
+        rules: Rule::ALL.to_vec(),
+        atomics_paths: vec!["src/lib.rs".into()],
+        ..CrateConfig::default()
+    };
+    let got = lint_source(&cfg, "r8_atomics.rs", &fixture("r8_atomics.rs"));
+    assert!(
+        got.iter().all(|v| v.rule != Rule::AtomicsOrdering),
+        "{got:?}"
+    );
+}
+
+#[test]
 fn waiver_fixture_behavior() {
     let got = render(&all_rules("waivers.rs"));
     // Same-line and line-above waivers suppress; the named-rule waiver

@@ -1,0 +1,25 @@
+//! R7 fixture: unsafe containment and SAFETY-justification audit.
+
+pub unsafe fn raw_write(p: *mut u32) {
+    unsafe { p.write(1) }
+}
+
+/// Reads a slot.
+///
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn documented_read(p: *const u32) -> u32 {
+    // SAFETY: caller upholds validity per the contract above.
+    unsafe { p.read() }
+}
+
+// SAFETY: fixture type owns no aliasing state.
+unsafe impl Send for Token {}
+unsafe impl Sync for Token {}
+
+pub struct Token;
+
+fn waived() {
+    // epilint: allow(unsafe-containment) — fixture exercises the waiver
+    unsafe { core::ptr::null_mut::<u32>().write(9) }
+}

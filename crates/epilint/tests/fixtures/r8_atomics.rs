@@ -1,0 +1,21 @@
+//! R8 fixture: atomics-ordering audit over a mock pool module.
+
+pub fn ops(c: &AtomicUsize, f: &AtomicBool) -> usize {
+    c.fetch_add(1);
+    f.store(true, Ordering::Release);
+    let _ = f.load(Ordering::Acquire);
+    let lo = c.fetch_add(4, Ordering::Relaxed);
+    // ORDER: claim uniqueness needs only RMW atomicity; the mutex
+    // hand-off at the join publishes every write that matters.
+    let hi = c.fetch_add(4, Ordering::Relaxed);
+    let _ = c.compare_exchange(
+        lo,
+        hi,
+        Ordering::AcqRel,
+        Ordering::Acquire,
+    );
+    let _ = f.swap(
+        false,
+    );
+    lo + hi
+}

@@ -18,6 +18,14 @@ cargo run -p epilint --quiet
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# The vendored pool is a path dependency, not a workspace member, so its
+# unit tests and the concurrency suites (interleaving model, seeded
+# stress, lifecycle edges) need explicit invocations. Miri/TSan variants
+# live in scripts/check_concurrency.sh.
+echo "==> cargo test -p rayon -q && cargo test --test pool_lifecycle -q"
+cargo test -p rayon -q
+cargo test --test pool_lifecycle -q
+
 # The durability harness runs as part of the workspace suite above; this
 # explicit pass re-runs it under a constrained thread pool so the
 # kill/resume bit-identity matrix also covers the multi-worker path

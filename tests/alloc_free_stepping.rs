@@ -21,23 +21,37 @@ struct CountingAlloc;
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: a pure pass-through allocator — every method forwards its
+// exact arguments to `System` and returns its result unchanged, so
+// `System`'s implementation of the `GlobalAlloc` contract is the
+// contract; the counter increment allocates nothing.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards the caller's layout to `System.alloc` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the caller upholds `GlobalAlloc::alloc`'s contract.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: forwards the caller's pointer and layout unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was produced by the forwarded `System` calls
+        // above with this same layout, per the caller's contract.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: forwards the caller's pointer, layout, and size unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr` came from the forwarded `System` allocator with
+        // this layout, per the caller's contract.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: forwards the caller's layout to `System` unchanged.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the caller upholds `alloc_zeroed`'s layout contract.
         unsafe { System.alloc_zeroed(layout) }
     }
 }

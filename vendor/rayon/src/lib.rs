@@ -102,6 +102,10 @@ impl std::error::Error for ThreadPoolBuildError {}
 /// the closure alive for the whole execution.
 #[derive(Clone, Copy)]
 struct Job {
+    /// Monomorphized trampoline reconstituting the worker closure.
+    // SAFETY: only invoked by `worker_loop` with the `ctx` stored next
+    // to it, which the submitter's `broadcast` call keeps alive (it
+    // blocks until every worker reports completion).
     run: unsafe fn(usize),
     ctx: usize,
 }
@@ -210,6 +214,9 @@ fn worker_loop(shared: &PoolShared) {
         };
         // Catch so a panicking grid cell poisons neither the worker nor
         // the pool: the payload is re-raised on the submitting thread.
+        // SAFETY: `job.ctx` is the address of the submitter's closure;
+        // the submitter blocks inside `broadcast` until this worker's
+        // `running` decrement below, so the closure outlives this call.
         let result = catch_unwind(AssertUnwindSafe(|| unsafe { (job.run)(job.ctx) }));
         let mut st = shared.state.lock().unwrap();
         if let Err(payload) = result {
@@ -477,7 +484,15 @@ impl<INIT, F> MapInitPar<INIT, F> {
 /// twice and no two workers alias a slot.
 struct SlabPtr<T>(*mut T);
 
+// SAFETY: a `SlabPtr` is a plain pointer into a `Vec<T>` allocation that
+// outlives the workers (the submitting frame owns it); moving the
+// pointer to a worker thread moves no `T`, and the values written
+// through it are `T: Send`.
 unsafe impl<T: Send> Send for SlabPtr<T> {}
+// SAFETY: shared use is write-only through `SlabPtr::write` at indices
+// handed out uniquely by the atomic claim cursor — no two workers ever
+// alias one slot, and nothing reads a slot before the join (see
+// `run_dynamic`'s panic-safety note for the unwritten-slot case).
 unsafe impl<T: Send> Sync for SlabPtr<T> {}
 
 impl<T> SlabPtr<T> {
@@ -529,6 +544,18 @@ where
     let slab = SlabPtr(out.as_mut_ptr());
     let cursor = AtomicUsize::new(0);
     let worker = |state: &mut Option<I>| loop {
+        // ORDER: `Relaxed` is sufficient here. Claim uniqueness — each
+        // index handed to exactly one worker — needs only the RMW
+        // atomicity of `fetch_add`, which every ordering provides; no
+        // data is published *through* the cursor. The slab writes made
+        // under a claim are published to the caller by the join, not
+        // the cursor: the scoped-thread join, or on the pool path the
+        // worker's final `state` mutex release in `worker_loop`
+        // happens-before the submitter's wakeup under the same mutex in
+        // `broadcast`. Both orderings happen-before `set_len` below.
+        // The interleaving model (tests/pool_model.rs) checks the
+        // drain-before-return protocol; tests/pool_lifecycle.rs pins
+        // claim uniqueness under chunk=1 contention.
         let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
         if lo >= n {
             break;
