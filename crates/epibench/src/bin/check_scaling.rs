@@ -16,12 +16,24 @@
 //! so the gate reports and exits 0. Thread points beyond 4 (the
 //! 8-thread sweep on larger runners) are recorded for trend data but
 //! never gated.
+//!
+//! Independent of the gate, the checker shouts about two capture
+//! artifacts that would otherwise be recorded silently: superlinear
+//! efficiency (> 1.05 — the 1-thread baseline was itself slowed down
+//! by a noisy host) and non-monotonic timings (more threads taking
+//! *longer* — oversubscription or a polluted run). Either means the
+//! JSON should be re-recorded on a quiet machine, not trusted.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 /// Gated thread count: paper-scale CI runners all expose >= 4 cores.
 const GATE_THREADS: usize = 4;
+
+/// Efficiency above this is flagged as superlinear: fixed-work sweeps
+/// with bit-identical results can't genuinely beat perfect scaling, so
+/// anything past measurement slack (5%) means a polluted baseline.
+const SUPERLINEAR_EFF: f64 = 1.05;
 
 #[derive(serde::Deserialize)]
 struct Summary {
@@ -86,6 +98,8 @@ fn main() -> ExitCode {
     println!("strong scaling ({path}):");
     println!("  threads      mean        speedup   efficiency");
     let mut gate_eff: Option<f64> = None;
+    let mut warnings: Vec<String> = Vec::new();
+    let mut prev: Option<(usize, f64)> = None;
     for (&t, &mean) in &means {
         let speedup = serial / mean;
         let eff = speedup / t as f64;
@@ -97,6 +111,35 @@ fn main() -> ExitCode {
         if t == GATE_THREADS {
             gate_eff = Some(eff);
         }
+        // Capture-quality checks. Superlinear efficiency cannot come
+        // from this fixed-work sweep (results are bit-identical across
+        // thread counts); it means the 1-thread baseline itself ran
+        // slow, so every efficiency number derived from it is inflated.
+        if t > 1 && eff > SUPERLINEAR_EFF {
+            warnings.push(format!(
+                "efficiency {:.1}% at {t} threads is superlinear (> {:.0}%) — the 1-thread \
+                 baseline was likely polluted; re-record on a quiet host",
+                eff * 100.0,
+                SUPERLINEAR_EFF * 100.0
+            ));
+        }
+        // Adding workers to fixed work must not make it slower. When it
+        // does, the sweep measured oversubscription or host noise, not
+        // scaling, and the file should not be trusted as trend data.
+        if let Some((pt, pm)) = prev {
+            if mean > pm {
+                warnings.push(format!(
+                    "non-monotonic timings: {t} threads ({:.1} ms) slower than {pt} threads \
+                     ({:.1} ms) — oversubscribed or polluted capture; re-record on a quiet host",
+                    mean / 1e6,
+                    pm / 1e6
+                ));
+            }
+        }
+        prev = Some((t, mean));
+    }
+    for w in &warnings {
+        eprintln!("check_scaling: WARNING: {w}");
     }
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());

@@ -6,7 +6,9 @@
 //! order-independent. This is the classical Reed–Frost-style scheme used
 //! by the COVID-Chicago reference model at `dt = 1` day.
 
-use super::{multinomial_split, CompiledSpec, StepScratch, Stepper};
+use epistats::dist::HazardSampler;
+
+use super::{CompiledSpec, StepScratch, Stepper};
 use crate::error::SimError;
 use crate::state::SimState;
 
@@ -69,27 +71,35 @@ impl Stepper for BinomialChainStepper {
     ) {
         let dt = 1.0 / self.substeps as f64;
         let spec = &model.spec;
-        // Sizes buffers and refreshes the hazard table (per-progression
-        // `1 - exp(-rate dt)`) only when the (model, substeps) key
-        // changed — the exp_m1 calls disappear from the substep loop.
+        // Sizes the SoA buffers and refreshes the hazard table
+        // (per-progression `1 - exp(-rate dt)`) plus its shared binomial
+        // p-setups only when the (model, substeps) key changed — the
+        // exp_m1/ln_1p calls disappear from the substep loop.
         scratch.prepare_chain(model, self.substeps);
-        let n_inf = spec.infections.len();
 
         for _ in 0..self.substeps {
+            // Forces of infection from the step-start snapshot, before
+            // any draw mutates the RNG borrow.
+            for (ii, inf) in spec.infections.iter().enumerate() {
+                scratch.foi_buf[ii] = state.force_of_infection_with(spec, inf, &model.offsets);
+            }
+            // Split the state borrow so batched draws can read occupancy
+            // slices while the RNG advances.
+            let SimState {
+                stage_counts, rng, ..
+            } = state;
             scratch.deltas.iter_mut().for_each(|d| *d = 0);
 
             // Infections: S -> E, each with its own (possibly
-            // contact-structured) force of infection from the step-start
-            // snapshot.
+            // contact-structured) force of infection.
             for (ii, inf) in spec.infections.iter().enumerate() {
-                let foi = state.force_of_infection_with(spec, inf, &model.offsets);
+                let foi = scratch.foi_buf[ii];
                 if foi <= 0.0 {
                     continue;
                 }
                 let p_inf = -(-foi * dt).exp_m1();
                 let s_off = model.offsets[inf.susceptible];
-                let s_count = state.stage_counts[s_off];
-                let newly = scratch.samplers[ii].draw(&mut state.rng, s_count, p_inf);
+                let newly = HazardSampler::new(p_inf).draw(rng, stage_counts[s_off]);
                 if newly > 0 {
                     scratch.deltas[s_off] -= newly as i64;
                     scratch.deltas[model.offsets[inf.exposed]] += newly as i64;
@@ -97,28 +107,27 @@ impl Stepper for BinomialChainStepper {
                 }
             }
 
-            // Progressions: per-stage exits from the snapshot, with the
-            // exit hazard read from the precomputed table and the
-            // binomial setup cached per channel (occupancies drift
-            // slowly, so most draws reuse the previous setup).
-            let mut channel = n_inf;
+            // Progressions: each progression's stages share one exit
+            // hazard, so the whole compartment batches through the
+            // shared p-setup over its contiguous occupancy slice; the
+            // final stage's branch split follows its own draws, exactly
+            // as in the scalar walk.
             for (pi, prog) in spec.progressions.iter().enumerate() {
-                let p_exit = scratch.hazards[pi];
+                if scratch.hazards[pi] <= 0.0 {
+                    continue;
+                }
                 let from = prog.from;
                 let base = model.offsets[from];
                 let stages = spec.compartments[from].stages as usize;
-                if p_exit <= 0.0 {
-                    channel += stages;
-                    continue;
-                }
+                let hs = scratch.hazard_samplers[pi];
+                hs.draw_many(
+                    rng,
+                    &stage_counts[base..base + stages],
+                    &mut scratch.draws[base..base + stages],
+                );
+                scratch.batched_draws += stages as u64;
                 for s in 0..stages {
-                    let occ = state.stage_counts[base + s];
-                    if occ == 0 {
-                        channel += 1;
-                        continue;
-                    }
-                    let exits = scratch.samplers[channel].draw(&mut state.rng, occ, p_exit);
-                    channel += 1;
+                    let exits = scratch.draws[base + s];
                     if exits == 0 {
                         continue;
                     }
@@ -126,22 +135,13 @@ impl Stepper for BinomialChainStepper {
                     if s + 1 < stages {
                         scratch.deltas[base + s + 1] += exits as i64;
                     } else {
-                        multinomial_split(
-                            &mut state.rng,
-                            exits,
-                            &prog.branches,
-                            &mut scratch.branch_buf,
-                        );
-                        for &(target, count) in &scratch.branch_buf {
-                            scratch.deltas[model.offsets[target]] += count as i64;
-                            model.record_edge(flows, from, target, count);
-                        }
+                        model.apply_split(rng, pi, from, exits, &mut scratch.deltas, flows);
                     }
                 }
             }
 
             // Apply all moves simultaneously.
-            for (c, &d) in state.stage_counts.iter_mut().zip(&scratch.deltas) {
+            for (c, &d) in stage_counts.iter_mut().zip(&scratch.deltas) {
                 let next = *c as i64 + d;
                 debug_assert!(next >= 0, "negative occupancy after step");
                 *c = next as u64;

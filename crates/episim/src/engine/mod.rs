@@ -21,8 +21,11 @@ pub use tau_leap::TauLeapStepper;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use epistats::dist::{sample_binomial, BinomialSampler};
+use epistats::dist::HazardSampler;
 use epistats::rng::Xoshiro256PlusPlus;
+
+#[cfg(test)]
+use epistats::dist::sample_binomial;
 
 use crate::error::SimError;
 use crate::spec::ModelSpec;
@@ -52,6 +55,11 @@ pub struct CompiledSpec {
     edge_watchers: Vec<Vec<usize>>,
     /// Compartment count, the stride of `edge_index`.
     n_compartments: usize,
+    /// Per-progression precompiled multinomial split plans: the
+    /// conditional branch probabilities of the sequential-binomial chain
+    /// and their shared p-setups, computed once per compilation instead
+    /// of once per split draw.
+    split_plans: Vec<Vec<SplitStep>>,
     /// Process-unique identity of this compilation, used as a cache key
     /// for derived tables (e.g. [`StepScratch`]'s hazard table). Clones
     /// share the stamp, which is sound: a clone has identical rates.
@@ -84,6 +92,35 @@ impl CompiledSpec {
             edge_index[from * n_compartments + to] = edge_watchers.len() as u32;
             edge_watchers.push(watchers);
         }
+        let split_plans = spec
+            .progressions
+            .iter()
+            .map(|prog| {
+                let mut prob_left = 1.0f64;
+                let last = prog.branches.len() - 1;
+                prog.branches
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(target, p))| {
+                        // Mirrors the sequential conditional-binomial walk
+                        // of `multinomial_split`, with the per-branch
+                        // conditional probability frozen at compile time.
+                        let take_rest = i == last || prob_left <= 0.0;
+                        let cond = if take_rest {
+                            1.0
+                        } else {
+                            (p / prob_left).clamp(0.0, 1.0)
+                        };
+                        prob_left -= p;
+                        SplitStep {
+                            target,
+                            take_rest,
+                            sampler: HazardSampler::new(cond),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
         Ok(Self {
             spec,
             offsets,
@@ -91,8 +128,41 @@ impl CompiledSpec {
             edge_index,
             edge_watchers,
             n_compartments,
+            split_plans,
             stamp: NEXT_STAMP.fetch_add(1, Ordering::Relaxed),
         })
+    }
+
+    /// Split `total` exiting individuals of progression `pi` across its
+    /// branch targets using the precompiled conditional-binomial plan,
+    /// applying branch counts directly to `deltas` and the flow series.
+    /// Stream-equivalent to [`multinomial_split`] on the same branches.
+    #[inline]
+    pub(crate) fn apply_split(
+        &self,
+        rng: &mut Xoshiro256PlusPlus,
+        pi: usize,
+        from: usize,
+        total: u64,
+        deltas: &mut [i64],
+        flows: &mut [u64],
+    ) {
+        let mut remaining = total;
+        for step in &self.split_plans[pi] {
+            if remaining == 0 {
+                break;
+            }
+            let take = if step.take_rest {
+                remaining
+            } else {
+                step.sampler.draw(rng, remaining)
+            };
+            if take > 0 {
+                deltas[self.offsets[step.target]] += take as i64;
+                self.record_edge(flows, from, step.target, take);
+            }
+            remaining -= take;
+        }
     }
 
     /// Process-unique identity of this compilation (shared by clones).
@@ -143,6 +213,21 @@ impl CompiledSpec {
     }
 }
 
+/// One branch of a precompiled multinomial split plan: the conditional
+/// probability of taking this branch given the mass left after earlier
+/// branches, with its p-derived binomial setup built once per
+/// compilation.
+#[derive(Clone, Copy, Debug)]
+struct SplitStep {
+    /// Destination compartment id.
+    target: usize,
+    /// Final (or probability-exhausted) branch: takes everything left
+    /// without consuming randomness.
+    take_rest: bool,
+    /// Shared setup for `Binomial(remaining, cond)` draws.
+    sampler: HazardSampler,
+}
+
 /// Reusable scratch buffers for [`Stepper::advance_day`].
 ///
 /// Owned by the caller (typically a [`crate::runner::Simulation`] or a
@@ -152,26 +237,46 @@ impl CompiledSpec {
 /// workspace: it never influences results, only where intermediates live —
 /// a fresh scratch and a warm one produce bit-identical trajectories.
 ///
-/// Cached derived tables (the discrete-hazard table, per-channel binomial
-/// sampler setups) are keyed on [`CompiledSpec::stamp`] plus the stepper
-/// configuration, so one scratch can serve many models/parameterizations
-/// in sequence — the per-worker reuse pattern of the parallel grid.
+/// Cached derived tables (the discrete-hazard table and its shared
+/// binomial p-setups) are keyed on [`CompiledSpec::stamp`] plus the
+/// stepper configuration, so one scratch can serve many
+/// models/parameterizations in sequence — the per-worker reuse pattern of
+/// the parallel grid.
+///
+/// The layout is struct-of-arrays: per-stage intermediates (`deltas`,
+/// `draws`, `means`) are parallel flat arrays indexed by the dense stage
+/// offset of [`CompiledSpec::offsets`], so the steppers batch whole
+/// compartments through [`HazardSampler::draw_many`] /
+/// [`epistats::dist::sample_poisson_batch`] over contiguous slices.
 #[derive(Clone, Debug, Default)]
 pub struct StepScratch {
     /// Net per-stage occupancy change within one substep.
     pub(crate) deltas: Vec<i64>,
-    /// Branch-split output buffer for `multinomial_split`.
-    pub(crate) branch_buf: Vec<(usize, u64)>,
+    /// Per-stage event counts drawn this substep (stage exits for the
+    /// chain stepper, leap counts for tau-leap).
+    pub(crate) draws: Vec<u64>,
+    /// Per-stage Poisson leap means (tau-leap).
+    pub(crate) means: Vec<f64>,
+    /// Per-infection force of infection, snapshotted at substep start.
+    pub(crate) foi_buf: Vec<f64>,
     /// Per-channel propensities (Gillespie).
     pub(crate) channels: Vec<f64>,
     /// Per-progression exit probabilities `1 - exp(-rate * dt)`, computed
     /// once per `(model, substeps)` instead of per substep per day.
     pub(crate) hazards: Vec<f64>,
-    /// Cache key for `hazards`: `(CompiledSpec::stamp, substeps)`.
+    /// Per-progression shared binomial setups for the hazard table —
+    /// each progression's stages share one exit probability, so the
+    /// p-derived half of binomial setup is paid once per hazard refresh,
+    /// not once per draw.
+    pub(crate) hazard_samplers: Vec<HazardSampler>,
+    /// Cache key for `hazards`/`hazard_samplers`:
+    /// `(CompiledSpec::stamp, substeps)`.
     hazard_key: Option<(u64, u32)>,
-    /// Per-channel binomial sampler setups (infections first, then one
-    /// per progression stage), reused while `(n, p)` is unchanged.
-    pub(crate) samplers: Vec<BinomialSampler>,
+    /// Draws issued through batched sampling entry points
+    /// ([`HazardSampler::draw_many`] /
+    /// [`epistats::dist::sample_poisson_batch`]) — telemetry only, never
+    /// feeds results.
+    pub(crate) batched_draws: u64,
 }
 
 impl StepScratch {
@@ -180,28 +285,40 @@ impl StepScratch {
         Self::default()
     }
 
-    /// Size the delta/sampler buffers for `model` and refresh the hazard
-    /// table if `(model, substeps)` differs from the cached key.
+    /// Size the SoA buffers for `model` and refresh the hazard table and
+    /// its shared samplers if `(model, substeps)` differs from the
+    /// cached key.
     pub(crate) fn prepare_chain(&mut self, model: &CompiledSpec, substeps: u32) {
         let n_stages = model.spec.total_stages();
         self.deltas.resize(n_stages, 0);
-        let n_channels = model.spec.infections.len() + n_stages;
-        if self.samplers.len() < n_channels {
-            self.samplers.resize(n_channels, BinomialSampler::default());
-        }
+        self.draws.resize(n_stages, 0);
+        self.foi_buf.resize(model.spec.infections.len(), 0.0);
         if self.hazard_key != Some((model.stamp, substeps)) {
             let dt = 1.0 / substeps as f64;
             self.hazards.clear();
             self.hazards
                 .extend(model.stage_rates.iter().map(|&r| -(-r * dt).exp_m1()));
+            self.hazard_samplers.clear();
+            self.hazard_samplers
+                .extend(self.hazards.iter().map(|&p| HazardSampler::new(p)));
             self.hazard_key = Some((model.stamp, substeps));
         }
     }
 
-    /// Size the delta buffer for `model` (tau-leap needs no hazard table:
+    /// Size the SoA buffers for `model` (tau-leap needs no hazard table:
     /// its Poisson means are linear in the rates).
     pub(crate) fn prepare_leap(&mut self, model: &CompiledSpec) {
-        self.deltas.resize(model.spec.total_stages(), 0);
+        let n_stages = model.spec.total_stages();
+        self.deltas.resize(n_stages, 0);
+        self.draws.resize(n_stages, 0);
+        self.means.resize(n_stages, 0.0);
+        self.foi_buf.resize(model.spec.infections.len(), 0.0);
+    }
+
+    /// Draws issued through batched sampling entry points since this
+    /// scratch was created.
+    pub fn batched_draws(&self) -> u64 {
+        self.batched_draws
     }
 }
 
@@ -226,7 +343,10 @@ pub trait Stepper: Send + Sync {
 
 /// Split `total` exiting individuals across branch targets with the given
 /// probabilities, by sequential conditional binomial draws (an exact
-/// multinomial sample).
+/// multinomial sample). Superseded in the steppers by the precompiled
+/// [`CompiledSpec::apply_split`] plans; retained as the readable
+/// reference implementation the equivalence test pins them against.
+#[cfg(test)]
 pub(crate) fn multinomial_split(
     rng: &mut Xoshiro256PlusPlus,
     total: u64,
@@ -336,6 +456,37 @@ mod tests {
         }
         let frac = counts[0] as f64 / (counts[0] + counts[1]) as f64;
         assert!((frac - 0.25).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn apply_split_matches_multinomial_split_stream() {
+        // The precompiled split plan must consume the identical RNG
+        // stream and produce the identical branch counts as the scalar
+        // reference walk, for every branch shape the covid models use.
+        let mut spec = si_spec();
+        spec.progressions[0].branches = vec![(0, 0.25), (2, 0.45), (1, 0.30)];
+        let model = CompiledSpec::new(spec.clone()).unwrap();
+        let n_stages = model.spec.total_stages();
+        let mut out = Vec::new();
+        for seed in 0..20u64 {
+            for total in [0u64, 1, 13, 4096, 1_000_000] {
+                let mut rng_a = Xoshiro256PlusPlus::new(seed);
+                let mut rng_b = Xoshiro256PlusPlus::new(seed);
+                let mut deltas = vec![0i64; n_stages];
+                let mut flows = vec![0u64; model.spec.flows.len()];
+                model.apply_split(&mut rng_a, 0, 1, total, &mut deltas, &mut flows);
+                multinomial_split(&mut rng_b, total, &spec.progressions[0].branches, &mut out);
+                let mut want = vec![0i64; n_stages];
+                for &(target, count) in &out {
+                    want[model.offsets[target]] += count as i64;
+                }
+                assert_eq!(deltas, want, "seed {seed} total {total}");
+                assert_eq!(
+                    rng_a, rng_b,
+                    "RNG streams diverged: seed {seed} total {total}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! chain-binomial (cheap, daily) and Gillespie (exact, expensive) in the
 //! fidelity/cost trade-off benchmarked in `bench_sim`.
 
-use epistats::dist::sample_poisson;
+use epistats::dist::{sample_poisson, sample_poisson_batch};
 
-use super::{multinomial_split, CompiledSpec, StepScratch, Stepper};
+use super::{CompiledSpec, StepScratch, Stepper};
 use crate::state::SimState;
 
 /// Poisson tau-leap stepper with a fixed leap size.
@@ -54,59 +54,67 @@ impl Stepper for TauLeapStepper {
         let tau = 1.0 / self.leaps_per_day as f64;
         let spec = &model.spec;
         scratch.prepare_leap(model);
-        let StepScratch {
-            deltas, branch_buf, ..
-        } = scratch;
 
         for _ in 0..self.leaps_per_day {
-            deltas.iter_mut().for_each(|d| *d = 0);
+            for (ii, inf) in spec.infections.iter().enumerate() {
+                scratch.foi_buf[ii] = state.force_of_infection_with(spec, inf, &model.offsets);
+            }
+            let SimState {
+                stage_counts, rng, ..
+            } = state;
+            scratch.deltas.iter_mut().for_each(|d| *d = 0);
 
-            for inf in &spec.infections {
-                let foi = state.force_of_infection_with(spec, inf, &model.offsets);
+            for (ii, inf) in spec.infections.iter().enumerate() {
+                let foi = scratch.foi_buf[ii];
                 let s_off = model.offsets[inf.susceptible];
-                let s_count = state.stage_counts[s_off];
+                let s_count = stage_counts[s_off];
                 if s_count == 0 || foi <= 0.0 {
                     continue;
                 }
                 let mean = foi * s_count as f64 * tau;
-                let newly = sample_poisson(&mut state.rng, mean).min(s_count);
+                let newly = sample_poisson(rng, mean).min(s_count);
                 if newly > 0 {
-                    deltas[s_off] -= newly as i64;
-                    deltas[model.offsets[inf.exposed]] += newly as i64;
+                    scratch.deltas[s_off] -= newly as i64;
+                    scratch.deltas[model.offsets[inf.exposed]] += newly as i64;
                     model.record_edge(flows, inf.susceptible, inf.exposed, newly);
                 }
             }
 
+            // Per-progression batched leaps: the per-stage Poisson means
+            // fill the SoA `means` lane, the counts come back through
+            // one batched call, and the final stage's branch split
+            // follows its own draws, exactly as in the scalar walk.
             for (pi, prog) in spec.progressions.iter().enumerate() {
                 let rate = model.stage_rates[pi];
                 let from = prog.from;
                 let base = model.offsets[from];
                 let stages = spec.compartments[from].stages as usize;
                 for s in 0..stages {
-                    let occ = state.stage_counts[base + s];
-                    if occ == 0 {
-                        continue;
-                    }
-                    let exits = sample_poisson(&mut state.rng, rate * occ as f64 * tau).min(occ);
+                    scratch.means[base + s] = rate * stage_counts[base + s] as f64 * tau;
+                }
+                sample_poisson_batch(
+                    rng,
+                    &scratch.means[base..base + stages],
+                    &mut scratch.draws[base..base + stages],
+                );
+                scratch.batched_draws += stages as u64;
+                for s in 0..stages {
+                    let exits = scratch.draws[base + s].min(stage_counts[base + s]);
                     if exits == 0 {
                         continue;
                     }
-                    deltas[base + s] -= exits as i64;
+                    scratch.deltas[base + s] -= exits as i64;
                     if s + 1 < stages {
-                        deltas[base + s + 1] += exits as i64;
+                        scratch.deltas[base + s + 1] += exits as i64;
                     } else {
-                        multinomial_split(&mut state.rng, exits, &prog.branches, branch_buf);
-                        for &(target, count) in branch_buf.iter() {
-                            deltas[model.offsets[target]] += count as i64;
-                            model.record_edge(flows, from, target, count);
-                        }
+                        model.apply_split(rng, pi, from, exits, &mut scratch.deltas, flows);
                     }
                 }
             }
 
             // Apply, clamping at zero in the (rare) case where capped
             // channels still jointly overdraw a stage.
-            for (c, &d) in state.stage_counts.iter_mut().zip(deltas.iter()) {
+            for (c, &d) in stage_counts.iter_mut().zip(scratch.deltas.iter()) {
                 let next = *c as i64 + d;
                 *c = next.max(0) as u64;
             }

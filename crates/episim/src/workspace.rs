@@ -213,6 +213,12 @@ impl SimWorkspace {
         self.sim_nanos
     }
 
+    /// Draws issued through the steppers' batched sampling entry points
+    /// across all runs (telemetry; exact for a given run sequence).
+    pub fn batched_draws(&self) -> u64 {
+        self.scratch.batched_draws()
+    }
+
     /// Compilations performed by [`Self::compiled_for`] (cache misses).
     pub fn compiled_builds(&self) -> u64 {
         self.compiled_builds

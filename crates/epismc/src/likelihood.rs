@@ -14,6 +14,34 @@ pub trait Likelihood: Send + Sync {
     /// and must have equal length.
     fn log_likelihood(&self, observed: &[f64], simulated: &[f64]) -> f64;
 
+    /// Precompute the observed-side transform of a window, one value per
+    /// observed day (clearing `out` first). The prepared values are
+    /// opaque: only [`Self::prepared_day_term`] of the *same* likelihood
+    /// interprets them. The default stores the observations unchanged;
+    /// [`GaussianSqrtLikelihood`] stores `sqrt(y_t)`, hoisting the
+    /// square root out of the per-particle scoring loop — the observed
+    /// window is fixed while thousands of particles score against it.
+    fn prepare_observed(&self, observed: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(observed);
+    }
+
+    /// One day's log-likelihood contribution given the prepared observed
+    /// value and the bias-transformed simulated value, or `None` when
+    /// this likelihood has no per-day decomposition (the scorer then
+    /// falls back to the whole-window [`Self::log_likelihood`]).
+    ///
+    /// Contract: when `Some`, summing the day terms of a window in
+    /// ascending day order must be **bit-identical** to
+    /// `log_likelihood(observed, simulated)` on the same window —
+    /// implementations must perform the same float operations in the
+    /// same order, and whether `Some` is returned must not depend on the
+    /// arguments.
+    fn prepared_day_term(&self, prepared_y: f64, eta_obs: f64) -> Option<f64> {
+        let _ = (prepared_y, eta_obs);
+        None
+    }
+
     /// Short identifier for logs.
     fn name(&self) -> &'static str;
 }
@@ -67,6 +95,16 @@ impl Likelihood for GaussianSqrtLikelihood {
         acc
     }
 
+    fn prepare_observed(&self, observed: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(observed.iter().map(|&y| y.max(0.0).sqrt()));
+    }
+
+    fn prepared_day_term(&self, prepared_y: f64, eta_obs: f64) -> Option<f64> {
+        let z = (prepared_y - eta_obs.max(0.0).sqrt()) / self.sigma;
+        Some(-0.5 * z * z - self.sigma.ln() - LN_SQRT_2PI)
+    }
+
     fn name(&self) -> &'static str {
         "gaussian-sqrt"
     }
@@ -104,6 +142,11 @@ impl Likelihood for GaussianRawLikelihood {
                 -0.5 * z * z - self.sigma.ln() - LN_SQRT_2PI
             })
             .sum()
+    }
+
+    fn prepared_day_term(&self, prepared_y: f64, eta_obs: f64) -> Option<f64> {
+        let z = (prepared_y - eta_obs) / self.sigma;
+        Some(-0.5 * z * z - self.sigma.ln() - LN_SQRT_2PI)
     }
 
     fn name(&self) -> &'static str {
@@ -164,6 +207,11 @@ impl Likelihood for NegBinomialLikelihood {
                 self.ln_pmf(y.round().max(0.0) as u64, mu)
             })
             .sum()
+    }
+
+    fn prepared_day_term(&self, prepared_y: f64, eta_obs: f64) -> Option<f64> {
+        // epilint: allow(lossy-cast) — rounded and clamped non-negative; exact at count scale
+        Some(self.ln_pmf(prepared_y.round().max(0.0) as u64, eta_obs))
     }
 
     fn name(&self) -> &'static str {

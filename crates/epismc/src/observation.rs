@@ -45,6 +45,22 @@ pub trait BiasModel: Send + Sync {
         out.extend(self.observe(truth, rho, rng));
     }
 
+    /// Transform one day's true count, or `None` when this model has no
+    /// per-day form (cross-day state, e.g. reporting delays) — the
+    /// scorer then falls back to the whole-window [`observe_into`].
+    ///
+    /// Contract: whether `Some` is returned must depend only on the
+    /// model, never on the arguments; a `None` return must not consume
+    /// the generator; and calling this over a window's days in ascending
+    /// order must consume the identical RNG stream and produce the
+    /// identical values as one [`observe_into`] call on the window.
+    ///
+    /// [`observe_into`]: BiasModel::observe_into
+    fn observe_one(&self, eta: f64, rho: f64, rng: &mut Xoshiro256PlusPlus) -> Option<f64> {
+        let _ = (eta, rho, rng);
+        None
+    }
+
     /// Whether the model actually uses the `rho` parameter (drives what
     /// the posterior can learn about `rho`).
     fn uses_rho(&self) -> bool;
@@ -105,6 +121,22 @@ impl BiasModel for BinomialBias {
             })),
             BiasMode::Mean => out.extend(truth.iter().map(|&eta| rho * eta)),
         }
+    }
+
+    fn observe_one(&self, eta: f64, rho: f64, rng: &mut Xoshiro256PlusPlus) -> Option<f64> {
+        assert!(
+            (0.0..=1.0).contains(&rho),
+            "BinomialBias: rho = {rho} outside [0, 1]"
+        );
+        Some(match self.mode {
+            BiasMode::Sampled => {
+                // epilint: allow(float-eq) — integrality assertion: fract() == 0.0 is the check itself
+                debug_assert!(eta >= 0.0 && eta.fract() == 0.0);
+                // epilint: allow(lossy-cast) — eta asserted integer-valued; exact at count scale
+                sample_binomial(rng, eta as u64, rho) as f64
+            }
+            BiasMode::Mean => rho * eta,
+        })
     }
 
     fn uses_rho(&self) -> bool {
@@ -272,6 +304,10 @@ impl BiasModel for IdentityBias {
     ) {
         out.clear();
         out.extend_from_slice(truth);
+    }
+
+    fn observe_one(&self, eta: f64, _rho: f64, _rng: &mut Xoshiro256PlusPlus) -> Option<f64> {
+        Some(eta)
     }
 
     fn uses_rho(&self) -> bool {

@@ -46,7 +46,9 @@ pub const MAGIC: u32 = 0x4E53_5045;
 /// - 1: initial layout, 16 telemetry words.
 /// - 2: appended `stream_setup_nanos` and `serial_nanos` telemetry words
 ///   (decoders migrate v1 records by defaulting both to 0).
-pub const FORMAT_VERSION: u16 = 2;
+/// - 3: appended `fused_scores` and `batched_draws` telemetry words
+///   (older records migrate with both defaulted to 0).
+pub const FORMAT_VERSION: u16 = 3;
 
 /// Oldest record version this build can still decode (typed migration:
 /// missing v2 telemetry words default to 0).
@@ -131,7 +133,7 @@ fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
 /// The telemetry counters in record order. Adding a field to
 /// [`TrajectoryTelemetry`] means appending here *and* in
 /// [`read_telemetry`] and bumping [`FORMAT_VERSION`].
-fn telemetry_words(t: &TrajectoryTelemetry) -> [u64; 18] {
+fn telemetry_words(t: &TrajectoryTelemetry) -> [u64; 20] {
     [
         t.shared_bytes as u64,
         t.flat_bytes as u64,
@@ -153,6 +155,9 @@ fn telemetry_words(t: &TrajectoryTelemetry) -> [u64; 18] {
         // untouched and v1 records migrate by defaulting them to 0.
         t.stream_setup_nanos,
         t.serial_nanos,
+        // v3 additions — same append-only rule.
+        t.fused_scores,
+        t.batched_draws,
     ]
 }
 
@@ -397,13 +402,18 @@ fn read_telemetry(r: &mut Reader<'_>, version: u16) -> Result<TrajectoryTelemetr
         records_written: r.u64("telemetry")?,
         stream_setup_nanos: 0,
         serial_nanos: 0,
+        fused_scores: 0,
+        batched_draws: 0,
     };
-    // v2 appended two words; v1 records migrate with both defaulted to 0
-    // (they are nondeterministic diagnostics, so 0 is a faithful "not
-    // recorded" value).
+    // Later versions appended words; older records migrate with the
+    // missing counters defaulted to 0 (a faithful "not recorded" value).
     if version >= 2 {
         t.stream_setup_nanos = r.u64("telemetry")?;
         t.serial_nanos = r.u64("telemetry")?;
+    }
+    if version >= 3 {
+        t.fused_scores = r.u64("telemetry")?;
+        t.batched_draws = r.u64("telemetry")?;
     }
     Ok(t)
 }

@@ -36,6 +36,8 @@ pub struct WorkspaceStats {
     days_simulated: AtomicU64,
     sim_nanos: AtomicU64,
     score_nanos: AtomicU64,
+    fused_scores: AtomicU64,
+    batched_draws: AtomicU64,
 }
 
 impl WorkspaceStats {
@@ -71,6 +73,19 @@ impl WorkspaceStats {
     /// time).
     pub fn score_nanos(&self) -> u64 {
         self.score_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Per-source scoring passes that took the fused day-loop path (see
+    /// [`crate::sis::score_window_prepared`]). Exact for a given grid
+    /// regardless of thread count.
+    pub fn fused_scores(&self) -> u64 {
+        self.fused_scores.load(Ordering::Relaxed)
+    }
+
+    /// Draws issued through the steppers' batched sampling entry points.
+    /// Exact for a given grid regardless of thread count.
+    pub fn batched_draws(&self) -> u64 {
+        self.batched_draws.load(Ordering::Relaxed)
     }
 }
 
@@ -123,6 +138,12 @@ impl Drop for PooledWorkspace {
         self.stats
             .sim_nanos
             .fetch_add(self.ws.sim_nanos(), Ordering::Relaxed);
+        self.stats
+            .fused_scores
+            .fetch_add(self.score.fused_scores(), Ordering::Relaxed);
+        self.stats
+            .batched_draws
+            .fetch_add(self.ws.batched_draws(), Ordering::Relaxed);
     }
 }
 
@@ -590,12 +611,15 @@ mod tests {
         assert_eq!(sim.theta_dim(), 2);
         // One parameter is now an error; two works.
         assert!(sim.run_fresh(&[0.3], 1, 10).is_err());
-        // Seed re-blessed for the exact BINV/BTPE binomial sampler
+        // Horizon re-blessed (40 -> 20 days) for the batched draw
         // stream. The comparison must stay short-horizon: stronger
         // detection also suppresses onward transmission, so over a long
-        // run the *total* detected can invert.
-        let (a, _) = sim.run_fresh(&[0.3, 1.0], 7, 40).unwrap();
-        let (b, _) = sim.run_fresh(&[0.3, 3.0], 7, 40).unwrap();
+        // run the *total* detected can invert — at 40 days the old
+        // stream's margin was already luck (2 of 10 probed seeds
+        // invert there), while at 20 days every probed seed separates
+        // by >= 30%.
+        let (a, _) = sim.run_fresh(&[0.3, 1.0], 7, 20).unwrap();
+        let (b, _) = sim.run_fresh(&[0.3, 3.0], 7, 20).unwrap();
         // Higher detection multiplier -> more detected cases.
         let da: u64 = a.series("detected").unwrap().iter().sum();
         let db: u64 = b.series("detected").unwrap().iter().sum();

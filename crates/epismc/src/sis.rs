@@ -262,6 +262,17 @@ pub struct TrajectoryTelemetry {
     /// bounds strong scaling by; inherently nondeterministic —
     /// diagnostics only.
     pub serial_nanos: u64,
+    /// Per-source scoring passes that took the fused day-loop path
+    /// (per-day bias + likelihood term, no materialized observation
+    /// buffers) instead of the materialize-then-score fallback.
+    /// Deterministic for a given configuration: fusion eligibility
+    /// depends only on the bias/likelihood types, never on scheduling.
+    pub fused_scores: u64,
+    /// Binomial/Poisson draws issued through the steppers' batched
+    /// sampling entry points (`HazardSampler::draw_many`,
+    /// `sample_poisson_batch`) across the window's grid. Deterministic
+    /// for a given configuration and model.
+    pub batched_draws: u64,
 }
 
 impl TrajectoryTelemetry {
@@ -338,6 +349,8 @@ fn measure_telemetry(
         resample_nanos,
         workspaces_built: ws_stats.built(),
         workspace_reuses: ws_stats.reuses(),
+        fused_scores: ws_stats.fused_scores(),
+        batched_draws: ws_stats.batched_draws(),
         ..Default::default()
     };
     for (flat_bytes, footprint) in parts {
@@ -397,16 +410,77 @@ pub struct WindowResult {
 pub struct ScoreScratch {
     /// Simulated window counts (`SharedTrajectory::window_into` target).
     sim_u: Vec<u64>,
-    /// Simulated window counts as `f64`.
+    /// Simulated window counts as `f64` (materialized fallback only).
     sim_f: Vec<f64>,
-    /// Bias-transformed simulated observations.
+    /// Bias-transformed simulated observations (materialized fallback
+    /// only).
     sim_obs: Vec<f64>,
+    /// Per-source scoring passes that took the fused day-loop path;
+    /// flushed into [`crate::simulator::WorkspaceStats`] when the owning
+    /// pooled workspace drops.
+    pub(crate) fused_scores: u64,
 }
 
 impl ScoreScratch {
     /// Fresh (empty) scratch buffers.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Scoring passes through this scratch that took the fused path.
+    pub fn fused_scores(&self) -> u64 {
+        self.fused_scores
+    }
+}
+
+/// Per-window cache of the likelihoods' observed-side preparation (e.g.
+/// `sqrt(y_t)` for the paper's sqrt-scale Gaussian), built **once per
+/// window** and shared read-only across the grid's workers — the
+/// observed series is fixed while every particle scores against it, so
+/// re-deriving the transform per particle was pure waste.
+#[derive(Clone, Debug)]
+pub struct PreparedObserved {
+    /// The window the preparation covers.
+    window: TimeWindow,
+    /// One prepared value per window day, per source (source order of
+    /// the [`ObservedData`] it was built from).
+    per_source: Vec<Vec<f64>>,
+}
+
+impl PreparedObserved {
+    /// Prepare every source's observed window through its likelihood's
+    /// [`Likelihood::prepare_observed`].
+    ///
+    /// # Errors
+    /// Returns [`SmcError::Observation`] if any source's observed series
+    /// does not cover the window.
+    pub fn build(observed: &ObservedData, window: TimeWindow) -> Result<Self, SmcError> {
+        let mut per_source = Vec::with_capacity(observed.sources.len());
+        for src in &observed.sources {
+            let obs_w = src
+                .observed
+                .window(window.start, window.end)
+                .ok_or_else(|| {
+                    SmcError::Observation(format!(
+                        "observed series '{}' does not cover days [{}, {}]",
+                        src.series, window.start, window.end
+                    ))
+                })?;
+            let mut prep = Vec::new();
+            src.likelihood.prepare_observed(obs_w, &mut prep);
+            assert_eq!(
+                prep.len(),
+                obs_w.len(),
+                "prepare_observed must emit one value per observed day"
+            );
+            per_source.push(prep);
+        }
+        Ok(Self { window, per_source })
+    }
+
+    /// The window this preparation covers.
+    pub fn window(&self) -> TimeWindow {
+        self.window
     }
 }
 
@@ -438,6 +512,10 @@ pub fn score_window(
 /// allocation-free variant the grid pass uses. Results are bit-identical
 /// to [`score_window`] for any scratch state.
 ///
+/// Builds the observed-side preparation on every call; the grid passes
+/// build one [`PreparedObserved`] per window instead and go through
+/// [`score_window_prepared`] directly.
+///
 /// # Errors
 /// Same coverage errors as [`score_window`].
 pub fn score_window_with(
@@ -448,6 +526,40 @@ pub fn score_window_with(
     window: TimeWindow,
     scratch: &mut ScoreScratch,
 ) -> Result<f64, SmcError> {
+    let prepared = PreparedObserved::build(observed, window)?;
+    score_window_prepared(trajectory, rho, bias_seed, observed, &prepared, scratch)
+}
+
+/// The scoring core: per source, try the **fused day loop** — walk the
+/// simulated window once, mapping each day through
+/// [`BiasModel::observe_one`] and [`Likelihood::prepared_day_term`] and
+/// accumulating the log-likelihood directly, with no materialized
+/// float/observation buffers. Sources whose bias has cross-day state
+/// (reporting delays) or whose likelihood lacks a per-day form fall back
+/// to the materialize-then-score path on a **fresh** bias stream (the
+/// probe's partial draws are discarded with the generator), so results
+/// are bit-identical either way: same per-day float operations in the
+/// same ascending-day order, sources summed in source order.
+///
+/// `prepared` must have been built from the same `observed` and window.
+///
+/// # Errors
+/// Returns [`SmcError::Observation`] if the trajectory does not cover
+/// the window on a referenced series.
+pub fn score_window_prepared(
+    trajectory: &SharedTrajectory,
+    rho: f64,
+    bias_seed: u64,
+    observed: &ObservedData,
+    prepared: &PreparedObserved,
+    scratch: &mut ScoreScratch,
+) -> Result<f64, SmcError> {
+    let window = prepared.window;
+    assert_eq!(
+        prepared.per_source.len(),
+        observed.sources.len(),
+        "PreparedObserved was built from a different ObservedData"
+    );
     let mut comp = CompositeLikelihood::new();
     for (si, src) in observed.sources.iter().enumerate() {
         if !trajectory.window_into(&src.series, window.start, window.end, &mut scratch.sim_u) {
@@ -456,6 +568,32 @@ pub fn score_window_with(
                 src.series, window.start, window.end
             )));
         }
+        let prep = &prepared.per_source[si];
+        let mut bias_rng =
+            Xoshiro256PlusPlus::from_stream(bias_seed, &[TAG_BIAS, window.start as u64, si as u64]);
+        let mut acc = 0.0;
+        let mut fused = true;
+        for (t, &u) in scratch.sim_u.iter().enumerate() {
+            let term = src
+                .bias
+                .observe_one(u as f64, rho, &mut bias_rng)
+                .and_then(|eta_obs| src.likelihood.prepared_day_term(prep[t], eta_obs));
+            match term {
+                Some(v) => acc += v,
+                None => {
+                    fused = false;
+                    break;
+                }
+            }
+        }
+        if fused {
+            scratch.fused_scores += 1;
+            comp.add(acc);
+            continue;
+        }
+        // Materialized fallback. A fresh bias stream replaces whatever
+        // the fused probe consumed before bailing out, so partial
+        // consumption above is harmless.
         let obs_w = src
             .observed
             .window(window.start, window.end)
@@ -637,6 +775,10 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
         // (Section V-B).
         let sim_key = StreamKey::new(cfg.seed).absorb(TAG_SIM_SEED);
         let bias_key = StreamKey::new(cfg.seed).absorb(TAG_BIAS);
+        // Observed-side likelihood preparation (e.g. sqrt of the data),
+        // hoisted out of the per-particle scoring loop: built once here,
+        // shared read-only by every grid worker.
+        let prepared = PreparedObserved::build(observed, window)?;
         let stream_setup_nanos = started.elapsed().as_nanos() as u64;
 
         let runner = &self.runner;
@@ -658,8 +800,14 @@ impl<'a, S: TrajectorySimulator> SingleWindowIs<'a, S> {
                 let bias_seed = bias_key.derive2(i as u64, r as u64);
                 // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
                 let score_started = std::time::Instant::now();
-                let log_weight =
-                    score_window_with(&trajectory, *rho, bias_seed, observed, window, scratch)?;
+                let log_weight = score_window_prepared(
+                    &trajectory,
+                    *rho,
+                    bias_seed,
+                    observed,
+                    &prepared,
+                    scratch,
+                )?;
                 ws.add_score_nanos(score_started.elapsed().as_nanos() as u64);
                 Ok(Particle {
                     theta: Arc::clone(theta),
@@ -1215,6 +1363,8 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
             .absorb(TAG_BIAS)
             .absorb(window_index as u64)
             .absorb(iteration as u64);
+        // One observed-side preparation per batch, shared by all workers.
+        let prepared = PreparedObserved::build(observed, window)?;
         let results: Vec<Result<Particle, SmcError>> = runner.run_grid_pooled(
             proposals.len(),
             cfg.n_replicates,
@@ -1253,8 +1403,14 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                 // Incremental likelihood: only this window's data.
                 // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
                 let score_started = std::time::Instant::now();
-                let log_weight =
-                    score_window_with(&trajectory, prop.rho, bias_seed, observed, window, scratch)?;
+                let log_weight = score_window_prepared(
+                    &trajectory,
+                    prop.rho,
+                    bias_seed,
+                    observed,
+                    &prepared,
+                    scratch,
+                )?;
                 ws.add_score_nanos(score_started.elapsed().as_nanos() as u64);
                 Ok(Particle {
                     theta: Arc::clone(&prop.theta),

@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 
 use super::Distribution;
 use crate::rng::Xoshiro256PlusPlus;
-use crate::special::{beta_inc, ln_choose};
+use crate::special::{beta_inc, ln_choose, ln_factorial};
 
 /// Binomial distribution `Binomial(n, p)`.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -36,9 +36,14 @@ pub struct Binomial {
 /// Below this trial count inversion is always used (setup cost dominates).
 const INVERSION_N_CUTOFF: u64 = 48;
 /// Below this value of `n * min(p, 1-p)` the O(np) inversion sampler is
-/// cheapest; at or above it BTPE's O(1) accept/reject wins. This is the
-/// classic BTPE applicability threshold from the 1988 paper.
-const BTPE_MEAN_CUTOFF: f64 = 10.0;
+/// cheapest; at or above it BTPE's O(1) accept/reject wins. The classic
+/// threshold from the 1988 paper is 10, chosen against that era's cost
+/// model; on current hardware BINV's short multiply-and-compare loop
+/// stays cheaper than a fresh BTPE hat setup plus accept/reject until a
+/// mean of ~30 (measured on the covid chain benchmark, where occupancy
+/// drift forces a new hat per draw). BTPE remains valid from 10 up, so
+/// raising the cutoff is purely a cost trade — both samplers are exact.
+const BTPE_MEAN_CUTOFF: f64 = 30.0;
 
 impl Binomial {
     /// Create a binomial distribution with `n` trials and success
@@ -142,19 +147,20 @@ struct BtpeSetup {
     /// `r / q` and `(n + 1) * r / q` for the explicit pmf-ratio product.
     s: f64,
     a: f64,
-    /// Retained success probability `r = min(p, 1-p)`.
-    r: f64,
-    /// `ln pmf(m)` — the exact acceptance test compares against
-    /// `ln pmf(y) - ln pmf(m)`. Computed lazily (`NAN` = not yet),
-    /// together with `ln_r`/`ln_q`: the squeeze tests accept or reject
-    /// most draws without ever reaching the exact test, and the
-    /// `ln_choose` and `ln` calls are the most expensive part of setup,
-    /// which re-runs every time a channel's occupancy drifts.
-    ln_f_m: f64,
-    /// `ln r` and `ln q`, for evaluating `ln pmf(y)`; filled alongside
-    /// `ln_f_m`.
-    ln_r: f64,
-    ln_q: f64,
+    /// `ln s = ln r - ln q` for the exact acceptance test, which compares
+    /// `ln v` against the cancelled log-pmf ratio
+    /// `lf(m) + lf(n-m) - lf(y) - lf(n-y) + (y - m) ln s`
+    /// (`lf = ln factorial`; the `ln n!` terms of the two `ln C(n, .)`
+    /// cancel). `ln s` is p-only, so [`HazardSampler`] precomputes it once
+    /// per hazard; the scalar path fills it lazily (`NAN` = not yet) — the
+    /// squeeze tests accept or reject most draws without reaching the
+    /// exact test at all.
+    ln_s: f64,
+    /// Mode half of the cancelled ratio, `lf(m) + lf(n - m)`. Lazy
+    /// (`NAN` = not yet): it needs two `ln n!` evaluations, which would
+    /// otherwise dominate setup — and setup re-runs every time a
+    /// channel's occupancy drifts.
+    ln_fm2: f64,
 }
 
 impl BinomialSampler {
@@ -227,6 +233,12 @@ impl BinomialSampler {
 
     /// Inversion (BINV): walk the pmf from `k = 0` subtracting mass from a
     /// single uniform. Expected O(n r) iterations.
+    ///
+    /// The pmf recursion `mass *= a / k - s` is rewritten as
+    /// `mass *= a * (1/k) - s` with `1/k` read from a small constant
+    /// table: the running product is a serialized dependency chain, and a
+    /// multiply has a third of the latency of a divide. BINV only runs in
+    /// the small-mean regime (`n r < 10`), so `k` rarely leaves the table.
     fn sample_binv(rng: &mut Xoshiro256PlusPlus, n: u64, s: f64, a: f64, r0: f64) -> u64 {
         loop {
             let mut u = rng.next_f64();
@@ -243,11 +255,37 @@ impl BinomialSampler {
                     // very close to 1); retry with a fresh uniform.
                     break;
                 }
-                mass *= a / k as f64 - s;
+                let inv_k = if (k as usize) < INV_K.len() {
+                    INV_K[k as usize]
+                } else {
+                    1.0 / k as f64
+                };
+                mass *= a * inv_k - s;
             }
         }
     }
+
+    /// Draw `out.len()` i.i.d. variates from the cached `(n, p)`,
+    /// consuming the stream exactly as the same number of
+    /// [`Self::sample`] calls would — the batch is an amortization of
+    /// setup and dispatch, not a different algorithm.
+    pub fn sample_many(&mut self, rng: &mut Xoshiro256PlusPlus, out: &mut [u64]) {
+        for slot in out.iter_mut() {
+            *slot = self.sample(rng);
+        }
+    }
 }
+
+/// Reciprocal table for the BINV pmf recursion (index 0 is unused).
+const INV_K: [f64; 64] = {
+    let mut t = [0.0f64; 64];
+    let mut k = 1usize;
+    while k < 64 {
+        t[k] = 1.0 / k as f64;
+        k += 1;
+    }
+    t
+};
 
 impl Default for BinomialSampler {
     fn default() -> Self {
@@ -255,26 +293,66 @@ impl Default for BinomialSampler {
     }
 }
 
+/// Inline `floor` for magnitudes below `2^52`: truncate through `i64` and
+/// adjust. Bit-identical to `f64::floor` on that domain, but compiles to a
+/// handful of instructions instead of a libm call — which matters because
+/// the baseline x86-64 target lowers `f64::floor` to an indirect glibc
+/// call, spilling every live xmm register in BTPE's attempt loop. All
+/// candidate values in this module are bounded by `n + 1 < 2^52` (enforced
+/// by debug assertion).
+#[inline(always)]
+fn floor_small(x: f64) -> f64 {
+    // At or above 2^52 every finite f64 is already an integer.
+    if x.abs() >= 4_503_599_627_370_496.0 {
+        return x;
+    }
+    let t = x as i64 as f64;
+    if x < t {
+        t - 1.0
+    } else {
+        t
+    }
+}
+
 impl BtpeSetup {
     fn new(n: u64, r: f64) -> Self {
         let q = 1.0 - r;
+        // `ln s` is filled lazily on the first exact test.
+        Self::with_consts(n, r, q, r / q, f64::NAN)
+    }
+
+    /// Setup from precomputed p-derived constants (`q = 1 - r`,
+    /// `s = r / q`, and optionally `ln s` — pass `NAN` to fill it lazily)
+    /// — the [`HazardSampler`] path, which shares them across draws with
+    /// a common hazard. Must stay float-for-float identical to
+    /// [`Self::new`].
+    fn with_consts(n: u64, r: f64, q: f64, s: f64, ln_s: f64) -> Self {
         let nf = n as f64;
         let nr = nf * r;
         let nrq = nr * q;
         let ffm = nr + r; // (n + 1) r
-        let m = ffm.floor() as u64;
-        let p1 = (2.195 * nrq.sqrt() - 4.6 * q).floor() + 0.5;
+        let m = floor_small(ffm) as u64;
+        let p1 = floor_small(2.195 * nrq.sqrt() - 4.6 * q) + 0.5;
         let xm = m as f64 + 0.5;
         let xl = xm - p1;
         let xr = xm + p1;
         let c = 0.134 + 20.5 / (15.3 + m as f64);
-        let al = (ffm - xl) / (ffm - xl * r);
+        // The four setup divides collapse to two: each pair of
+        // independent quotients shares one reciprocal of the product of
+        // its denominators, halving pressure on the (unpipelined)
+        // divider. Changes results only in ulps; covered by this PR's
+        // one-time golden re-bless.
+        let dl = ffm - xl * r;
+        let dr = xr * q;
+        let inv_dlr = 1.0 / (dl * dr);
+        let al = (ffm - xl) * dr * inv_dlr;
         let lambda_l = al * (1.0 + 0.5 * al);
-        let ar = (xr - ffm) / (xr * q);
+        let ar = (xr - ffm) * dl * inv_dlr;
         let lambda_r = ar * (1.0 + 0.5 * ar);
         let p2 = p1 * (1.0 + 2.0 * c);
-        let p3 = p2 + c / lambda_l;
-        let p4 = p3 + c / lambda_r;
+        let inv_ll = c / (lambda_l * lambda_r);
+        let p3 = p2 + inv_ll * lambda_r;
+        let p4 = p3 + inv_ll * lambda_l;
         Self {
             n,
             nf,
@@ -290,19 +368,17 @@ impl BtpeSetup {
             p2,
             p3,
             p4,
-            s: r / q,
-            a: (n as f64 + 1.0) * (r / q),
-            r,
-            ln_f_m: f64::NAN,
-            ln_r: f64::NAN,
-            ln_q: f64::NAN,
+            s,
+            a: (n as f64 + 1.0) * s,
+            ln_s,
+            ln_fm2: f64::NAN,
         }
     }
 
     /// One BTPE draw. Each attempt consumes exactly two uniforms; the
     /// expected number of attempts is bounded (< 1.5) uniformly in `n`.
-    /// `&mut` only to memoize `ln_f_m` on first use — the draw itself
-    /// depends solely on `(n, r)` and the RNG stream.
+    /// `&mut` only to memoize the exact-test constants on first use — the
+    /// draw itself depends solely on `(n, r)` and the RNG stream.
     fn sample(&mut self, rng: &mut Xoshiro256PlusPlus) -> u64 {
         let nf = self.nf;
         loop {
@@ -314,7 +390,7 @@ impl BtpeSetup {
             let (yf, v) = if u <= self.p1 {
                 // Triangle: below the scaled pmf by construction —
                 // immediate acceptance, no pmf evaluation.
-                let yf = (self.xm - self.p1 * v + u).floor();
+                let yf = floor_small(self.xm - self.p1 * v + u);
                 if yf < 0.0 || yf > nf {
                     continue;
                 }
@@ -326,21 +402,21 @@ impl BtpeSetup {
                 if v > 1.0 {
                     continue;
                 }
-                let yf = x.floor();
+                let yf = floor_small(x);
                 if yf < 0.0 || yf > nf {
                     continue;
                 }
                 (yf, v)
             } else if u <= self.p3 {
                 // Left exponential tail.
-                let yf = (self.xl + v.ln() / self.lambda_l).floor();
+                let yf = floor_small(self.xl + v.ln() / self.lambda_l);
                 if yf < 0.0 {
                     continue;
                 }
                 (yf, v * (u - self.p2) * self.lambda_l)
             } else {
                 // Right exponential tail.
-                let yf = (self.xr - v.ln() / self.lambda_r).floor();
+                let yf = floor_small(self.xr - v.ln() / self.lambda_r);
                 if yf > nf {
                     continue;
                 }
@@ -356,17 +432,50 @@ impl BtpeSetup {
             if k <= 20 || kf >= self.nrq / 2.0 - 1.0 {
                 // Near the mode (or far enough out that the recursion is
                 // short relative to logs): explicit pmf-ratio product via
-                // pmf(i)/pmf(i-1) = a/i - s.
-                let mut f = 1.0;
-                if y > self.m {
-                    for i in (self.m + 1)..=y {
-                        f *= self.a / i as f64 - self.s;
+                // pmf(i)/pmf(i-1) = a/i - s = (a - s i) / i. The two
+                // factor products accumulate separately so the loop is
+                // pure multiplies (one divide at the end) instead of a
+                // serialized divide chain.
+                let up = y > self.m;
+                let (lo, hi) = if up { (self.m + 1, y) } else { (y + 1, self.m) };
+                let f = if k <= 20 && self.nf < 1e12 {
+                    // <= 20 factors, each in `[s, a]` with `s >= 10/n` (the
+                    // BTPE regime floor) and `a <= n + 1`, and `den <= n^20`:
+                    // every magnitude stays inside `[1e-270, 1e270]`, so the
+                    // fold guard below can never fire — run the pure-multiply
+                    // loop with no per-iteration check. Bit-identical to the
+                    // guarded loop (same factors, same single final divide).
+                    let mut num = 1.0f64;
+                    let mut den = 1.0f64;
+                    let mut i = lo as f64;
+                    let hi_f = hi as f64;
+                    while i <= hi_f {
+                        num *= self.a - self.s * i;
+                        den *= i;
+                        i += 1.0;
+                    }
+                    if up {
+                        num / den
+                    } else {
+                        den / num
                     }
                 } else {
-                    for i in (y + 1)..=self.m {
-                        f /= self.a / i as f64 - self.s;
+                    // Long recursion: fold magnitudes into `f` before they
+                    // can overflow or underflow.
+                    let mut f = 1.0f64;
+                    let mut num = 1.0f64;
+                    let mut den = 1.0f64;
+                    for i in lo..=hi {
+                        num *= self.a - self.s * i as f64;
+                        den *= i as f64;
+                        if !(1e-270..=1e270).contains(&num) || den >= 1e270 {
+                            f *= if up { num / den } else { den / num };
+                            num = 1.0;
+                            den = 1.0;
+                        }
                     }
-                }
+                    f * if up { num / den } else { den / num }
+                };
                 if v <= f {
                     return y;
                 }
@@ -385,17 +494,119 @@ impl BtpeSetup {
                 continue;
             }
 
-            // Final exact test: compare against the true log-pmf ratio.
-            if self.ln_f_m.is_nan() {
-                self.ln_r = self.r.ln();
-                self.ln_q = (1.0 - self.r).ln();
-                let mf = self.m as f64;
-                self.ln_f_m = ln_choose(self.n, self.m) + mf * self.ln_r + (nf - mf) * self.ln_q;
+            // Final exact test: compare against the true log-pmf ratio,
+            // in the cancelled form
+            // `lf(m) + lf(n-m) - lf(y) - lf(n-y) + (y - m) ln s`
+            // (`lf = ln factorial`; the `ln n!` halves of the two
+            // `ln C(n, .)` cancel, halving the `ln n!` evaluations).
+            if self.ln_fm2.is_nan() {
+                if self.ln_s.is_nan() {
+                    self.ln_s = self.s.ln();
+                }
+                self.ln_fm2 = ln_factorial(self.m) + ln_factorial(self.n - self.m);
             }
-            let ln_f_y = ln_choose(self.n, y) + yf * self.ln_r + (nf - yf) * self.ln_q;
-            if alv <= ln_f_y - self.ln_f_m {
+            let ln_ratio = self.ln_fm2 - ln_factorial(y) - ln_factorial(self.n - y)
+                + (yf - self.m as f64) * self.ln_s;
+            if alv <= ln_ratio {
                 return y;
             }
+        }
+    }
+}
+
+/// Shared p-derived binomial setup for batched hazard draws: many draws
+/// with a **common success probability** but varying trial counts.
+///
+/// This is the batch entry point of the chain-binomial stepper, where
+/// each progression's per-stage exit probability is fixed for the whole
+/// day (the precomputed discrete hazard) while the per-stage occupancies
+/// drift every substep. Reflection (`p > 1/2`), the BINV constants
+/// `s = r/q` and `ln q` (the p-only part of `r0 = q^n`), and the regime
+/// constants are computed once here; [`Self::draw`] only runs the
+/// n-dependent remainder of setup.
+///
+/// Stream contract: `HazardSampler::new(p).draw(rng, n)` consumes the RNG
+/// exactly as `BinomialSampler::new(n, p).sample(rng)` — the batch is an
+/// amortization of setup, never a different sampling algorithm.
+#[derive(Clone, Copy, Debug)]
+pub struct HazardSampler {
+    p_bits: u64,
+    flipped: bool,
+    /// `ln s`, precomputed for BTPE's exact acceptance test.
+    ln_s: f64,
+    /// Retained success probability `r = min(p, 1-p)`.
+    r: f64,
+    /// `1 - r`.
+    q: f64,
+    /// `r / q`.
+    s: f64,
+    /// `ln(1 - r)`: the p-only factor of BINV's `r0 = exp(n ln q)`.
+    ln_q: f64,
+}
+
+impl HazardSampler {
+    /// Build the shared setup for success probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "HazardSampler: p = {p} outside [0, 1]"
+        );
+        let flipped = p > 0.5;
+        let r = if flipped { 1.0 - p } else { p };
+        let q = 1.0 - r;
+        let s = r / q;
+        Self {
+            p_bits: p.to_bits(),
+            flipped,
+            r,
+            q,
+            s,
+            ln_q: (-r).ln_1p(),
+            ln_s: s.ln(),
+        }
+    }
+
+    /// The success probability this setup was built for.
+    pub fn p(&self) -> f64 {
+        f64::from_bits(self.p_bits)
+    }
+
+    /// Draw one `Binomial(n, p)` variate, running only the n-dependent
+    /// part of setup (regime dispatch plus one `exp` for BINV or the
+    /// BTPE hat constants).
+    #[inline]
+    pub fn draw(&self, rng: &mut Xoshiro256PlusPlus, n: u64) -> u64 {
+        if n == 0 || self.r == 0.0 {
+            return if self.flipped { n } else { 0 };
+        }
+        let k = if n < INVERSION_N_CUTOFF || (n as f64) * self.r < BTPE_MEAN_CUTOFF {
+            let a = (n + 1) as f64 * self.s;
+            let r0 = ((n as f64) * self.ln_q).exp();
+            BinomialSampler::sample_binv(rng, n, self.s, a, r0)
+        } else {
+            let mut setup = BtpeSetup::with_consts(n, self.r, self.q, self.s, self.ln_s);
+            setup.sample(rng)
+        };
+        if self.flipped {
+            n - k
+        } else {
+            k
+        }
+    }
+
+    /// Draw one variate per trial count, in index order — the
+    /// compartment-vector batch. Stream-equivalent to calling
+    /// [`Self::draw`] once per element.
+    ///
+    /// # Panics
+    /// Panics if `ns` and `out` differ in length.
+    pub fn draw_many(&self, rng: &mut Xoshiro256PlusPlus, ns: &[u64], out: &mut [u64]) {
+        assert_eq!(ns.len(), out.len(), "draw_many: ns/out length mismatch");
+        for (slot, &n) in out.iter_mut().zip(ns) {
+            *slot = self.draw(rng, n);
         }
     }
 }
@@ -410,6 +621,17 @@ impl BtpeSetup {
 /// Panics unless `p` is in `[0, 1]`.
 pub fn sample_binomial(rng: &mut Xoshiro256PlusPlus, n: u64, p: f64) -> u64 {
     BinomialSampler::new(n, p).sample(rng)
+}
+
+/// Batched exact binomial sampling over a flat trial-count array with a
+/// shared success probability: one p-setup for the whole batch, draws in
+/// index order. Stream-equivalent to `sample_binomial(rng, n, p)` per
+/// element.
+///
+/// # Panics
+/// Panics unless `p` is in `[0, 1]` and `ns.len() == out.len()`.
+pub fn sample_binomial_batch(rng: &mut Xoshiro256PlusPlus, ns: &[u64], p: f64, out: &mut [u64]) {
+    HazardSampler::new(p).draw_many(rng, ns, out);
 }
 
 impl Distribution for Binomial {
@@ -526,11 +748,27 @@ mod tests {
     /// to be deterministic-flake-free at fixed seeds, tight enough to
     /// catch any systematic sampler bias.
     fn chi_square_check(n: u64, p: f64, lo: u64, hi: u64, seed: u64, reps: usize) {
+        chi_square_check_with(n, p, lo, hi, seed, reps, |rng| {
+            Binomial::new(n, p).sample_u64(rng)
+        });
+    }
+
+    /// Chi-square GOF with an arbitrary draw function, so the batched
+    /// sampling paths can be tested against the same exact pmf.
+    fn chi_square_check_with(
+        n: u64,
+        p: f64,
+        lo: u64,
+        hi: u64,
+        seed: u64,
+        reps: usize,
+        mut draw: impl FnMut(&mut Xoshiro256PlusPlus) -> u64,
+    ) {
         let d = Binomial::new(n, p);
         let mut rng = Xoshiro256PlusPlus::new(seed);
         let mut counts = vec![0u64; (hi - lo + 1) as usize + 2];
         for _ in 0..reps {
-            let k = d.sample_u64(&mut rng);
+            let k = draw(&mut rng);
             let idx = if k < lo {
                 0
             } else if k > hi {
@@ -603,6 +841,85 @@ mod tests {
     fn exact_distribution_chi_square_binv_flipped() {
         // p close to 1 with a small reflected mean: BINV after reflection.
         chi_square_check(500, 0.99, 485, 500, 62, 40_000);
+    }
+
+    #[test]
+    fn batched_chi_square_binv_regime() {
+        // n r = 5 < 10: the batch path dispatches every draw to BINV.
+        let hs = HazardSampler::new(0.005);
+        chi_square_check_with(1_000, 0.005, 0, 20, 70, 40_000, |rng| hs.draw(rng, 1_000));
+    }
+
+    #[test]
+    fn batched_chi_square_btpe_regime() {
+        // n r = 120 >= 10: the batch path dispatches every draw to BTPE.
+        let hs = HazardSampler::new(0.3);
+        chi_square_check_with(400, 0.3, 90, 150, 71, 40_000, |rng| hs.draw(rng, 400));
+    }
+
+    #[test]
+    fn batched_chi_square_btpe_flipped() {
+        // Reflection through the batch path (p > 1/2, BTPE after flip).
+        let hs = HazardSampler::new(0.85);
+        chi_square_check_with(400, 0.85, 310, 370, 72, 40_000, |rng| hs.draw(rng, 400));
+    }
+
+    #[test]
+    fn sample_many_matches_repeated_sample() {
+        // Exact stream equivalence: sample_many must be draw-for-draw and
+        // RNG-state identical to repeated scalar sample() calls.
+        for &(n, p) in &[(25u64, 0.4), (1_000, 0.005), (10_000, 0.3), (400, 0.97)] {
+            let mut ra = Xoshiro256PlusPlus::new(73);
+            let mut rb = Xoshiro256PlusPlus::new(73);
+            let mut batch = BinomialSampler::new(n, p);
+            let mut scalar = BinomialSampler::new(n, p);
+            let mut many = [0u64; 257];
+            batch.sample_many(&mut ra, &mut many);
+            for (i, &got) in many.iter().enumerate() {
+                let want = scalar.sample(&mut rb);
+                assert_eq!(got, want, "n={n} p={p} draw {i}");
+            }
+            assert_eq!(ra, rb, "RNG streams diverged at n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn hazard_draw_matches_scalar_sampler() {
+        // The shared-p batch setup must consume the stream exactly as a
+        // per-draw scalar setup, across regimes, reflection and
+        // degenerate cases.
+        for &p in &[0.0, 1e-4, 0.005, 0.3, 0.5, 0.7, 0.97, 1.0] {
+            let hs = HazardSampler::new(p);
+            let mut ra = Xoshiro256PlusPlus::new(74);
+            let mut rb = Xoshiro256PlusPlus::new(74);
+            for &n in &[0u64, 1, 7, 47, 48, 300, 5_000, 2_700_000] {
+                for _ in 0..50 {
+                    let got = hs.draw(&mut ra, n);
+                    let want = BinomialSampler::new(n, p).sample(&mut rb);
+                    assert_eq!(got, want, "n={n} p={p}");
+                }
+            }
+            assert_eq!(ra, rb, "RNG streams diverged at p={p}");
+        }
+    }
+
+    #[test]
+    fn batch_free_function_matches_scalar_free_function() {
+        let ns = [0u64, 3, 48, 999, 12_345, 2_700_000];
+        let mut ra = Xoshiro256PlusPlus::new(75);
+        let mut rb = Xoshiro256PlusPlus::new(75);
+        let mut out = [0u64; 6];
+        sample_binomial_batch(&mut ra, &ns, 0.2, &mut out);
+        for (i, &n) in ns.iter().enumerate() {
+            assert_eq!(out[i], sample_binomial(&mut rb, n, 0.2), "index {i}");
+        }
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    #[should_panic]
+    fn hazard_sampler_rejects_bad_probability() {
+        HazardSampler::new(-0.1);
     }
 
     #[test]

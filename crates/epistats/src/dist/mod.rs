@@ -28,7 +28,9 @@ mod truncated_normal;
 mod uniform;
 
 pub use beta::Beta;
-pub use binomial::{sample_binomial, Binomial, BinomialSampler};
+pub use binomial::{
+    sample_binomial, sample_binomial_batch, Binomial, BinomialSampler, HazardSampler,
+};
 pub use categorical::Categorical;
 pub use dirichlet::Dirichlet;
 pub use exponential::Exponential;
@@ -36,7 +38,7 @@ pub use gamma::Gamma;
 pub use lognormal::LogNormal;
 pub use negbinomial::NegBinomial;
 pub use normal::Normal;
-pub use poisson::{sample_poisson, Poisson};
+pub use poisson::{sample_poisson, sample_poisson_batch, Poisson};
 pub use truncated_normal::TruncatedNormal;
 pub use uniform::Uniform;
 

@@ -83,6 +83,24 @@ pub fn sample_poisson(rng: &mut Xoshiro256PlusPlus, lambda: f64) -> u64 {
     acc + small_poisson(rng, lambda)
 }
 
+/// Batched exact Poisson sampling over a flat mean array (the tau-leap
+/// stepper's per-stage leap counts), drawing in index order. Zero means
+/// consume no randomness, so empty stages are free — stream-equivalent
+/// to calling [`sample_poisson`] once per element.
+///
+/// # Panics
+/// Panics if any mean is negative or non-finite, or on length mismatch.
+pub fn sample_poisson_batch(rng: &mut Xoshiro256PlusPlus, means: &[f64], out: &mut [u64]) {
+    assert_eq!(
+        means.len(),
+        out.len(),
+        "sample_poisson_batch: means/out length mismatch"
+    );
+    for (slot, &mean) in out.iter_mut().zip(means) {
+        *slot = sample_poisson(rng, mean);
+    }
+}
+
 /// Knuth's method: count uniforms until their product drops below
 /// `exp(-lambda)`. Expected `lambda + 1` uniforms.
 fn small_poisson(rng: &mut Xoshiro256PlusPlus, lambda: f64) -> u64 {

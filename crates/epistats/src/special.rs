@@ -82,7 +82,19 @@ pub fn ln_factorial(n: u64) -> f64 {
     if (n as usize) < CACHE_LEN {
         cache[n as usize]
     } else {
-        ln_gamma(n as f64 + 1.0)
+        // Stirling–de Moivre series. At `n >= 256` the truncation error
+        // (next term `-1/(1680 n^7)`, < 1e-20 absolute) is far below one
+        // ulp of `ln(n!) >= 1400`, so this is as accurate as the Lanczos
+        // evaluation it replaces while costing one `ln` instead of
+        // Lanczos' three plus eight divides — `ln(n!)` is on the BTPE
+        // exact-acceptance path, which runs per rejected squeeze in the
+        // simulator's hot loop.
+        let x = n as f64;
+        let inv = 1.0 / x;
+        let inv2 = inv * inv;
+        let series = inv * (1.0 / 12.0 + inv2 * (-1.0 / 360.0 + inv2 * (1.0 / 1260.0)));
+        const HALF_LN_TWO_PI: f64 = 0.918_938_533_204_672_7;
+        (x + 0.5) * x.ln() - x + HALF_LN_TWO_PI + series
     }
 }
 

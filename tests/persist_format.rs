@@ -1,8 +1,8 @@
 //! Byte-format pinning for the durable run store: a golden fixture locks
-//! the current (v2) record encoding (any accidental change to the wire
-//! format fails here before it eats someone's checkpoints), a retained v1
-//! fixture proves the typed migration path (older records decode with the
-//! appended telemetry words defaulted), a version-bump test proves
+//! the current (v3) record encoding (any accidental change to the wire
+//! format fails here before it eats someone's checkpoints), retained
+//! v1/v2 fixtures prove the typed migration path (older records decode
+//! with the appended telemetry words defaulted), a version-bump test proves
 //! records from a future format are rejected as [`SmcError::UnsupportedFormat`],
 //! and property tests drive arbitrary ensembles through
 //! encode → decode → encode bit-exactly while arbitrary single-byte
@@ -119,17 +119,23 @@ fn golden_snapshot() -> RunSnapshot {
             records_written: 1,
             stream_setup_nanos: 314,
             serial_nanos: 2_718,
+            fused_scores: 96,
+            batched_draws: 1_722,
         },
         posterior: ParticleEnsemble::from_vec(particles),
     }
 }
 
 fn golden_path() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_record_v2.bin")
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_record_v3.bin")
 }
 
 fn golden_v1_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_record_v1.bin")
+}
+
+fn golden_v2_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_record_v2.bin")
 }
 
 #[test]
@@ -144,7 +150,7 @@ fn golden_record_bytes_are_pinned() {
         )
     });
     if bytes != want {
-        let out = Path::new(env!("CARGO_TARGET_TMPDIR")).join("run_record_v2.actual.bin");
+        let out = Path::new(env!("CARGO_TARGET_TMPDIR")).join("run_record_v3.actual.bin");
         std::fs::write(&out, &bytes).unwrap();
         panic!(
             "serialized record diverged from the golden fixture (got {} bytes, want {}); \
@@ -195,7 +201,7 @@ fn golden_record_decodes_with_sharing_intact() {
 fn v1_record_migrates_with_new_telemetry_defaulted() {
     // The retained v1 fixture (written before `stream_setup_nanos` /
     // `serial_nanos` existed) must still decode: everything it carried
-    // comes back bit-exactly, and the two appended v2 words default to 0.
+    // comes back bit-exactly, and all later appended words default to 0.
     let raw = std::fs::read(golden_v1_path()).unwrap();
     assert_eq!(u16::from_le_bytes([raw[4], raw[5]]), 1, "fixture is v1");
     let snap = format::decode_record(&raw).unwrap();
@@ -205,6 +211,8 @@ fn v1_record_migrates_with_new_telemetry_defaulted() {
     let mut want = golden_snapshot().telemetry;
     want.stream_setup_nanos = 0;
     want.serial_nanos = 0;
+    want.fused_scores = 0;
+    want.batched_draws = 0;
     assert_eq!(snap.telemetry, want);
 
     // Sharing survives the migration too.
@@ -214,13 +222,40 @@ fn v1_record_migrates_with_new_telemetry_defaulted() {
     assert!(Arc::ptr_eq(&p[0].checkpoint, &p[1].checkpoint));
 
     // Re-encoding a migrated snapshot upgrades it to the current version
-    // (two extra zero words, version 2) — a decode → encode → decode trip
-    // is lossless.
+    // (extra zero words, current version stamp) — a decode → encode →
+    // decode trip is lossless.
     let upgraded = format::encode_record(&snap);
     assert_ne!(upgraded, raw);
     let again = format::decode_record(&upgraded).unwrap();
     assert_eq!(again.telemetry, snap.telemetry);
     assert_eq!(again.posterior.len(), snap.posterior.len());
+}
+
+#[test]
+fn v2_record_migrates_with_new_telemetry_defaulted() {
+    // The retained v2 fixture (written before `fused_scores` /
+    // `batched_draws` existed) decodes with exactly those two words
+    // defaulted to 0 and everything else bit-exact.
+    let raw = std::fs::read(golden_v2_path()).unwrap();
+    assert_eq!(u16::from_le_bytes([raw[4], raw[5]]), 2, "fixture is v2");
+    let snap = format::decode_record(&raw).unwrap();
+    assert_eq!(snap.seed, 42);
+    assert_eq!(snap.fingerprint, 0x1234_5678_9abc_def0);
+    assert_eq!(snap.window, TimeWindow::new(34, 47));
+    let mut want = golden_snapshot().telemetry;
+    want.fused_scores = 0;
+    want.batched_draws = 0;
+    assert_eq!(snap.telemetry, want);
+
+    let p = snap.posterior.particles();
+    assert_eq!(p.len(), 3);
+    assert!(Arc::ptr_eq(&p[0].theta, &p[1].theta));
+    assert!(Arc::ptr_eq(&p[0].checkpoint, &p[1].checkpoint));
+
+    let upgraded = format::encode_record(&snap);
+    assert_ne!(upgraded, raw);
+    let again = format::decode_record(&upgraded).unwrap();
+    assert_eq!(again.telemetry, snap.telemetry);
 }
 
 #[test]
@@ -252,7 +287,7 @@ fn short_and_empty_records_are_corrupt_not_panics() {
 }
 
 #[test]
-#[ignore = "regenerates tests/golden/run_record_v2.bin; run only after an intentional format change (with a FORMAT_VERSION bump)"]
+#[ignore = "regenerates tests/golden/run_record_v3.bin; run only after an intentional format change (with a FORMAT_VERSION bump)"]
 fn regenerate_golden_fixture() {
     let path = golden_path();
     std::fs::create_dir_all(path.parent().unwrap()).unwrap();
