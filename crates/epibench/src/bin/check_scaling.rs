@@ -45,6 +45,12 @@ struct Summary {
 struct Bench {
     name: String,
     mean_ns: f64,
+    /// Total timed iterations behind the mean. Older captures predate
+    /// the field; they default to 0 and are rejected below — a mean of
+    /// one (or an unknown number of) iterations of a multi-second
+    /// calibration is a noise sample, not a measurement.
+    #[serde(default)]
+    iterations: u64,
 }
 
 fn fail(msg: &str) -> ExitCode {
@@ -79,11 +85,21 @@ fn main() -> ExitCode {
         ));
     }
 
-    // Collect "strong_scaling/window/<t>" points.
+    // Collect "strong_scaling/window/<t>" points, rejecting any point
+    // whose mean rests on fewer than 2 iterations: single-shot timings
+    // of second-scale calibrations carry whole-percent scheduler noise,
+    // which is exactly the magnitude the efficiency gate resolves.
     let mut means: BTreeMap<usize, f64> = BTreeMap::new();
     for b in &summary.benchmarks {
         if let Some(t) = b.name.strip_prefix("strong_scaling/window/") {
             if let Ok(t) = t.parse::<usize>() {
+                if b.iterations < 2 {
+                    return fail(&format!(
+                        "point {:?} was measured over {} iteration(s); captures need >= 2 \
+                         per point — re-record with the current bench harness",
+                        b.name, b.iterations
+                    ));
+                }
                 means.insert(t, b.mean_ns);
             }
         }

@@ -477,6 +477,16 @@ impl SharedTrajectory {
             .collect()
     }
 
+    /// The head segment's id — identical to the id [`Self::segments`]
+    /// reports for the chain's last element, without walking (or
+    /// allocating) the chain. Two trajectories with equal head ids share
+    /// their entire chain, which makes this the O(1) interning key for
+    /// ensemble serialization: a head id already seen means every
+    /// segment of this chain has been recorded.
+    pub fn head_id(&self) -> usize {
+        Arc::as_ptr(&self.head) as usize
+    }
+
     /// `(segment id, heap bytes of recorded values)` per segment, root
     /// first. The id is the segment's allocation address: two particles
     /// that share a segment report the same id, so deduplicating by id

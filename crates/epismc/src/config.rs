@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::SmcError;
 use crate::observation::BiasMode;
+use crate::resample::{Multinomial, Resampler, Residual, Stratified, Systematic};
 
 /// Configuration of one calibration run (shared by the single-window and
 /// sequential drivers).
@@ -40,6 +41,53 @@ pub struct CalibrationConfig {
     /// Keep the full prior ensemble in the window result (needed for the
     /// Fig 3 prior-trajectory cloud; memory-heavy at scale).
     pub keep_prior_ensemble: bool,
+    /// Resampling scheme drawing the posterior sample. Result-shaping
+    /// (part of the run fingerprint): two runs differing only here
+    /// produce different posteriors, each bit-reproducible.
+    #[serde(default)]
+    pub resample: ResampleScheme,
+}
+
+/// The resampling menu: the paper's multinomial scheme (Algorithm 1)
+/// plus the standard lower-variance SMC alternatives. The default,
+/// [`ResampleScheme::Multinomial`], preserves the RNG stream layout of
+/// every earlier release, so existing goldens and persisted runs are
+/// unaffected by the menu's existence.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResampleScheme {
+    /// Independent categorical draws (the paper's scheme).
+    #[default]
+    Multinomial,
+    /// One uniform offset, `n` evenly spaced pointers.
+    Systematic,
+    /// One uniform draw per stratum `[k/n, (k+1)/n)`.
+    Stratified,
+    /// Deterministic `floor(n w_i)` copies, multinomial on residuals.
+    Residual,
+}
+
+impl ResampleScheme {
+    /// The scheme's implementation.
+    pub fn resampler(self) -> &'static dyn Resampler {
+        match self {
+            Self::Multinomial => &Multinomial,
+            Self::Systematic => &Systematic,
+            Self::Stratified => &Stratified,
+            Self::Residual => &Residual,
+        }
+    }
+
+    /// Stable discriminant folded into the run fingerprint. The
+    /// fingerprint skips the default (Multinomial) entirely, so records
+    /// persisted before the menu existed remain resumable.
+    pub fn fingerprint_tag(self) -> u64 {
+        match self {
+            Self::Multinomial => 0,
+            Self::Systematic => 1,
+            Self::Stratified => 2,
+            Self::Residual => 3,
+        }
+    }
 }
 
 fn default_bias_mode() -> BiasMode {
@@ -58,6 +106,7 @@ impl Default for CalibrationConfig {
             threads: None,
             chunk_cells: None,
             keep_prior_ensemble: false,
+            resample: ResampleScheme::Multinomial,
         }
     }
 }
@@ -114,6 +163,30 @@ pub struct CheckpointPolicy {
     /// Keep only the newest `retain` records, deleting older ones after
     /// each write (`None` = unbounded retention).
     pub retain: Option<usize>,
+    /// Whether snapshot writes block the window loop or run on a
+    /// background writer thread (see [`PersistMode`]).
+    #[serde(default)]
+    pub mode: PersistMode,
+}
+
+/// How snapshot writes relate to the window loop.
+///
+/// Both modes write the same bytes in the same order and produce
+/// bit-identical calibration results; they differ only in *when* the
+/// loop blocks. Pipelined mode keeps resume semantics intact — the
+/// newest *durable* snapshot wins — because writes still land in window
+/// order and the writer fail-stops on the first error.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PersistMode {
+    /// Encode and write inside the window loop; the loop does not start
+    /// window `w+1` until window `w` is durable.
+    Sync,
+    /// Hand each snapshot to a bounded background writer thread
+    /// (double-buffered: at most one queued behind one in flight) and
+    /// start window `w+1` immediately. Write errors surface as typed
+    /// [`crate::error::SmcError`] at the next handoff or the final join.
+    #[default]
+    Pipelined,
 }
 
 impl Default for CheckpointPolicy {
@@ -121,6 +194,7 @@ impl Default for CheckpointPolicy {
         Self {
             every_windows: 1,
             retain: None,
+            mode: PersistMode::Pipelined,
         }
     }
 }
@@ -129,6 +203,13 @@ impl CheckpointPolicy {
     /// Persist after every window, keeping every record.
     pub fn every_window() -> Self {
         Self::default()
+    }
+
+    /// The same policy with a different persistence mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: PersistMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Validate the policy.
@@ -214,6 +295,12 @@ impl CalibrationConfigBuilder {
         self
     }
 
+    /// Select the posterior resampling scheme.
+    pub fn resample(mut self, v: ResampleScheme) -> Self {
+        self.cfg.resample = v;
+        self
+    }
+
     /// Finalize.
     ///
     /// # Panics
@@ -280,6 +367,26 @@ mod tests {
         assert!(cfg.validate().is_err());
         cfg.sigma = f64::NAN;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn persist_mode_and_resample_default_under_serde() {
+        // Configs/policies serialized before these fields existed must
+        // still deserialize, landing on the defaults.
+        let old_policy = r#"{"every_windows":2,"retain":null}"#;
+        let policy: CheckpointPolicy = serde_json::from_str(old_policy).unwrap();
+        assert_eq!(policy.mode, PersistMode::Pipelined);
+        let sync = policy.with_mode(PersistMode::Sync);
+        assert_eq!(sync.mode, PersistMode::Sync);
+        assert_eq!(sync.every_windows, 2);
+
+        let json = serde_json::to_string(&CalibrationConfig::default()).unwrap();
+        let cfg: CalibrationConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg.resample, ResampleScheme::Multinomial);
+        let alt = CalibrationConfig::builder()
+            .resample(ResampleScheme::Systematic)
+            .build();
+        assert_eq!(alt.resample.resampler().name(), "systematic");
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub mod window;
 
 pub use adaptive::AdaptiveConfig;
 pub use ckpool::SharedCheckpoint;
-pub use config::{CalibrationConfig, CheckpointPolicy};
+pub use config::{CalibrationConfig, CheckpointPolicy, PersistMode, ResampleScheme};
 pub use diagnostics::{coverage, joint_density, JointDensity, PosteriorSummary, Ribbon};
 pub use error::SmcError;
 pub use forecast::{Forecast, Forecaster};
@@ -71,6 +71,7 @@ pub use observation::{BiasMode, BinomialBias, IdentityBias};
 pub use particle::{Particle, ParticleEnsemble};
 pub use persist::{
     DirStore, Fault, FaultPlan, FaultStore, MemStore, ResumeReport, RunSnapshot, RunStore,
+    SnapshotWriter,
 };
 pub use prior::{BetaPrior, JitterKernel, Prior, UniformPrior};
 pub use rejuvenate::{rejuvenate, RejuvenationConfig, RejuvenationStats};

@@ -6,8 +6,9 @@
 //! particle is one specific epidemic history, not just a parameter value.
 
 use crate::ckpool::SharedCheckpoint;
+use crate::runner::ParallelRunner;
 use episim::output::SharedTrajectory;
-use epistats::logweight::normalize_log_weights;
+use epistats::logweight::{log_sum_exp, normalize_log_weights};
 use epistats::summary::{ess, weighted_mean, weighted_quantile, weighted_variance};
 use std::sync::Arc;
 
@@ -99,6 +100,25 @@ impl ParticleEnsemble {
     pub fn normalized_weights(&self) -> Vec<f64> {
         let lw: Vec<f64> = self.particles.iter().map(|p| p.log_weight).collect();
         normalize_log_weights(&lw)
+    }
+
+    /// [`Self::normalized_weights`] with the elementwise exponentials
+    /// computed on `runner` — **bit-identical** to the serial form at any
+    /// thread count: the log-sum-exp *reduction* (whose float summation
+    /// order is part of the deterministic contract) stays serial, and
+    /// only the independent per-particle `exp(x - lse)` map, which has no
+    /// cross-element arithmetic, fans out.
+    pub fn normalized_weights_par(&self, runner: &ParallelRunner) -> Vec<f64> {
+        if self.particles.is_empty() {
+            return Vec::new();
+        }
+        let lw: Vec<f64> = self.particles.iter().map(|p| p.log_weight).collect();
+        let lse = log_sum_exp(&lw);
+        if lse == f64::NEG_INFINITY {
+            let u = 1.0 / lw.len() as f64;
+            return vec![u; lw.len()];
+        }
+        runner.run_indexed(lw.len(), |i| (lw[i] - lse).exp())
     }
 
     /// Effective sample size of the current weights.
@@ -257,6 +277,35 @@ mod tests {
         assert!((w[1] - 0.5).abs() < 1e-12);
         assert_eq!(w[2], 0.0);
         assert!((e.ess() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_weights_bit_identical_to_serial() {
+        let mut e = ensemble();
+        e.push(dummy_particle(0.6, 0.2, 9, -997.25));
+        e.particles_mut()[0].log_weight = -1000.0;
+        let serial = e.normalized_weights();
+        for threads in [1usize, 2, 4] {
+            let runner = ParallelRunner::with_threads(threads);
+            let par = e.normalized_weights_par(&runner);
+            assert_eq!(serial.len(), par.len());
+            for (s, p) in serial.iter().zip(&par) {
+                assert_eq!(s.to_bits(), p.to_bits(), "threads = {threads}");
+            }
+        }
+        // Degenerate and empty fallbacks match the serial path too.
+        let runner = ParallelRunner::with_threads(2);
+        let dead = ParticleEnsemble::from_vec(vec![
+            dummy_particle(0.1, 0.1, 1, f64::NEG_INFINITY),
+            dummy_particle(0.2, 0.2, 2, f64::NEG_INFINITY),
+        ]);
+        assert_eq!(
+            dead.normalized_weights(),
+            dead.normalized_weights_par(&runner)
+        );
+        assert!(ParticleEnsemble::new()
+            .normalized_weights_par(&runner)
+            .is_empty());
     }
 
     #[test]

@@ -1,11 +1,17 @@
 //! Directory-backed run store: one file per record, atomic writes.
 //!
-//! Records are written to `window-<k>.epsnap.tmp` and renamed into place,
-//! so a crash mid-write leaves either the old record or a stale `.tmp`
-//! file — never a half-written `.epsnap`. Stale temporaries are swept on
-//! [`DirStore::open`], which is also what makes a torn rename harmless:
-//! the next open removes the orphan and recovery falls back to the
-//! previous good record.
+//! Records are written to `window-<k>.epsnap.tmp`, fsynced, renamed
+//! into place, and sealed with an fsync of the directory itself, so a
+//! crash mid-write leaves either the old record or a stale `.tmp` file —
+//! never a half-written `.epsnap`. Both fsyncs matter: without the file
+//! fsync the filesystem may commit the rename ahead of the data (turning
+//! a power loss into exactly the torn record the tmp-file dance exists
+//! to prevent), and without the directory fsync the rename itself is
+//! only durable once the filesystem happens to flush its metadata — a
+//! crash in that window silently undoes a "committed" snapshot. Stale
+//! temporaries are swept on [`DirStore::open`], which is also what makes
+//! a torn rename harmless: the next open removes the orphan and recovery
+//! falls back to the previous good record.
 //!
 //! This is the only module in `epismc` allowed to write through
 //! `std::fs` (enforced by the `fs-write` epilint rule), keeping the
@@ -82,11 +88,23 @@ impl DirStore {
 
 impl RunStore for DirStore {
     fn put(&self, window: u32, record: &[u8]) -> Result<(), SmcError> {
+        use std::io::Write;
         let final_path = self.record_path(window);
         let tmp_path = PathBuf::from(format!("{}{TMP_SUFFIX}", final_path.display()));
-        fs::write(&tmp_path, record).map_err(|e| persist_err("write record", &tmp_path, &e))?;
+        let mut tmp =
+            fs::File::create(&tmp_path).map_err(|e| persist_err("create record", &tmp_path, &e))?;
+        tmp.write_all(record)
+            .map_err(|e| persist_err("write record", &tmp_path, &e))?;
+        tmp.sync_all()
+            .map_err(|e| persist_err("sync record", &tmp_path, &e))?;
+        drop(tmp);
         fs::rename(&tmp_path, &final_path)
-            .map_err(|e| persist_err("commit record", &final_path, &e))
+            .map_err(|e| persist_err("commit record", &final_path, &e))?;
+        // Make the rename durable: directory metadata is its own inode
+        // with its own flush schedule.
+        fs::File::open(&self.root)
+            .and_then(|dir| dir.sync_all())
+            .map_err(|e| persist_err("sync run store dir", &self.root, &e))
     }
 
     fn get(&self, window: u32) -> Result<Option<Vec<u8>>, SmcError> {

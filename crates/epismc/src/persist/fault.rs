@@ -21,6 +21,11 @@ pub enum Fault {
     /// The write fails outright; nothing reaches the inner store (e.g.
     /// disk full before the temp file was durable).
     FailWrite,
+    /// The write completes durably, then the process dies before the
+    /// calibrator observes success (killed between the rename and the
+    /// acknowledgement — the "flushed" kill point of a background
+    /// writer): the full record lands *and* the error surfaces.
+    CrashAfterWrite,
     /// Only the first `keep` bytes of the record land (torn write on a
     /// non-atomic medium).
     Truncate {
@@ -103,6 +108,9 @@ impl RunStore for FaultStore<'_> {
         };
         match fault {
             Fault::FailWrite => {}
+            Fault::CrashAfterWrite => {
+                self.inner.put(window, record)?;
+            }
             Fault::Truncate { keep } => {
                 let keep = keep.min(record.len());
                 self.inner.put(window, &record[..keep])?;
@@ -169,6 +177,15 @@ mod tests {
         assert!(store.put(1, b"xyz").is_err());
         // Zero mask is promoted to 0x01: 'y' ^ 0x01 == 'x'.
         assert_eq!(mem.get(1).unwrap().as_deref(), Some(&b"xxz"[..]));
+    }
+
+    #[test]
+    fn crash_after_write_lands_the_record_and_still_errors() {
+        let mem = MemStore::new();
+        let store = FaultStore::new(&mem, FaultPlan::fail_write_at(0, Fault::CrashAfterWrite));
+        let err = store.put(5, b"durable").unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        assert_eq!(mem.get(5).unwrap().as_deref(), Some(&b"durable"[..]));
     }
 
     #[test]

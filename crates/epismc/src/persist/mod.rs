@@ -18,18 +18,26 @@
 //! deterministic fault-injection harness in [`fault`].
 //!
 //! Store implementations:
-//! * [`DirStore`] — one file per record, atomic tmp-file + rename writes.
+//! * [`DirStore`] — one file per record, atomic tmp-file + fsync +
+//!   rename writes.
 //! * [`MemStore`] — in-memory `BTreeMap`, for tests and ephemeral runs.
 //! * [`FaultStore`] — deterministic fault injection wrapping any store.
+//!
+//! Under [`crate::config::PersistMode::Pipelined`] writes go through the
+//! background [`SnapshotWriter`] ([`writer`]), which preserves write
+//! order and the durable-prefix guarantee while taking encode + fsync
+//! off the window loop's critical path.
 
 pub mod dir;
 pub mod fault;
 pub mod format;
 pub mod memory;
+pub mod writer;
 
 pub use dir::DirStore;
 pub use fault::{Fault, FaultPlan, FaultStore};
 pub use memory::MemStore;
+pub use writer::SnapshotWriter;
 
 use crate::config::CalibrationConfig;
 use crate::error::SmcError;
@@ -92,9 +100,10 @@ pub struct RunSnapshot {
     pub iterations: u64,
     /// Wall-clock nanoseconds of the window (diagnostics only).
     pub wall_nanos: u64,
-    /// The window's telemetry (`persist_nanos` zeroed: it is measured
-    /// around this very write, so the persisted copy cannot contain it —
-    /// and snapshots stay byte-reproducible for golden tests).
+    /// The window's telemetry (`persist_nanos` and `encode_nanos`
+    /// zeroed: both are measured around this very write, so the
+    /// persisted copy cannot contain them — and snapshots stay
+    /// byte-reproducible for golden tests).
     pub telemetry: TrajectoryTelemetry,
     /// The resampled posterior ensemble, sharing structure intact.
     pub posterior: ParticleEnsemble,
@@ -204,6 +213,13 @@ pub fn run_fingerprint(
     h = fnv1a(h, config.resample_size as u64);
     h = fnv1a(h, config.seed);
     h = fnv1a(h, config.sigma.to_bits());
+    // The resampling scheme shapes results, so it is part of the
+    // fingerprint — but the default (Multinomial) is skipped entirely,
+    // keeping records persisted before the menu existed resumable.
+    if config.resample != crate::config::ResampleScheme::Multinomial {
+        h = fnv1a(h, 0x5245_5341); // "RESA" domain separator
+        h = fnv1a(h, config.resample.fingerprint_tag());
+    }
     h = fnv1a(h, jitter_theta.len() as u64);
     for k in jitter_theta.iter().chain(std::iter::once(jitter_rho)) {
         h = fnv1a(h, k.down.to_bits());
@@ -247,6 +263,22 @@ mod tests {
 
         let wider = vec![kernel(0.02, 0.01)];
         assert_ne!(base, run_fingerprint(&cfg, &wider, &jr));
+
+        // The resampling scheme shapes results; every non-default
+        // variant gets its own fingerprint.
+        use crate::config::ResampleScheme;
+        let mut seen = vec![base];
+        for scheme in [
+            ResampleScheme::Systematic,
+            ResampleScheme::Stratified,
+            ResampleScheme::Residual,
+        ] {
+            let mut alt = cfg.clone();
+            alt.resample = scheme;
+            let fp = run_fingerprint(&alt, &jt, &jr);
+            assert!(!seen.contains(&fp), "fingerprint collision for {scheme:?}");
+            seen.push(fp);
+        }
     }
 
     #[test]

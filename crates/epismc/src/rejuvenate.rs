@@ -16,13 +16,15 @@
 //! under the locally-flat-prior approximation the windowed scheme
 //! already makes.
 
+use std::sync::Arc;
+
 use epistats::dist::Normal;
 use epistats::rng::StreamKey;
 
 use crate::particle::ParticleEnsemble;
 use crate::runner::ParallelRunner;
-use crate::simulator::TrajectorySimulator;
-use crate::sis::{score_window, ObservedData};
+use crate::simulator::{PooledWorkspace, TrajectorySimulator, WorkspaceStats};
+use crate::sis::{score_window_prepared, ObservedData, PreparedObserved};
 use crate::window::TimeWindow;
 
 /// Configuration of the move step.
@@ -174,19 +176,36 @@ pub fn rejuvenate_with<S: TrajectorySimulator>(
     // Work on owned copies in parallel, then write back. Each worker
     // derives its particle's streams in O(1) from counter-mode keys
     // hoisted out of the closure (bit-identical to the old chained
-    // derivation).
+    // derivation). Like the calibration grid, the pass runs on pooled
+    // per-worker workspaces (`run_fresh_in` / `run_from_in` reuse one
+    // `SimState` and one score scratch per worker) with the observed-side
+    // likelihood preparation hoisted out and built once — results are
+    // bit-identical to the allocating path for any thread count.
     let move_key = StreamKey::new(master_seed).absorb(0x4E10_u64);
     let bias_key = StreamKey::new(master_seed).absorb(0x4E11_u64);
+    let prepared = PreparedObserved::build(observed, window).map_err(|e| e.to_string())?;
+    let ws_stats = Arc::new(WorkspaceStats::default());
     let particles: Vec<_> = ensemble.particles().to_vec();
-    let moved: Vec<Result<(crate::particle::Particle, usize), String>> =
-        runner.run_indexed(particles.len(), |i| {
+    let moved: Vec<Result<(crate::particle::Particle, usize), String>> = runner.run_grid_pooled(
+        particles.len(),
+        1,
+        || PooledWorkspace::new(Arc::clone(&ws_stats)),
+        |ws, i, _| {
             let mut p = particles[i].clone();
             let mut rng = move_key.rng(i as u64);
             let bias_seed = bias_key.derive(i as u64);
+            let (sim, scratch) = ws.parts();
             // Current likelihood under a fixed bias draw (shared between
             // current and proposed states so the comparison is exact in
             // the parameters).
-            let mut current_ll = score_window(&p.trajectory, p.rho, bias_seed, observed, window)?;
+            let mut current_ll = score_window_prepared(
+                &p.trajectory,
+                p.rho,
+                bias_seed,
+                observed,
+                &prepared,
+                scratch,
+            )?;
             let mut accepted_here = 0usize;
 
             for _ in 0..config.moves {
@@ -210,19 +229,26 @@ pub fn rejuvenate_with<S: TrajectorySimulator>(
                 // Re-simulate the window with the SAME seed.
                 let (trajectory_new, checkpoint_new) = match &p.origin {
                     None => {
-                        let (t, ck) = simulator.run_fresh(&theta_new, p.seed, window.end)?;
+                        let (t, ck) =
+                            simulator.run_fresh_in(sim, &theta_new, p.seed, window.end)?;
                         (episim::output::SharedTrajectory::root(t), ck)
                     }
                     Some(origin) => {
                         let (tail, ck) =
-                            simulator.run_from(origin, &theta_new, p.seed, window.end)?;
+                            simulator.run_from_in(sim, origin, &theta_new, p.seed, window.end)?;
                         // Share the (unchanged) pre-window history: only the
                         // re-simulated window segment is fresh storage.
                         (p.trajectory.truncated(origin.day).append(tail), ck)
                     }
                 };
-                let proposed_ll =
-                    score_window(&trajectory_new, rho_new, bias_seed, observed, window)?;
+                let proposed_ll = score_window_prepared(
+                    &trajectory_new,
+                    rho_new,
+                    bias_seed,
+                    observed,
+                    &prepared,
+                    scratch,
+                )?;
                 let accept = proposed_ll >= current_ll
                     || rng.next_f64() < (config.temper * (proposed_ll - current_ll)).exp();
                 if accept {
@@ -235,7 +261,8 @@ pub fn rejuvenate_with<S: TrajectorySimulator>(
                 }
             }
             Ok((p, accepted_here))
-        });
+        },
+    );
 
     let mut stats = RejuvenationStats {
         proposed: config.moves * particles.len(),

@@ -22,14 +22,13 @@ use epistats::rng::{StreamKey, Xoshiro256PlusPlus};
 use epistats::summary::ess;
 
 use crate::ckpool;
-use crate::config::{CalibrationConfig, CheckpointPolicy};
+use crate::config::{CalibrationConfig, CheckpointPolicy, PersistMode};
 use crate::error::SmcError;
 use crate::likelihood::{CompositeLikelihood, GaussianSqrtLikelihood, Likelihood};
 use crate::observation::{BiasMode, BiasModel, BinomialBias, IdentityBias};
 use crate::particle::{Particle, ParticleEnsemble};
-use crate::persist::{self, ResumeReport, RunSnapshot, RunStore};
+use crate::persist::{self, ResumeReport, RunSnapshot, RunStore, SnapshotWriter};
 use crate::prior::{JitterKernel, Prior};
-use crate::resample::{Multinomial, Resampler};
 use crate::runner::ParallelRunner;
 use crate::simulator::{PooledWorkspace, TrajectorySimulator, WorkspaceStats};
 use crate::window::{TimeWindow, WindowPlan};
@@ -242,10 +241,16 @@ pub struct TrajectoryTelemetry {
     /// chunk policy — diagnostics only, must never feed deterministic
     /// fingerprints.
     pub grid_chunks: u64,
-    /// Wall-clock nanoseconds spent encoding and writing this window's
-    /// durability snapshot (0 when the window was not persisted;
-    /// inherently nondeterministic — diagnostics only, zeroed inside the
-    /// persisted record itself so snapshots stay byte-reproducible).
+    /// Wall-clock nanoseconds the window loop was *blocked* on
+    /// durability for this window. Under
+    /// [`crate::config::PersistMode::Sync`] that is the full encode +
+    /// write + retention span; under
+    /// [`crate::config::PersistMode::Pipelined`] it is only the
+    /// backpressure wait at the handoff, and the run's final window
+    /// additionally absorbs the writer join (whether or not that window
+    /// was itself persisted). Otherwise 0 for unpersisted windows;
+    /// inherently nondeterministic — diagnostics only, zeroed inside
+    /// the persisted record itself so snapshots stay byte-reproducible.
     pub persist_nanos: u64,
     /// Durability records written for this window (0 or 1 under the
     /// current policies). Deterministic for a given
@@ -256,11 +261,13 @@ pub struct TrajectoryTelemetry {
     /// the parallel grid launches (inherently nondeterministic —
     /// diagnostics only).
     pub stream_setup_nanos: u64,
-    /// Wall-clock nanoseconds of the window spent *outside* the parallel
-    /// simulation grid — the window's serial fraction (setup, weight
-    /// normalization, resampling, telemetry). This is what Amdahl's law
-    /// bounds strong scaling by; inherently nondeterministic —
-    /// diagnostics only.
+    /// Wall-clock nanoseconds of the window spent outside *any* parallel
+    /// phase — neither the simulation grid nor the parallelized
+    /// between-window finalize passes (weight exponentiation, posterior
+    /// assembly, telemetry footprint measurement). What remains is the
+    /// genuinely serial fraction (setup, log-sum-exp reduction,
+    /// resampling-index generation) that Amdahl's law bounds strong
+    /// scaling by; inherently nondeterministic — diagnostics only.
     pub serial_nanos: u64,
     /// Per-source scoring passes that took the fused day-loop path
     /// (per-day bias + likelihood term, no materialized observation
@@ -273,6 +280,14 @@ pub struct TrajectoryTelemetry {
     /// `sample_poisson_batch`) across the window's grid. Deterministic
     /// for a given configuration and model.
     pub batched_draws: u64,
+    /// Wall-clock nanoseconds spent encoding (serialization + CRC) this
+    /// window's snapshot record — on the window loop under
+    /// [`crate::config::PersistMode::Sync`], on the background writer
+    /// thread under [`crate::config::PersistMode::Pipelined`] (where it
+    /// overlaps the next window's grid instead of blocking the loop).
+    /// 0 when the window was not persisted; inherently nondeterministic
+    /// — diagnostics only, zeroed inside the persisted record.
+    pub encode_nanos: u64,
 }
 
 impl TrajectoryTelemetry {
@@ -324,21 +339,47 @@ struct WindowAccounting {
 /// by deduplicating on allocation identity, folding in the window's
 /// workspace-pool counters and phase timings.
 ///
-/// Per-particle footprints are computed in parallel (each walks only its
-/// own chain) and merged serially in index order — a deterministic
-/// reduction: the merged sets do not depend on scheduling.
+/// The ensemble is split into contiguous index shards; each shard walks
+/// its particles' chains in parallel and reports `(flat bytes, segment
+/// id → bytes, checkpoint sharing shard)`. The serial merge is a pure
+/// set/map union plus counter addition — order-independent, so the
+/// result is bit-identical for any thread count or shard split. The
+/// parallel span is accumulated into `parallel_nanos` (it is overlap,
+/// not serial fraction).
 fn measure_telemetry(
     posterior: &ParticleEnsemble,
     runner: &ParallelRunner,
     acct: WindowAccounting,
     resample_nanos: u64,
     ws_stats: &WorkspaceStats,
+    parallel_nanos: &mut u64,
 ) -> TrajectoryTelemetry {
-    let parts = runner.run_indexed(posterior.len(), |i| {
-        let p = &posterior.particles()[i];
-        (p.trajectory.flat_bytes(), p.trajectory.segment_footprint())
+    let n = posterior.len();
+    let shard = runner.chunk_size(n).max(1);
+    let n_shards = n.div_ceil(shard);
+    // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
+    let par_started = std::time::Instant::now();
+    let parts = runner.run_indexed(n_shards, |s| {
+        let lo = s * shard;
+        let hi = (lo + shard).min(n);
+        let mut flat_bytes = 0usize;
+        let mut segment_refs = 0usize;
+        let mut segments = std::collections::BTreeMap::new();
+        for p in &posterior.particles()[lo..hi] {
+            flat_bytes += p.trajectory.flat_bytes();
+            for (id, bytes) in p.trajectory.segment_footprint() {
+                segment_refs += 1;
+                segments.entry(id).or_insert(bytes);
+            }
+        }
+        let checkpoints = ckpool::sharing_shard(
+            posterior.particles()[lo..hi]
+                .iter()
+                .flat_map(|p| std::iter::once(&p.checkpoint).chain(p.origin.as_ref())),
+        );
+        (flat_bytes, segment_refs, segments, checkpoints)
     });
-    let mut seen = std::collections::BTreeSet::new();
+    *parallel_nanos += par_started.elapsed().as_nanos() as u64;
     let mut t = TrajectoryTelemetry {
         pool_builds: acct.pool_builds,
         grid_chunks: acct.grid_chunks,
@@ -353,22 +394,19 @@ fn measure_telemetry(
         batched_draws: ws_stats.batched_draws(),
         ..Default::default()
     };
-    for (flat_bytes, footprint) in parts {
+    let mut seen = std::collections::BTreeMap::new();
+    let mut ck_shards = Vec::with_capacity(parts.len());
+    for (flat_bytes, segment_refs, segments, checkpoints) in parts {
         t.flat_bytes += flat_bytes;
-        for (id, bytes) in footprint {
-            t.segment_refs += 1;
-            if seen.insert(id) {
-                t.unique_segments += 1;
-                t.shared_bytes += bytes;
-            }
+        t.segment_refs += segment_refs;
+        for (id, bytes) in segments {
+            seen.entry(id).or_insert(bytes);
         }
+        ck_shards.push(checkpoints);
     }
-    let sharing = ckpool::sharing(
-        posterior
-            .particles()
-            .iter()
-            .flat_map(|p| std::iter::once(&p.checkpoint).chain(p.origin.as_ref())),
-    );
+    t.unique_segments = seen.len();
+    t.shared_bytes = seen.values().sum();
+    let sharing = ckpool::sharing_union(ck_shards);
     t.unique_checkpoints = sharing.unique;
     t.checkpoint_refs = sharing.refs;
     t
@@ -619,14 +657,17 @@ pub fn score_window_prepared(
 /// Weight, resample, and package a candidate ensemble into a
 /// [`WindowResult`].
 ///
-/// Weight normalization, ESS, and resampling-index generation stay
-/// serial by design: normalization's float summation order is part of
-/// the deterministic contract (a parallel tree reduction would change
-/// results bit-wise), and index generation consumes a single sequential
-/// RNG stream at O(1) alias work per draw — `resample_nanos` in the
-/// telemetry keeps the cost visible. Posterior duplicate
-/// materialization, now pure `Arc` bumps under shared
-/// trajectories/checkpoints/thetas, runs on the grid runner.
+/// The between-window phases run parallel wherever the deterministic
+/// contract allows: weight exponentiation fans out elementwise
+/// ([`ParticleEnsemble::normalized_weights_par`]), posterior duplicate
+/// materialization (pure `Arc` bumps under shared trajectories /
+/// checkpoints / thetas) runs on the grid runner, and the telemetry
+/// footprint measurement shards across it too. Only the float
+/// *reductions* (log-sum-exp, whose summation order is part of the
+/// contract) and resampling-index generation (a single sequential RNG
+/// stream at O(1) alias work per draw) stay serial — `resample_nanos`
+/// keeps that cost visible, and the parallel spans are subtracted from
+/// `serial_nanos` so the telemetry reports the true Amdahl fraction.
 #[allow(clippy::too_many_arguments)]
 fn finalize_window(
     window: TimeWindow,
@@ -639,28 +680,48 @@ fn finalize_window(
     ws_stats: &WorkspaceStats,
 ) -> WindowResult {
     let ensemble = ParticleEnsemble::from_vec(candidates);
-    let weights = ensemble.normalized_weights();
+    let mut parallel_nanos = 0u64;
+    // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
+    let weights_started = std::time::Instant::now();
+    let weights = ensemble.normalized_weights_par(runner);
+    parallel_nanos += weights_started.elapsed().as_nanos() as u64;
     let window_ess = ess(&weights);
     let log_w: Vec<f64> = ensemble.particles().iter().map(|p| p.log_weight).collect();
     let log_marginal = log_mean_exp(&log_w);
 
     // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
     let resample_started = std::time::Instant::now();
-    let idx = Multinomial.resample(&weights, config.resample_size, rng);
+    let idx = config
+        .resample
+        .resampler()
+        .resample(&weights, config.resample_size, rng);
     let mut unique = idx.clone();
     unique.sort_unstable();
     unique.dedup();
     let unique_ancestors = unique.len();
 
+    // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
+    let build_started = std::time::Instant::now();
     let mut posterior = ParticleEnsemble::from_vec(
         runner.run_indexed(idx.len(), |j| ensemble.particles()[idx[j]].clone()),
     );
+    parallel_nanos += build_started.elapsed().as_nanos() as u64;
     posterior.set_uniform_weights();
     let resample_nanos = resample_started.elapsed().as_nanos() as u64;
-    let mut telemetry = measure_telemetry(&posterior, runner, acct, resample_nanos, ws_stats);
-    // Everything the window spent outside its parallel grid passes —
-    // the serial fraction strong scaling is bounded by.
-    telemetry.serial_nanos = (started.elapsed().as_nanos() as u64).saturating_sub(acct.grid_nanos);
+    let mut telemetry = measure_telemetry(
+        &posterior,
+        runner,
+        acct,
+        resample_nanos,
+        ws_stats,
+        &mut parallel_nanos,
+    );
+    // Everything the window spent outside its parallel phases — grid
+    // passes and the parallelized finalize spans above — is the serial
+    // fraction strong scaling is bounded by.
+    telemetry.serial_nanos = (started.elapsed().as_nanos() as u64)
+        .saturating_sub(acct.grid_nanos)
+        .saturating_sub(parallel_nanos);
 
     WindowResult {
         window,
@@ -990,10 +1051,18 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
     /// results — the returned [`CalibrationResult`] is bit-identical to
     /// a plain [`Self::run`] on every deterministic field.
     ///
+    /// Under [`PersistMode::Sync`] each snapshot is written on the window
+    /// loop before the next window starts; under the default
+    /// [`PersistMode::Pipelined`] it is handed to a background
+    /// [`SnapshotWriter`] and the next window overlaps the encode +
+    /// fsync. Both modes write records in window order and leave the
+    /// same durable prefix behind on failure.
+    ///
     /// # Errors
     /// Everything [`Self::run`] returns, plus [`SmcError::Persist`] when
-    /// a snapshot write fails (the error surfaces immediately; completed
-    /// snapshots stay behind for [`Self::resume_from`]).
+    /// a snapshot write fails — immediately under `Sync`, at the next
+    /// handoff or the final writer join under `Pipelined`; completed
+    /// snapshots stay behind for [`Self::resume_from`].
     pub fn run_persisted(
         &self,
         priors: &Priors,
@@ -1123,6 +1192,12 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
             resumed_window: *widx as u32,
             recoveries,
         });
+        // Plan index of `windows[0]`: background write receipts arrive
+        // keyed by plan window index and are mapped back through it.
+        let windows_base = match &restored {
+            Some((widx, _)) => *widx,
+            None => 0,
+        };
         let first = match restored {
             Some((widx, result)) => {
                 windows.push(result);
@@ -1131,104 +1206,159 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
             None => 0,
         };
 
-        for widx in first..plan.len() {
-            let window = plan.windows()[widx];
-            // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
-            let setup_started = std::time::Instant::now();
-            let result = match windows.last() {
-                None => {
-                    // Window 1: Algorithm 1 from the prior (with optional
-                    // adaptive refinement over fresh runs).
-                    let mut rng =
-                        Xoshiro256PlusPlus::from_stream(self.config.seed, &[TAG_WINDOW, 0]);
-                    let proposals: Vec<Proposal> = (0..self.config.n_params)
-                        .map(|_| Proposal {
-                            ancestor: 0,
-                            theta: priors.theta.iter().map(|p| p.sample(&mut rng)).collect(),
-                            rho: priors.rho.sample(&mut rng),
-                        })
-                        .collect();
-                    let setup_nanos = setup_started.elapsed().as_nanos() as u64;
-                    self.adaptive_window(
-                        &runner,
-                        observed,
-                        window,
-                        0,
-                        None,
-                        proposals,
-                        rng,
-                        setup_nanos,
-                    )?
+        // The writer thread (pipelined persistence only) borrows the
+        // caller's store for the duration of this scope; every exit path
+        // — including early `?` returns, which drop the writer handle
+        // and thereby close its queue — joins it before returning.
+        std::thread::scope(|scope| {
+            let mut writer = match persist_to {
+                Some((store, policy)) if policy.mode == PersistMode::Pipelined => {
+                    Some(SnapshotWriter::spawn(scope, store, policy.retain))
                 }
-                Some(prev) => {
-                    let ancestors = &prev.posterior;
-                    let mut rng = Xoshiro256PlusPlus::from_stream(
-                        self.config.seed,
-                        &[TAG_WINDOW, widx as u64],
-                    );
-                    let n_anc = ancestors.len() as u64;
-                    let proposals: Vec<Proposal> = (0..self.config.n_params)
-                        .map(|_| {
-                            let a = rng.next_bounded(n_anc) as usize;
-                            let anc = &ancestors.particles()[a];
-                            Proposal {
-                                ancestor: a,
-                                theta: anc
-                                    .theta
-                                    .iter()
-                                    .zip(&self.jitter_theta)
-                                    .map(|(&t, k)| k.sample(t, &mut rng))
-                                    .collect::<Arc<[f64]>>(),
-                                rho: self.jitter_rho.sample(anc.rho, &mut rng),
-                            }
-                        })
-                        .collect();
-                    let setup_nanos = setup_started.elapsed().as_nanos() as u64;
-                    self.adaptive_window(
-                        &runner,
-                        observed,
-                        window,
-                        widx,
-                        Some(ancestors),
-                        proposals,
-                        rng,
-                        setup_nanos,
-                    )?
-                }
+                _ => None,
             };
-            let mut result = result;
-            if let Some((store, policy)) = persist_to {
-                if policy.persists(widx, plan.len()) {
-                    // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
-                    let persist_started = std::time::Instant::now();
-                    result.telemetry.records_written = 1;
-                    // The snapshot carries the telemetry with
-                    // `persist_nanos` still 0: the write cost is being
-                    // measured around this very call, and zeroing it
-                    // keeps records byte-reproducible across runs.
-                    let snap = RunSnapshot {
-                        seed: self.config.seed,
-                        fingerprint,
-                        window_index: widx as u32,
-                        window: result.window,
-                        ess: result.ess,
-                        log_marginal: result.log_marginal,
-                        unique_ancestors: result.unique_ancestors as u64,
-                        iterations: result.iterations as u64,
-                        wall_nanos: result.wall_time.as_nanos() as u64,
-                        telemetry: result.telemetry,
-                        posterior: result.posterior.clone(),
-                    };
-                    persist::save(store, &snap)?;
-                    if let Some(retain) = policy.retain {
-                        persist::apply_retention(store, retain)?;
+
+            for widx in first..plan.len() {
+                let window = plan.windows()[widx];
+                // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
+                let setup_started = std::time::Instant::now();
+                let result = match windows.last() {
+                    None => {
+                        // Window 1: Algorithm 1 from the prior (with optional
+                        // adaptive refinement over fresh runs).
+                        let mut rng =
+                            Xoshiro256PlusPlus::from_stream(self.config.seed, &[TAG_WINDOW, 0]);
+                        let proposals: Vec<Proposal> = (0..self.config.n_params)
+                            .map(|_| Proposal {
+                                ancestor: 0,
+                                theta: priors.theta.iter().map(|p| p.sample(&mut rng)).collect(),
+                                rho: priors.rho.sample(&mut rng),
+                            })
+                            .collect();
+                        let setup_nanos = setup_started.elapsed().as_nanos() as u64;
+                        self.adaptive_window(
+                            &runner,
+                            observed,
+                            window,
+                            0,
+                            None,
+                            proposals,
+                            rng,
+                            setup_nanos,
+                        )?
                     }
-                    result.telemetry.persist_nanos = persist_started.elapsed().as_nanos() as u64;
+                    Some(prev) => {
+                        let ancestors = &prev.posterior;
+                        let mut rng = Xoshiro256PlusPlus::from_stream(
+                            self.config.seed,
+                            &[TAG_WINDOW, widx as u64],
+                        );
+                        let n_anc = ancestors.len() as u64;
+                        let proposals: Vec<Proposal> = (0..self.config.n_params)
+                            .map(|_| {
+                                let a = rng.next_bounded(n_anc) as usize;
+                                let anc = &ancestors.particles()[a];
+                                Proposal {
+                                    ancestor: a,
+                                    theta: anc
+                                        .theta
+                                        .iter()
+                                        .zip(&self.jitter_theta)
+                                        .map(|(&t, k)| k.sample(t, &mut rng))
+                                        .collect::<Arc<[f64]>>(),
+                                    rho: self.jitter_rho.sample(anc.rho, &mut rng),
+                                }
+                            })
+                            .collect();
+                        let setup_nanos = setup_started.elapsed().as_nanos() as u64;
+                        self.adaptive_window(
+                            &runner,
+                            observed,
+                            window,
+                            widx,
+                            Some(ancestors),
+                            proposals,
+                            rng,
+                            setup_nanos,
+                        )?
+                    }
+                };
+                let mut result = result;
+                if let Some((store, policy)) = persist_to {
+                    if policy.persists(widx, plan.len()) {
+                        // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
+                        let persist_started = std::time::Instant::now();
+                        result.telemetry.records_written = 1;
+                        // The snapshot carries the telemetry with
+                        // `persist_nanos` and `encode_nanos` still 0: both
+                        // are measured around (or after) this very write,
+                        // and zeroing them keeps records byte-reproducible
+                        // across runs and modes.
+                        let snap = RunSnapshot {
+                            seed: self.config.seed,
+                            fingerprint,
+                            window_index: widx as u32,
+                            window: result.window,
+                            ess: result.ess,
+                            log_marginal: result.log_marginal,
+                            unique_ancestors: result.unique_ancestors as u64,
+                            iterations: result.iterations as u64,
+                            wall_nanos: result.wall_time.as_nanos() as u64,
+                            telemetry: result.telemetry,
+                            posterior: result.posterior.clone(),
+                        };
+                        match writer.as_mut() {
+                            // Pipelined: O(1) handoff (the posterior clone
+                            // above is Arc structural sharing), then the
+                            // next window starts while encode + fsync run
+                            // on the writer thread. Only backpressure
+                            // blocks the loop.
+                            Some(w) => {
+                                let handoff = w.submit(snap)?;
+                                result.telemetry.persist_nanos = handoff.blocked_nanos;
+                                for receipt in handoff.receipts {
+                                    let k = receipt.window_index as usize - windows_base;
+                                    windows[k].telemetry.encode_nanos = receipt.encode_nanos;
+                                }
+                            }
+                            // Sync: encode + write + retention on the loop,
+                            // with the encode split out of the blocking
+                            // total so the two modes report comparable
+                            // telemetry.
+                            None => {
+                                // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
+                                let encode_started = std::time::Instant::now();
+                                let record = persist::format::encode_record(&snap);
+                                result.telemetry.encode_nanos =
+                                    encode_started.elapsed().as_nanos() as u64;
+                                store.put(widx as u32, &record)?;
+                                if let Some(retain) = policy.retain {
+                                    persist::apply_retention(store, retain)?;
+                                }
+                                result.telemetry.persist_nanos =
+                                    persist_started.elapsed().as_nanos() as u64;
+                            }
+                        }
+                    }
+                }
+                windows.push(result);
+            }
+
+            // Drain the pipeline: wait for every outstanding background
+            // write, surface its first error, and attribute the join wait
+            // (plus late encode receipts) to the windows involved.
+            if let Some(w) = writer.take() {
+                let handoff = w.finish()?;
+                for receipt in handoff.receipts {
+                    let k = receipt.window_index as usize - windows_base;
+                    windows[k].telemetry.encode_nanos = receipt.encode_nanos;
+                }
+                if let Some(last) = windows.last_mut() {
+                    last.telemetry.persist_nanos += handoff.blocked_nanos;
                 }
             }
-            windows.push(result);
-        }
-        Ok(CalibrationResult { windows, resume })
+            Ok(CalibrationResult { windows, resume })
+        })
     }
 
     /// Simulate/weight one window, re-proposing with shrinking kernels
@@ -1314,7 +1444,10 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
             };
             let theta_kernels: Vec<JitterKernel> = self.jitter_theta.iter().map(shrink).collect();
             let rho_kernel = shrink(&self.jitter_rho);
-            let picks = Multinomial.resample(&weights, cfg.n_params, &mut rng);
+            let picks = cfg
+                .resample
+                .resampler()
+                .resample(&weights, cfg.n_params, &mut rng);
             proposals = picks
                 .into_iter()
                 .map(|ci| {

@@ -26,12 +26,13 @@ echo "==> cargo test -p rayon -q && cargo test --test pool_lifecycle -q"
 cargo test -p rayon -q
 cargo test --test pool_lifecycle -q
 
-# The durability harness runs as part of the workspace suite above; this
-# explicit pass re-runs it under a constrained thread pool so the
-# kill/resume bit-identity matrix also covers the multi-worker path
-# locally (CI's fault-injection job sweeps 1/2/4 threads).
-echo "==> RAYON_NUM_THREADS=2 cargo test --test durability_resume --test fault_injection --test persist_format -q"
-RAYON_NUM_THREADS=2 cargo test --test durability_resume --test fault_injection --test persist_format -q
+# The durability harnesses run as part of the workspace suite above;
+# this explicit pass re-runs them under a constrained thread pool so the
+# kill/resume bit-identity matrices (sync and background-writer alike)
+# also cover the multi-worker path locally (CI's fault-injection job
+# sweeps 1/2/4 threads).
+echo "==> RAYON_NUM_THREADS=2 cargo test --test durability_resume --test fault_injection --test persist_format --test async_durability --test resampling_menu -q"
+RAYON_NUM_THREADS=2 cargo test --test durability_resume --test fault_injection --test persist_format --test async_durability --test resampling_menu -q
 
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run --quiet

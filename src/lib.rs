@@ -78,7 +78,7 @@ pub mod prelude {
     };
     pub use crate::smc::{
         adaptive::AdaptiveConfig,
-        config::{CalibrationConfig, CheckpointPolicy},
+        config::{CalibrationConfig, CheckpointPolicy, PersistMode, ResampleScheme},
         diagnostics::{coverage, joint_density, PosteriorSummary, Ribbon},
         error::SmcError,
         forecast::{Forecast, Forecaster},
@@ -89,7 +89,7 @@ pub mod prelude {
         particle::{Particle, ParticleEnsemble},
         persist::{
             run_fingerprint, DirStore, Fault, FaultPlan, FaultStore, MemStore, ResumeReport,
-            RunSnapshot, RunStore,
+            RunSnapshot, RunStore, SnapshotWriter,
         },
         prior::{BetaPrior, JitterKernel, Prior, UniformPrior},
         rejuvenate::{rejuvenate, rejuvenate_with, RejuvenationConfig},

@@ -1,0 +1,351 @@
+//! Async-persistence durability: the pipelined background writer must
+//! leave exactly the same durable prefix and resume bit-identically as
+//! the synchronous path, for every kill point of the window loop crossed
+//! with the three ways a background write can die — still in flight
+//! (torn bytes), flushed-but-unacknowledged (record durable, process
+//! dead), and dropped before reaching the medium — across 1/2/4/auto
+//! thread shapes. Under `PersistMode::Pipelined`, the injected error
+//! surfaces at the *next* snapshot handoff (or at the final join), one
+//! window later than under `Sync`; everything the store ends up holding
+//! must be indistinguishable.
+
+use epismc::prelude::*;
+use epismc::smc::persist::format;
+use epismc::smc::sis::WindowResult;
+
+fn setup() -> (GroundTruth, CovidSimulator) {
+    let scenario = Scenario::paper_tiny();
+    let truth = generate_ground_truth(&scenario, scenario.truth_seed);
+    let simulator = CovidSimulator::new(scenario.base_params).unwrap();
+    (truth, simulator)
+}
+
+fn plan() -> WindowPlan {
+    WindowPlan::new(vec![
+        TimeWindow::new(20, 33),
+        TimeWindow::new(34, 47),
+        TimeWindow::new(48, 61),
+    ])
+}
+
+fn calibrator(
+    simulator: &CovidSimulator,
+    threads: Option<usize>,
+) -> SequentialCalibrator<'_, CovidSimulator> {
+    let mut cfg = CalibrationConfig::builder()
+        .n_params(48)
+        .n_replicates(3)
+        .resample_size(96)
+        .seed(7_311)
+        .build();
+    cfg.threads = threads;
+    SequentialCalibrator::new(
+        simulator,
+        cfg,
+        vec![JitterKernel::symmetric(0.08, 0.05, 0.8)],
+        JitterKernel::asymmetric(0.05, 0.08, 0.05, 1.0),
+    )
+}
+
+/// Bit-level equality of everything a window result determines (scalars,
+/// every particle field, deterministic telemetry). Wall-clock telemetry
+/// is excluded by design: pipelining changes *when* work happens, never
+/// *what* is computed.
+fn assert_windows_equal(got: &WindowResult, want: &WindowResult, ctx: &str) {
+    assert_eq!(got.window, want.window, "{ctx}: window");
+    assert_eq!(got.ess.to_bits(), want.ess.to_bits(), "{ctx}: ess");
+    assert_eq!(
+        got.log_marginal.to_bits(),
+        want.log_marginal.to_bits(),
+        "{ctx}: log_marginal"
+    );
+    assert_eq!(
+        got.unique_ancestors, want.unique_ancestors,
+        "{ctx}: unique_ancestors"
+    );
+    let (g, w) = (got.posterior.particles(), want.posterior.particles());
+    assert_eq!(g.len(), w.len(), "{ctx}: particle count");
+    for (i, (p, q)) in g.iter().zip(w).enumerate() {
+        let bits = |t: &[f64]| t.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&p.theta), bits(&q.theta), "{ctx}: particle {i} theta");
+        assert_eq!(p.rho.to_bits(), q.rho.to_bits(), "{ctx}: particle {i} rho");
+        assert_eq!(p.seed, q.seed, "{ctx}: particle {i} seed");
+        assert_eq!(
+            p.log_weight.to_bits(),
+            q.log_weight.to_bits(),
+            "{ctx}: particle {i} log_weight"
+        );
+        assert_eq!(p.trajectory, q.trajectory, "{ctx}: particle {i} trajectory");
+        assert_eq!(
+            *p.checkpoint, *q.checkpoint,
+            "{ctx}: particle {i} checkpoint"
+        );
+    }
+    let (gt, wt) = (&got.telemetry, &want.telemetry);
+    for (field, a, b) in [
+        (
+            "shared_bytes",
+            gt.shared_bytes as u64,
+            wt.shared_bytes as u64,
+        ),
+        ("flat_bytes", gt.flat_bytes as u64, wt.flat_bytes as u64),
+        (
+            "unique_segments",
+            gt.unique_segments as u64,
+            wt.unique_segments as u64,
+        ),
+        (
+            "segment_refs",
+            gt.segment_refs as u64,
+            wt.segment_refs as u64,
+        ),
+        ("days_simulated", gt.days_simulated, wt.days_simulated),
+        (
+            "unique_checkpoints",
+            gt.unique_checkpoints as u64,
+            wt.unique_checkpoints as u64,
+        ),
+        (
+            "checkpoint_refs",
+            gt.checkpoint_refs as u64,
+            wt.checkpoint_refs as u64,
+        ),
+    ] {
+        assert_eq!(a, b, "{ctx}: telemetry {field}");
+    }
+}
+
+#[test]
+fn pipelined_matches_sync_bit_for_bit_across_thread_shapes() {
+    let (truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let plan = plan();
+
+    // One reference run: single-threaded, synchronous persistence.
+    let ref_store = MemStore::new();
+    let reference = calibrator(&simulator, Some(1))
+        .run_persisted(
+            &Priors::paper(),
+            &observed,
+            &plan,
+            &ref_store,
+            &CheckpointPolicy::every_window().with_mode(PersistMode::Sync),
+        )
+        .unwrap();
+
+    for threads in [Some(1), Some(2), Some(4), None] {
+        for mode in [PersistMode::Sync, PersistMode::Pipelined] {
+            let ctx = format!("threads={threads:?} mode={mode:?}");
+            let store = MemStore::new();
+            let result = calibrator(&simulator, threads)
+                .run_persisted(
+                    &Priors::paper(),
+                    &observed,
+                    &plan,
+                    &store,
+                    &CheckpointPolicy::every_window().with_mode(mode),
+                )
+                .unwrap();
+            assert_eq!(result.windows.len(), reference.windows.len(), "{ctx}");
+            for (got, want) in result.windows.iter().zip(&reference.windows) {
+                assert_windows_equal(got, want, &ctx);
+            }
+            // The stores hold the same windows with the same durable
+            // content (record *bytes* differ only in wall-clock words).
+            assert_eq!(store.list().unwrap(), ref_store.list().unwrap(), "{ctx}");
+            for w in store.list().unwrap() {
+                let got = format::decode_record(&store.get(w).unwrap().unwrap()).unwrap();
+                let want = format::decode_record(&ref_store.get(w).unwrap().unwrap()).unwrap();
+                assert_eq!(got.fingerprint, want.fingerprint, "{ctx}: window {w}");
+                assert_eq!(got.window_index, want.window_index, "{ctx}: window {w}");
+                assert_eq!(
+                    got.log_marginal.to_bits(),
+                    want.log_marginal.to_bits(),
+                    "{ctx}: window {w}"
+                );
+                let fp = |e: &ParticleEnsemble| {
+                    e.particles()
+                        .iter()
+                        .map(|p| (p.theta[0].to_bits(), p.rho.to_bits(), p.seed))
+                        .collect::<Vec<_>>()
+                };
+                assert_eq!(
+                    fp(&got.posterior),
+                    fp(&want.posterior),
+                    "{ctx}: window {w} persisted posterior"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn background_write_kill_matrix_resumes_bit_identical() {
+    let (truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let plan = plan();
+    let policy = CheckpointPolicy::every_window().with_mode(PersistMode::Pipelined);
+
+    let baseline = calibrator(&simulator, Some(1))
+        .run_persisted(
+            &Priors::paper(),
+            &observed,
+            &plan,
+            &MemStore::new(),
+            &policy,
+        )
+        .unwrap();
+
+    // The three kill states of an in-flight background write, each with
+    // its expected durable footprint:
+    //   in flight  (Truncate)        → valid prefix + one torn record
+    //   flushed    (CrashAfterWrite) → the record is durable, ack lost
+    //   dropped    (FailWrite)       → nothing past the valid prefix
+    let matrix = [
+        Fault::Truncate { keep: 40 },
+        Fault::CrashAfterWrite,
+        Fault::FailWrite,
+    ];
+    let shapes = [Some(1), Some(2), Some(4), None];
+
+    for (si, &threads) in shapes.iter().enumerate() {
+        // Resume on a *different* thread shape than the killed run: the
+        // durable snapshot is shape-independent.
+        let resume_threads = shapes[(si + 1) % shapes.len()];
+        for fault in matrix {
+            for write in 1..plan.len() {
+                let ctx = format!("threads={threads:?} fault={fault:?} write={write}");
+                let store = MemStore::new();
+                let faulty = FaultStore::new(&store, FaultPlan::fail_write_at(write, fault));
+                let err = calibrator(&simulator, threads)
+                    .run_persisted(&Priors::paper(), &observed, &plan, &faulty, &policy)
+                    .unwrap_err();
+                assert!(
+                    matches!(err, SmcError::Persist(_))
+                        && err.to_string().contains("injected fault"),
+                    "{ctx}: {err}"
+                );
+
+                // Durable footprint: the writer is fail-stop, so nothing
+                // past the faulted write ever reaches the store.
+                let (stored, resumed_window, recoveries) = match fault {
+                    Fault::Truncate { .. } => (write + 1, write - 1, 1),
+                    Fault::CrashAfterWrite => (write + 1, write, 0),
+                    _ => (write, write - 1, 0),
+                };
+                assert_eq!(store.list().unwrap().len(), stored, "{ctx}: durable prefix");
+
+                let resumed = calibrator(&simulator, resume_threads)
+                    .resume_from(&Priors::paper(), &observed, &plan, &store, &policy)
+                    .unwrap();
+                assert_eq!(
+                    resumed.resume,
+                    Some(ResumeReport {
+                        resumed_window: resumed_window as u32,
+                        recoveries,
+                    }),
+                    "{ctx}"
+                );
+                assert_eq!(
+                    resumed.windows.len(),
+                    plan.len() - resumed_window,
+                    "{ctx}: windows recomputed"
+                );
+                for (got, want) in resumed
+                    .windows
+                    .iter()
+                    .zip(&baseline.windows[resumed_window..])
+                {
+                    assert_windows_equal(got, want, &ctx);
+                }
+                // The resumed run re-persists its continuation (replacing
+                // any torn record): the store holds the full campaign.
+                assert_eq!(store.list().unwrap().len(), plan.len(), "{ctx}: refilled");
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_on_final_window_surfaces_at_the_join() {
+    // The last snapshot is handed off and the loop has nothing further to
+    // submit: the only place its failure can surface is the final writer
+    // join — and it must, as a typed error, not a lost write.
+    let (truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let plan = plan();
+    let policy = CheckpointPolicy::every_window().with_mode(PersistMode::Pipelined);
+
+    let store = MemStore::new();
+    let last = plan.len() - 1;
+    let faulty = FaultStore::new(&store, FaultPlan::fail_write_at(last, Fault::FailWrite));
+    let err = calibrator(&simulator, None)
+        .run_persisted(&Priors::paper(), &observed, &plan, &faulty, &policy)
+        .unwrap_err();
+    assert!(
+        matches!(err, SmcError::Persist(_)) && err.to_string().contains("injected fault"),
+        "{err}"
+    );
+    assert_eq!(store.list().unwrap().len(), last, "durable prefix");
+}
+
+#[test]
+fn pipelined_retention_prunes_like_sync() {
+    let (truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let plan = plan();
+
+    for mode in [PersistMode::Sync, PersistMode::Pipelined] {
+        let policy = CheckpointPolicy {
+            every_windows: 1,
+            retain: Some(1),
+            mode,
+        };
+        let store = MemStore::new();
+        calibrator(&simulator, None)
+            .run_persisted(&Priors::paper(), &observed, &plan, &store, &policy)
+            .unwrap();
+        assert_eq!(
+            store.list().unwrap(),
+            vec![plan.len() as u32 - 1],
+            "mode={mode:?}"
+        );
+    }
+}
+
+#[test]
+fn pipelined_telemetry_splits_encode_from_blocking_wait() {
+    // Under Sync every persisted window reports the encode span inside
+    // the full blocking span; under Pipelined the loop only ever waits
+    // for handoff backpressure, and the encode cost is reported from the
+    // writer's receipt — both fields must be populated either way.
+    let (truth, simulator) = setup();
+    let observed = ObservedData::cases_only(truth.observed_cases.clone());
+    let plan = plan();
+
+    for mode in [PersistMode::Sync, PersistMode::Pipelined] {
+        let store = MemStore::new();
+        let result = calibrator(&simulator, None)
+            .run_persisted(
+                &Priors::paper(),
+                &observed,
+                &plan,
+                &store,
+                &CheckpointPolicy::every_window().with_mode(mode),
+            )
+            .unwrap();
+        for (w, win) in result.windows.iter().enumerate() {
+            assert_eq!(win.telemetry.records_written, 1, "mode={mode:?} window {w}");
+            assert!(
+                win.telemetry.encode_nanos > 0,
+                "mode={mode:?} window {w}: encode span missing"
+            );
+            if mode == PersistMode::Sync {
+                assert!(
+                    win.telemetry.persist_nanos >= win.telemetry.encode_nanos,
+                    "mode={mode:?} window {w}: sync blocking span contains the encode"
+                );
+            }
+        }
+    }
+}

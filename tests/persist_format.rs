@@ -1,7 +1,7 @@
 //! Byte-format pinning for the durable run store: a golden fixture locks
-//! the current (v3) record encoding (any accidental change to the wire
+//! the current (v4) record encoding (any accidental change to the wire
 //! format fails here before it eats someone's checkpoints), retained
-//! v1/v2 fixtures prove the typed migration path (older records decode
+//! v1/v2/v3 fixtures prove the typed migration path (older records decode
 //! with the appended telemetry words defaulted), a version-bump test proves
 //! records from a future format are rejected as [`SmcError::UnsupportedFormat`],
 //! and property tests drive arbitrary ensembles through
@@ -121,13 +121,14 @@ fn golden_snapshot() -> RunSnapshot {
             serial_nanos: 2_718,
             fused_scores: 96,
             batched_draws: 1_722,
+            encode_nanos: 0,
         },
         posterior: ParticleEnsemble::from_vec(particles),
     }
 }
 
 fn golden_path() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_record_v3.bin")
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_record_v4.bin")
 }
 
 fn golden_v1_path() -> PathBuf {
@@ -136,6 +137,10 @@ fn golden_v1_path() -> PathBuf {
 
 fn golden_v2_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_record_v2.bin")
+}
+
+fn golden_v3_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_record_v3.bin")
 }
 
 #[test]
@@ -150,7 +155,7 @@ fn golden_record_bytes_are_pinned() {
         )
     });
     if bytes != want {
-        let out = Path::new(env!("CARGO_TARGET_TMPDIR")).join("run_record_v3.actual.bin");
+        let out = Path::new(env!("CARGO_TARGET_TMPDIR")).join("run_record_v4.actual.bin");
         std::fs::write(&out, &bytes).unwrap();
         panic!(
             "serialized record diverged from the golden fixture (got {} bytes, want {}); \
@@ -259,6 +264,32 @@ fn v2_record_migrates_with_new_telemetry_defaulted() {
 }
 
 #[test]
+fn v3_record_migrates_with_new_telemetry_defaulted() {
+    // The retained v3 fixture (written before the pipelined-persistence
+    // split of `persist_nanos` into encode + blocking wait) decodes with
+    // exactly `encode_nanos` defaulted to 0 and everything else bit-exact.
+    let raw = std::fs::read(golden_v3_path()).unwrap();
+    assert_eq!(u16::from_le_bytes([raw[4], raw[5]]), 3, "fixture is v3");
+    let snap = format::decode_record(&raw).unwrap();
+    assert_eq!(snap.seed, 42);
+    assert_eq!(snap.fingerprint, 0x1234_5678_9abc_def0);
+    assert_eq!(snap.window, TimeWindow::new(34, 47));
+    let mut want = golden_snapshot().telemetry;
+    want.encode_nanos = 0;
+    assert_eq!(snap.telemetry, want);
+
+    let p = snap.posterior.particles();
+    assert_eq!(p.len(), 3);
+    assert!(Arc::ptr_eq(&p[0].theta, &p[1].theta));
+    assert!(Arc::ptr_eq(&p[0].checkpoint, &p[1].checkpoint));
+
+    let upgraded = format::encode_record(&snap);
+    assert_ne!(upgraded, raw);
+    let again = format::decode_record(&upgraded).unwrap();
+    assert_eq!(again.telemetry, snap.telemetry);
+}
+
+#[test]
 fn future_format_version_is_rejected_as_unsupported() {
     let mut raw = std::fs::read(golden_path()).unwrap();
     // Bytes [4..6] are the little-endian format version, after the magic.
@@ -287,7 +318,7 @@ fn short_and_empty_records_are_corrupt_not_panics() {
 }
 
 #[test]
-#[ignore = "regenerates tests/golden/run_record_v3.bin; run only after an intentional format change (with a FORMAT_VERSION bump)"]
+#[ignore = "regenerates tests/golden/run_record_v4.bin; run only after an intentional format change (with a FORMAT_VERSION bump)"]
 fn regenerate_golden_fixture() {
     let path = golden_path();
     std::fs::create_dir_all(path.parent().unwrap()).unwrap();

@@ -93,6 +93,7 @@ impl IntoBenchmarkId for String {
 pub struct Bencher {
     elapsed: Duration,
     iterations: u64,
+    total_iterations: u64,
 }
 
 /// Number of equal batches the measurement budget is split into. The
@@ -145,6 +146,12 @@ impl Bencher {
         }
         self.elapsed = best.unwrap_or_default();
         self.iterations = per_batch;
+        // What the record advertises: every timed execution, not just the
+        // fastest batch's share. A single-iteration capture (the sign of
+        // a budget-overrunning bench run only once) is impossible by
+        // construction — MIN_BATCHES bounds this from below — and gates
+        // like `check_scaling` reject summaries claiming fewer than 2.
+        self.total_iterations = batches * per_batch;
     }
 }
 
@@ -158,7 +165,7 @@ fn report(name: &str, throughput: Option<Throughput>, b: &Bencher) {
         results.push(BenchRecord {
             name: name.to_string(),
             mean_ns: per_iter * 1e9,
-            iterations: b.iterations,
+            iterations: b.total_iterations,
         });
     }
     let rate = match throughput {
@@ -173,7 +180,7 @@ fn report(name: &str, throughput: Option<Throughput>, b: &Bencher) {
     println!(
         "{name:<50} {:>12.3} µs/iter  ({} iters){rate}",
         per_iter * 1e6,
-        b.iterations
+        b.total_iterations
     );
 }
 
@@ -189,6 +196,7 @@ impl Criterion {
         let mut b = Bencher {
             elapsed: Duration::ZERO,
             iterations: 0,
+            total_iterations: 0,
         };
         f(&mut b);
         report(name, None, &b);
@@ -243,9 +251,78 @@ impl<M> BenchmarkGroup<'_, M> {
         let mut b = Bencher {
             elapsed: Duration::ZERO,
             iterations: 0,
+            total_iterations: 0,
         };
         f(&mut b);
         report(&full, self.throughput, &b);
+        self
+    }
+
+    /// Measure two routines head-to-head in alternating rounds and
+    /// record both, one [`BenchRecord`] each, under the usual
+    /// `group/id` names.
+    ///
+    /// [`Self::bench_function`] times each benchmark in its own
+    /// contiguous window, so on a host whose background load drifts on
+    /// a seconds timescale (shared CI boxes), two benchmarks meant to
+    /// be *compared* — same workload, different strategy — can land in
+    /// different load regimes and the comparison measures the host, not
+    /// the code. Interleaving rounds `a, b, a, b, …` gives both sides
+    /// the same exposure to every load phase; taking each side's
+    /// fastest round then compares their least-interrupted executions,
+    /// the same estimator [`Bencher::iter`] uses per batch.
+    ///
+    /// Gates that ratio two bench entries (e.g. the e2e sync-vs-
+    /// pipelined throughput gate) should measure them with this so the
+    /// ratio stays meaningful on noisy hosts.
+    pub fn bench_pair<Ia, Ib, Fa, Fb, Oa, Ob>(
+        &mut self,
+        id_a: Ia,
+        mut a: Fa,
+        id_b: Ib,
+        mut b: Fb,
+    ) -> &mut Self
+    where
+        Ia: IntoBenchmarkId,
+        Ib: IntoBenchmarkId,
+        Fa: FnMut() -> Oa,
+        Fb: FnMut() -> Ob,
+    {
+        // Warm-up doubles as the round-count estimate, exactly like
+        // `Bencher::iter`; the slower side sets the budget split.
+        let warm_start = Instant::now();
+        std::hint::black_box(a());
+        let per_a = warm_start.elapsed();
+        let warm_start = Instant::now();
+        std::hint::black_box(b());
+        let per_b = warm_start.elapsed();
+        let per_round = per_a.max(per_b).max(Duration::from_nanos(1));
+        let rounds: u64 = (MEASURE_BUDGET.as_nanos() / per_round.as_nanos().max(1))
+            .clamp(MIN_BATCHES as u128, MEASURE_BATCHES as u128) as u64;
+        let mut best_a: Option<Duration> = None;
+        let mut best_b: Option<Duration> = None;
+        for _ in 0..rounds {
+            let start = Instant::now();
+            std::hint::black_box(a());
+            let ea = start.elapsed();
+            if best_a.is_none_or(|t| ea < t) {
+                best_a = Some(ea);
+            }
+            let start = Instant::now();
+            std::hint::black_box(b());
+            let eb = start.elapsed();
+            if best_b.is_none_or(|t| eb < t) {
+                best_b = Some(eb);
+            }
+        }
+        for (id, best) in [(id_a.into_name(), best_a), (id_b.into_name(), best_b)] {
+            let bench = Bencher {
+                elapsed: best.unwrap_or_default(),
+                iterations: 1,
+                total_iterations: rounds,
+            };
+            report(&format!("{}/{id}", self.name), self.throughput, &bench);
+        }
         self
     }
 
