@@ -46,6 +46,144 @@ pub struct CalibrationConfig {
     /// produce different posteriors, each bit-reproducible.
     #[serde(default)]
     pub resample: ResampleScheme,
+    /// Post-resampling rejuvenation kernel. Result-shaping (part of the
+    /// run fingerprint) when non-default; the default,
+    /// [`RejuvenationKernel::UniformJitter`], adds no move pass and
+    /// leaves every earlier release's RNG stream layout untouched.
+    #[serde(default)]
+    pub rejuvenation: RejuvenationKernel,
+}
+
+/// The rejuvenation menu: how particle diversity is restored after each
+/// window's resampling step.
+///
+/// Under [`RejuvenationKernel::UniformJitter`] (the default and the
+/// paper's scheme) diversity comes solely from the uniform jitter
+/// kernels applied when posterior particles are proposed into the next
+/// window. [`RejuvenationKernel::Pmmh`] keeps that jitter and *adds* a
+/// particle-marginal Metropolis–Hastings move pass on each window's
+/// posterior before it is persisted or propagated: every particle
+/// proposes `(θ', ρ')` from a Gaussian centered on its current value
+/// with covariance `c·Σ̂` — `Σ̂` the shrinkage-regularized empirical
+/// covariance of the posterior ensemble, `c = 2.38²/d` by default — is
+/// re-simulated over the window under its own fixed trajectory seed,
+/// and accepts on the window likelihood ratio. Driven by counter-based
+/// streams, so results are bit-identical across thread shapes.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum RejuvenationKernel {
+    /// Between-window uniform jitter only (the paper's scheme).
+    #[default]
+    UniformJitter,
+    /// Uniform jitter plus a covariance-scaled PMMH move pass after
+    /// each window's resampling step.
+    Pmmh(PmmhConfig),
+}
+
+// The vendored `serde_derive` only handles unit enum variants, so the
+// payload-carrying `Pmmh` variant gets hand-written impls: unit
+// variants follow the derive's string convention, `Pmmh` is
+// externally tagged (`{"Pmmh": {..}}`) like upstream serde would do.
+impl Serialize for RejuvenationKernel {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Self::UniformJitter => serde::Value::Str(String::from("UniformJitter")),
+            Self::Pmmh(cfg) => serde::Value::Object(vec![(String::from("Pmmh"), cfg.to_value())]),
+        }
+    }
+}
+
+impl Deserialize for RejuvenationKernel {
+    fn from_value(v: &serde::Value) -> Result<Self, String> {
+        match v {
+            serde::Value::Str(s) if s == "UniformJitter" => Ok(Self::UniformJitter),
+            serde::Value::Str(other) => Err(format!("unknown RejuvenationKernel variant {other}")),
+            serde::Value::Object(entries) => match entries.first() {
+                Some((tag, payload)) if tag == "Pmmh" && entries.len() == 1 => {
+                    Ok(Self::Pmmh(PmmhConfig::from_value(payload)?))
+                }
+                _ => Err(String::from(
+                    "expected single-key {\"Pmmh\": {..}} object for RejuvenationKernel",
+                )),
+            },
+            _ => Err(String::from(
+                "expected string or object for RejuvenationKernel",
+            )),
+        }
+    }
+}
+
+impl RejuvenationKernel {
+    /// Validate the kernel parameters.
+    ///
+    /// # Errors
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Self::UniformJitter => Ok(()),
+            Self::Pmmh(cfg) => cfg.validate(),
+        }
+    }
+}
+
+/// Parameters of the PMMH move pass (see [`RejuvenationKernel::Pmmh`]).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PmmhConfig {
+    /// MH moves per particle per window.
+    pub moves: usize,
+    /// Proposal covariance scale `c` in `c·Σ̂`. `None` uses the
+    /// Roberts–Rosenthal optimal-scaling default `2.38²/d`, with
+    /// `d = theta_dim + 1` (the calibrated coordinates plus `ρ`).
+    pub scale: Option<f64>,
+    /// Shrinkage intensity `λ ∈ (0, 1]` pulling `Σ̂` toward its scaled
+    /// identity target (Ledoit–Wolf style) before factoring.
+    pub shrinkage: f64,
+    /// Absolute variance floor added to the diagonal so the proposal
+    /// stays positive definite even for point-collapsed ensembles.
+    pub floor: f64,
+}
+
+impl Default for PmmhConfig {
+    fn default() -> Self {
+        Self {
+            moves: 2,
+            scale: None,
+            shrinkage: 0.1,
+            floor: 1e-8,
+        }
+    }
+}
+
+impl PmmhConfig {
+    /// Validate the parameters.
+    ///
+    /// # Errors
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.moves == 0 {
+            return Err("pmmh: moves must be >= 1".into());
+        }
+        if let Some(c) = self.scale {
+            if !(c.is_finite() && c > 0.0) {
+                return Err(format!("pmmh: scale = {c} must be positive"));
+            }
+        }
+        if !(self.shrinkage > 0.0 && self.shrinkage <= 1.0) {
+            return Err(format!(
+                "pmmh: shrinkage = {} must be in (0, 1]",
+                self.shrinkage
+            ));
+        }
+        if !(self.floor.is_finite() && self.floor > 0.0) {
+            return Err(format!("pmmh: floor = {} must be positive", self.floor));
+        }
+        Ok(())
+    }
+
+    /// The proposal covariance scale for a `d`-dimensional move.
+    pub fn scale_for(&self, d: usize) -> f64 {
+        self.scale
+            .unwrap_or_else(|| 2.38 * 2.38 / (d.max(1)) as f64)
+    }
 }
 
 /// The resampling menu: the paper's multinomial scheme (Algorithm 1)
@@ -107,6 +245,7 @@ impl Default for CalibrationConfig {
             chunk_cells: None,
             keep_prior_ensemble: false,
             resample: ResampleScheme::Multinomial,
+            rejuvenation: RejuvenationKernel::UniformJitter,
         }
     }
 }
@@ -141,6 +280,7 @@ impl CalibrationConfig {
         if self.chunk_cells == Some(0) {
             return Err("chunk_cells must be >= 1 when set".into());
         }
+        self.rejuvenation.validate()?;
         Ok(())
     }
 }
@@ -301,6 +441,12 @@ impl CalibrationConfigBuilder {
         self
     }
 
+    /// Select the post-resampling rejuvenation kernel.
+    pub fn rejuvenation(mut self, v: RejuvenationKernel) -> Self {
+        self.cfg.rejuvenation = v;
+        self
+    }
+
     /// Finalize.
     ///
     /// # Panics
@@ -387,6 +533,63 @@ mod tests {
             .resample(ResampleScheme::Systematic)
             .build();
         assert_eq!(alt.resample.resampler().name(), "systematic");
+    }
+
+    #[test]
+    fn rejuvenation_defaults_under_serde_and_validates() {
+        // Configs serialized before the kernel menu existed must still
+        // deserialize, landing on UniformJitter.
+        let serde::Value::Object(entries) = CalibrationConfig::default().to_value() else {
+            panic!("config serializes to an object");
+        };
+        let pruned: Vec<(String, serde::Value)> = entries
+            .into_iter()
+            .filter(|(k, _)| k != "rejuvenation")
+            .collect();
+        let cfg = CalibrationConfig::from_value(&serde::Value::Object(pruned)).unwrap();
+        assert_eq!(cfg.rejuvenation, RejuvenationKernel::UniformJitter);
+
+        let pmmh = CalibrationConfig::builder()
+            .rejuvenation(RejuvenationKernel::Pmmh(PmmhConfig::default()))
+            .build();
+        let json = serde_json::to_string(&pmmh).unwrap();
+        let back: CalibrationConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rejuvenation, pmmh.rejuvenation);
+
+        // Roberts–Rosenthal default scaling: c = 2.38²/d.
+        let p = PmmhConfig::default();
+        assert!((p.scale_for(2) - 2.38 * 2.38 / 2.0).abs() < 1e-15);
+        assert!((PmmhConfig {
+            scale: Some(0.5),
+            ..p
+        })
+        .scale_for(2)
+        .eq(&0.5));
+
+        for bad in [
+            PmmhConfig {
+                moves: 0,
+                ..PmmhConfig::default()
+            },
+            PmmhConfig {
+                scale: Some(-1.0),
+                ..PmmhConfig::default()
+            },
+            PmmhConfig {
+                shrinkage: 0.0,
+                ..PmmhConfig::default()
+            },
+            PmmhConfig {
+                floor: 0.0,
+                ..PmmhConfig::default()
+            },
+        ] {
+            let cfg = CalibrationConfig {
+                rejuvenation: RejuvenationKernel::Pmmh(bad),
+                ..Default::default()
+            };
+            assert!(cfg.validate().is_err(), "{bad:?} should be rejected");
+        }
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod resample;
 pub mod runner;
 pub mod simulator;
 pub mod sis;
+pub mod stream;
 pub mod surrogate;
 pub mod tempered;
 pub mod validate;
@@ -62,7 +63,10 @@ pub mod window;
 
 pub use adaptive::AdaptiveConfig;
 pub use ckpool::SharedCheckpoint;
-pub use config::{CalibrationConfig, CheckpointPolicy, PersistMode, ResampleScheme};
+pub use config::{
+    CalibrationConfig, CheckpointPolicy, PersistMode, PmmhConfig, RejuvenationKernel,
+    ResampleScheme,
+};
 pub use diagnostics::{coverage, joint_density, JointDensity, PosteriorSummary, Ribbon};
 pub use error::SmcError;
 pub use forecast::{Forecast, Forecaster};
@@ -84,6 +88,7 @@ pub use sis::{
     CalibrationResult, DataSource, ObservedData, ObservedSeries, Priors, SequentialCalibrator,
     SingleWindowIs, WindowResult,
 };
+pub use stream::StreamingCalibrator;
 pub use surrogate::SurrogateScreen;
 pub use tempered::{tempered_single_window, TemperedConfig, TemperedResult};
 pub use window::{TimeWindow, WindowPlan};

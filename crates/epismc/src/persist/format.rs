@@ -50,7 +50,11 @@ pub const MAGIC: u32 = 0x4E53_5045;
 /// - 4: appended the `encode_nanos` telemetry word (the encode half of
 ///   what `persist_nanos` used to aggregate; older records migrate
 ///   with it defaulted to 0).
-pub const FORMAT_VERSION: u16 = 4;
+/// - 5: appended the `observed_fingerprint` word after the ensemble
+///   (the stream-metadata hash of the observed data slice the window
+///   was scored against; older records migrate with the 0 = "not
+///   recorded" sentinel, which skips validation on reopen).
+pub const FORMAT_VERSION: u16 = 5;
 
 /// Oldest record version this build can still decode (typed migration:
 /// missing v2 telemetry words default to 0).
@@ -410,6 +414,9 @@ pub fn encode_record(snap: &RunSnapshot) -> Vec<u8> {
     put_u64(&mut payload, snap.wall_nanos);
     write_telemetry(&mut payload, &snap.telemetry);
     write_ensemble(&mut payload, &snap.posterior);
+    // v5: appended after the ensemble so every older field keeps its
+    // offset and the version-gated read stays a pure suffix check.
+    put_u64(&mut payload, snap.observed_fingerprint);
 
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
     put_u32(&mut out, MAGIC);
@@ -749,6 +756,11 @@ pub fn decode_record(data: &[u8]) -> Result<RunSnapshot, SmcError> {
     let wall_nanos = r.u64("wall nanos")?;
     let telemetry = read_telemetry(&mut r, version)?;
     let posterior = read_ensemble(&mut r)?;
+    let observed_fingerprint = if version >= 5 {
+        r.u64("observed fingerprint")?
+    } else {
+        0 // pre-v5 records never recorded it; 0 skips validation
+    };
     if r.remaining() != 0 {
         return Err(corrupt(format!(
             "{} trailing bytes after the ensemble",
@@ -765,6 +777,7 @@ pub fn decode_record(data: &[u8]) -> Result<RunSnapshot, SmcError> {
         unique_ancestors,
         iterations,
         wall_nanos,
+        observed_fingerprint,
         telemetry,
         posterior,
     })

@@ -43,7 +43,7 @@ use crate::config::CalibrationConfig;
 use crate::error::SmcError;
 use crate::particle::ParticleEnsemble;
 use crate::prior::JitterKernel;
-use crate::sis::TrajectoryTelemetry;
+use crate::sis::{ObservedData, TrajectoryTelemetry};
 use crate::window::TimeWindow;
 
 /// Keyed record storage for calibration snapshots. Implementations use
@@ -100,6 +100,12 @@ pub struct RunSnapshot {
     pub iterations: u64,
     /// Wall-clock nanoseconds of the window (diagnostics only).
     pub wall_nanos: u64,
+    /// Fingerprint of the observed data slice this window was scored
+    /// against ([`observed_fingerprint`]); `0` means "not recorded"
+    /// (records written before format v5). Streaming opens and resumes
+    /// validate it, so a snapshot cannot silently continue a run
+    /// against different surveillance data.
+    pub observed_fingerprint: u64,
     /// The window's telemetry (`persist_nanos` and `encode_nanos`
     /// zeroed: both are measured around this very write, so the
     /// persisted copy cannot contain them — and snapshots stay
@@ -172,6 +178,11 @@ pub fn recover_latest(store: &dyn RunStore) -> Result<(Option<RunSnapshot>, usiz
 
 /// Delete all but the newest `retain` records.
 ///
+/// Retention is purely index-based: it cannot tell a just-written
+/// record from a stale corpse of an abandoned longer run. Writers that
+/// know which window they just put should use [`apply_retention_after`]
+/// instead, which guarantees the fresh record survives.
+///
 /// # Errors
 /// [`SmcError::Persist`] on storage failure.
 pub fn apply_retention(store: &dyn RunStore, retain: usize) -> Result<(), SmcError> {
@@ -182,6 +193,64 @@ pub fn apply_retention(store: &dyn RunStore, retain: usize) -> Result<(), SmcErr
         store.delete(w)?;
     }
     Ok(())
+}
+
+/// Retention relative to the record just written at index `written`:
+/// first delete every record *above* `written` (the run only moves
+/// forward, so anything there is a superseded leftover of an earlier,
+/// longer incarnation — possibly torn), then keep the newest `retain`
+/// of the rest. The `written` record is always among the survivors, so
+/// retention can never delete the newest durable state mid-append.
+///
+/// Plain [`apply_retention`] lacks that guarantee: a stream resuming
+/// *before* a stale higher-indexed record would count the corpse toward
+/// `retain` and could delete the record it just wrote, leaving only the
+/// corpse — total data loss on the next recovery.
+///
+/// # Errors
+/// [`SmcError::Persist`] on storage failure.
+pub fn apply_retention_after(
+    store: &dyn RunStore,
+    retain: usize,
+    written: u32,
+) -> Result<(), SmcError> {
+    let mut windows = store.list()?;
+    windows.sort_unstable();
+    for &w in windows.iter().filter(|&&w| w > written) {
+        store.delete(w)?;
+    }
+    let live: Vec<u32> = windows.into_iter().filter(|&w| w <= written).collect();
+    let excess = live.len().saturating_sub(retain.max(1));
+    for &w in live.iter().take(excess) {
+        store.delete(w)?;
+    }
+    Ok(())
+}
+
+/// Deterministic fingerprint of the observed data over one window: the
+/// source count, then per source the series name bytes, the window
+/// bounds, and the bit pattern of every observed value inside the
+/// window. Returns `None` when any source does not cover the window
+/// (no score can have been computed there). Never returns `Some(0)`:
+/// zero is reserved as the "not recorded" sentinel carried by records
+/// written before format v5.
+pub fn observed_fingerprint(observed: &ObservedData, window: TimeWindow) -> Option<u64> {
+    let mut h = FNV_OFFSET;
+    h = fnv1a(h, 0x4F42_5346); // "OBSF" domain separator
+    h = fnv1a(h, observed.sources.len() as u64);
+    for source in &observed.sources {
+        h = fnv1a(h, source.series.len() as u64);
+        for b in source.series.bytes() {
+            h = fnv1a(h, u64::from(b));
+        }
+        h = fnv1a(h, u64::from(window.start));
+        h = fnv1a(h, u64::from(window.end));
+        let values = source.observed.window(window.start, window.end)?;
+        for v in values {
+            h = fnv1a(h, v.to_bits());
+        }
+    }
+    Some(if h == 0 { 1 } else { h })
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -219,6 +288,17 @@ pub fn run_fingerprint(
     if config.resample != crate::config::ResampleScheme::Multinomial {
         h = fnv1a(h, 0x5245_5341); // "RESA" domain separator
         h = fnv1a(h, config.resample.fingerprint_tag());
+    }
+    // Same skip-the-default pattern for the rejuvenation kernel: a PMMH
+    // move pass reshapes every posterior, so its parameters are part of
+    // the fingerprint, while the default uniform-jitter kernel leaves
+    // records persisted before the menu existed resumable.
+    if let crate::config::RejuvenationKernel::Pmmh(pmmh) = &config.rejuvenation {
+        h = fnv1a(h, 0x504D_4D48); // "PMMH" domain separator
+        h = fnv1a(h, pmmh.moves as u64);
+        h = fnv1a(h, pmmh.scale.map_or(0, f64::to_bits));
+        h = fnv1a(h, pmmh.shrinkage.to_bits());
+        h = fnv1a(h, pmmh.floor.to_bits());
     }
     h = fnv1a(h, jitter_theta.len() as u64);
     for k in jitter_theta.iter().chain(std::iter::once(jitter_rho)) {
@@ -279,6 +359,21 @@ mod tests {
             assert!(!seen.contains(&fp), "fingerprint collision for {scheme:?}");
             seen.push(fp);
         }
+
+        // The rejuvenation kernel shapes results too: the default
+        // uniform jitter is skipped (old records resume), PMMH and each
+        // of its parameters fingerprint distinctly.
+        use crate::config::{PmmhConfig, RejuvenationKernel};
+        let mut pmmh = cfg.clone();
+        pmmh.rejuvenation = RejuvenationKernel::Pmmh(PmmhConfig::default());
+        let pmmh_fp = run_fingerprint(&pmmh, &jt, &jr);
+        assert_ne!(base, pmmh_fp);
+        let mut more_moves = pmmh.clone();
+        more_moves.rejuvenation = RejuvenationKernel::Pmmh(PmmhConfig {
+            moves: 5,
+            ..PmmhConfig::default()
+        });
+        assert_ne!(pmmh_fp, run_fingerprint(&more_moves, &jt, &jr));
     }
 
     #[test]
@@ -292,6 +387,54 @@ mod tests {
         // Retaining more than exists is a no-op.
         apply_retention(&store, 10).unwrap();
         assert_eq!(store.list().unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn retention_after_write_preserves_the_written_record() {
+        // The mid-append data-loss scenario: a stale (possibly torn)
+        // record from an abandoned longer run sits *above* the window
+        // just written. Index-blind retention would count it toward the
+        // budget and delete the fresh record; the written-relative form
+        // must delete the corpse and keep what was just put.
+        let store = MemStore::new();
+        store.put(1, b"older good").unwrap();
+        store.put(3, b"stale corpse of a longer run").unwrap();
+        store.put(2, b"just written").unwrap();
+        apply_retention_after(&store, 1, 2).unwrap();
+        assert_eq!(store.list().unwrap(), vec![2]);
+
+        // Without stale futures it prunes exactly like apply_retention.
+        let plain = MemStore::new();
+        for w in 0..5u32 {
+            plain.put(w, &[w as u8]).unwrap();
+            apply_retention_after(&plain, 2, w).unwrap();
+        }
+        assert_eq!(plain.list().unwrap(), vec![3, 4]);
+
+        // retain = 0 is clamped: the written record always survives.
+        let clamped = MemStore::new();
+        clamped.put(7, b"written").unwrap();
+        apply_retention_after(&clamped, 0, 7).unwrap();
+        assert_eq!(clamped.list().unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn observed_fingerprint_tracks_data_and_window() {
+        let data = ObservedData::cases_only(vec![1.0, 2.0, 3.0, 4.0]);
+        let w = TimeWindow::new(2, 3);
+        let base = observed_fingerprint(&data, w).unwrap();
+        assert_ne!(base, 0);
+        assert_eq!(base, observed_fingerprint(&data, w).unwrap());
+
+        // Different values, different window, or uncovered window all
+        // change (or void) the fingerprint.
+        let other = ObservedData::cases_only(vec![1.0, 2.5, 3.0, 4.0]);
+        assert_ne!(base, observed_fingerprint(&other, w).unwrap());
+        assert_ne!(
+            base,
+            observed_fingerprint(&data, TimeWindow::new(2, 4)).unwrap()
+        );
+        assert!(observed_fingerprint(&data, TimeWindow::new(2, 9)).is_none());
     }
 
     #[test]

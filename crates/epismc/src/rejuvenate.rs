@@ -19,9 +19,14 @@
 use std::sync::Arc;
 
 use epistats::dist::Normal;
+use epistats::linalg::{sample_mvn, shrink_covariance, Cholesky};
 use epistats::rng::StreamKey;
+use epistats::summary::covariance_matrix;
 
+use crate::config::PmmhConfig;
+use crate::error::SmcError;
 use crate::particle::ParticleEnsemble;
+use crate::prior::JitterKernel;
 use crate::runner::ParallelRunner;
 use crate::simulator::{PooledWorkspace, TrajectorySimulator, WorkspaceStats};
 use crate::sis::{score_window_prepared, ObservedData, PreparedObserved};
@@ -270,6 +275,173 @@ pub fn rejuvenate_with<S: TrajectorySimulator>(
     };
     for (slot, item) in ensemble.particles_mut().iter_mut().zip(moved) {
         let (p, acc) = item?;
+        *slot = p;
+        stats.accepted += acc;
+    }
+    Ok(stats)
+}
+
+/// Counter-stream tags for the PMMH pass, distinct from the generic
+/// rejuvenation tags (`0x4E10` / `0x4E11`) and additionally keyed by the
+/// window index, so every window's move pass draws from its own stream
+/// and streaming-vs-batch identity holds window by window.
+const TAG_PMMH_MOVE: u64 = 0x4E12;
+const TAG_PMMH_BIAS: u64 = 0x4E13;
+
+/// The [`crate::config::RejuvenationKernel::Pmmh`] move pass: after a
+/// window's resampling step, every posterior particle takes
+/// `config.moves` Metropolis–Hastings steps whose joint `(θ, ρ)`
+/// proposal is a Gaussian with covariance `c·Σ̂` — `Σ̂` the
+/// shrinkage-regularized empirical covariance of the posterior ensemble
+/// ([`covariance_matrix`] + [`shrink_covariance`], so the factorization
+/// cannot fail even for collapsed ensembles) and `c = 2.38²/d` by
+/// default, the Roberts–Rosenthal optimal random-walk scaling.
+///
+/// "Particle-marginal" in the trajectory-oriented sense: each particle's
+/// seed is held fixed, so the re-simulated window likelihood plays the
+/// role of the (here one-replicate) marginal-likelihood estimate and the
+/// acceptance ratio reduces to the likelihood ratio, exactly as in the
+/// uniform-step [`rejuvenate_with`]. Proposals are reflected into the
+/// jitter kernels' support bounds, keeping the pass inside the same
+/// parameter box as the between-window jitter.
+///
+/// Streams derive from counter-mode keys per `(window, particle)`, so
+/// the pass is bit-identical across thread shapes and identical whether
+/// the window was computed by a batch run or a streaming append.
+///
+/// # Errors
+/// [`SmcError::Degenerate`] if the proposal covariance cannot be
+/// factored (not reachable for valid configs — pinned by proptest in
+/// epistats) and [`SmcError::Simulation`] for simulator/scoring
+/// failures.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pmmh_rejuvenate_window<S: TrajectorySimulator>(
+    simulator: &S,
+    ensemble: &mut ParticleEnsemble,
+    observed: &ObservedData,
+    window: TimeWindow,
+    config: &PmmhConfig,
+    jitter_theta: &[JitterKernel],
+    jitter_rho: &JitterKernel,
+    master_seed: u64,
+    window_index: usize,
+    runner: &ParallelRunner,
+) -> Result<RejuvenationStats, SmcError> {
+    config.validate().map_err(SmcError::Config)?;
+    if ensemble.is_empty() {
+        return Ok(RejuvenationStats::default());
+    }
+    let theta_dim = ensemble.particles()[0].theta.len();
+    if theta_dim != jitter_theta.len() {
+        return Err(SmcError::Config(format!(
+            "pmmh: ensemble theta dimension {theta_dim} != jitter dimension {}",
+            jitter_theta.len()
+        )));
+    }
+    let d = theta_dim + 1; // theta coordinates plus rho
+
+    // Empirical covariance of the posterior in (θ, ρ), shrunk to SPD and
+    // scaled; computed serially once per pass, so it is deterministic
+    // for every thread shape.
+    let mut columns: Vec<Vec<f64>> = (0..theta_dim).map(|k| ensemble.thetas(k)).collect();
+    columns.push(ensemble.rhos());
+    let refs: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+    let cov = covariance_matrix(&refs);
+    let shrunk = shrink_covariance(&cov, d, config.shrinkage, config.floor);
+    let c = config.scale_for(d);
+    let scaled: Vec<f64> = shrunk.iter().map(|&v| c * v).collect();
+    let chol = Cholesky::new(&scaled, d)
+        .map_err(|e| SmcError::Degenerate(format!("pmmh proposal covariance: {e}")))?;
+
+    let move_key = StreamKey::new(master_seed)
+        .absorb(TAG_PMMH_MOVE)
+        .absorb(window_index as u64);
+    let bias_key = StreamKey::new(master_seed)
+        .absorb(TAG_PMMH_BIAS)
+        .absorb(window_index as u64);
+    let prepared = PreparedObserved::build(observed, window)?;
+    let zeros = vec![0.0f64; d];
+    let ws_stats = Arc::new(WorkspaceStats::default());
+    let particles: Vec<_> = ensemble.particles().to_vec();
+    let moved: Vec<Result<(crate::particle::Particle, usize), String>> = runner.run_grid_pooled(
+        particles.len(),
+        1,
+        || PooledWorkspace::new(Arc::clone(&ws_stats)),
+        |ws, i, _| {
+            let mut p = particles[i].clone();
+            let mut rng = move_key.rng(i as u64);
+            let bias_seed = bias_key.derive(i as u64);
+            let (sim, scratch) = ws.parts();
+            let mut current_ll = score_window_prepared(
+                &p.trajectory,
+                p.rho,
+                bias_seed,
+                observed,
+                &prepared,
+                scratch,
+            )?;
+            let mut accepted_here = 0usize;
+
+            for _ in 0..config.moves {
+                // One correlated Gaussian step for all of (θ, ρ): exactly
+                // d standard-normal draws regardless of covariance, so
+                // the stream layout is shape-independent.
+                let delta = sample_mvn(&chol, &zeros, &mut rng);
+                let theta_new: Vec<f64> = p
+                    .theta
+                    .iter()
+                    .zip(&delta)
+                    .zip(jitter_theta)
+                    .map(|((&t, &dx), k)| reflect(t + dx, k.lo, k.hi))
+                    .collect();
+                let rho_new = reflect(
+                    p.rho + delta[theta_dim],
+                    jitter_rho.lo.max(1e-9),
+                    jitter_rho.hi.min(1.0),
+                );
+
+                // Re-simulate the window with the SAME seed.
+                let (trajectory_new, checkpoint_new) = match &p.origin {
+                    None => {
+                        let (t, ck) =
+                            simulator.run_fresh_in(sim, &theta_new, p.seed, window.end)?;
+                        (episim::output::SharedTrajectory::root(t), ck)
+                    }
+                    Some(origin) => {
+                        let (tail, ck) =
+                            simulator.run_from_in(sim, origin, &theta_new, p.seed, window.end)?;
+                        (p.trajectory.truncated(origin.day).append(tail), ck)
+                    }
+                };
+                let proposed_ll = score_window_prepared(
+                    &trajectory_new,
+                    rho_new,
+                    bias_seed,
+                    observed,
+                    &prepared,
+                    scratch,
+                )?;
+                let accept =
+                    proposed_ll >= current_ll || rng.next_f64() < (proposed_ll - current_ll).exp();
+                if accept {
+                    p.theta = theta_new.into();
+                    p.rho = rho_new;
+                    p.trajectory = trajectory_new;
+                    p.checkpoint = crate::ckpool::share(checkpoint_new);
+                    current_ll = proposed_ll;
+                    accepted_here += 1;
+                }
+            }
+            Ok((p, accepted_here))
+        },
+    );
+
+    let mut stats = RejuvenationStats {
+        proposed: config.moves * particles.len(),
+        accepted: 0,
+    };
+    for (slot, item) in ensemble.particles_mut().iter_mut().zip(moved) {
+        let (p, acc) = item.map_err(SmcError::Simulation)?;
         *slot = p;
         stats.accepted += acc;
     }

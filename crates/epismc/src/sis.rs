@@ -412,8 +412,9 @@ fn measure_telemetry(
     t
 }
 
-/// The outcome of calibrating one window.
-#[derive(Debug)]
+/// The outcome of calibrating one window. Cloning is cheap where it
+/// matters: the ensembles are Arc structural sharing all the way down.
+#[derive(Clone, Debug)]
 pub struct WindowResult {
     /// The scored window.
     pub window: TimeWindow,
@@ -436,6 +437,11 @@ pub struct WindowResult {
     pub wall_time: Duration,
     /// Trajectory-memory and pool telemetry of the posterior ensemble.
     pub telemetry: TrajectoryTelemetry,
+    /// Move statistics of the post-resampling rejuvenation pass; `None`
+    /// under the default [`RejuvenationKernel::UniformJitter`] kernel
+    /// (no pass runs) and on windows restored from a snapshot
+    /// (diagnostics are not persisted).
+    pub rejuvenation: Option<crate::rejuvenate::RejuvenationStats>,
 }
 
 /// Reusable buffers for window scoring: the simulated window (integer
@@ -737,6 +743,7 @@ fn finalize_window(
         iterations: acct.iterations,
         wall_time: started.elapsed(),
         telemetry,
+        rejuvenation: None,
     }
 }
 
@@ -1127,6 +1134,20 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                 snap.window_index, snap.window.start, snap.window.end, snap.window_index
             )));
         }
+        // v5 records carry a fingerprint of the observed slice they were
+        // scored against; refuse to resume against different data. The
+        // 0 sentinel (pre-v5 records) skips the check.
+        if snap.observed_fingerprint != 0 {
+            if let Some(fp) = persist::observed_fingerprint(observed, snap.window) {
+                if fp != snap.observed_fingerprint {
+                    return Err(SmcError::Persist(format!(
+                        "snapshot for window {} was scored against different observed \
+                         data (fingerprint {:#018x}, this run's data gives {fp:#018x})",
+                        snap.window_index, snap.observed_fingerprint
+                    )));
+                }
+            }
+        }
         let restored = WindowResult {
             window: snap.window,
             posterior: snap.posterior,
@@ -1137,6 +1158,7 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
             iterations: snap.iterations as usize,
             wall_time: Duration::from_nanos(snap.wall_nanos),
             telemetry: snap.telemetry,
+            rejuvenation: None,
         };
         self.run_windows(
             priors,
@@ -1154,19 +1176,15 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
         persist::run_fingerprint(&self.config, &self.jitter_theta, &self.jitter_rho)
     }
 
-    /// The shared windowed loop behind [`Self::run`],
-    /// [`Self::run_persisted`], and [`Self::resume_from`]: optionally
-    /// seeded with a restored window, optionally snapshotting after each
-    /// window the policy selects.
-    fn run_windows(
-        &self,
-        priors: &Priors,
-        observed: &ObservedData,
-        plan: &WindowPlan,
-        persist_to: Option<(&dyn RunStore, &CheckpointPolicy)>,
-        restored: Option<(usize, WindowResult)>,
-        recoveries: usize,
-    ) -> Result<CalibrationResult, SmcError> {
+    /// The calibration configuration this calibrator runs under.
+    pub fn config(&self) -> &CalibrationConfig {
+        &self.config
+    }
+
+    /// Check the jitter kernels and priors against the simulator's
+    /// parameter dimension (shared by the batch loop and the streaming
+    /// calibrator's open).
+    pub(crate) fn validate_dims(&self, priors: &Priors) -> Result<(), SmcError> {
         if self.jitter_theta.len() != self.simulator.theta_dim() {
             return Err(SmcError::Config(format!(
                 "jitter dimension {} != simulator theta dimension {}",
@@ -1181,6 +1199,154 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                 self.simulator.theta_dim()
             )));
         }
+        Ok(())
+    }
+
+    /// Compute one window of the SIS pass: propose (from the priors for
+    /// the first window, by jittering `prev` otherwise), simulate and
+    /// weight with adaptive refinement, resample, and — when the
+    /// configuration selects it — run the PMMH rejuvenation pass on the
+    /// posterior.
+    ///
+    /// This is the entire per-window computation, shared bit-for-bit by
+    /// the batch loop ([`Self::run`] and friends) and the streaming
+    /// calibrator ([`crate::stream::StreamingCalibrator`]): its output
+    /// depends only on the master seed, the window index `widx`, the
+    /// observed slice of `window`, and `prev` — never on how many
+    /// windows the surrounding run intends to compute or on which
+    /// process computed the previous ones. That purity is what makes
+    /// streaming-equals-batch an identity rather than an approximation.
+    pub(crate) fn compute_window(
+        &self,
+        runner: &ParallelRunner,
+        priors: &Priors,
+        observed: &ObservedData,
+        window: TimeWindow,
+        widx: usize,
+        prev: Option<&ParticleEnsemble>,
+    ) -> Result<WindowResult, SmcError> {
+        // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
+        let setup_started = std::time::Instant::now();
+        let mut result = match prev {
+            None => {
+                // Window 1: Algorithm 1 from the prior (with optional
+                // adaptive refinement over fresh runs).
+                let mut rng =
+                    Xoshiro256PlusPlus::from_stream(self.config.seed, &[TAG_WINDOW, widx as u64]);
+                let proposals: Vec<Proposal> = (0..self.config.n_params)
+                    .map(|_| Proposal {
+                        ancestor: 0,
+                        theta: priors.theta.iter().map(|p| p.sample(&mut rng)).collect(),
+                        rho: priors.rho.sample(&mut rng),
+                    })
+                    .collect();
+                let setup_nanos = setup_started.elapsed().as_nanos() as u64;
+                self.adaptive_window(
+                    runner,
+                    observed,
+                    window,
+                    widx,
+                    None,
+                    proposals,
+                    rng,
+                    setup_nanos,
+                )?
+            }
+            Some(ancestors) => {
+                let mut rng =
+                    Xoshiro256PlusPlus::from_stream(self.config.seed, &[TAG_WINDOW, widx as u64]);
+                let n_anc = ancestors.len() as u64;
+                let proposals: Vec<Proposal> = (0..self.config.n_params)
+                    .map(|_| {
+                        let a = rng.next_bounded(n_anc) as usize;
+                        let anc = &ancestors.particles()[a];
+                        Proposal {
+                            ancestor: a,
+                            theta: anc
+                                .theta
+                                .iter()
+                                .zip(&self.jitter_theta)
+                                .map(|(&t, k)| k.sample(t, &mut rng))
+                                .collect::<Arc<[f64]>>(),
+                            rho: self.jitter_rho.sample(anc.rho, &mut rng),
+                        }
+                    })
+                    .collect();
+                let setup_nanos = setup_started.elapsed().as_nanos() as u64;
+                self.adaptive_window(
+                    runner,
+                    observed,
+                    window,
+                    widx,
+                    Some(ancestors),
+                    proposals,
+                    rng,
+                    setup_nanos,
+                )?
+            }
+        };
+        if let crate::config::RejuvenationKernel::Pmmh(pmmh) = &self.config.rejuvenation {
+            let stats = crate::rejuvenate::pmmh_rejuvenate_window(
+                self.simulator,
+                &mut result.posterior,
+                observed,
+                window,
+                pmmh,
+                &self.jitter_theta,
+                &self.jitter_rho,
+                self.config.seed,
+                widx,
+                runner,
+            )?;
+            result.rejuvenation = Some(stats);
+        }
+        Ok(result)
+    }
+
+    /// Build the snapshot persisted for window `widx`, marking the
+    /// record in the result's telemetry. The snapshot carries the
+    /// telemetry with `persist_nanos` and `encode_nanos` still 0: both
+    /// are measured around (or after) the write itself, and zeroing
+    /// them keeps records byte-reproducible across runs and modes.
+    pub(crate) fn snapshot_for(
+        &self,
+        fingerprint: u64,
+        observed: &ObservedData,
+        widx: usize,
+        result: &mut WindowResult,
+    ) -> RunSnapshot {
+        result.telemetry.records_written = 1;
+        RunSnapshot {
+            seed: self.config.seed,
+            fingerprint,
+            window_index: widx as u32,
+            window: result.window,
+            ess: result.ess,
+            log_marginal: result.log_marginal,
+            unique_ancestors: result.unique_ancestors as u64,
+            iterations: result.iterations as u64,
+            wall_nanos: result.wall_time.as_nanos() as u64,
+            observed_fingerprint: persist::observed_fingerprint(observed, result.window)
+                .unwrap_or(0),
+            telemetry: result.telemetry,
+            posterior: result.posterior.clone(),
+        }
+    }
+
+    /// The shared windowed loop behind [`Self::run`],
+    /// [`Self::run_persisted`], and [`Self::resume_from`]: optionally
+    /// seeded with a restored window, optionally snapshotting after each
+    /// window the policy selects.
+    fn run_windows(
+        &self,
+        priors: &Priors,
+        observed: &ObservedData,
+        plan: &WindowPlan,
+        persist_to: Option<(&dyn RunStore, &CheckpointPolicy)>,
+        restored: Option<(usize, WindowResult)>,
+        recoveries: usize,
+    ) -> Result<CalibrationResult, SmcError> {
+        self.validate_dims(priors)?;
         // One runner — and therefore at most one dedicated pool — for the
         // whole calibration run, hoisted out of the per-window (and
         // per-adaptive-iteration) batch loop.
@@ -1220,93 +1386,14 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
 
             for widx in first..plan.len() {
                 let window = plan.windows()[widx];
-                // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
-                let setup_started = std::time::Instant::now();
-                let result = match windows.last() {
-                    None => {
-                        // Window 1: Algorithm 1 from the prior (with optional
-                        // adaptive refinement over fresh runs).
-                        let mut rng =
-                            Xoshiro256PlusPlus::from_stream(self.config.seed, &[TAG_WINDOW, 0]);
-                        let proposals: Vec<Proposal> = (0..self.config.n_params)
-                            .map(|_| Proposal {
-                                ancestor: 0,
-                                theta: priors.theta.iter().map(|p| p.sample(&mut rng)).collect(),
-                                rho: priors.rho.sample(&mut rng),
-                            })
-                            .collect();
-                        let setup_nanos = setup_started.elapsed().as_nanos() as u64;
-                        self.adaptive_window(
-                            &runner,
-                            observed,
-                            window,
-                            0,
-                            None,
-                            proposals,
-                            rng,
-                            setup_nanos,
-                        )?
-                    }
-                    Some(prev) => {
-                        let ancestors = &prev.posterior;
-                        let mut rng = Xoshiro256PlusPlus::from_stream(
-                            self.config.seed,
-                            &[TAG_WINDOW, widx as u64],
-                        );
-                        let n_anc = ancestors.len() as u64;
-                        let proposals: Vec<Proposal> = (0..self.config.n_params)
-                            .map(|_| {
-                                let a = rng.next_bounded(n_anc) as usize;
-                                let anc = &ancestors.particles()[a];
-                                Proposal {
-                                    ancestor: a,
-                                    theta: anc
-                                        .theta
-                                        .iter()
-                                        .zip(&self.jitter_theta)
-                                        .map(|(&t, k)| k.sample(t, &mut rng))
-                                        .collect::<Arc<[f64]>>(),
-                                    rho: self.jitter_rho.sample(anc.rho, &mut rng),
-                                }
-                            })
-                            .collect();
-                        let setup_nanos = setup_started.elapsed().as_nanos() as u64;
-                        self.adaptive_window(
-                            &runner,
-                            observed,
-                            window,
-                            widx,
-                            Some(ancestors),
-                            proposals,
-                            rng,
-                            setup_nanos,
-                        )?
-                    }
-                };
-                let mut result = result;
+                let prev = windows.last().map(|r| &r.posterior);
+                let mut result =
+                    self.compute_window(&runner, priors, observed, window, widx, prev)?;
                 if let Some((store, policy)) = persist_to {
                     if policy.persists(widx, plan.len()) {
                         // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
                         let persist_started = std::time::Instant::now();
-                        result.telemetry.records_written = 1;
-                        // The snapshot carries the telemetry with
-                        // `persist_nanos` and `encode_nanos` still 0: both
-                        // are measured around (or after) this very write,
-                        // and zeroing them keeps records byte-reproducible
-                        // across runs and modes.
-                        let snap = RunSnapshot {
-                            seed: self.config.seed,
-                            fingerprint,
-                            window_index: widx as u32,
-                            window: result.window,
-                            ess: result.ess,
-                            log_marginal: result.log_marginal,
-                            unique_ancestors: result.unique_ancestors as u64,
-                            iterations: result.iterations as u64,
-                            wall_nanos: result.wall_time.as_nanos() as u64,
-                            telemetry: result.telemetry,
-                            posterior: result.posterior.clone(),
-                        };
+                        let snap = self.snapshot_for(fingerprint, observed, widx, &mut result);
                         match writer.as_mut() {
                             // Pipelined: O(1) handoff (the posterior clone
                             // above is Arc structural sharing), then the
@@ -1333,7 +1420,7 @@ impl<'a, S: TrajectorySimulator> SequentialCalibrator<'a, S> {
                                     encode_started.elapsed().as_nanos() as u64;
                                 store.put(widx as u32, &record)?;
                                 if let Some(retain) = policy.retain {
-                                    persist::apply_retention(store, retain)?;
+                                    persist::apply_retention_after(store, retain, widx as u32)?;
                                 }
                                 result.telemetry.persist_nanos =
                                     persist_started.elapsed().as_nanos() as u64;

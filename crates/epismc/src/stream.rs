@@ -1,0 +1,442 @@
+//! Online inference: streaming window updates over a durable run store.
+//!
+//! [`StreamingCalibrator`] is the arrival-driven face of
+//! [`SequentialCalibrator`]: instead of taking the whole observed series
+//! and a complete [`crate::window::WindowPlan`] up front, it opens a
+//! [`RunStore`], restores the newest durable snapshot (if any), and then
+//! accepts observation windows one at a time as the data come in —
+//! [`StreamingCalibrator::append_window`] ingests the new days, advances
+//! the SIS pass for exactly that window on the calibrator's persistent
+//! worker pool, and re-persists through the same snapshot pipeline as
+//! the batch path.
+//!
+//! ## The equivalence invariant
+//!
+//! Streaming `N` windows one at a time is **bit-identical** to a batch
+//! [`SequentialCalibrator::run_persisted`] over the same `N`-window
+//! plan: same posterior ensembles, same log marginals, same decoded
+//! store records — for every resampling scheme, every thread shape, and
+//! every kill-point between appends. This is an identity, not an
+//! approximation, because every window's RNG stream derives
+//! independently from the master seed and the window index
+//! (`from_stream(seed, [TAG_WINDOW, widx])`), so the posterior ensemble
+//! is the *only* state a window inherits — and that ensemble is exactly
+//! what the store records carry. `tests/streaming_equivalence.rs` pins
+//! the invariant with `total_cmp`-exact comparisons.
+//!
+//! ## Persistence cadence
+//!
+//! The batch loop persists on the [`CheckpointPolicy`] cadence *plus*
+//! the plan's final window. A stream has no final window, so it
+//! persists strictly on cadence — with the default `every_windows = 1`
+//! the two paths write identical record sets. For sparser cadences,
+//! [`StreamingCalibrator::flush`] forces the newest window to disk (the
+//! streaming analogue of the batch final-window write) so a stream can
+//! always be parked durably.
+//!
+//! ## Fail-stop
+//!
+//! Like the pipelined writer, the stream is fail-stop: the first error
+//! (simulation, degeneracy, or persistence) poisons the handle, every
+//! later call returns [`SmcError::Persist`], and the store keeps the
+//! durable prefix written before the fault. Reopen with
+//! [`StreamingCalibrator::open`] to continue from the newest snapshot.
+
+use crate::config::{CheckpointPolicy, PersistMode};
+use crate::error::SmcError;
+use crate::particle::ParticleEnsemble;
+use crate::persist::{self, ResumeReport, RunStore, SnapshotWriter};
+use crate::runner::ParallelRunner;
+use crate::simulator::TrajectorySimulator;
+use crate::sis::{ObservedData, ObservedSeries, Priors, SequentialCalibrator, WindowResult};
+use crate::window::TimeWindow;
+
+/// An open streaming calibration over a durable run store.
+///
+/// Create with [`Self::open`]; feed with [`Self::append_window`] (single
+/// data source) or [`Self::ingest`] + [`Self::advance_window`]
+/// (multi-source or custom window geometry); park with [`Self::flush`].
+pub struct StreamingCalibrator<'a, S: TrajectorySimulator> {
+    calibrator: SequentialCalibrator<'a, S>,
+    priors: Priors,
+    observed: ObservedData,
+    store: &'a dyn RunStore,
+    policy: CheckpointPolicy,
+    runner: ParallelRunner,
+    fingerprint: u64,
+    /// Window results this handle has seen: `history[k]` is plan window
+    /// `base + k`. A reopened stream starts from the restored snapshot,
+    /// so `base` is that snapshot's window index.
+    history: Vec<WindowResult>,
+    base: usize,
+    next_window: usize,
+    /// Newest window index durably persisted by this handle (restored
+    /// snapshots count: they are on disk by definition).
+    last_persisted: Option<usize>,
+    resume: Option<ResumeReport>,
+    failed: bool,
+}
+
+impl<S: TrajectorySimulator> std::fmt::Debug for StreamingCalibrator<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingCalibrator")
+            .field("fingerprint", &self.fingerprint)
+            .field("base", &self.base)
+            .field("next_window", &self.next_window)
+            .field("last_persisted", &self.last_persisted)
+            .field("failed", &self.failed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, S: TrajectorySimulator> StreamingCalibrator<'a, S> {
+    /// Open a stream over `store`: recover the newest decodable snapshot
+    /// (corrupt or unsupported records are skipped and counted, exactly
+    /// like [`SequentialCalibrator::resume_from`]) and validate it
+    /// against this calibrator's seed, configuration fingerprint, and —
+    /// for v5 records — the observed data. An empty store opens a fresh
+    /// stream starting at window 0.
+    ///
+    /// `observed` must already hold any days *before* the first window
+    /// this stream will advance (e.g. the warm-up days a batch plan
+    /// would skip); appended series extend it contiguously.
+    ///
+    /// # Errors
+    /// [`SmcError::Config`] for an invalid policy or dimension mismatch,
+    /// [`SmcError::Persist`] when the newest snapshot belongs to a
+    /// differently configured run or different observed data.
+    pub fn open(
+        calibrator: SequentialCalibrator<'a, S>,
+        priors: Priors,
+        observed: ObservedData,
+        store: &'a dyn RunStore,
+        policy: CheckpointPolicy,
+    ) -> Result<Self, SmcError> {
+        policy.validate().map_err(SmcError::Config)?;
+        calibrator.validate_dims(&priors)?;
+        // One runner — and at most one dedicated pool — for the life of
+        // the stream, exactly like the batch loop's hoisted runner: every
+        // appended window reuses it.
+        let runner = ParallelRunner::from_option(calibrator.config().threads)
+            .with_chunk_cells(calibrator.config().chunk_cells);
+        let fingerprint = calibrator.fingerprint();
+        let (snap, recoveries) = persist::recover_latest(store)?;
+        let mut stream = Self {
+            calibrator,
+            priors,
+            observed,
+            store,
+            policy,
+            runner,
+            fingerprint,
+            history: Vec::new(),
+            base: 0,
+            next_window: 0,
+            last_persisted: None,
+            resume: None,
+            failed: false,
+        };
+        let Some(snap) = snap else {
+            return Ok(stream);
+        };
+        if snap.seed != stream.calibrator.config().seed {
+            return Err(SmcError::Persist(format!(
+                "snapshot was written with seed {}, this stream uses seed {}",
+                snap.seed,
+                stream.calibrator.config().seed
+            )));
+        }
+        if snap.fingerprint != fingerprint {
+            return Err(SmcError::Persist(format!(
+                "snapshot fingerprint {:#018x} does not match this calibration's {fingerprint:#018x}",
+                snap.fingerprint
+            )));
+        }
+        // v5 records carry a fingerprint of the observed slice they were
+        // scored against; refuse to continue a stream against different
+        // data. The 0 sentinel (pre-v5 records) skips the check, as does
+        // an observed set that does not (yet) cover the snapshot window.
+        if snap.observed_fingerprint != 0 {
+            if let Some(fp) = persist::observed_fingerprint(&stream.observed, snap.window) {
+                if fp != snap.observed_fingerprint {
+                    return Err(SmcError::Persist(format!(
+                        "snapshot for window {} was scored against different observed \
+                         data (fingerprint {:#018x}, this stream's data gives {fp:#018x})",
+                        snap.window_index, snap.observed_fingerprint
+                    )));
+                }
+            }
+        }
+        let widx = snap.window_index as usize;
+        stream.history.push(WindowResult {
+            window: snap.window,
+            posterior: snap.posterior,
+            prior_ensemble: None,
+            ess: snap.ess,
+            log_marginal: snap.log_marginal,
+            unique_ancestors: snap.unique_ancestors as usize,
+            iterations: snap.iterations as usize,
+            wall_time: std::time::Duration::from_nanos(snap.wall_nanos),
+            telemetry: snap.telemetry,
+            rejuvenation: None,
+        });
+        stream.base = widx;
+        stream.next_window = widx + 1;
+        stream.last_persisted = Some(widx);
+        stream.resume = Some(ResumeReport {
+            resumed_window: snap.window_index,
+            recoveries,
+        });
+        Ok(stream)
+    }
+
+    /// How this stream rejoined its store: `Some` when [`Self::open`]
+    /// restored a snapshot, `None` for a fresh stream.
+    pub fn resume(&self) -> Option<&ResumeReport> {
+        self.resume.as_ref()
+    }
+
+    /// Plan index of the next window [`Self::advance_window`] will
+    /// compute.
+    pub fn next_window_index(&self) -> usize {
+        self.next_window
+    }
+
+    /// Every window result this handle has seen, oldest first. For a
+    /// reopened stream the first entry is the restored snapshot's window
+    /// (its index is `next_window_index() - len()` windows before the
+    /// next one).
+    pub fn windows(&self) -> &[WindowResult] {
+        &self.history
+    }
+
+    /// The newest posterior ensemble, if any window has been computed or
+    /// restored.
+    pub fn latest_posterior(&self) -> Option<&ParticleEnsemble> {
+        self.history.last().map(|r| &r.posterior)
+    }
+
+    /// Accumulated log evidence over the windows this handle has seen
+    /// (restored window included).
+    pub fn total_log_marginal(&self) -> f64 {
+        self.history.iter().map(|r| r.log_marginal).sum()
+    }
+
+    /// Whether an earlier error fail-stopped this handle.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Append newly arrived days to data source `source` (0-based index
+    /// into [`ObservedData::sources`]). The series must be contiguous
+    /// with what that source already holds: `series.start_day` exactly
+    /// one past the source's current end day (or anywhere, for a source
+    /// with no data yet).
+    ///
+    /// Ingestion alone never computes anything — pair with
+    /// [`Self::advance_window`], or use [`Self::append_window`] for the
+    /// single-source case.
+    ///
+    /// # Errors
+    /// [`SmcError::Observation`] for an unknown source, an empty series,
+    /// or a gap/overlap with the existing data.
+    pub fn ingest(&mut self, source: usize, series: &ObservedSeries) -> Result<(), SmcError> {
+        let n_sources = self.observed.sources.len();
+        let Some(target) = self.observed.sources.get_mut(source) else {
+            return Err(SmcError::Observation(format!(
+                "no data source {source} (the stream has {n_sources})"
+            )));
+        };
+        if series.values.is_empty() {
+            return Err(SmcError::Observation(
+                "cannot ingest an empty observed series".into(),
+            ));
+        }
+        match target.observed.end_day() {
+            Some(end) if series.start_day != end + 1 => {
+                return Err(SmcError::Observation(format!(
+                    "source {source} ends at day {end}; appended series starts at day {} \
+                     (must be {})",
+                    series.start_day,
+                    end + 1
+                )));
+            }
+            Some(_) => {}
+            None => target.observed.start_day = series.start_day,
+        }
+        target.observed.values.extend_from_slice(&series.values);
+        Ok(())
+    }
+
+    /// Advance the SIS pass over `window` as plan window
+    /// [`Self::next_window_index`]: propose from the newest posterior
+    /// (or the priors, for window 0), simulate/weight/resample on the
+    /// stream's worker pool, run the configured rejuvenation kernel, and
+    /// persist on the policy cadence. Bit-identical to the batch loop
+    /// computing the same window index over the same data.
+    ///
+    /// # Errors
+    /// Everything the batch window loop returns; any error fail-stops
+    /// the handle (see the module docs).
+    pub fn advance_window(&mut self, window: TimeWindow) -> Result<&WindowResult, SmcError> {
+        self.guard()?;
+        match self.try_advance(window) {
+            Ok(()) => {
+                // epilint: allow(panic-unwrap) — try_advance just pushed this entry
+                Ok(self.history.last().expect("window just advanced"))
+            }
+            Err(e) => {
+                self.failed = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Single-source convenience: ingest `series` (contiguity checked)
+    /// and advance one window spanning exactly its days. Returns the
+    /// window's result by (cheap, Arc-shared) clone.
+    ///
+    /// # Errors
+    /// [`SmcError::Observation`] unless the stream has exactly one data
+    /// source, plus everything [`Self::ingest`] and
+    /// [`Self::advance_window`] return.
+    pub fn append_window(&mut self, series: &ObservedSeries) -> Result<WindowResult, SmcError> {
+        self.guard()?;
+        if self.observed.sources.len() != 1 {
+            return Err(SmcError::Observation(format!(
+                "append_window requires exactly one data source (the stream has {}); \
+                 use ingest + advance_window",
+                self.observed.sources.len()
+            )));
+        }
+        let Some(end) = series.end_day() else {
+            return Err(SmcError::Observation(
+                "cannot append an empty observed series".into(),
+            ));
+        };
+        let window = TimeWindow::new(series.start_day, end);
+        self.ingest(0, series)?;
+        Ok(self.advance_window(window)?.clone())
+    }
+
+    /// Force the newest window to disk if it is not already durable —
+    /// the streaming analogue of the batch loop's always-persist-final
+    /// rule, for policies with `every_windows > 1`. A no-op when the
+    /// newest window is already persisted (or nothing has been computed).
+    ///
+    /// # Errors
+    /// [`SmcError::Persist`] on write failure (fail-stops the handle).
+    pub fn flush(&mut self) -> Result<(), SmcError> {
+        self.guard()?;
+        let Some(widx) = self.next_window.checked_sub(1) else {
+            return Ok(());
+        };
+        if self.last_persisted == Some(widx) {
+            return Ok(());
+        }
+        let result = &mut self.history[widx - self.base];
+        let outcome = persist_one(
+            &self.calibrator,
+            self.fingerprint,
+            &self.observed,
+            self.store,
+            &self.policy,
+            widx,
+            result,
+        );
+        match outcome {
+            Ok(()) => {
+                self.last_persisted = Some(widx);
+                Ok(())
+            }
+            Err(e) => {
+                self.failed = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn guard(&self) -> Result<(), SmcError> {
+        if self.failed {
+            return Err(SmcError::Persist(
+                "streaming calibrator is fail-stopped after an earlier error; \
+                 reopen from the store to continue"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn try_advance(&mut self, window: TimeWindow) -> Result<(), SmcError> {
+        let widx = self.next_window;
+        let prev = self.history.last().map(|r| &r.posterior);
+        let mut result = self.calibrator.compute_window(
+            &self.runner,
+            &self.priors,
+            &self.observed,
+            window,
+            widx,
+            prev,
+        )?;
+        if (widx + 1).is_multiple_of(self.policy.every_windows) {
+            persist_one(
+                &self.calibrator,
+                self.fingerprint,
+                &self.observed,
+                self.store,
+                &self.policy,
+                widx,
+                &mut result,
+            )?;
+            self.last_persisted = Some(widx);
+        }
+        self.history.push(result);
+        self.next_window = widx + 1;
+        Ok(())
+    }
+}
+
+/// Persist one window's snapshot under the policy's mode: through a
+/// scoped [`SnapshotWriter`] (same encode + CRC + atomic rename + post-
+/// write retention path, same fail-stop semantics as the batch
+/// pipeline) under [`PersistMode::Pipelined`], inline under
+/// [`PersistMode::Sync`].
+fn persist_one<S: TrajectorySimulator>(
+    calibrator: &SequentialCalibrator<'_, S>,
+    fingerprint: u64,
+    observed: &ObservedData,
+    store: &dyn RunStore,
+    policy: &CheckpointPolicy,
+    widx: usize,
+    result: &mut WindowResult,
+) -> Result<(), SmcError> {
+    // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
+    let persist_started = std::time::Instant::now();
+    let snap = calibrator.snapshot_for(fingerprint, observed, widx, result);
+    match policy.mode {
+        PersistMode::Pipelined => std::thread::scope(|scope| {
+            let mut writer = SnapshotWriter::spawn(scope, store, policy.retain);
+            let submitted = writer.submit(snap)?;
+            let finished = writer.finish()?;
+            for receipt in submitted.receipts.into_iter().chain(finished.receipts) {
+                if receipt.window_index as usize == widx {
+                    result.telemetry.encode_nanos = receipt.encode_nanos;
+                }
+            }
+            result.telemetry.persist_nanos = persist_started.elapsed().as_nanos() as u64;
+            Ok(())
+        }),
+        PersistMode::Sync => {
+            // epilint: allow(wall-clock) — telemetry timing only; never feeds simulation state
+            let encode_started = std::time::Instant::now();
+            let record = persist::format::encode_record(&snap);
+            result.telemetry.encode_nanos = encode_started.elapsed().as_nanos() as u64;
+            store.put(widx as u32, &record)?;
+            if let Some(retain) = policy.retain {
+                persist::apply_retention_after(store, retain, widx as u32)?;
+            }
+            result.telemetry.persist_nanos = persist_started.elapsed().as_nanos() as u64;
+            Ok(())
+        }
+    }
+}

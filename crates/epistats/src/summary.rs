@@ -64,6 +64,46 @@ pub fn weighted_covariance(xs: &[f64], ys: &[f64], ws: &[f64]) -> f64 {
         / total
 }
 
+/// Population covariance matrix (row-major `d × d`) of `d` aligned
+/// coordinate columns, each holding one value per ensemble member.
+///
+/// Uses the population normalizer `n` (not `n − 1`) so a one-member
+/// ensemble yields the zero matrix instead of NaN — the degenerate case
+/// [`crate::linalg::shrink_covariance`] is designed to absorb. An empty
+/// column set (`n == 0`) also yields zeros.
+///
+/// # Panics
+/// Panics if the columns differ in length.
+pub fn covariance_matrix(columns: &[&[f64]]) -> Vec<f64> {
+    let d = columns.len();
+    let n = columns.first().map_or(0, |c| c.len());
+    for (k, col) in columns.iter().enumerate() {
+        assert_eq!(
+            col.len(),
+            n,
+            "covariance_matrix: column {k} length mismatch"
+        );
+    }
+    let mut out = vec![0.0f64; d * d];
+    if n == 0 {
+        return out;
+    }
+    let means: Vec<f64> = columns.iter().map(|c| mean(c)).collect();
+    for i in 0..d {
+        for j in 0..=i {
+            let acc: f64 = columns[i]
+                .iter()
+                .zip(columns[j])
+                .map(|(&xi, &xj)| (xi - means[i]) * (xj - means[j]))
+                .sum();
+            let cov = acc / n as f64;
+            out[i * d + j] = cov;
+            out[j * d + i] = cov;
+        }
+    }
+    out
+}
+
 /// Weighted Pearson correlation of two aligned samples; NaN when either
 /// marginal variance vanishes.
 ///

@@ -1,0 +1,119 @@
+//! Property tests pinning the PMMH proposal substrate: the
+//! shrinkage-regularized ensemble covariance must be symmetric positive
+//! definite — so [`Cholesky::new`] never fails — for *every* ensemble
+//! the calibrator can hand it, including one-particle and zero-variance
+//! (point-collapsed) ensembles. A singular proposal covariance would
+//! abort a PMMH move pass mid-window, so SPD here is a liveness
+//! invariant, not a numerical nicety.
+
+use epistats::linalg::{sample_mvn, shrink_covariance, Cholesky};
+use epistats::rng::Xoshiro256PlusPlus;
+use epistats::summary::covariance_matrix;
+use proptest::prelude::*;
+
+/// Slice a flat value pool into `d` coordinate columns of length `n` —
+/// the vendored proptest has no dependent (`flat_map`) strategies, so
+/// the pool is drawn at maximum size and cut to shape inside the test.
+fn columns_from_pool(pool: &[f64], d: usize, n: usize) -> Vec<Vec<f64>> {
+    (0..d).map(|k| pool[k * n..(k + 1) * n].to_vec()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn shrunk_covariance_is_always_spd(
+        pool in proptest::collection::vec(-1.0e6f64..1.0e6, 200..201),
+        d in 1usize..=5,
+        n in 1usize..=40,
+        lambda in 0.01f64..=1.0,
+        floor in 1e-12f64..1e-2,
+    ) {
+        let columns = columns_from_pool(&pool, d, n);
+        let refs: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+        let cov = covariance_matrix(&refs);
+        let shrunk = shrink_covariance(&cov, d, lambda, floor);
+        let chol = Cholesky::new(&shrunk, d);
+        prop_assert!(
+            chol.is_ok(),
+            "Cholesky failed for d={} n={} lambda={} floor={}: {:?}",
+            d, n, lambda, floor, chol.err()
+        );
+    }
+
+    #[test]
+    fn zero_variance_ensemble_still_factors(
+        value in -1.0e6f64..1.0e6,
+        d in 1usize..=5,
+        n in 1usize..=40,
+        floor in 1e-12f64..1e-2,
+    ) {
+        // Every column is a constant: the empirical covariance is zero
+        // up to mean-rounding ulps and only the floor keeps the
+        // proposal alive.
+        let columns: Vec<Vec<f64>> = (0..d).map(|_| vec![value; n]).collect();
+        let refs: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+        let cov = covariance_matrix(&refs);
+        let rounding = value.abs().max(1.0).powi(2) * 1e-24;
+        prop_assert!(cov.iter().all(|&c| c.abs() <= rounding), "{cov:?}");
+        let shrunk = shrink_covariance(&cov, d, 0.1, floor);
+        let chol = Cholesky::new(&shrunk, d);
+        prop_assert!(chol.is_ok(), "{:?}", chol.err());
+    }
+
+    #[test]
+    fn sample_mvn_is_deterministic_and_finite(
+        pool in proptest::collection::vec(-1.0e6f64..1.0e6, 200..201),
+        d in 1usize..=5,
+        n in 1usize..=40,
+        seed in 0u64..1000,
+    ) {
+        let columns = columns_from_pool(&pool, d, n);
+        let refs: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+        let cov = covariance_matrix(&refs);
+        let shrunk = shrink_covariance(&cov, d, 0.1, 1e-9);
+        let chol = Cholesky::new(&shrunk, d).unwrap();
+        let mean = vec![0.0; d];
+        let a = sample_mvn(&chol, &mean, &mut Xoshiro256PlusPlus::new(seed));
+        let b = sample_mvn(&chol, &mean, &mut Xoshiro256PlusPlus::new(seed));
+        prop_assert_eq!(a.len(), d);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!(x.is_finite());
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+#[test]
+fn one_particle_ensemble_factors() {
+    // The hard degenerate case named in the issue: a single particle
+    // gives the all-zero covariance; the floored shrinkage must still
+    // hand Cholesky something PD.
+    let columns = [vec![0.42], vec![-3.0], vec![1e5]];
+    let refs: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+    let cov = covariance_matrix(&refs);
+    assert!(cov.iter().all(|&c| c == 0.0));
+    let shrunk = shrink_covariance(&cov, 3, 0.1, 1e-8);
+    let chol = Cholesky::new(&shrunk, 3).expect("floored shrinkage must be SPD");
+    for i in 0..3 {
+        assert!(chol.factor()[i * 3 + i] > 0.0);
+    }
+}
+
+#[test]
+fn shrinkage_preserves_scale_and_orientation() {
+    // A correlated 2-d ensemble: shrinkage toward ν·I must keep the
+    // diagonal near the original variances and shrink the off-diagonal
+    // toward zero by exactly (1-λ).
+    let xs: Vec<f64> = (0..64).map(|i| i as f64 / 8.0).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+    let refs: Vec<&[f64]> = vec![&xs, &ys];
+    let cov = covariance_matrix(&refs);
+    let lambda = 0.25;
+    let shrunk = shrink_covariance(&cov, 2, lambda, 0.0);
+    let expected_off = (1.0 - lambda) * cov[1];
+    assert!((shrunk[1] - expected_off).abs() < 1e-12);
+    assert!((shrunk[2] - expected_off).abs() < 1e-12);
+    let nu = (cov[0] + cov[3]) / 2.0;
+    assert!((shrunk[0] - ((1.0 - lambda) * cov[0] + lambda * nu)).abs() < 1e-12);
+}

@@ -78,7 +78,10 @@ pub mod prelude {
     };
     pub use crate::smc::{
         adaptive::AdaptiveConfig,
-        config::{CalibrationConfig, CheckpointPolicy, PersistMode, ResampleScheme},
+        config::{
+            CalibrationConfig, CheckpointPolicy, PersistMode, PmmhConfig, RejuvenationKernel,
+            ResampleScheme,
+        },
         diagnostics::{coverage, joint_density, PosteriorSummary, Ribbon},
         error::SmcError,
         forecast::{Forecast, Forecaster},
@@ -92,16 +95,17 @@ pub mod prelude {
             RunSnapshot, RunStore, SnapshotWriter,
         },
         prior::{BetaPrior, JitterKernel, Prior, UniformPrior},
-        rejuvenate::{rejuvenate, rejuvenate_with, RejuvenationConfig},
+        rejuvenate::{rejuvenate, rejuvenate_with, RejuvenationConfig, RejuvenationStats},
         resample::{Multinomial, Resampler, Residual, Stratified, Systematic},
         runner::{pool_build_count, ParallelRunner},
         simulator::{
             CovidSimulator, PooledWorkspace, SeirSimulator, TrajectorySimulator, WorkspaceStats,
         },
         sis::{
-            score_window, CalibrationResult, ObservedData, Priors, SequentialCalibrator,
-            SingleWindowIs, TrajectoryTelemetry,
+            score_window, CalibrationResult, ObservedData, ObservedSeries, Priors,
+            SequentialCalibrator, SingleWindowIs, TrajectoryTelemetry, WindowResult,
         },
+        stream::StreamingCalibrator,
         surrogate::SurrogateScreen,
         tempered::{tempered_single_window, TemperedConfig},
         window::{TimeWindow, WindowPlan},

@@ -1,7 +1,7 @@
 //! Byte-format pinning for the durable run store: a golden fixture locks
-//! the current (v4) record encoding (any accidental change to the wire
+//! the current (v5) record encoding (any accidental change to the wire
 //! format fails here before it eats someone's checkpoints), retained
-//! v1/v2/v3 fixtures prove the typed migration path (older records decode
+//! v1/v2/v3/v4 fixtures prove the typed migration path (older records decode
 //! with the appended telemetry words defaulted), a version-bump test proves
 //! records from a future format are rejected as [`SmcError::UnsupportedFormat`],
 //! and property tests drive arbitrary ensembles through
@@ -100,6 +100,7 @@ fn golden_snapshot() -> RunSnapshot {
         unique_ancestors: 17,
         iterations: 1,
         wall_nanos: 123_456_789,
+        observed_fingerprint: 0x0B5E_4FD5_0BF1_4CED,
         telemetry: TrajectoryTelemetry {
             shared_bytes: 100,
             flat_bytes: 240,
@@ -128,7 +129,7 @@ fn golden_snapshot() -> RunSnapshot {
 }
 
 fn golden_path() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_record_v4.bin")
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_record_v5.bin")
 }
 
 fn golden_v1_path() -> PathBuf {
@@ -143,6 +144,10 @@ fn golden_v3_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_record_v3.bin")
 }
 
+fn golden_v4_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_record_v4.bin")
+}
+
 #[test]
 fn golden_record_bytes_are_pinned() {
     let bytes = format::encode_record(&golden_snapshot());
@@ -155,7 +160,7 @@ fn golden_record_bytes_are_pinned() {
         )
     });
     if bytes != want {
-        let out = Path::new(env!("CARGO_TARGET_TMPDIR")).join("run_record_v4.actual.bin");
+        let out = Path::new(env!("CARGO_TARGET_TMPDIR")).join("run_record_v5.actual.bin");
         std::fs::write(&out, &bytes).unwrap();
         panic!(
             "serialized record diverged from the golden fixture (got {} bytes, want {}); \
@@ -290,6 +295,38 @@ fn v3_record_migrates_with_new_telemetry_defaulted() {
 }
 
 #[test]
+fn v4_record_migrates_with_observed_fingerprint_defaulted() {
+    // The retained v4 fixture (written before the observed-series
+    // fingerprint existed) decodes with `observed_fingerprint` landing
+    // on 0 — the "not recorded" sentinel that skips the resume-time
+    // observed-data check — and everything else bit-exact.
+    let raw = std::fs::read(golden_v4_path()).unwrap();
+    assert_eq!(u16::from_le_bytes([raw[4], raw[5]]), 4, "fixture is v4");
+    let snap = format::decode_record(&raw).unwrap();
+    assert_eq!(snap.seed, 42);
+    assert_eq!(snap.fingerprint, 0x1234_5678_9abc_def0);
+    assert_eq!(snap.window, TimeWindow::new(34, 47));
+    assert_eq!(
+        snap.observed_fingerprint, 0,
+        "pre-v5 records carry no fingerprint"
+    );
+    assert_eq!(snap.telemetry, golden_snapshot().telemetry);
+
+    let p = snap.posterior.particles();
+    assert_eq!(p.len(), 3);
+    assert!(Arc::ptr_eq(&p[0].theta, &p[1].theta));
+    assert!(Arc::ptr_eq(&p[0].checkpoint, &p[1].checkpoint));
+
+    // Re-encoding upgrades to v5 (appended fingerprint word, current
+    // version stamp) and the trip stays lossless.
+    let upgraded = format::encode_record(&snap);
+    assert_ne!(upgraded, raw);
+    let again = format::decode_record(&upgraded).unwrap();
+    assert_eq!(again.observed_fingerprint, 0);
+    assert_eq!(again.telemetry, snap.telemetry);
+}
+
+#[test]
 fn future_format_version_is_rejected_as_unsupported() {
     let mut raw = std::fs::read(golden_path()).unwrap();
     // Bytes [4..6] are the little-endian format version, after the magic.
@@ -318,7 +355,7 @@ fn short_and_empty_records_are_corrupt_not_panics() {
 }
 
 #[test]
-#[ignore = "regenerates tests/golden/run_record_v4.bin; run only after an intentional format change (with a FORMAT_VERSION bump)"]
+#[ignore = "regenerates tests/golden/run_record_v5.bin; run only after an intentional format change (with a FORMAT_VERSION bump)"]
 fn regenerate_golden_fixture() {
     let path = golden_path();
     std::fs::create_dir_all(path.parent().unwrap()).unwrap();
@@ -375,6 +412,7 @@ fn arbitrary_snapshot(parts: Vec<(f64, f64, u64, f64, Vec<u64>)>) -> RunSnapshot
         unique_ancestors: 2,
         iterations: 1,
         wall_nanos: 0,
+        observed_fingerprint: 0xF00D,
         telemetry: TrajectoryTelemetry::default(),
         posterior: ParticleEnsemble::from_vec(particles),
     }
@@ -401,6 +439,7 @@ proptest! {
         let back = format::decode_record(&bytes).unwrap();
         prop_assert_eq!(back.seed, snap.seed);
         prop_assert_eq!(back.window, snap.window);
+        prop_assert_eq!(back.observed_fingerprint, snap.observed_fingerprint);
         prop_assert_eq!(back.telemetry, snap.telemetry);
         let (got, want) = (back.posterior.particles(), snap.posterior.particles());
         prop_assert_eq!(got.len(), want.len());
